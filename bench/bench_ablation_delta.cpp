@@ -1,0 +1,61 @@
+// Ablation: the timing assumption. The paper assumes a known Δ "long
+// enough" to publish + confirm. What does Δ (and the block interval)
+// cost? Completion latency scales linearly with Δ; safety margins (how
+// close conforming actions come to their deadlines) grow with Δ, so a
+// too-small Δ is the real danger — the engine refuses Δ < 2·blocktime.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+
+using namespace xswap;
+
+int main() {
+  bench::title("bench_ablation_delta",
+               "design ablation: delta and block interval vs completion and "
+               "safety margin");
+  std::printf("%-6s %-6s | %10s %12s | %12s %12s\n", "delta", "block",
+              "done(tick)", "done/delta", "worst slack", "slack/delta");
+  bench::rule();
+
+  for (const sim::Duration seal : {1u, 2u}) {
+    for (const sim::Duration delta : {2u, 4u, 8u, 16u}) {
+      if (delta < 2 * seal) continue;
+      swap::EngineOptions options;
+      options.delta = delta;
+      options.seal_period = seal;
+      swap::SwapEngine engine(graph::cycle(5), {0}, options);
+      const swap::SwapSpec& spec = engine.spec();
+      const swap::SwapReport report = engine.run();
+
+      // Worst-case slack: distance from each arc's trigger time to the
+      // tightest deadline that could have applied (the |p|=diam one is
+      // the loosest; use the final deadline as the uniform yardstick).
+      sim::Time worst_slack = ~0ULL;
+      for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+        if (report.triggered[a]) {
+          worst_slack = std::min(worst_slack,
+                                 spec.final_deadline() - report.settled_at[a]);
+        }
+      }
+      std::printf("%-6llu %-6llu | %10llu %12.2f | %12llu %12.2f%s\n",
+                  static_cast<unsigned long long>(delta),
+                  static_cast<unsigned long long>(seal),
+                  static_cast<unsigned long long>(report.last_trigger_time),
+                  static_cast<double>(report.last_trigger_time - spec.start_time) /
+                      static_cast<double>(delta),
+                  static_cast<unsigned long long>(worst_slack),
+                  static_cast<double>(worst_slack) / static_cast<double>(delta),
+                  report.all_triggered ? "" : "  <-- FAILED");
+    }
+  }
+  bench::rule();
+  std::printf("expected shape: conforming progress is driven by the block "
+              "interval, not delta, so\nabsolute completion barely moves as "
+              "delta grows — while the safety slack (distance\nto the "
+              "deadlines) grows linearly with delta. Delta buys tolerance, "
+              "not speed; the\nengine rejects delta < 2*block where the "
+              "slack would vanish.\n");
+  return 0;
+}

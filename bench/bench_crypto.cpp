@@ -1,0 +1,110 @@
+// Microbenchmarks of the cryptographic substrate (google-benchmark):
+// SHA-256 / SHA-512 / HMAC throughput, Ed25519 key generation, signing,
+// verification, and hashkey chain operations. These are the cost drivers
+// behind the per-call payloads measured in the protocol benches.
+#include <benchmark/benchmark.h>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "swap/hashkey.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+using namespace xswap;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  util::Rng rng(1);
+  const util::Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  util::Rng rng(2);
+  const util::Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha512(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  util::Rng rng(3);
+  const util::Bytes key = rng.next_bytes(32);
+  const util::Bytes msg = rng.next_bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Ed25519KeyGen(benchmark::State& state) {
+  util::Rng rng(4);
+  const util::Bytes seed = rng.next_bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::KeyPair::from_seed(seed));
+  }
+}
+BENCHMARK(BM_Ed25519KeyGen);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  util::Rng rng(5);
+  const crypto::KeyPair kp = crypto::KeyPair::from_seed(rng.next_bytes(32));
+  const util::Bytes msg = rng.next_bytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.sign(msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  util::Rng rng(6);
+  const crypto::KeyPair kp = crypto::KeyPair::from_seed(rng.next_bytes(32));
+  const util::Bytes msg = rng.next_bytes(64);
+  const crypto::Signature sig = kp.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(kp.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+// Hashkey verification cost grows with path length: one signature check
+// per hop (this is the per-unlock on-chain cost of the general protocol).
+void BM_HashkeyVerifyChain(benchmark::State& state) {
+  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  const graph::Digraph d = graph::cycle(hops + 1);
+  util::Rng rng(7);
+  std::vector<crypto::KeyPair> keys;
+  swap::PartyDirectory directory;
+  for (std::size_t i = 0; i <= hops; ++i) {
+    keys.push_back(crypto::KeyPair::from_seed(rng.next_bytes(32)));
+    directory.push_back(keys.back().public_key());
+  }
+  const swap::Secret secret = rng.next_bytes(32);
+  const swap::Hashlock hashlock = crypto::sha256_bytes(secret);
+  // Leader is vertex 0; build the longest chain 'hops' hops away along
+  // the cycle: vertex k has arc (k, k+1 mod n), so extend backwards.
+  swap::Hashkey key = swap::make_leader_hashkey(secret, 0, keys[0]);
+  for (std::size_t v = hops; v >= 1; --v) {
+    key = swap::extend_hashkey(key, static_cast<swap::PartyId>(v), keys[v]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swap::verify_hashkey(
+        key, hashlock, d, key.path.front(), 0, directory));
+  }
+}
+BENCHMARK(BM_HashkeyVerifyChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

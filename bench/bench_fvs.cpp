@@ -1,0 +1,54 @@
+// §5: finding a minimum feedback vertex set is NP-complete [Karp 72];
+// efficient approximations exist [Becker-Geiger 96].
+//
+// Compare the exact exponential search against the polynomial greedy
+// heuristic: solution size and wall-clock time on random strongly-
+// connected digraphs of growing size.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+using namespace xswap;
+
+namespace {
+
+template <typename F>
+double time_ms(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::title("bench_fvs",
+               "§5: minimum FVS (exact, exponential) vs greedy heuristic "
+               "(polynomial)");
+  std::printf("%-4s %4s | %6s %10s | %6s %10s | %s\n", "n", "|A|", "exact",
+              "ms", "greedy", "ms", "greedy valid");
+  bench::rule();
+
+  util::Rng rng(1234);
+  for (std::size_t n = 4; n <= 14; ++n) {
+    const graph::Digraph d = graph::random_strongly_connected(n, n, rng);
+    std::vector<graph::VertexId> exact, greedy;
+    const double exact_ms =
+        time_ms([&] { exact = graph::minimum_feedback_vertex_set(d, 16); });
+    const double greedy_ms =
+        time_ms([&] { greedy = graph::greedy_feedback_vertex_set(d); });
+    std::printf("%-4zu %4zu | %6zu %10.3f | %6zu %10.3f | %s\n", n,
+                d.arc_count(), exact.size(), exact_ms, greedy.size(), greedy_ms,
+                graph::is_feedback_vertex_set(d, greedy) ? "yes" : "NO");
+  }
+  bench::rule();
+  std::printf("expected shape: exact time grows exponentially with n while "
+              "greedy stays flat;\ngreedy size is a small constant factor "
+              "above exact.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Simulator performance: wall-clock cost of a full end-to-end swap
+// simulation (chains + contracts + real Ed25519 signatures) as the
+// digraph grows. Not a paper claim — capacity data for anyone using this
+// library for larger studies.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+
+using namespace xswap;
+
+namespace {
+
+double run_ms(const graph::Digraph& d, const std::vector<swap::PartyId>& leaders,
+              swap::ProtocolMode mode, std::uint64_t seed) {
+  swap::EngineOptions options;
+  options.mode = mode;
+  options.seed = seed;
+  swap::SwapEngine engine(d, leaders, options);
+  const auto start = std::chrono::steady_clock::now();
+  const swap::SwapReport report = engine.run();
+  const auto end = std::chrono::steady_clock::now();
+  if (!report.all_triggered) return -1.0;
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::title("bench_sim_throughput",
+               "wall-clock cost of one full swap simulation (capacity data, "
+               "not a paper claim)");
+  std::printf("%-10s %4s %5s | %12s %12s\n", "digraph", "|A|", "|L|",
+              "general ms", "1-leader ms");
+  bench::rule();
+  for (const std::size_t n : {3u, 6u, 10u, 14u, 18u}) {
+    const graph::Digraph d = graph::cycle(n);
+    const double g = run_ms(d, {0}, swap::ProtocolMode::kGeneral, n);
+    const double s = run_ms(d, {0}, swap::ProtocolMode::kSingleLeader, n);
+    std::printf("cycle%-5zu %4zu %5u | %12.2f %12.2f\n", n, d.arc_count(), 1u,
+                g, s);
+  }
+  for (const std::size_t n : {4u, 5u, 6u}) {
+    const graph::Digraph d = graph::complete(n);
+    std::vector<swap::PartyId> leaders;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      leaders.push_back(static_cast<swap::PartyId>(i));
+    }
+    const double g = run_ms(d, leaders, swap::ProtocolMode::kGeneral, 50 + n);
+    std::printf("complete%-2zu %4zu %5zu | %12.2f %12s\n", n, d.arc_count(),
+                leaders.size(), g, "n/a");
+  }
+  bench::rule();
+  std::printf("expected shape: cost is dominated by Ed25519 signature "
+              "verification in unlock calls,\nso the general protocol scales "
+              "with |A|*|L| while the single-leader variant stays light.\n");
+  return 0;
+}

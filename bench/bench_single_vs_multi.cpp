@@ -1,0 +1,60 @@
+// §4.6: single-leader digraphs can replace hashkeys + signatures with
+// plain timeouts — "reducing message sizes and eliminating the need for
+// digital signatures".
+//
+// Run the same single-leader digraphs under both protocols and compare
+// storage, unlock payload bytes, signature count, and completion time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+
+using namespace xswap;
+
+namespace {
+
+void compare(const char* label, const graph::Digraph& d, std::uint64_t seed) {
+  swap::EngineOptions general;
+  general.seed = seed;
+  swap::SwapEngine ge(d, {0}, general);
+  const swap::SwapReport g = ge.run();
+
+  swap::EngineOptions single;
+  single.seed = seed;
+  single.mode = swap::ProtocolMode::kSingleLeader;
+  swap::SwapEngine se(d, {0}, single);
+  const swap::SwapReport s = se.run();
+
+  const auto ticks = [](const swap::SwapReport& r, const swap::SwapSpec& spec) {
+    return static_cast<unsigned long long>(r.last_trigger_time - spec.start_time);
+  };
+  std::printf("%-10s %5zu | %9zu %9zu | %8zu %8zu | %6zu %6zu | %5llu %5llu%s\n",
+              label, d.arc_count(), g.total_storage_bytes, s.total_storage_bytes,
+              g.hashkey_bytes_submitted, s.hashkey_bytes_submitted,
+              g.sign_operations, s.sign_operations, ticks(g, ge.spec()),
+              ticks(s, se.spec()),
+              (g.all_triggered && s.all_triggered) ? "" : " <-- FAILED");
+}
+
+}  // namespace
+
+int main() {
+  bench::title("bench_single_vs_multi",
+               "§4.6: hashkey protocol vs single-leader timeout protocol "
+               "on the same digraphs");
+  std::printf("%-10s %5s | %9s %9s | %8s %8s | %6s %6s | %5s %5s\n", "digraph",
+              "|A|", "storG", "stor1L", "unlockG", "unlck1L", "sigG", "sig1L",
+              "tG", "t1L");
+  bench::rule();
+  for (std::size_t n = 3; n <= 9; ++n) {
+    compare(("cycle" + std::to_string(n)).c_str(), graph::cycle(n), n);
+  }
+  compare("hub6", graph::hub_and_spokes(6), 60);
+  compare("2cycles", graph::two_cycles_sharing_vertex(4, 4), 61);
+  bench::rule();
+  std::printf("expected shape: single-leader wins every cost column "
+              "(no digraph copies, no signatures,\nconstant-size unlock "
+              "payloads), with comparable completion time.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Theorem 3.5: a uniform swap protocol for D is atomic iff D is strongly
+// connected — verified computationally.
+//
+// For strongly connected digraphs, exhaustively search all coalitions ×
+// all trigger sets: no coalition may beat Deal without a conforming party
+// ending Underwater (Lemma 3.3). For non-SC digraphs, exhibit the
+// Lemma 3.4 free-ride deviation explicitly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "swap/game.hpp"
+#include "util/rng.hpp"
+
+using namespace xswap;
+
+int main() {
+  bench::title("bench_theorem35",
+               "Theorem 3.5: atomic iff strongly connected (exhaustive game "
+               "search)");
+
+  std::printf("strongly connected digraphs (Lemma 3.3):\n");
+  std::printf("  %-12s %3s %4s | %14s | %s\n", "digraph", "n", "|A|",
+              "outcomes tried", "profitable safe deviation");
+  bench::rule();
+  struct ScCase {
+    const char* name;
+    graph::Digraph d;
+  };
+  util::Rng rng(3535);
+  std::vector<ScCase> sc_cases;
+  sc_cases.push_back({"cycle3", graph::cycle(3)});
+  sc_cases.push_back({"cycle4", graph::cycle(4)});
+  sc_cases.push_back({"complete3", graph::complete(3)});
+  sc_cases.push_back({"hub4", graph::hub_and_spokes(4)});
+  sc_cases.push_back({"2cycles", graph::two_cycles_sharing_vertex(3, 3)});
+  sc_cases.push_back({"random5", graph::random_strongly_connected(5, 2, rng)});
+  for (const auto& c : sc_cases) {
+    const auto witness = swap::find_lemma33_counterexample(c.d, 6, 12);
+    const double combos =
+        static_cast<double>((1ULL << c.d.vertex_count()) - 2) *
+        static_cast<double>(1ULL << c.d.arc_count());
+    std::printf("  %-12s %3zu %4zu | %14.0f | %s\n", c.name,
+                c.d.vertex_count(), c.d.arc_count(), combos,
+                witness ? "FOUND <-- contradicts Lemma 3.3" : "none (as proved)");
+  }
+
+  std::printf("\nnon-strongly-connected digraphs (Lemma 3.4):\n");
+  std::printf("  %-14s | %-10s %-22s %s\n", "digraph", "coalition",
+              "coalition outcome", "members >= baseline");
+  bench::rule();
+  struct NscCase {
+    const char* name;
+    graph::Digraph d;
+  };
+  std::vector<NscCase> nsc_cases;
+  {
+    graph::Digraph pair_feeds_one(3);
+    pair_feeds_one.add_arc(0, 1);
+    pair_feeds_one.add_arc(1, 0);
+    pair_feeds_one.add_arc(1, 2);
+    nsc_cases.push_back({"pair->stray", std::move(pair_feeds_one)});
+  }
+  {
+    graph::Digraph two_rings(4);
+    two_rings.add_arc(0, 1);
+    two_rings.add_arc(1, 0);
+    two_rings.add_arc(2, 3);
+    two_rings.add_arc(3, 2);
+    two_rings.add_arc(1, 2);  // one-way bridge
+    nsc_cases.push_back({"ring->ring", std::move(two_rings)});
+  }
+  {
+    graph::Digraph ring3_to_ring2(5);
+    ring3_to_ring2.add_arc(0, 1);
+    ring3_to_ring2.add_arc(1, 2);
+    ring3_to_ring2.add_arc(2, 0);
+    ring3_to_ring2.add_arc(3, 4);
+    ring3_to_ring2.add_arc(4, 3);
+    ring3_to_ring2.add_arc(2, 3);  // one-way bridge
+    nsc_cases.push_back({"ring3->ring2", std::move(ring3_to_ring2)});
+  }
+  for (const auto& c : nsc_cases) {
+    const auto witness = swap::free_ride_construction(c.d);
+    if (!witness) {
+      std::printf("  %-14s | construction failed <-- BUG\n", c.name);
+      continue;
+    }
+    std::string members;
+    for (const auto v : witness->coalition) {
+      members += static_cast<char>('A' + v);
+    }
+    std::printf("  %-14s | {%s}%*s %-22s %s\n", c.name, members.c_str(),
+                static_cast<int>(8 - members.size()), "",
+                to_string(witness->coalition_outcome),
+                swap::members_prefer_to_full_trigger(c.d, witness->coalition,
+                                                     witness->triggered)
+                    ? "yes"
+                    : "NO <-- BUG");
+  }
+  bench::rule();
+  std::printf("expected shape: zero profitable-safe deviations on every SC "
+              "digraph; an explicit\nfree-riding coalition on every non-SC "
+              "digraph. (The coalition *boundary* class\nreads NoDeal — "
+              "nothing ever flows into X — but every member individually "
+              "does at\nleast as well as under full triggering while paying "
+              "strictly less: Lemma 3.4.)\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the table-printing benchmark harnesses.
+//
+// Each bench binary regenerates one figure or claim from the paper
+// (see DESIGN.md §4 and EXPERIMENTS.md). They print fixed-width tables to
+// stdout; absolute numbers are simulator ticks, shapes are what should
+// match the paper.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace xswap::bench {
+
+inline void title(const std::string& name, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", name.c_str());
+  std::printf("reproduces: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void rule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace xswap::bench

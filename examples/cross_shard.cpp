@@ -1,0 +1,59 @@
+// Cross-shard coordination (paper §1: "Sharding splits one blockchain
+// into many ... an atomic swap protocol can coordinate needed cross-chain
+// updates").
+//
+// A coordinator shard rebalances accounts against four worker shards:
+// the coordinator moves allocation tokens out to every shard and pulls
+// settlement tokens back — a hub-and-spokes swap digraph whose hub is the
+// single leader. We run it twice: plain, and with the §4.5 broadcast
+// chain, showing the constant-time Phase Two.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+
+using namespace xswap;
+
+namespace {
+
+swap::SwapEngine make_rebalance(bool broadcast) {
+  const std::size_t shards = 5;  // hub + 4 workers
+  const graph::Digraph d = graph::hub_and_spokes(shards);
+  std::vector<std::string> names = {"coordinator"};
+  for (std::size_t i = 1; i < shards; ++i) {
+    names.push_back("shard-" + std::to_string(i));
+  }
+  std::vector<swap::ArcTerms> arcs;
+  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
+    const auto& arc = d.arc(a);
+    // Outbound arcs carry allocations, inbound carry settlements; the
+    // contract for a shard pair lives on that shard's chain.
+    const std::size_t shard = arc.head == 0 ? arc.tail : arc.head;
+    arcs.push_back(swap::ArcTerms{
+        "shard-chain-" + std::to_string(shard),
+        chain::Asset::coins(arc.head == 0 ? "ALLOC" : "SETTLE", 10 + a)});
+  }
+  swap::EngineOptions options;
+  options.broadcast = broadcast;
+  return swap::SwapEngine(d, names, /*leaders=*/{0}, arcs, options);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("cross-shard rebalance: coordinator <-> 4 shards (8 transfers)\n");
+  for (const bool broadcast : {false, true}) {
+    swap::SwapEngine engine = make_rebalance(broadcast);
+    const auto& spec = engine.spec();
+    const swap::SwapReport report = engine.run();
+    std::printf("%-18s all_triggered=%s  triggered by T+%llu ticks  storage=%zu B\n",
+                broadcast ? "with broadcast:" : "plain protocol:",
+                report.all_triggered ? "yes" : "no",
+                static_cast<unsigned long long>(report.last_trigger_time -
+                                                spec.start_time),
+                report.total_storage_bytes);
+    if (!report.all_triggered) return 1;
+  }
+  std::puts("\nevery shard update committed atomically on every chain");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Recurrent market (§5): the same counterparties swap every epoch —
+// think a market maker rebalancing against three venues once per hour.
+//
+// Instead of distributing fresh hashlocks before every round, each leader
+// commits once to the head of a hash chain; revealing round k's secret IS
+// the distribution of round k+1's hashlock. Any participant can audit a
+// revealed secret against the single commitment.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "swap/recurrent.hpp"
+#include "util/bytes.hpp"
+
+using namespace xswap;
+
+int main() {
+  constexpr std::size_t kRounds = 4;
+  std::printf("recurrent 4-party ring, %zu rounds, one leader\n\n", kRounds);
+
+  swap::RecurrentSwapRunner runner(graph::cycle(4), {0}, kRounds);
+  const auto commitments = runner.commitments();
+  std::printf("leader commitment (x_0, published once before round 1):\n  %s\n\n",
+              util::to_hex(commitments[0]).c_str());
+
+  const auto results = runner.run_all();
+  std::printf("%-7s %-10s %-18s %s\n", "round", "outcome", "triggered by",
+              "hashlock links to commitment");
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& r = results[k];
+    std::printf("%-7zu %-10s T+%-16llu %s\n", k + 1,
+                r.report.all_triggered ? "all-Deal" : "partial",
+                static_cast<unsigned long long>(r.report.last_trigger_time),
+                r.chain_links_verified ? "verified" : "BROKEN");
+    if (!r.report.all_triggered || !r.chain_links_verified) return 1;
+  }
+  std::printf("\n%zu rounds completed; zero extra hashlock-distribution "
+              "messages after the initial commitment\n", kRounds);
+  return 0;
+}

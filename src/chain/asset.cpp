@@ -1,0 +1,39 @@
+#include "chain/asset.hpp"
+
+#include <stdexcept>
+
+namespace xswap::chain {
+
+Asset Asset::coins(std::string symbol, std::uint64_t amount) {
+  if (amount == 0) throw std::invalid_argument("Asset::coins: zero amount");
+  Asset a;
+  a.symbol = std::move(symbol);
+  a.amount = amount;
+  a.fungible = true;
+  return a;
+}
+
+Asset Asset::unique(std::string symbol, std::string id) {
+  if (id.empty()) throw std::invalid_argument("Asset::unique: empty id");
+  Asset a;
+  a.symbol = std::move(symbol);
+  a.amount = 1;
+  a.fungible = false;
+  a.unique_id = std::move(id);
+  return a;
+}
+
+std::string Asset::to_string() const {
+  if (fungible) return std::to_string(amount) + " " + symbol;
+  return symbol + "#" + unique_id;
+}
+
+util::Bytes Asset::encode() const {
+  util::Bytes out = util::str_bytes(symbol);
+  util::append(out, util::be64(amount));
+  out.push_back(fungible ? 1 : 0);
+  util::append(out, util::str_bytes(unique_id));
+  return out;
+}
+
+}  // namespace xswap::chain

@@ -1,0 +1,38 @@
+// Assets transferable on a simulated blockchain.
+//
+// The paper's examples swap fungible cryptocurrency (bitcoin, alt-coin)
+// and a non-fungible automobile title. Both are modeled: a fungible asset
+// is an amount of a symbol, a unique asset is a (symbol, id) token.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace xswap::chain {
+
+/// A transferable asset: a fungible lot ("25 BTC") or a unique token
+/// ("TITLE cadillac-vin-1957").
+struct Asset {
+  std::string symbol;
+  std::uint64_t amount = 0;   // fungible quantity; 1 for unique assets
+  bool fungible = true;
+  std::string unique_id;      // empty for fungible assets
+
+  /// Fungible lot of `amount` units of `symbol`.
+  static Asset coins(std::string symbol, std::uint64_t amount);
+
+  /// Unique (non-fungible) token.
+  static Asset unique(std::string symbol, std::string id);
+
+  /// Human-readable description ("25 BTC", "TITLE#cadillac").
+  std::string to_string() const;
+
+  /// Canonical byte encoding, used for hashing and storage accounting.
+  util::Bytes encode() const;
+
+  bool operator==(const Asset&) const = default;
+};
+
+}  // namespace xswap::chain

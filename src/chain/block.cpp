@@ -1,0 +1,20 @@
+#include "chain/block.hpp"
+
+namespace xswap::chain {
+
+crypto::Digest256 Block::hash() const {
+  util::Bytes enc = util::be64(height);
+  util::append(enc, util::be64(sealed_at));
+  util::append(enc, util::BytesView(prev_hash.data(), prev_hash.size()));
+  util::append(enc, util::BytesView(tx_root.data(), tx_root.size()));
+  return crypto::sha256(enc);
+}
+
+crypto::Digest256 Block::compute_tx_root() const {
+  std::vector<crypto::Digest256> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.digest());
+  return merkle_root(leaves);
+}
+
+}  // namespace xswap::chain

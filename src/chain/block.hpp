@@ -1,0 +1,28 @@
+// Sealed blocks of the simulated blockchain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/merkle.hpp"
+#include "chain/transaction.hpp"
+
+namespace xswap::chain {
+
+/// A sealed block: transactions plus tamper-evidence (Merkle root over tx
+/// digests, hash-chain link to the previous block).
+struct Block {
+  std::uint64_t height = 0;
+  sim::Time sealed_at = 0;
+  crypto::Digest256 prev_hash{};
+  crypto::Digest256 tx_root{};
+  std::vector<Transaction> txs;
+
+  /// Block header hash (chains blocks together).
+  crypto::Digest256 hash() const;
+
+  /// Recompute the Merkle root from `txs` (for integrity checks).
+  crypto::Digest256 compute_tx_root() const;
+};
+
+}  // namespace xswap::chain

@@ -1,0 +1,55 @@
+// Smart-contract hosting interface (§2.2).
+//
+// A contract is an object published on a ledger. Once published it is
+// irrevocable: no party can remove it or tamper with its terms; only its
+// own entry points mutate its state. The Ledger enforces this by keeping
+// the only mutable reference and exposing published contracts to
+// observers as const.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace xswap::chain {
+
+class Ledger;
+using Address = std::string;
+using ContractId = std::uint64_t;
+
+/// Address form under which a contract holds escrowed assets.
+Address contract_address(ContractId id);
+
+/// Context passed to contract entry points: who called, at what chain
+/// time, and on which ledger the contract lives (for asset movement).
+struct CallContext {
+  Address sender;
+  sim::Time time = 0;
+  Ledger* ledger = nullptr;
+  ContractId self = 0;
+};
+
+/// Base class for on-chain contracts. Concrete contracts (e.g. the swap
+/// contract of Fig. 4–5) define their own typed entry points; calls are
+/// routed through Ledger::submit_call so that execution happens at block
+/// seal time with ledger-provided context.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+
+  /// Short type label ("swap", "swap1l", ...) for traces.
+  virtual std::string type_name() const = 0;
+
+  /// Bytes of on-chain storage this contract occupies (Theorem 4.10
+  /// accounting). Includes its copy of the swap digraph, hashlock
+  /// vectors, etc.
+  virtual std::size_t storage_bytes() const = 0;
+
+  /// Invoked by the ledger when the publishing transaction executes.
+  /// Typically takes escrow of the contract's asset; throwing aborts the
+  /// publication (the transaction is recorded as failed).
+  virtual void on_publish(const CallContext& ctx) = 0;
+};
+
+}  // namespace xswap::chain

@@ -1,0 +1,210 @@
+#include "chain/ledger.hpp"
+
+#include <stdexcept>
+
+namespace xswap::chain {
+
+Address contract_address(ContractId id) {
+  return "contract:" + std::to_string(id);
+}
+
+Ledger::Ledger(std::string name, sim::Simulator& sim, sim::Duration seal_period)
+    : name_(std::move(name)), sim_(sim), seal_period_(seal_period) {
+  if (seal_period_ == 0) {
+    throw std::invalid_argument("Ledger: seal period must be positive");
+  }
+  // Genesis block.
+  Block genesis;
+  genesis.height = 0;
+  genesis.sealed_at = sim_.now();
+  genesis.tx_root = genesis.compute_tx_root();
+  blocks_.push_back(std::move(genesis));
+}
+
+void Ledger::start() {
+  if (started_) return;
+  started_ = true;
+  running_ = true;
+  sim_.every(sim_.now() + seal_period_, seal_period_, [this] {
+    if (!running_) return false;
+    seal();
+    return true;
+  });
+}
+
+void Ledger::mint(const Address& owner, const Asset& asset) {
+  if (asset.fungible) {
+    balances_[owner][asset.symbol] += asset.amount;
+  } else {
+    const auto key = std::make_pair(asset.symbol, asset.unique_id);
+    if (unique_owners_.count(key)) {
+      throw std::invalid_argument("Ledger::mint: unique asset already exists");
+    }
+    unique_owners_[key] = owner;
+  }
+  record("[" + std::to_string(sim_.now()) + "] genesis: " + asset.to_string() +
+         " -> " + owner);
+}
+
+std::uint64_t Ledger::balance(const Address& owner,
+                              const std::string& symbol) const {
+  const auto it = balances_.find(owner);
+  if (it == balances_.end()) return 0;
+  const auto jt = it->second.find(symbol);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::optional<Address> Ledger::owner_of(const std::string& symbol,
+                                        const std::string& unique_id) const {
+  const auto it = unique_owners_.find({symbol, unique_id});
+  if (it == unique_owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t Ledger::total_supply(const std::string& symbol) const {
+  std::uint64_t total = 0;
+  for (const auto& [owner, per_symbol] : balances_) {
+    const auto it = per_symbol.find(symbol);
+    if (it != per_symbol.end()) total += it->second;
+  }
+  return total;
+}
+
+bool Ledger::owns(const Address& owner, const Asset& asset) const {
+  if (asset.fungible) return balance(owner, asset.symbol) >= asset.amount;
+  const auto current = owner_of(asset.symbol, asset.unique_id);
+  return current.has_value() && *current == owner;
+}
+
+void Ledger::transfer(const Address& from, const Address& to, const Asset& asset) {
+  if (!owns(from, asset)) {
+    throw std::runtime_error("Ledger::transfer: " + from + " cannot pay " +
+                             asset.to_string());
+  }
+  if (asset.fungible) {
+    balances_[from][asset.symbol] -= asset.amount;
+    balances_[to][asset.symbol] += asset.amount;
+  } else {
+    unique_owners_[{asset.symbol, asset.unique_id}] = to;
+  }
+}
+
+ContractId Ledger::submit_contract(const Address& sender,
+                                   std::unique_ptr<Contract> contract,
+                                   std::size_t payload_bytes) {
+  if (!contract) {
+    throw std::invalid_argument("Ledger::submit_contract: null contract");
+  }
+  const ContractId id = next_contract_id_++;
+  PendingTx p;
+  p.tx.kind = TxKind::kPublishContract;
+  p.tx.sender = sender;
+  p.tx.summary = "publish " + contract->type_name() + " as " + contract_address(id);
+  p.tx.payload_bytes = payload_bytes;
+  p.tx.submitted_at = sim_.now();
+  p.to_publish = std::move(contract);
+  p.target = id;
+  enqueue(std::move(p));
+  return id;
+}
+
+void Ledger::enqueue(PendingTx p) {
+  if (submit_delay_ == 0) {
+    mempool_.push_back(std::move(p));
+    return;
+  }
+  // Delayed entry to the mempool; shared_ptr keeps the closure copyable
+  // for std::function.
+  auto held = std::make_shared<PendingTx>(std::move(p));
+  sim_.after(submit_delay_, [this, held] { mempool_.push_back(std::move(*held)); });
+}
+
+void Ledger::submit_call(const Address& sender, ContractId id, std::string method,
+                         std::size_t payload_bytes, CallFn fn) {
+  PendingTx p;
+  p.tx.kind = TxKind::kContractCall;
+  p.tx.sender = sender;
+  p.tx.summary = method + " on " + contract_address(id);
+  p.tx.payload_bytes = payload_bytes;
+  p.tx.submitted_at = sim_.now();
+  p.target = id;
+  p.call = std::move(fn);
+  enqueue(std::move(p));
+}
+
+const Contract* Ledger::get_contract(ContractId id) const {
+  const auto it = contracts_.find(id);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+void Ledger::execute(PendingTx& p, Transaction& tx) {
+  const CallContext ctx{tx.sender, sim_.now(), this, p.target};
+  if (tx.kind == TxKind::kPublishContract) {
+    // Publication: run the escrow hook, then make the contract visible.
+    p.to_publish->on_publish(ctx);
+    published_order_.push_back(p.target);
+    contracts_[p.target] = std::move(p.to_publish);
+  } else if (tx.kind == TxKind::kContractCall) {
+    const auto it = contracts_.find(p.target);
+    if (it == contracts_.end()) {
+      throw std::runtime_error("call to unpublished contract " +
+                               contract_address(p.target));
+    }
+    p.call(*it->second, ctx);
+  }
+}
+
+void Ledger::seal() {
+  Block block;
+  block.height = blocks_.size();
+  block.sealed_at = sim_.now();
+  block.prev_hash = blocks_.back().hash();
+
+  std::vector<PendingTx> batch;
+  batch.swap(mempool_);
+  for (PendingTx& p : batch) {
+    Transaction tx = std::move(p.tx);
+    tx.executed_at = sim_.now();
+    try {
+      execute(p, tx);
+      tx.succeeded = true;
+    } catch (const std::exception& e) {
+      tx.succeeded = false;
+      tx.error = e.what();
+      ++failed_tx_count_;
+    }
+    ++tx_count_;
+    payload_storage_bytes_ += tx.payload_bytes;
+    if (tx.kind == TxKind::kContractCall) {
+      call_payload_bytes_ += tx.payload_bytes;
+    }
+    record("[" + std::to_string(sim_.now()) + "] " +
+           std::string(to_string(tx.kind)) + " by " + tx.sender + ": " +
+           tx.summary + (tx.succeeded ? "" : " FAILED (" + tx.error + ")"));
+    block.txs.push_back(std::move(tx));
+  }
+  if (block.txs.empty()) return;  // skip empty blocks, keep the chain compact
+  block.tx_root = block.compute_tx_root();
+  blocks_.push_back(std::move(block));
+}
+
+bool Ledger::verify_integrity() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.compute_tx_root() != b.tx_root) return false;
+    if (i > 0 && b.prev_hash != blocks_[i - 1].hash()) return false;
+  }
+  return true;
+}
+
+std::size_t Ledger::storage_bytes() const {
+  std::size_t total = payload_storage_bytes_;
+  for (const auto& [id, contract] : contracts_) {
+    total += contract->storage_bytes();
+  }
+  return total;
+}
+
+void Ledger::record(std::string line) { trace_.push_back(std::move(line)); }
+
+}  // namespace xswap::chain

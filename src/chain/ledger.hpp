@@ -1,0 +1,177 @@
+// A simulated blockchain ledger (§2.2).
+//
+// Provides the paper's blockchain abstraction: clients submit transactions
+// (asset transfers, contract publications, contract calls); the ledger
+// seals them into Merkle-committed blocks on a fixed period driven by the
+// discrete-event simulator. Submitted transactions execute at the next
+// seal and become *visible* to observers only then — so one "publish +
+// confirm" round trip costs up to one seal period, and the paper's Δ must
+// be at least that (the protocol engine enforces the margin).
+//
+// The ledger also keeps the bookkeeping the benchmarks need: per-chain
+// storage bytes (Theorem 4.10), transaction and call counts, and an event
+// trace for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/asset.hpp"
+#include "chain/block.hpp"
+#include "chain/contract.hpp"
+#include "chain/transaction.hpp"
+#include "sim/simulator.hpp"
+
+namespace xswap::chain {
+
+/// A single blockchain. Each arc of a swap digraph runs on its own Ledger
+/// (plus optionally one shared broadcast chain, §4.5).
+class Ledger {
+ public:
+  /// `seal_period`: ticks between blocks. The genesis block is sealed
+  /// immediately; subsequent seals happen every `seal_period` ticks once
+  /// start() is called.
+  Ledger(std::string name, sim::Simulator& sim, sim::Duration seal_period = 1);
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Begin sealing blocks (schedules the periodic seal event).
+  void start();
+  /// Stop sealing after the current tick (lets simulations drain).
+  void stop() { running_ = false; }
+
+  /// Extra ticks between a client's submission and the transaction
+  /// entering the mempool — models a congested or slow chain. The
+  /// paper's Δ must cover seal_period + submit_delay for its timing
+  /// analysis to apply; the ablation benches deliberately violate this.
+  void set_submit_delay(sim::Duration delay) { submit_delay_ = delay; }
+  sim::Duration submit_delay() const { return submit_delay_; }
+
+  // ---- Assets ----
+
+  /// Genesis allocation: credit `owner` with `asset` out of thin air.
+  void mint(const Address& owner, const Asset& asset);
+
+  /// Fungible balance of `owner` for `symbol`.
+  std::uint64_t balance(const Address& owner, const std::string& symbol) const;
+
+  /// Current owner of a unique token, if it exists on this chain.
+  std::optional<Address> owner_of(const std::string& symbol,
+                                  const std::string& unique_id) const;
+
+  /// True iff `owner` can currently pay `asset` (balance or token).
+  bool owns(const Address& owner, const Asset& asset) const;
+
+  /// Sum of `symbol` across all accounts (conservation audits: transfers
+  /// never change total supply; only mint() does).
+  std::uint64_t total_supply(const std::string& symbol) const;
+
+  /// All fungible balances (owner → symbol → amount), for audits.
+  const std::map<Address, std::map<std::string, std::uint64_t>>& balances() const {
+    return balances_;
+  }
+
+  /// All unique-token owners ((symbol, id) → owner), for audits.
+  const std::map<std::pair<std::string, std::string>, Address>& unique_owners()
+      const {
+    return unique_owners_;
+  }
+
+  /// Move `asset` from `from` to `to`; throws std::runtime_error when
+  /// `from` cannot pay. Contracts use this to take escrow and to pay out.
+  void transfer(const Address& from, const Address& to, const Asset& asset);
+
+  // ---- Contracts ----
+
+  /// Submit a contract for publication. The id is assigned immediately;
+  /// escrow is taken and the contract becomes visible at the next seal.
+  /// `payload_bytes` is the storage charged for the publication tx (the
+  /// contract adds its own storage_bytes() on top).
+  ContractId submit_contract(const Address& sender,
+                             std::unique_ptr<Contract> contract,
+                             std::size_t payload_bytes);
+
+  /// Submit a call to a published contract's entry point. `method` labels
+  /// the trace; `payload_bytes` models the call-argument size (hashkeys
+  /// with their signature chains are big — that is the |A|·|L| term of
+  /// the communication bound). `fn` performs the typed invocation; any
+  /// exception it throws marks the transaction failed without aborting
+  /// the simulation.
+  using CallFn = std::function<void(Contract&, const CallContext&)>;
+  void submit_call(const Address& sender, ContractId id, std::string method,
+                   std::size_t payload_bytes, CallFn fn);
+
+  /// Read-only view of a *published* contract (nullptr before the sealing
+  /// block, or for unknown ids). Observers may inspect but never mutate.
+  const Contract* get_contract(ContractId id) const;
+
+  /// Ids of all published contracts, in publication order.
+  const std::vector<ContractId>& published_contracts() const {
+    return published_order_;
+  }
+
+  // ---- Chain data ----
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Verify hash-chain links and Merkle roots of every sealed block.
+  bool verify_integrity() const;
+
+  /// Total bytes stored on this chain: transaction payloads plus live
+  /// contract state (Theorem 4.10's measure).
+  std::size_t storage_bytes() const;
+
+  std::size_t transaction_count() const { return tx_count_; }
+  std::size_t failed_transaction_count() const { return failed_tx_count_; }
+  std::size_t call_payload_bytes() const { return call_payload_bytes_; }
+
+  /// Human-readable event trace ("[12] publish swap ...").
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  struct PendingTx {
+    Transaction tx;
+    // Exactly one of these is set for publish/call transactions.
+    std::unique_ptr<Contract> to_publish;
+    ContractId target = 0;
+    CallFn call;
+  };
+
+  void seal();
+  void execute(PendingTx& p, Transaction& tx);
+  void record(std::string line);
+  void enqueue(PendingTx p);
+
+  std::string name_;
+  sim::Simulator& sim_;
+  sim::Duration seal_period_;
+  sim::Duration submit_delay_ = 0;
+  bool running_ = false;
+  bool started_ = false;
+
+  std::map<Address, std::map<std::string, std::uint64_t>> balances_;
+  std::map<std::pair<std::string, std::string>, Address> unique_owners_;
+
+  std::vector<PendingTx> mempool_;
+  std::vector<Block> blocks_;
+
+  std::map<ContractId, std::unique_ptr<Contract>> contracts_;
+  std::vector<ContractId> published_order_;
+  ContractId next_contract_id_ = 1;
+
+  std::size_t tx_count_ = 0;
+  std::size_t failed_tx_count_ = 0;
+  std::size_t payload_storage_bytes_ = 0;
+  std::size_t call_payload_bytes_ = 0;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace xswap::chain

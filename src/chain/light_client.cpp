@@ -1,0 +1,54 @@
+#include "chain/light_client.hpp"
+
+#include <stdexcept>
+
+namespace xswap::chain {
+
+crypto::Digest256 BlockHeader::hash() const {
+  util::Bytes enc = util::be64(height);
+  util::append(enc, util::be64(sealed_at));
+  util::append(enc, util::BytesView(prev_hash.data(), prev_hash.size()));
+  util::append(enc, util::BytesView(tx_root.data(), tx_root.size()));
+  return crypto::sha256(enc);
+}
+
+BlockHeader BlockHeader::from_block(const Block& block) {
+  return BlockHeader{block.height, block.sealed_at, block.prev_hash,
+                     block.tx_root};
+}
+
+bool LightClient::accept(const BlockHeader& header) {
+  if (headers_.empty()) {
+    // First header must be a genesis-like start (no link to check).
+    headers_.push_back(header);
+    return true;
+  }
+  const BlockHeader& tip = headers_.back();
+  if (header.height <= tip.height) return false;
+  if (header.prev_hash != tip.hash()) return false;
+  headers_.push_back(header);
+  return true;
+}
+
+bool LightClient::verify_inclusion(std::uint64_t height,
+                                   const crypto::Digest256& tx_digest,
+                                   const MerkleProof& proof) const {
+  for (const BlockHeader& h : headers_) {
+    if (h.height == height) {
+      return merkle_verify(tx_digest, proof, h.tx_root);
+    }
+  }
+  return false;
+}
+
+MerkleProof prove_transaction(const Block& block, std::size_t index) {
+  if (index >= block.txs.size()) {
+    throw std::out_of_range("prove_transaction: index out of range");
+  }
+  std::vector<crypto::Digest256> leaves;
+  leaves.reserve(block.txs.size());
+  for (const Transaction& tx : block.txs) leaves.push_back(tx.digest());
+  return merkle_prove(leaves, index);
+}
+
+}  // namespace xswap::chain

@@ -1,0 +1,62 @@
+// SPV-style light client.
+//
+// §2.2 models a blockchain as a "publicly-readable, tamper-proof" ledger;
+// parties watching many chains (every arc has its own) need not replay
+// full blocks. A light client tracks only block headers — hash-chained
+// and Merkle-committed — and checks transaction inclusion against them.
+// This is also the mechanism a real bond-pool arbiter (swap/bonds.hpp)
+// would use to verify fault evidence from foreign chains.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/merkle.hpp"
+
+namespace xswap::chain {
+
+/// A block's consensus-critical summary.
+struct BlockHeader {
+  std::uint64_t height = 0;
+  sim::Time sealed_at = 0;
+  crypto::Digest256 prev_hash{};
+  crypto::Digest256 tx_root{};
+
+  /// Same hash as the full block (the header carries everything the
+  /// block hash commits to).
+  crypto::Digest256 hash() const;
+
+  static BlockHeader from_block(const Block& block);
+};
+
+/// Tracks a single chain's headers and answers inclusion queries.
+class LightClient {
+ public:
+  /// Accept the next header. Returns false (and ignores the header) if
+  /// it does not extend the current tip (wrong height or broken
+  /// prev-hash link).
+  bool accept(const BlockHeader& header);
+
+  /// Number of accepted headers.
+  std::size_t height() const { return headers_.size(); }
+
+  const std::optional<BlockHeader> tip() const {
+    if (headers_.empty()) return std::nullopt;
+    return headers_.back();
+  }
+
+  /// Verify that a transaction with digest `tx_digest` is included in
+  /// the accepted header at `height` via `proof`.
+  bool verify_inclusion(std::uint64_t height, const crypto::Digest256& tx_digest,
+                        const MerkleProof& proof) const;
+
+ private:
+  std::vector<BlockHeader> headers_;
+};
+
+/// Inclusion proof for `block.txs[index]`, checkable by LightClient.
+MerkleProof prove_transaction(const Block& block, std::size_t index);
+
+}  // namespace xswap::chain

@@ -1,0 +1,73 @@
+#include "chain/merkle.hpp"
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace xswap::chain {
+
+namespace {
+
+crypto::Digest256 hash_pair(const crypto::Digest256& l, const crypto::Digest256& r) {
+  crypto::Sha256 h;
+  h.update(util::BytesView(l.data(), l.size()));
+  h.update(util::BytesView(r.data(), r.size()));
+  return h.finalize();
+}
+
+}  // namespace
+
+crypto::Digest256 merkle_root(const std::vector<crypto::Digest256>& leaves) {
+  if (leaves.empty()) return crypto::Digest256{};
+  std::vector<crypto::Digest256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<crypto::Digest256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const crypto::Digest256& left = level[i];
+      const crypto::Digest256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof merkle_prove(const std::vector<crypto::Digest256>& leaves,
+                         std::size_t index) {
+  if (index >= leaves.size()) {
+    throw std::out_of_range("merkle_prove: index out of range");
+  }
+  MerkleProof proof;
+  proof.index = index;
+  std::vector<crypto::Digest256> level = leaves;
+  std::size_t i = index;
+  while (level.size() > 1) {
+    const std::size_t sibling = (i % 2 == 0) ? std::min(i + 1, level.size() - 1)
+                                             : i - 1;
+    proof.siblings.push_back(level[sibling]);
+    std::vector<crypto::Digest256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t j = 0; j < level.size(); j += 2) {
+      const crypto::Digest256& left = level[j];
+      const crypto::Digest256& right = (j + 1 < level.size()) ? level[j + 1] : level[j];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const crypto::Digest256& leaf, const MerkleProof& proof,
+                   const crypto::Digest256& root) {
+  crypto::Digest256 acc = leaf;
+  std::size_t i = proof.index;
+  for (const crypto::Digest256& sib : proof.siblings) {
+    acc = (i % 2 == 0) ? hash_pair(acc, sib) : hash_pair(sib, acc);
+    i /= 2;
+  }
+  return acc == root;
+}
+
+}  // namespace xswap::chain

@@ -1,0 +1,34 @@
+// Merkle commitments over block transactions.
+//
+// Each sealed block commits to its transactions with a Merkle root, and
+// the ledger can produce inclusion proofs — the "publicly-readable,
+// tamper-proof" ledger abstraction of §2.2 made concrete.
+#pragma once
+
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace xswap::chain {
+
+/// Merkle root of an ordered list of leaf digests. Interior nodes are
+/// SHA-256 of the concatenated children; an odd node is paired with
+/// itself; the empty list has the all-zero root.
+crypto::Digest256 merkle_root(const std::vector<crypto::Digest256>& leaves);
+
+/// Inclusion proof for a leaf: sibling digests from leaf level to the
+/// root, plus the leaf's index (whose bits give left/right orientation).
+struct MerkleProof {
+  std::size_t index = 0;
+  std::vector<crypto::Digest256> siblings;
+};
+
+/// Proof for `leaves[index]`. Throws std::out_of_range on a bad index.
+MerkleProof merkle_prove(const std::vector<crypto::Digest256>& leaves,
+                         std::size_t index);
+
+/// Check `proof` connects `leaf` to `root`.
+bool merkle_verify(const crypto::Digest256& leaf, const MerkleProof& proof,
+                   const crypto::Digest256& root);
+
+}  // namespace xswap::chain

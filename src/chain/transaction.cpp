@@ -1,0 +1,27 @@
+#include "chain/transaction.hpp"
+
+namespace xswap::chain {
+
+const char* to_string(TxKind kind) {
+  switch (kind) {
+    case TxKind::kGenesis: return "genesis";
+    case TxKind::kPublishContract: return "publish";
+    case TxKind::kContractCall: return "call";
+    case TxKind::kTransfer: return "transfer";
+  }
+  return "unknown";
+}
+
+crypto::Digest256 Transaction::digest() const {
+  util::Bytes enc;
+  enc.push_back(static_cast<std::uint8_t>(kind));
+  util::append(enc, util::str_bytes(sender));
+  util::append(enc, util::str_bytes(summary));
+  util::append(enc, util::be64(payload_bytes));
+  util::append(enc, util::be64(submitted_at));
+  util::append(enc, util::be64(executed_at));
+  enc.push_back(succeeded ? 1 : 0);
+  return crypto::sha256(enc);
+}
+
+}  // namespace xswap::chain

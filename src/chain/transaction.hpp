@@ -1,0 +1,43 @@
+// Transactions recorded on a simulated blockchain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::chain {
+
+/// Party or contract address. Party addresses are their names; contract
+/// addresses use the "contract:<id>" form (see contract_address()).
+using Address = std::string;
+
+enum class TxKind : std::uint8_t {
+  kGenesis,          // initial asset allocation
+  kPublishContract,  // a smart contract was published (and took escrow)
+  kContractCall,     // an entry point of a published contract was invoked
+  kTransfer,         // a plain asset transfer
+};
+
+const char* to_string(TxKind kind);
+
+/// One ledger transaction. `payload_bytes` is the size charged to
+/// on-chain storage (contract state at publication, call arguments for
+/// calls) — the quantity measured by Theorem 4.10's space bound.
+struct Transaction {
+  TxKind kind = TxKind::kTransfer;
+  Address sender;
+  std::string summary;          // human-readable description for traces
+  std::size_t payload_bytes = 0;
+  sim::Time submitted_at = 0;
+  sim::Time executed_at = 0;
+  bool succeeded = false;
+  std::string error;            // failure reason when !succeeded
+
+  /// Digest binding the transaction's content (Merkle leaf).
+  crypto::Digest256 digest() const;
+};
+
+}  // namespace xswap::chain

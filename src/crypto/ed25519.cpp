@@ -1,0 +1,197 @@
+#include "crypto/ed25519.hpp"
+
+#include <stdexcept>
+
+#include "crypto/ed25519_field.hpp"
+#include "crypto/ed25519_scalar.hpp"
+#include "crypto/sha512.hpp"
+
+namespace xswap::crypto {
+
+namespace {
+
+// Extended twisted-Edwards coordinates (X : Y : Z : T), x = X/Z, y = Y/Z,
+// T = XY/Z. Formulas are the a=-1 "hwcd" set.
+struct Point {
+  Fe25519 x, y, z, t;
+};
+
+Point identity() {
+  return Point{Fe25519::zero(), Fe25519::one(), Fe25519::one(), Fe25519::zero()};
+}
+
+Point add(const Point& p, const Point& q) {
+  const Fe25519 a = (p.y - p.x) * (q.y - q.x);
+  const Fe25519 b = (p.y + p.x) * (q.y + q.x);
+  const Fe25519 c = p.t * Fe25519::two_d() * q.t;
+  const Fe25519 d = (p.z * q.z) + (p.z * q.z);
+  const Fe25519 e = b - a;
+  const Fe25519 f = d - c;
+  const Fe25519 g = d + c;
+  const Fe25519 h = b + a;
+  return Point{e * f, g * h, f * g, e * h};
+}
+
+Point dbl(const Point& p) {
+  const Fe25519 a = p.x.square();
+  const Fe25519 b = p.y.square();
+  const Fe25519 zz = p.z.square();
+  const Fe25519 c = zz + zz;
+  const Fe25519 h = a + b;
+  const Fe25519 e = h - (p.x + p.y).square();
+  const Fe25519 g = a - b;
+  const Fe25519 f = c + g;
+  return Point{e * f, g * h, f * g, e * h};
+}
+
+Point scalar_mul(const Scalar25519& k, const Point& p) {
+  Point acc = identity();
+  bool any = false;
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      if (any) acc = dbl(acc);
+      if ((k.limb(static_cast<std::size_t>(limb)) >> bit) & 1) {
+        acc = any ? add(acc, p) : p;
+        any = true;
+      }
+    }
+  }
+  return any ? acc : identity();
+}
+
+std::array<std::uint8_t, 32> compress(const Point& p) {
+  const Fe25519 zinv = p.z.invert();
+  const Fe25519 x = p.x * zinv;
+  const Fe25519 y = p.y * zinv;
+  std::array<std::uint8_t, 32> out = y.to_bytes();
+  if (x.is_negative()) out[31] |= 0x80;
+  return out;
+}
+
+bool decompress(util::BytesView b32, Point* out) {
+  if (b32.size() != 32) return false;
+  const bool x_negative = (b32[31] & 0x80) != 0;
+  const Fe25519 y = Fe25519::from_bytes(b32);
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  const Fe25519 y2 = y.square();
+  const Fe25519 u = y2 - Fe25519::one();
+  const Fe25519 v = (Fe25519::d() * y2) + Fe25519::one();
+  Fe25519 x;
+  if (!fe25519_sqrt_ratio(u, v, &x)) return false;
+  if (x.is_zero() && x_negative) return false;  // -0 is non-canonical
+  if (x.is_negative() != x_negative) x = x.negate();
+  *out = Point{x, y, Fe25519::one(), x * y};
+  return true;
+}
+
+const Point& base_point() {
+  // B has y = 4/5 and the "even" x (RFC 8032 §5.1).
+  static const Point kB = [] {
+    const Fe25519 y = Fe25519::from_u64(4) * Fe25519::from_u64(5).invert();
+    std::array<std::uint8_t, 32> enc = y.to_bytes();  // sign bit 0
+    Point p;
+    if (!decompress(util::BytesView(enc.data(), enc.size()), &p)) {
+      throw std::logic_error("ed25519: base point decompression failed");
+    }
+    return p;
+  }();
+  return kB;
+}
+
+std::array<std::uint8_t, 32> clamp(const std::uint8_t h[32]) {
+  std::array<std::uint8_t, 32> a;
+  std::copy(h, h + 32, a.begin());
+  a[0] &= 0xf8;
+  a[31] &= 0x7f;
+  a[31] |= 0x40;
+  return a;
+}
+
+Scalar25519 hash_to_scalar(util::BytesView r_enc, util::BytesView a_enc,
+                           util::BytesView message) {
+  Sha512 h;
+  h.update(r_enc);
+  h.update(a_enc);
+  h.update(message);
+  const Digest512 d = h.finalize();
+  return Scalar25519::from_bytes_wide(util::BytesView(d.data(), d.size()));
+}
+
+bool points_equal(const Point& p, const Point& q) {
+  // X1/Z1 == X2/Z2  <=>  X1*Z2 == X2*Z1, likewise for Y.
+  return (p.x * q.z == q.x * p.z) && (p.y * q.z == q.y * p.z);
+}
+
+}  // namespace
+
+std::optional<Signature> Signature::from_bytes(util::BytesView b) {
+  if (b.size() != 64) return std::nullopt;
+  Signature s;
+  std::copy(b.begin(), b.end(), s.bytes.begin());
+  return s;
+}
+
+KeyPair KeyPair::from_seed(util::BytesView seed32) {
+  if (seed32.size() != 32) {
+    throw std::invalid_argument("KeyPair::from_seed: need 32 bytes");
+  }
+  const Digest512 h = sha512(seed32);
+  KeyPair kp;
+  kp.scalar_ = clamp(h.data());
+  std::copy(h.begin() + 32, h.end(), kp.prefix_.begin());
+
+  const Scalar25519 a =
+      Scalar25519::from_bytes(util::BytesView(kp.scalar_.data(), 32));
+  kp.public_key_.bytes = compress(scalar_mul(a, base_point()));
+  return kp;
+}
+
+Signature KeyPair::sign(util::BytesView message) const {
+  // r = SHA512(prefix || message) mod L
+  Sha512 hr;
+  hr.update(util::BytesView(prefix_.data(), prefix_.size()));
+  hr.update(message);
+  const Digest512 rd = hr.finalize();
+  const Scalar25519 r =
+      Scalar25519::from_bytes_wide(util::BytesView(rd.data(), rd.size()));
+
+  const std::array<std::uint8_t, 32> r_enc = compress(scalar_mul(r, base_point()));
+
+  const Scalar25519 k = hash_to_scalar(
+      util::BytesView(r_enc.data(), r_enc.size()),
+      util::BytesView(public_key_.bytes.data(), public_key_.bytes.size()),
+      message);
+  const Scalar25519 a =
+      Scalar25519::from_bytes(util::BytesView(scalar_.data(), scalar_.size()));
+  const Scalar25519 s = r + (k * a);
+
+  Signature sig;
+  std::copy(r_enc.begin(), r_enc.end(), sig.bytes.begin());
+  const auto s_enc = s.to_bytes();
+  std::copy(s_enc.begin(), s_enc.end(), sig.bytes.begin() + 32);
+  return sig;
+}
+
+bool verify(const PublicKey& pk, util::BytesView message,
+            const Signature& signature) {
+  const util::BytesView r_enc(signature.bytes.data(), 32);
+  const util::BytesView s_enc(signature.bytes.data() + 32, 32);
+  if (!Scalar25519::is_canonical(s_enc)) return false;
+
+  Point r_point, a_point;
+  if (!decompress(r_enc, &r_point)) return false;
+  if (!decompress(util::BytesView(pk.bytes.data(), pk.bytes.size()), &a_point)) {
+    return false;
+  }
+
+  const Scalar25519 s = Scalar25519::from_bytes(s_enc);
+  const Scalar25519 k = hash_to_scalar(
+      r_enc, util::BytesView(pk.bytes.data(), pk.bytes.size()), message);
+
+  // Check S·B == R + k·A (cofactorless verification).
+  const Point lhs = scalar_mul(s, base_point());
+  const Point rhs = add(r_point, scalar_mul(k, a_point));
+  return points_equal(lhs, rhs);
+}
+
+}  // namespace xswap::crypto

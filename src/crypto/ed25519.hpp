@@ -1,0 +1,59 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch on top of
+// Fe25519 / Scalar25519.
+//
+// This is the paper's `sig(x, v)` primitive: hashkeys carry a nested chain
+// of signatures, one per party along the path back to the leader who
+// generated the secret, and swap contracts verify the entire chain before
+// unlocking a hashlock. Validated against the RFC 8032 test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+
+/// 32-byte compressed-point public key.
+struct PublicKey {
+  std::array<std::uint8_t, 32> bytes{};
+
+  bool operator==(const PublicKey&) const = default;
+};
+
+/// 64-byte signature (R || S).
+struct Signature {
+  std::array<std::uint8_t, 64> bytes{};
+
+  bool operator==(const Signature&) const = default;
+
+  util::Bytes as_bytes() const { return util::Bytes(bytes.begin(), bytes.end()); }
+  static std::optional<Signature> from_bytes(util::BytesView b);
+};
+
+/// Key pair expanded from a 32-byte seed per RFC 8032 §5.1.5.
+class KeyPair {
+ public:
+  /// Deterministic key generation from a 32-byte seed.
+  static KeyPair from_seed(util::BytesView seed32);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Sign `message` (RFC 8032 §5.1.6).
+  Signature sign(util::BytesView message) const;
+
+ private:
+  KeyPair() = default;
+
+  std::array<std::uint8_t, 32> scalar_;  // clamped secret scalar a
+  std::array<std::uint8_t, 32> prefix_;  // nonce-derivation prefix
+  PublicKey public_key_;
+};
+
+/// Verify `signature` on `message` under `pk` (RFC 8032 §5.1.7, with
+/// canonical-S rejection). Returns false on any malformed input.
+bool verify(const PublicKey& pk, util::BytesView message,
+            const Signature& signature);
+
+}  // namespace xswap::crypto

@@ -1,0 +1,232 @@
+#include "crypto/ed25519_field.hpp"
+
+#include <stdexcept>
+
+namespace xswap::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// p = 2^255 - 19, little-endian limbs.
+constexpr std::array<u64, 4> kP = {
+    0xFFFFFFFFFFFFFFEDULL, 0xFFFFFFFFFFFFFFFFULL,
+    0xFFFFFFFFFFFFFFFFULL, 0x7FFFFFFFFFFFFFFFULL};
+
+bool geq(const std::array<u64, 4>& a, const std::array<u64, 4>& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)]) {
+      return a[static_cast<std::size_t>(i)] > b[static_cast<std::size_t>(i)];
+    }
+  }
+  return true;  // equal
+}
+
+// a -= b, assuming a >= b.
+void sub_in_place(std::array<u64, 4>& a, const std::array<u64, 4>& b) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 diff = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<u64>(diff);
+    borrow = (diff >> 64) ? 1 : 0;  // two's-complement high bits set on underflow
+  }
+}
+
+void reduce_once(std::array<u64, 4>& a) {
+  if (geq(a, kP)) sub_in_place(a, kP);
+}
+
+// Reduce an 8-limb product to 4 reduced limbs using 2^256 ≡ 38 (mod p).
+std::array<u64, 4> reduce_wide(const std::array<u64, 8>& t) {
+  std::array<u64, 4> r;
+  // First fold: r = lo + 38 * hi  (can overflow into a small carry limb).
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 acc = static_cast<u128>(t[i]) +
+                     static_cast<u128>(t[i + 4]) * 38 + carry;
+    r[i] = static_cast<u64>(acc);
+    carry = acc >> 64;
+  }
+  // Second fold: the carry limb c contributes c * 2^256 ≡ c * 38.
+  u64 c = static_cast<u64>(carry);
+  while (c != 0) {
+    u128 acc = static_cast<u128>(r[0]) + static_cast<u128>(c) * 38;
+    r[0] = static_cast<u64>(acc);
+    u128 k = acc >> 64;
+    for (std::size_t i = 1; i < 4 && k != 0; ++i) {
+      acc = static_cast<u128>(r[i]) + k;
+      r[i] = static_cast<u64>(acc);
+      k = acc >> 64;
+    }
+    c = static_cast<u64>(k);
+  }
+  reduce_once(r);
+  reduce_once(r);
+  return r;
+}
+
+std::array<u64, 8> mul_wide(const std::array<u64, 4>& a,
+                            const std::array<u64, 4>& b) {
+  std::array<u64, 8> t{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 acc = static_cast<u128>(a[i]) * b[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(acc);
+      carry = acc >> 64;
+    }
+    t[i + 4] = static_cast<u64>(carry);
+  }
+  return t;
+}
+
+}  // namespace
+
+Fe25519 Fe25519::from_limbs(const std::array<std::uint64_t, 4>& limbs) {
+  Fe25519 out;
+  out.limb_ = limbs;
+  reduce_once(out.limb_);
+  return out;
+}
+
+Fe25519 Fe25519::from_u64(std::uint64_t v) {
+  return from_limbs({v, 0, 0, 0});
+}
+
+Fe25519 Fe25519::from_bytes(util::BytesView b32) {
+  if (b32.size() != 32) throw std::invalid_argument("Fe25519: need 32 bytes");
+  std::array<u64, 4> limbs{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    limbs[i / 8] |= static_cast<u64>(b32[i]) << ((i % 8) * 8);
+  }
+  limbs[3] &= 0x7FFFFFFFFFFFFFFFULL;  // ignore the sign bit
+  Fe25519 out;
+  out.limb_ = limbs;
+  reduce_once(out.limb_);
+  return out;
+}
+
+std::array<std::uint8_t, 32> Fe25519::to_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(limb_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+Fe25519 Fe25519::operator+(const Fe25519& rhs) const {
+  Fe25519 out;
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 acc = static_cast<u128>(limb_[i]) + rhs.limb_[i] + carry;
+    out.limb_[i] = static_cast<u64>(acc);
+    carry = acc >> 64;
+  }
+  // a, b < p < 2^255 so the sum fits in 256 bits; carry is impossible,
+  // but the sum may still exceed p.
+  reduce_once(out.limb_);
+  return out;
+}
+
+Fe25519 Fe25519::operator-(const Fe25519& rhs) const {
+  // a - b (mod p) computed as a + (p - b) to stay in unsigned arithmetic.
+  std::array<u64, 4> pb = kP;
+  sub_in_place(pb, rhs.limb_);
+  Fe25519 tmp;
+  tmp.limb_ = pb;
+  return *this + tmp;
+}
+
+Fe25519 Fe25519::operator*(const Fe25519& rhs) const {
+  Fe25519 out;
+  out.limb_ = reduce_wide(mul_wide(limb_, rhs.limb_));
+  return out;
+}
+
+Fe25519 Fe25519::square() const { return *this * *this; }
+
+Fe25519 Fe25519::negate() const { return Fe25519::zero() - *this; }
+
+Fe25519 Fe25519::pow(const std::array<std::uint64_t, 4>& exponent) const {
+  Fe25519 result = Fe25519::one();
+  Fe25519 base = *this;
+  bool started = false;
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      if (started) result = result.square();
+      if ((exponent[static_cast<std::size_t>(limb)] >> bit) & 1) {
+        result = started ? result * base : base;
+        started = true;
+      } else if (!started) {
+        continue;
+      }
+    }
+  }
+  return started ? result : Fe25519::one();
+}
+
+Fe25519 Fe25519::invert() const {
+  // p - 2 = 2^255 - 21.
+  return pow({0xFFFFFFFFFFFFFFEBULL, 0xFFFFFFFFFFFFFFFFULL,
+              0xFFFFFFFFFFFFFFFFULL, 0x7FFFFFFFFFFFFFFFULL});
+}
+
+Fe25519 Fe25519::pow_p38() const {
+  // (p + 3) / 8 = 2^252 - 2.
+  return pow({0xFFFFFFFFFFFFFFFEULL, 0xFFFFFFFFFFFFFFFFULL,
+              0xFFFFFFFFFFFFFFFFULL, 0x0FFFFFFFFFFFFFFFULL});
+}
+
+bool Fe25519::is_zero() const {
+  return limb_[0] == 0 && limb_[1] == 0 && limb_[2] == 0 && limb_[3] == 0;
+}
+
+bool Fe25519::is_negative() const { return (limb_[0] & 1) != 0; }
+
+bool Fe25519::operator==(const Fe25519& rhs) const { return limb_ == rhs.limb_; }
+
+const Fe25519& Fe25519::d() {
+  static const Fe25519 kD = [] {
+    const Fe25519 num = Fe25519::from_u64(121665).negate();
+    const Fe25519 den = Fe25519::from_u64(121666);
+    return num * den.invert();
+  }();
+  return kD;
+}
+
+const Fe25519& Fe25519::two_d() {
+  static const Fe25519 k2D = d() + d();
+  return k2D;
+}
+
+const Fe25519& Fe25519::sqrt_minus_one() {
+  static const Fe25519 kSqrtM1 = [] {
+    // 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
+    return Fe25519::from_u64(2).pow({0xFFFFFFFFFFFFFFFBULL,
+                                     0xFFFFFFFFFFFFFFFFULL,
+                                     0xFFFFFFFFFFFFFFFFULL,
+                                     0x1FFFFFFFFFFFFFFFULL});
+  }();
+  return kSqrtM1;
+}
+
+bool fe25519_sqrt_ratio(const Fe25519& u, const Fe25519& v, Fe25519* root) {
+  // Candidate root r = u * v^3 * (u * v^7)^((p-5)/8); standard RFC 8032
+  // decompression arithmetic, expressed via x^((p+3)/8) on u/v:
+  // compute w = u * v.invert(), r = w^((p+3)/8); then fix up with sqrt(-1).
+  const Fe25519 w = u * v.invert();
+  Fe25519 r = w.pow_p38();
+  if (r.square() == w) {
+    *root = r;
+    return true;
+  }
+  r = r * Fe25519::sqrt_minus_one();
+  if (r.square() == w) {
+    *root = r;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xswap::crypto

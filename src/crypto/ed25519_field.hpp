@@ -1,0 +1,75 @@
+// Arithmetic in GF(2^255 - 19), the base field of Curve25519/edwards25519.
+//
+// Internal building block for the Ed25519 implementation (RFC 8032).
+// Elements are held fully reduced in four 64-bit little-endian limbs;
+// multiplication reduces via 2^256 ≡ 38 (mod p). Not constant-time: the
+// repository uses signatures inside a deterministic simulator, not on a
+// network-facing host (see DESIGN.md §2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+
+/// An element of GF(2^255 - 19), always kept in [0, p).
+class Fe25519 {
+ public:
+  /// Zero element.
+  Fe25519() : limb_{0, 0, 0, 0} {}
+
+  /// Element from little-endian limbs; caller must supply a reduced value.
+  static Fe25519 from_limbs(const std::array<std::uint64_t, 4>& limbs);
+
+  /// Small integer constant.
+  static Fe25519 from_u64(std::uint64_t v);
+
+  /// Decode 32 little-endian bytes; the top bit is ignored (RFC 8032
+  /// field-element decoding), and the value is reduced mod p.
+  static Fe25519 from_bytes(util::BytesView b32);
+
+  /// Encode as 32 little-endian bytes (canonical, fully reduced).
+  std::array<std::uint8_t, 32> to_bytes() const;
+
+  static Fe25519 zero() { return Fe25519(); }
+  static Fe25519 one() { return from_u64(1); }
+
+  /// Curve constant d = -121665/121666 (computed once, cached).
+  static const Fe25519& d();
+  /// 2d, used by the extended-coordinates addition formula.
+  static const Fe25519& two_d();
+  /// sqrt(-1) = 2^((p-1)/4), used during point decompression.
+  static const Fe25519& sqrt_minus_one();
+
+  Fe25519 operator+(const Fe25519& rhs) const;
+  Fe25519 operator-(const Fe25519& rhs) const;
+  Fe25519 operator*(const Fe25519& rhs) const;
+  Fe25519 square() const;
+  Fe25519 negate() const;
+
+  /// Multiplicative inverse via Fermat (x^(p-2)); inverse of 0 is 0.
+  Fe25519 invert() const;
+
+  /// x^(2^252 - 2) = candidate square root exponent (p+3)/8.
+  Fe25519 pow_p38() const;
+
+  bool is_zero() const;
+  /// "Negative" in the RFC 8032 sense: least-significant bit of the
+  /// canonical encoding.
+  bool is_negative() const;
+
+  bool operator==(const Fe25519& rhs) const;
+
+ private:
+  Fe25519 pow(const std::array<std::uint64_t, 4>& exponent) const;
+
+  std::array<std::uint64_t, 4> limb_;
+};
+
+/// Square root of (u/v) used in decompression; returns false when no root
+/// exists. On success `*root` holds a root with unspecified sign.
+bool fe25519_sqrt_ratio(const Fe25519& u, const Fe25519& v, Fe25519* root);
+
+}  // namespace xswap::crypto

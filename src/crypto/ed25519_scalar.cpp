@@ -1,0 +1,131 @@
+#include "crypto/ed25519_scalar.hpp"
+
+#include <stdexcept>
+
+namespace xswap::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// L, little-endian limbs.
+constexpr std::array<u64, 4> kL = {
+    0x5812631A5CF5D3EDULL, 0x14DEF9DEA2F79CD6ULL,
+    0x0000000000000000ULL, 0x1000000000000000ULL};
+
+bool geq(const std::array<u64, 4>& a, const std::array<u64, 4>& b) {
+  for (int i = 3; i >= 0; --i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (a[k] != b[k]) return a[k] > b[k];
+  }
+  return true;
+}
+
+void sub_in_place(std::array<u64, 4>& a, const std::array<u64, 4>& b) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 diff = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<u64>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+}
+
+// Reduce an n-limb little-endian value mod L via binary long division.
+std::array<u64, 4> mod_l(const std::vector<u64>& wide) {
+  std::array<u64, 4> r{0, 0, 0, 0};
+  for (int limb = static_cast<int>(wide.size()) - 1; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      // r = (r << 1) | next bit. r < L < 2^253 so the shift cannot overflow.
+      u64 carry = 0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        const u64 next_carry = r[i] >> 63;
+        r[i] = (r[i] << 1) | carry;
+        carry = next_carry;
+      }
+      r[0] |= (wide[static_cast<std::size_t>(limb)] >> bit) & 1;
+      if (geq(r, kL)) sub_in_place(r, kL);
+    }
+  }
+  return r;
+}
+
+std::vector<u64> limbs_from_le_bytes(util::BytesView bytes) {
+  std::vector<u64> limbs((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    limbs[i / 8] |= static_cast<u64>(bytes[i]) << ((i % 8) * 8);
+  }
+  return limbs;
+}
+
+}  // namespace
+
+Scalar25519 Scalar25519::from_bytes(util::BytesView b32) {
+  if (b32.size() != 32) throw std::invalid_argument("Scalar25519: need 32 bytes");
+  Scalar25519 out;
+  out.limb_ = mod_l(limbs_from_le_bytes(b32));
+  return out;
+}
+
+Scalar25519 Scalar25519::from_bytes_wide(util::BytesView b64) {
+  if (b64.size() != 64) throw std::invalid_argument("Scalar25519: need 64 bytes");
+  Scalar25519 out;
+  out.limb_ = mod_l(limbs_from_le_bytes(b64));
+  return out;
+}
+
+bool Scalar25519::is_canonical(util::BytesView b32) {
+  if (b32.size() != 32) return false;
+  const auto limbs = limbs_from_le_bytes(b32);
+  std::array<u64, 4> v{limbs[0], limbs[1], limbs[2], limbs[3]};
+  return !geq(v, kL);
+}
+
+std::array<std::uint8_t, 32> Scalar25519::to_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(limb_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+Scalar25519 Scalar25519::operator+(const Scalar25519& rhs) const {
+  Scalar25519 out;
+  u64 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 acc = static_cast<u128>(limb_[i]) + rhs.limb_[i] + carry;
+    out.limb_[i] = static_cast<u64>(acc);
+    carry = static_cast<u64>(acc >> 64);
+  }
+  // Both operands < L < 2^253, so no 256-bit overflow; one subtraction
+  // restores the invariant.
+  if (geq(out.limb_, kL)) sub_in_place(out.limb_, kL);
+  return out;
+}
+
+Scalar25519 Scalar25519::operator*(const Scalar25519& rhs) const {
+  std::vector<u64> wide(8, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 acc = static_cast<u128>(limb_[i]) * rhs.limb_[j] +
+                       wide[i + j] + carry;
+      wide[i + j] = static_cast<u64>(acc);
+      carry = acc >> 64;
+    }
+    wide[i + 4] = static_cast<u64>(carry);
+  }
+  Scalar25519 out;
+  out.limb_ = mod_l(wide);
+  return out;
+}
+
+bool Scalar25519::is_zero() const {
+  return limb_[0] == 0 && limb_[1] == 0 && limb_[2] == 0 && limb_[3] == 0;
+}
+
+bool Scalar25519::operator==(const Scalar25519& rhs) const {
+  return limb_ == rhs.limb_;
+}
+
+}  // namespace xswap::crypto

@@ -1,0 +1,47 @@
+// Arithmetic modulo the edwards25519 group order
+// L = 2^252 + 27742317777372353535851937790883648493 (RFC 8032).
+//
+// Internal building block for Ed25519 signing/verification. Reduction uses
+// binary long division — simple and obviously correct; signature throughput
+// is measured honestly by bench_crypto rather than optimized.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+
+/// A scalar in [0, L), little-endian 64-bit limbs.
+class Scalar25519 {
+ public:
+  Scalar25519() : limb_{0, 0, 0, 0} {}
+
+  /// Reduce a 256-bit little-endian value mod L.
+  static Scalar25519 from_bytes(util::BytesView b32);
+
+  /// Reduce a 512-bit little-endian value mod L (hash outputs).
+  static Scalar25519 from_bytes_wide(util::BytesView b64);
+
+  /// True iff the 32 little-endian bytes encode a value already < L
+  /// (RFC 8032 requires rejecting non-canonical S during verification).
+  static bool is_canonical(util::BytesView b32);
+
+  /// Canonical 32-byte little-endian encoding.
+  std::array<std::uint8_t, 32> to_bytes() const;
+
+  Scalar25519 operator+(const Scalar25519& rhs) const;
+  Scalar25519 operator*(const Scalar25519& rhs) const;
+
+  bool is_zero() const;
+  bool operator==(const Scalar25519& rhs) const;
+
+  /// Little-endian limb access, used by the scalar-multiplication ladder.
+  std::uint64_t limb(std::size_t i) const { return limb_[i]; }
+
+ private:
+  std::array<std::uint64_t, 4> limb_;
+};
+
+}  // namespace xswap::crypto

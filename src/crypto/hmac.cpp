@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+namespace xswap::crypto {
+
+Digest256 hmac_sha256(util::BytesView key, util::BytesView message) {
+  constexpr std::size_t kBlock = 64;
+
+  // Keys longer than the block size are hashed first (RFC 2104 §2).
+  util::Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const Digest256 kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  util::Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest256 inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+}  // namespace xswap::crypto

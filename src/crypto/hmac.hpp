@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Used by the simulator for deterministic per-party secret derivation
+// (leaders derive swap secrets from a seed and a swap id) so that repeated
+// runs of an experiment regenerate identical hashlocks.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+
+/// HMAC-SHA256 of `message` under `key`.
+Digest256 hmac_sha256(util::BytesView key, util::BytesView message);
+
+}  // namespace xswap::crypto

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4).
+//
+// This is the hash function `H(·)` of the paper: hashlocks are
+// `h = H(s)` for a 32-byte secret `s`. Implemented from the spec and
+// validated against the NIST example vectors in tests/crypto_sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. Use when hashing data that arrives in pieces;
+/// for one-shot hashing prefer the free function sha256().
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input.
+  void update(util::BytesView data);
+
+  /// Finish and return the 32-byte digest. The object must not be used
+  /// after finalization (create a fresh one instead).
+  Digest256 finalize();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+  std::uint64_t total_bytes_;
+  bool finalized_;
+};
+
+/// One-shot SHA-256 of `data`.
+Digest256 sha256(util::BytesView data);
+
+/// One-shot SHA-256, returned as a Bytes vector (convenient for hashlocks).
+util::Bytes sha256_bytes(util::BytesView data);
+
+}  // namespace xswap::crypto

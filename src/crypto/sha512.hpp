@@ -1,0 +1,35 @@
+// SHA-512 (FIPS 180-4), required by Ed25519 (RFC 8032) for key expansion
+// and the nonce/challenge hashes. Validated against NIST example vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+
+using Digest512 = std::array<std::uint8_t, 64>;
+
+/// Incremental SHA-512 (same shape as Sha256).
+class Sha512 {
+ public:
+  Sha512();
+
+  void update(util::BytesView data);
+  Digest512 finalize();
+
+ private:
+  void compress(const std::uint8_t block[128]);
+
+  std::uint64_t state_[8];
+  std::uint8_t buffer_[128];
+  std::size_t buffered_;
+  std::uint64_t total_bytes_;
+  bool finalized_;
+};
+
+/// One-shot SHA-512 of `data`.
+Digest512 sha512(util::BytesView data);
+
+}  // namespace xswap::crypto

@@ -1,0 +1,63 @@
+#include "graph/digraph.hpp"
+
+#include <stdexcept>
+
+namespace xswap::graph {
+
+Digraph::Digraph(std::size_t n) : out_(n), in_(n) {}
+
+VertexId Digraph::add_vertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<VertexId>(out_.size() - 1);
+}
+
+ArcId Digraph::add_arc(VertexId head, VertexId tail) {
+  if (head >= vertex_count() || tail >= vertex_count()) {
+    throw std::out_of_range("Digraph::add_arc: vertex id out of range");
+  }
+  if (head == tail) {
+    throw std::invalid_argument("Digraph::add_arc: self-loops not allowed");
+  }
+  const ArcId id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back(Arc{head, tail});
+  out_[head].push_back(id);
+  in_[tail].push_back(id);
+  return id;
+}
+
+std::optional<ArcId> Digraph::find_arc(VertexId head, VertexId tail) const {
+  if (head >= vertex_count()) return std::nullopt;
+  for (const ArcId id : out_[head]) {
+    if (arcs_[id].tail == tail) return id;
+  }
+  return std::nullopt;
+}
+
+Digraph Digraph::transpose() const {
+  Digraph t(vertex_count());
+  // Insert in arc-id order so ids line up between D and D^T.
+  for (const Arc& a : arcs_) t.add_arc(a.tail, a.head);
+  return t;
+}
+
+Digraph Digraph::without_vertices(const std::vector<VertexId>& removed) const {
+  std::vector<bool> gone(vertex_count(), false);
+  for (const VertexId v : removed) {
+    if (v >= vertex_count()) {
+      throw std::out_of_range("Digraph::without_vertices: bad vertex id");
+    }
+    gone[v] = true;
+  }
+  Digraph d(vertex_count());
+  for (const Arc& a : arcs_) {
+    if (!gone[a.head] && !gone[a.tail]) d.add_arc(a.head, a.tail);
+  }
+  return d;
+}
+
+bool Digraph::operator==(const Digraph& rhs) const {
+  return vertex_count() == rhs.vertex_count() && arcs_ == rhs.arcs_;
+}
+
+}  // namespace xswap::graph

@@ -1,0 +1,78 @@
+// The swap digraph model of §2.1/§3.
+//
+// Vertexes are parties, arcs are proposed asset transfers. Following the
+// paper, an arc (u, v) has *head* u and *tail* v and transfers an asset
+// from u to v; it "leaves" u and "enters" v. Parallel arcs are allowed
+// (§5 extends the protocol to directed multigraphs: Alice may owe Bob
+// assets on two distinct blockchains), so arcs are identified by dense
+// ArcId rather than by endpoint pair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace xswap::graph {
+
+using VertexId = std::uint32_t;
+using ArcId = std::uint32_t;
+
+/// A directed arc from `head` to `tail` (paper orientation: the asset
+/// moves head → tail).
+struct Arc {
+  VertexId head;
+  VertexId tail;
+
+  bool operator==(const Arc&) const = default;
+};
+
+/// A finite directed multigraph with dense vertex and arc ids.
+class Digraph {
+ public:
+  /// Empty digraph with `n` vertexes (ids 0..n-1) and no arcs.
+  explicit Digraph(std::size_t n = 0);
+
+  /// Append a new vertex; returns its id.
+  VertexId add_vertex();
+
+  /// Add an arc head → tail; returns its id. Self-loops are rejected
+  /// (the paper's arcs connect *distinct* vertexes). Parallel arcs are
+  /// allowed.
+  ArcId add_arc(VertexId head, VertexId tail);
+
+  std::size_t vertex_count() const { return out_.size(); }
+  std::size_t arc_count() const { return arcs_.size(); }
+
+  const Arc& arc(ArcId id) const { return arcs_[id]; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Arc ids leaving `v` (v is their head).
+  const std::vector<ArcId>& out_arcs(VertexId v) const { return out_[v]; }
+  /// Arc ids entering `v` (v is their tail).
+  const std::vector<ArcId>& in_arcs(VertexId v) const { return in_[v]; }
+
+  std::size_t out_degree(VertexId v) const { return out_[v].size(); }
+  std::size_t in_degree(VertexId v) const { return in_[v].size(); }
+
+  /// Any arc head → tail, if one exists (first by insertion order).
+  std::optional<ArcId> find_arc(VertexId head, VertexId tail) const;
+
+  /// The transpose digraph D^T (all arcs reversed, same ids). Phase Two
+  /// of the protocol is the eager pebble game on D^T (Lemma 4.6).
+  Digraph transpose() const;
+
+  /// Copy of this digraph with the given vertexes (and incident arcs)
+  /// removed. Vertex ids are preserved; the removed vertexes remain as
+  /// isolated ids so that callers need not remap. Used by the feedback
+  /// vertex set verifier ("deletion leaves D acyclic").
+  Digraph without_vertices(const std::vector<VertexId>& removed) const;
+
+  bool operator==(const Digraph& rhs) const;
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<ArcId>> out_;
+  std::vector<std::vector<ArcId>> in_;
+};
+
+}  // namespace xswap::graph

@@ -1,0 +1,83 @@
+#include "graph/fvs.hpp"
+
+#include <stdexcept>
+
+#include "graph/paths.hpp"
+
+namespace xswap::graph {
+
+bool is_feedback_vertex_set(const Digraph& d,
+                            const std::vector<VertexId>& candidates) {
+  return is_acyclic(d.without_vertices(candidates));
+}
+
+namespace {
+
+// Enumerate k-subsets of 0..n-1 in lexicographic order, testing each.
+bool try_subsets(const Digraph& d, std::size_t n, std::size_t k,
+                 std::vector<VertexId>& out) {
+  std::vector<VertexId> subset(k);
+  for (std::size_t i = 0; i < k; ++i) subset[i] = static_cast<VertexId>(i);
+  while (true) {
+    if (is_feedback_vertex_set(d, subset)) {
+      out = subset;
+      return true;
+    }
+    // Next k-combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] != static_cast<VertexId>(n - k + i)) {
+        ++subset[i];
+        for (std::size_t j = i + 1; j < k; ++j) {
+          subset[j] = subset[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> minimum_feedback_vertex_set(
+    const Digraph& d, std::size_t max_exact_vertices) {
+  const std::size_t n = d.vertex_count();
+  if (n > max_exact_vertices) {
+    throw std::invalid_argument(
+        "minimum_feedback_vertex_set: digraph too large for exact search "
+        "(use greedy_feedback_vertex_set)");
+  }
+  if (is_acyclic(d)) return {};
+  for (std::size_t k = 1; k <= n; ++k) {
+    std::vector<VertexId> out;
+    if (try_subsets(d, n, k, out)) return out;
+  }
+  // Unreachable: the full vertex set is always an FVS.
+  throw std::logic_error("minimum_feedback_vertex_set: no FVS found");
+}
+
+std::vector<VertexId> greedy_feedback_vertex_set(const Digraph& d) {
+  std::vector<VertexId> chosen;
+  Digraph work = d;
+  while (!is_acyclic(work)) {
+    // Pick the not-yet-removed vertex with the largest in*out degree
+    // product — a cheap proxy for "on many cycles".
+    VertexId best = 0;
+    std::size_t best_score = 0;
+    for (VertexId v = 0; v < work.vertex_count(); ++v) {
+      const std::size_t score = (work.in_degree(v) + 1) * (work.out_degree(v) + 1);
+      if (work.in_degree(v) > 0 && work.out_degree(v) > 0 && score > best_score) {
+        best = v;
+        best_score = score;
+      }
+    }
+    chosen.push_back(best);
+    work = work.without_vertices({best});
+  }
+  return chosen;
+}
+
+}  // namespace xswap::graph

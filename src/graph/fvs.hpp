@@ -1,0 +1,35 @@
+// Feedback vertex sets (the paper's "leaders").
+//
+// Theorem 4.12: in any uniform hashed-timelock swap protocol, the leader
+// set must be a feedback vertex set of D (deleting it leaves D acyclic).
+// §5 notes finding a *minimum* FVS is NP-complete [Karp 72] but efficient
+// approximations exist [Becker–Geiger 96]. We provide:
+//   * a verifier (is the given set an FVS?),
+//   * exact minimum search (increasing-size subset enumeration; fine for
+//     swap-sized digraphs),
+//   * a fast greedy heuristic for larger instances, always valid, not
+//     necessarily minimum.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace xswap::graph {
+
+/// True iff deleting `candidates` from `d` leaves an acyclic digraph.
+bool is_feedback_vertex_set(const Digraph& d,
+                            const std::vector<VertexId>& candidates);
+
+/// A minimum feedback vertex set, by exhaustive search over subsets in
+/// increasing size order. Exponential; throws std::invalid_argument when
+/// d.vertex_count() > max_exact_vertices.
+std::vector<VertexId> minimum_feedback_vertex_set(
+    const Digraph& d, std::size_t max_exact_vertices = 20);
+
+/// Greedy feedback vertex set: repeatedly delete the vertex with the
+/// largest in·out degree product until acyclic. Always returns a valid
+/// FVS (possibly larger than minimum); runs in polynomial time.
+std::vector<VertexId> greedy_feedback_vertex_set(const Digraph& d);
+
+}  // namespace xswap::graph

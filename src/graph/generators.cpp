@@ -1,0 +1,108 @@
+#include "graph/generators.hpp"
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace xswap::graph {
+
+Digraph cycle(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("cycle: need at least 2 vertexes");
+  Digraph d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.add_arc(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  return d;
+}
+
+Digraph complete(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("complete: need at least 2 vertexes");
+  Digraph d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) d.add_arc(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  return d;
+}
+
+Digraph hub_and_spokes(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("hub_and_spokes: need at least 2 vertexes");
+  Digraph d(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    d.add_arc(0, static_cast<VertexId>(i));
+    d.add_arc(static_cast<VertexId>(i), 0);
+  }
+  return d;
+}
+
+Digraph figure1_triangle() { return cycle(3); }
+
+Digraph two_cycles_sharing_vertex(std::size_t a, std::size_t b) {
+  if (a < 2 || b < 2) {
+    throw std::invalid_argument("two_cycles_sharing_vertex: cycles need length >= 2");
+  }
+  // Vertex 0 is shared; cycle A uses 1..a-1, cycle B uses a..a+b-2.
+  Digraph d(a + b - 1);
+  VertexId prev = 0;
+  for (std::size_t i = 1; i < a; ++i) {
+    d.add_arc(prev, static_cast<VertexId>(i));
+    prev = static_cast<VertexId>(i);
+  }
+  d.add_arc(prev, 0);
+  prev = 0;
+  for (std::size_t i = a; i < a + b - 1; ++i) {
+    d.add_arc(prev, static_cast<VertexId>(i));
+    prev = static_cast<VertexId>(i);
+  }
+  d.add_arc(prev, 0);
+  return d;
+}
+
+Digraph random_strongly_connected(std::size_t n, std::size_t extra_arcs,
+                                  util::Rng& rng) {
+  if (n < 2) {
+    throw std::invalid_argument("random_strongly_connected: need at least 2 vertexes");
+  }
+  // Random Hamiltonian cycle guarantees strong connectivity.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+
+  Digraph d(n);
+  std::set<std::pair<VertexId, VertexId>> present;
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId u = perm[i];
+    const VertexId v = perm[(i + 1) % n];
+    d.add_arc(u, v);
+    present.insert({u, v});
+  }
+
+  const std::size_t max_extra = n * (n - 1) - n;
+  std::size_t to_add = std::min(extra_arcs, max_extra);
+  while (to_add > 0) {
+    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v || present.count({u, v})) continue;
+    d.add_arc(u, v);
+    present.insert({u, v});
+    --to_add;
+  }
+  return d;
+}
+
+Digraph multi_cycle(std::size_t n, std::size_t multiplicity) {
+  if (n < 2) throw std::invalid_argument("multi_cycle: need at least 2 vertexes");
+  if (multiplicity == 0) {
+    throw std::invalid_argument("multi_cycle: multiplicity must be positive");
+  }
+  Digraph d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < multiplicity; ++m) {
+      d.add_arc(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+    }
+  }
+  return d;
+}
+
+}  // namespace xswap::graph

@@ -1,0 +1,42 @@
+// Digraph families used by tests, examples, and the benchmark harness.
+//
+// These are the workloads of EXPERIMENTS.md: the paper's own figures
+// (triangle swap of Fig. 1, two-leader digraphs of Figs. 6–8) plus
+// parameterized families (cycles, cliques, random strongly-connected
+// digraphs) for the complexity sweeps of Theorems 4.7 and 4.10.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::graph {
+
+/// Directed cycle 0 → 1 → … → n-1 → 0. diam = n - 1; minimum FVS size 1.
+Digraph cycle(std::size_t n);
+
+/// Complete digraph on n vertexes (both arcs between every pair).
+/// diam = n - 1; minimum FVS size n - 1.
+Digraph complete(std::size_t n);
+
+/// "Hub" swap: bidirectional arcs between vertex 0 and each of 1..n-1
+/// (a market maker trading with n-1 counterparties). Single-leader
+/// digraph: {0} is an FVS.
+Digraph hub_and_spokes(std::size_t n);
+
+/// The three-party swap of Fig. 1: Alice(0) → Bob(1) → Carol(2) → Alice.
+Digraph figure1_triangle();
+
+/// Two directed cycles of lengths a and b sharing exactly vertex 0
+/// (a kidney-exchange-style instance). Minimum FVS is {0}.
+Digraph two_cycles_sharing_vertex(std::size_t a, std::size_t b);
+
+/// Uniformly random strongly-connected digraph: a random Hamiltonian
+/// cycle plus `extra_arcs` additional distinct random arcs. Requires n ≥ 2.
+Digraph random_strongly_connected(std::size_t n, std::size_t extra_arcs,
+                                  util::Rng& rng);
+
+/// Directed multigraph: like cycle(n) but with `multiplicity` parallel
+/// arcs in place of each single arc (§5: several blockchains per pair).
+Digraph multi_cycle(std::size_t n, std::size_t multiplicity);
+
+}  // namespace xswap::graph

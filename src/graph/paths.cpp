@@ -1,0 +1,221 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xswap::graph {
+
+namespace {
+
+// DFS over §2.1 paths starting at `start`, updating best[w] with the
+// longest length at which w is visited. An arc closing back to `start`
+// contributes to best[start] (closed paths are paths in the paper's
+// definition). `depth` counts arcs taken so far.
+void dfs_longest(const Digraph& d, VertexId start, VertexId v,
+                 std::vector<bool>& on_path, std::size_t depth,
+                 std::vector<std::size_t>& best) {
+  best[v] = std::max(best[v], depth);
+  on_path[v] = true;
+  for (const ArcId id : d.out_arcs(v)) {
+    const VertexId w = d.arc(id).tail;
+    if (w == start) {
+      best[start] = std::max(best[start], depth + 1);
+    } else if (!on_path[w]) {
+      dfs_longest(d, start, w, on_path, depth + 1, best);
+    }
+  }
+  on_path[v] = false;
+}
+
+void check_size(const Digraph& d, std::size_t max_exact_vertices) {
+  if (d.vertex_count() > max_exact_vertices) {
+    throw std::invalid_argument(
+        "exact longest-path search refused: digraph too large "
+        "(use diameter_upper_bound)");
+  }
+}
+
+}  // namespace
+
+bool is_acyclic(const Digraph& d) {
+  return topological_order(d).has_value();
+}
+
+std::optional<std::vector<VertexId>> topological_order(const Digraph& d) {
+  const std::size_t n = d.vertex_count();
+  std::vector<std::size_t> indegree(n);
+  for (VertexId v = 0; v < n; ++v) indegree[v] = d.in_degree(v);
+
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const VertexId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (const ArcId id : d.out_arcs(v)) {
+      const VertexId w = d.arc(id).tail;
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+std::optional<std::size_t> longest_path(const Digraph& d, VertexId u, VertexId v,
+                                        std::size_t max_exact_vertices) {
+  if (u >= d.vertex_count() || v >= d.vertex_count()) {
+    throw std::out_of_range("longest_path: vertex id out of range");
+  }
+  check_size(d, max_exact_vertices);
+  std::vector<std::size_t> best(d.vertex_count(), 0);
+  std::vector<bool> on_path(d.vertex_count(), false);
+  std::vector<bool> reached(d.vertex_count(), false);
+
+  // Track reachability alongside the longest length (best[] alone cannot
+  // distinguish "unreachable" from "reachable at length 0 only for u").
+  struct Tracker {
+    static void dfs(const Digraph& d, VertexId start, VertexId v,
+                    std::vector<bool>& on_path, std::size_t depth,
+                    std::vector<std::size_t>& best, std::vector<bool>& reached) {
+      reached[v] = true;
+      best[v] = std::max(best[v], depth);
+      on_path[v] = true;
+      for (const ArcId id : d.out_arcs(v)) {
+        const VertexId w = d.arc(id).tail;
+        if (w == start) {
+          best[start] = std::max(best[start], depth + 1);
+        } else if (!on_path[w]) {
+          dfs(d, start, w, on_path, depth + 1, best, reached);
+        }
+      }
+      on_path[v] = false;
+    }
+  };
+  Tracker::dfs(d, u, u, on_path, 0, best, reached);
+  if (!reached[v]) return std::nullopt;
+  return best[v];
+}
+
+std::size_t diameter(const Digraph& d, std::size_t max_exact_vertices) {
+  check_size(d, max_exact_vertices);
+  std::size_t diam = 0;
+  std::vector<std::size_t> best(d.vertex_count(), 0);
+  std::vector<bool> on_path(d.vertex_count(), false);
+  for (VertexId u = 0; u < d.vertex_count(); ++u) {
+    std::fill(best.begin(), best.end(), 0);
+    dfs_longest(d, u, u, on_path, 0, best);
+    for (const std::size_t len : best) diam = std::max(diam, len);
+  }
+  return diam;
+}
+
+std::size_t diameter_upper_bound(const Digraph& d) {
+  return d.vertex_count();
+}
+
+std::vector<std::optional<std::size_t>> longest_paths_to_dag(const Digraph& d,
+                                                             VertexId target) {
+  const auto order = topological_order(d);
+  if (!order) {
+    throw std::invalid_argument("longest_paths_to_dag: digraph is cyclic");
+  }
+  std::vector<std::optional<std::size_t>> dist(d.vertex_count());
+  dist[target] = 0;
+  // Process in reverse topological order: by the time we reach v, all
+  // vertexes v can reach are finalized.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const VertexId v = *it;
+    for (const ArcId id : d.out_arcs(v)) {
+      const VertexId w = d.arc(id).tail;
+      if (dist[w].has_value()) {
+        const std::size_t cand = *dist[w] + 1;
+        if (!dist[v].has_value() || cand > *dist[v]) dist[v] = cand;
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+void enumerate_dfs(const Digraph& d, VertexId v, VertexId to,
+                   std::vector<VertexId>& cur,
+                   std::vector<std::vector<VertexId>>& out) {
+  cur.push_back(v);
+  if (v == to) {
+    out.push_back(cur);
+    // A non-start arrival at the target ends the path (vertex
+    // distinctness forbids continuing); the start vertex must still
+    // explore so that closed cycles back onto it are found.
+    if (cur.size() > 1) {
+      cur.pop_back();
+      return;
+    }
+  }
+  for (const ArcId id : d.out_arcs(v)) {
+    const VertexId w = d.arc(id).tail;
+    bool on_path = false;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if (cur[i] == w) {
+        on_path = true;
+        // Closing onto the start vertex ends a path (§2.1) — but only
+        // record it when the start is the target.
+        if (i == 0 && w == to) {
+          cur.push_back(w);
+          out.push_back(cur);
+          cur.pop_back();
+        }
+        break;
+      }
+    }
+    if (!on_path) enumerate_dfs(d, w, to, cur, out);
+  }
+  cur.pop_back();
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> enumerate_paths(
+    const Digraph& d, VertexId from, VertexId to,
+    std::size_t max_exact_vertices) {
+  if (from >= d.vertex_count() || to >= d.vertex_count()) {
+    throw std::out_of_range("enumerate_paths: vertex id out of range");
+  }
+  check_size(d, max_exact_vertices);
+  std::vector<std::vector<VertexId>> out;
+  std::vector<VertexId> cur;
+  enumerate_dfs(d, from, to, cur, out);
+  return out;
+}
+
+bool is_path(const Digraph& d, const std::vector<VertexId>& path) {
+  if (path.empty()) return false;
+  for (const VertexId v : path) {
+    if (v >= d.vertex_count()) return false;
+  }
+  // All vertexes except possibly the last must be distinct (§2.1).
+  std::vector<VertexId> prefix(path.begin(), path.end() - 1);
+  std::sort(prefix.begin(), prefix.end());
+  if (std::adjacent_find(prefix.begin(), prefix.end()) != prefix.end()) {
+    return false;
+  }
+  // If the last vertex repeats an interior vertex it must close the cycle
+  // at the start.
+  if (path.size() >= 2) {
+    const VertexId last = path.back();
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (path[i] == last) return false;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!d.find_arc(path[i], path[i + 1]).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace xswap::graph

@@ -1,0 +1,74 @@
+// Path-length machinery for the paper's timing analysis.
+//
+// §2.1 defines D(u, v) as the length of the *longest* (simple) path from u
+// to v, and diam(D) as the longest path between any ordered pair. These
+// drive the protocol's timeouts: a hashkey with path p expires at
+// start + (diam(D) + |p|)·Δ, and the single-leader variant (§4.6) gives arc
+// (u, v) timeout (diam(D) + D(v, v̂) + 1)·Δ.
+//
+// Longest simple path is NP-hard in general; swap digraphs are small
+// (parties in a single swap), so `longest_path`/`diameter` run an exact
+// DFS enumeration and refuse absurd sizes. `diameter_upper_bound` provides
+// the always-safe |V| - 1 fallback: timeouts only need to be *at least*
+// the true values for the safety proofs to hold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace xswap::graph {
+
+/// True iff `d` has no directed cycle (Kahn's algorithm).
+bool is_acyclic(const Digraph& d);
+
+/// Topological order of an acyclic digraph, or nullopt if cyclic.
+std::optional<std::vector<VertexId>> topological_order(const Digraph& d);
+
+/// D(u, v): length (arc count) of the longest path from `u` to `v`, or
+/// nullopt if v is unreachable from u. Follows the paper's path definition
+/// (§2.1): all vertexes but the last are distinct, and the last may close
+/// back onto the first — so for u == v this is the longest cycle through u
+/// (0 if u lies on no cycle, via the trivial path). Exact exponential
+/// search; throws std::invalid_argument if d.vertex_count() exceeds
+/// `max_exact_vertices`.
+std::optional<std::size_t> longest_path(const Digraph& d, VertexId u, VertexId v,
+                                        std::size_t max_exact_vertices = 24);
+
+/// diam(D): the longest path length over all ordered vertex pairs, paths
+/// per §2.1 (closed cycles count: diam of the n-cycle is n, matching the
+/// 6Δ/5Δ/4Δ timeouts of Fig. 1). Exact; same size guard as longest_path.
+std::size_t diameter(const Digraph& d, std::size_t max_exact_vertices = 24);
+
+/// Safe upper bound |V| ≥ diam(D) (a closed Hamiltonian cycle has length
+/// |V|) for use when exact computation is too expensive. All safety
+/// lemmas hold with any over-approximation of the diameter.
+std::size_t diameter_upper_bound(const Digraph& d);
+
+/// Longest path lengths from every vertex to `target` in an *acyclic*
+/// digraph, by dynamic programming (O(V + A)). Entry is nullopt when the
+/// target is unreachable. Throws if `d` is cyclic. This is the D(v, v̂)
+/// computation for single-leader digraphs, whose follower subdigraph is
+/// acyclic (§4.6).
+std::vector<std::optional<std::size_t>> longest_paths_to_dag(const Digraph& d,
+                                                             VertexId target);
+
+/// True iff `path` (a vertex sequence) is a directed path in `d`: arcs
+/// exist between consecutive vertexes, and all vertexes except possibly
+/// the last are distinct (the paper's path definition admits closing
+/// cycles). An empty sequence is not a path; a single vertex is.
+bool is_path(const Digraph& d, const std::vector<VertexId>& path);
+
+/// All §2.1 paths from `from` to `to`, including the trivial path when
+/// from == to and closed cycles back onto `from`. These are exactly the
+/// admissible hashkey paths for an arc whose counterparty is `from` and
+/// whose secret belongs to leader `to` (Fig. 7). Exponential output;
+/// throws std::invalid_argument when d.vertex_count() exceeds
+/// `max_exact_vertices`.
+std::vector<std::vector<VertexId>> enumerate_paths(
+    const Digraph& d, VertexId from, VertexId to,
+    std::size_t max_exact_vertices = 16);
+
+}  // namespace xswap::graph

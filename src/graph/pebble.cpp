@@ -1,0 +1,109 @@
+#include "graph/pebble.hpp"
+
+#include <stdexcept>
+
+namespace xswap::graph {
+
+namespace {
+
+bool all_pebbled(const std::vector<std::size_t>& round) {
+  for (const std::size_t r : round) {
+    if (r == PebbleResult::kNever) return false;
+  }
+  return true;
+}
+
+std::size_t max_round(const std::vector<std::size_t>& round) {
+  std::size_t m = 0;
+  for (const std::size_t r : round) {
+    if (r != PebbleResult::kNever) m = std::max(m, r);
+  }
+  return m;
+}
+
+}  // namespace
+
+PebbleResult lazy_pebble_game(const Digraph& d,
+                              const std::vector<VertexId>& leaders) {
+  PebbleResult result;
+  result.round.assign(d.arc_count(), PebbleResult::kNever);
+
+  std::vector<bool> is_leader(d.vertex_count(), false);
+  for (const VertexId v : leaders) {
+    if (v >= d.vertex_count()) {
+      throw std::out_of_range("lazy_pebble_game: leader id out of range");
+    }
+    is_leader[v] = true;
+  }
+
+  // Round 0: arcs leaving leaders.
+  for (const VertexId v : leaders) {
+    for (const ArcId a : d.out_arcs(v)) result.round[a] = 0;
+  }
+
+  // Fixpoint iteration; each iteration is one Δ round.
+  for (std::size_t r = 1; r <= d.vertex_count() + d.arc_count() + 1; ++r) {
+    bool changed = false;
+    for (VertexId v = 0; v < d.vertex_count(); ++v) {
+      if (is_leader[v]) continue;
+      bool all_in = d.in_degree(v) > 0;
+      for (const ArcId a : d.in_arcs(v)) {
+        // Only pebbles from *previous* rounds enable this round.
+        if (result.round[a] == PebbleResult::kNever || result.round[a] >= r) {
+          all_in = false;
+          break;
+        }
+      }
+      if (!all_in) continue;
+      for (const ArcId a : d.out_arcs(v)) {
+        if (result.round[a] == PebbleResult::kNever) {
+          result.round[a] = r;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.complete = all_pebbled(result.round);
+  result.rounds = max_round(result.round);
+  return result;
+}
+
+PebbleResult eager_pebble_game(const Digraph& d, VertexId z) {
+  if (z >= d.vertex_count()) {
+    throw std::out_of_range("eager_pebble_game: start vertex out of range");
+  }
+  PebbleResult result;
+  result.round.assign(d.arc_count(), PebbleResult::kNever);
+
+  // Round 0: z's pebble lets it pebble its leaving arcs immediately.
+  for (const ArcId a : d.out_arcs(z)) result.round[a] = 0;
+
+  for (std::size_t r = 1; r <= d.vertex_count() + d.arc_count() + 1; ++r) {
+    bool changed = false;
+    for (VertexId v = 0; v < d.vertex_count(); ++v) {
+      bool any_in = false;
+      for (const ArcId a : d.in_arcs(v)) {
+        if (result.round[a] != PebbleResult::kNever && result.round[a] < r) {
+          any_in = true;
+          break;
+        }
+      }
+      if (!any_in) continue;
+      for (const ArcId a : d.out_arcs(v)) {
+        if (result.round[a] == PebbleResult::kNever) {
+          result.round[a] = r;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.complete = all_pebbled(result.round);
+  result.rounds = max_round(result.round);
+  return result;
+}
+
+}  // namespace xswap::graph

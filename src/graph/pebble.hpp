@@ -1,0 +1,43 @@
+// The lazy and eager pebble games of §4.4.
+//
+// Phase One of the protocol (contract deployment) is an instance of the
+// *lazy* game: pebbles start on arcs leaving leaders, and a vertex pebbles
+// its leaving arcs once *all* its entering arcs are pebbled. Phase Two
+// (hashkey dissemination, per secret) is an instance of the *eager* game
+// on the transpose digraph: starting from one vertex, a vertex pebbles its
+// leaving arcs once *any* entering arc is pebbled.
+//
+// Lemmas 4.1–4.3: in both games every arc is eventually pebbled, within
+// diam(D) rounds (a round models the worst-case Δ delay). These functions
+// return per-arc round numbers so tests and benches can check the bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace xswap::graph {
+
+/// Result of running a pebble game to fixpoint.
+struct PebbleResult {
+  /// round[a] = round when arc a was pebbled, or kNever.
+  std::vector<std::size_t> round;
+  /// Largest round used (0 when no arc was ever pebbled).
+  std::size_t rounds = 0;
+  /// True iff every arc ended up pebbled.
+  bool complete = false;
+
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+};
+
+/// Lazy game: round 0 pebbles every arc leaving a leader; thereafter a
+/// vertex whose entering arcs are all pebbled pebbles its leaving arcs.
+PebbleResult lazy_pebble_game(const Digraph& d,
+                              const std::vector<VertexId>& leaders);
+
+/// Eager game: a pebble starts on vertex `z`; a vertex with a pebble on
+/// any entering arc (or z itself) pebbles its leaving arcs next round.
+PebbleResult eager_pebble_game(const Digraph& d, VertexId z);
+
+}  // namespace xswap::graph

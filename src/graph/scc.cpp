@@ -1,0 +1,100 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace xswap::graph {
+
+SccResult strongly_connected_components(const Digraph& d) {
+  const std::size_t n = d.vertex_count();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;
+  std::size_t next_index = 0;
+
+  // Explicit DFS frames: (vertex, position within its out-arc list).
+  struct Frame {
+    VertexId v;
+    std::size_t arc_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& out = d.out_arcs(f.v);
+      if (f.arc_pos < out.size()) {
+        const VertexId w = d.arc(out[f.arc_pos]).tail;
+        ++f.arc_pos;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const VertexId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it off the Tarjan stack.
+          while (true) {
+            const VertexId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.component_count;
+            if (w == v) break;
+          }
+          ++result.component_count;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_strongly_connected(const Digraph& d) {
+  if (d.vertex_count() <= 1) return true;
+  return strongly_connected_components(d).component_count == 1;
+}
+
+std::vector<VertexId> reachable_set(const Digraph& d, VertexId from) {
+  std::vector<bool> seen(d.vertex_count(), false);
+  std::vector<VertexId> order;
+  std::vector<VertexId> work = {from};
+  seen[from] = true;
+  while (!work.empty()) {
+    const VertexId v = work.back();
+    work.pop_back();
+    order.push_back(v);
+    for (const ArcId id : d.out_arcs(v)) {
+      const VertexId w = d.arc(id).tail;
+      if (!seen[w]) {
+        seen[w] = true;
+        work.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+bool reaches_all(const Digraph& d, VertexId from) {
+  return reachable_set(d, from).size() == d.vertex_count();
+}
+
+}  // namespace xswap::graph

@@ -1,0 +1,35 @@
+// Strong connectivity (Tarjan's algorithm).
+//
+// Theorem 3.5: a uniform swap protocol for D is atomic iff D is strongly
+// connected — so strong connectivity is the admission test every swap
+// specification must pass.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace xswap::graph {
+
+/// Strongly connected components; `component[v]` is the component index of
+/// vertex v. Components are numbered in reverse topological order of the
+/// condensation (Tarjan's numbering).
+struct SccResult {
+  std::vector<std::size_t> component;
+  std::size_t component_count = 0;
+};
+
+/// Compute SCCs of `d` (iterative Tarjan; safe for deep graphs).
+SccResult strongly_connected_components(const Digraph& d);
+
+/// True iff `d` is strongly connected (one component spanning all
+/// vertexes). The empty digraph and a single vertex are strongly connected.
+bool is_strongly_connected(const Digraph& d);
+
+/// True iff every vertex is reachable from `from` by a directed path.
+bool reaches_all(const Digraph& d, VertexId from);
+
+/// Vertexes reachable from `from` (including `from` itself).
+std::vector<VertexId> reachable_set(const Digraph& d, VertexId from);
+
+}  // namespace xswap::graph

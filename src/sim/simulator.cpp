@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xswap::sim {
+
+void Simulator::at(Time t, Callback fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(Duration delay, Callback fn) {
+  at(now_ + delay, std::move(fn));
+}
+
+void Simulator::every(Time first, Duration period, std::function<bool()> fn) {
+  if (period == 0) throw std::invalid_argument("Simulator::every: zero period");
+  // Each firing reschedules the next one while fn keeps returning true.
+  at(first, [this, period, fn = std::move(fn)]() {
+    if (fn()) every(now_ + period, period, fn);
+  });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the callback requires a copy
+  // here — acceptable for a simulator driven by small closures.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+void Simulator::run_until(Time t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace xswap::sim

@@ -1,0 +1,77 @@
+// Deterministic discrete-event simulator.
+//
+// Models the paper's timing assumption: there is a known duration Δ long
+// enough for one party to publish (or trigger) a contract and for another
+// party to confirm the change. The simulator advances an integer tick
+// clock; blockchains seal blocks and parties poll on scheduled events.
+// Event ordering is fully deterministic: (time, insertion sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace xswap::sim {
+
+/// Simulated time in ticks.
+using Time = std::uint64_t;
+/// Durations share the tick unit.
+using Duration = std::uint64_t;
+
+/// A deterministic event-queue simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  void at(Time t, Callback fn);
+
+  /// Schedule `fn` `delay` ticks from now.
+  void after(Duration delay, Callback fn);
+
+  /// Schedule `fn` every `period` ticks starting at `first`, until it
+  /// returns false or the simulation stops.
+  void every(Time first, Duration period, std::function<bool()> fn);
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `max_events` executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Run events with time <= `t_end`; time stops at the last executed
+  /// event (or jumps to t_end if the queue empties earlier).
+  void run_until(Time t_end);
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+  static constexpr std::size_t kDefaultMaxEvents = 10'000'000;
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace xswap::sim

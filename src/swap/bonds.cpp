@@ -1,0 +1,101 @@
+#include "swap/bonds.hpp"
+
+#include <stdexcept>
+
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+
+BondPool::BondPool(const SwapSpec& spec, chain::Asset bond,
+                   chain::Address arbiter)
+    : party_names_(spec.party_names),
+      bond_(std::move(bond)),
+      arbiter_(std::move(arbiter)),
+      deposited_(spec.party_names.size(), false) {
+  if (!bond_.fungible) {
+    throw std::invalid_argument("BondPool: bonds must be fungible");
+  }
+}
+
+std::size_t BondPool::storage_bytes() const {
+  std::size_t size = bond_.encode().size() + arbiter_.size() + 1;
+  for (const auto& name : party_names_) size += name.size();
+  size += deposited_.size();
+  return size;
+}
+
+std::size_t BondPool::deposit_count() const {
+  std::size_t n = 0;
+  for (const bool d : deposited_) {
+    if (d) ++n;
+  }
+  return n;
+}
+
+void BondPool::deposit(const chain::CallContext& ctx) {
+  if (settled_) throw std::runtime_error("bond deposit: pool already settled");
+  for (PartyId v = 0; v < party_names_.size(); ++v) {
+    if (party_names_[v] == ctx.sender) {
+      if (deposited_[v]) {
+        throw std::runtime_error("bond deposit: already deposited");
+      }
+      ctx.ledger->transfer(ctx.sender, chain::contract_address(ctx.self), bond_);
+      deposited_[v] = true;
+      return;
+    }
+  }
+  throw std::runtime_error("bond deposit: " + ctx.sender +
+                           " is not a swap party");
+}
+
+void BondPool::settle(const chain::CallContext& ctx,
+                      const std::vector<bool>& at_fault) {
+  if (ctx.sender != arbiter_) {
+    throw std::runtime_error("bond settle: only the arbiter may settle");
+  }
+  if (settled_) throw std::runtime_error("bond settle: already settled");
+  if (at_fault.size() != party_names_.size()) {
+    throw std::runtime_error("bond settle: fault vector size mismatch");
+  }
+
+  std::vector<PartyId> honest, faulty;
+  for (PartyId v = 0; v < party_names_.size(); ++v) {
+    if (!deposited_[v]) continue;
+    (at_fault[v] ? faulty : honest).push_back(v);
+  }
+
+  // Refund honest deposits.
+  for (const PartyId v : honest) {
+    ctx.ledger->transfer(chain::contract_address(ctx.self), party_names_[v],
+                         bond_);
+  }
+  // Split slashed bonds among honest depositors; any indivisible
+  // remainder (or the whole slash when everyone misbehaved) is burned —
+  // it stays at the contract address forever.
+  if (!faulty.empty() && !honest.empty()) {
+    const std::uint64_t total_slash = bond_.amount * faulty.size();
+    const std::uint64_t share = total_slash / honest.size();
+    if (share > 0) {
+      for (const PartyId v : honest) {
+        ctx.ledger->transfer(chain::contract_address(ctx.self), party_names_[v],
+                             chain::Asset::coins(bond_.symbol, share));
+      }
+    }
+  }
+  settled_ = true;
+}
+
+FaultReport settle_bonds(const SwapEngine& engine, chain::Ledger& bond_ledger,
+                         chain::ContractId pool_id,
+                         const chain::Address& arbiter) {
+  FaultReport report = analyze_faults(engine);
+  const std::vector<bool> at_fault = report.at_fault;
+  bond_ledger.submit_call(
+      arbiter, pool_id, "settle", at_fault.size(),
+      [at_fault](chain::Contract& c, const chain::CallContext& ctx) {
+        dynamic_cast<BondPool&>(c).settle(ctx, at_fault);
+      });
+  return report;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,70 @@
+// Bonds against denial-of-service (§5): "whether one could require
+// parties to post bonds, and following a failed swap, examine the
+// blockchains to determine who was at fault".
+//
+// Each party deposits a bond into an on-chain pool before the swap. If
+// the swap completes cleanly, bonds are returned. If it fails, the
+// forensic analysis (swap/forensics.hpp) determines the at-fault set
+// from public chain data, the faulty parties' bonds are slashed, and the
+// slash is split among the non-faulty depositors as compensation for
+// their capital being locked up.
+//
+// Substitution note (DESIGN.md §2): on a real deployment the pool
+// contract would verify the fault proof itself via light clients of the
+// arc chains. The simulator models that step as a designated *arbiter*
+// caller; the analysis it submits is a pure function of public data that
+// any participant can recompute and dispute.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "chain/contract.hpp"
+#include "chain/ledger.hpp"
+#include "swap/forensics.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// On-chain bond pool for one swap.
+class BondPool : public chain::Contract {
+ public:
+  /// `bond`: the per-party deposit (same for everyone). `arbiter`: the
+  /// address allowed to settle with a fault set.
+  BondPool(const SwapSpec& spec, chain::Asset bond, chain::Address arbiter);
+
+  std::string type_name() const override { return "bondpool"; }
+  std::size_t storage_bytes() const override;
+  void on_publish(const chain::CallContext&) override {}  // holds no asset yet
+
+  /// A party deposits its bond (must be one of the swap's parties; one
+  /// deposit each).
+  void deposit(const chain::CallContext& ctx);
+
+  /// Settle after the swap: refund non-faulty depositors, slash faulty
+  /// ones and split the slash among non-faulty depositors. Only the
+  /// arbiter may call, exactly once; `at_fault` is indexed by PartyId.
+  void settle(const chain::CallContext& ctx, const std::vector<bool>& at_fault);
+
+  bool deposited(PartyId v) const { return deposited_.at(v); }
+  bool settled() const { return settled_; }
+  std::size_t deposit_count() const;
+
+ private:
+  std::vector<std::string> party_names_;  // indexed by PartyId
+  chain::Asset bond_;
+  chain::Address arbiter_;
+  std::vector<bool> deposited_;
+  bool settled_ = false;
+};
+
+/// End-to-end helper used by tests and benches: run forensics on a
+/// finished engine, settle `pool` on `ledger` through the arbiter, and
+/// return the fault report.
+class SwapEngine;
+FaultReport settle_bonds(const SwapEngine& engine, chain::Ledger& bond_ledger,
+                         chain::ContractId pool_id,
+                         const chain::Address& arbiter);
+
+}  // namespace xswap::swap

@@ -1,0 +1,51 @@
+#include "swap/broadcast.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace xswap::swap {
+
+BroadcastBoard::BroadcastBoard(const SwapSpec& spec)
+    : leaders_(spec.leaders),
+      hashlocks_(spec.hashlocks),
+      directory_(spec.directory),
+      posts_(spec.leaders.size()) {
+  leader_names_.reserve(leaders_.size());
+  for (const PartyId v : leaders_) {
+    leader_names_.push_back(spec.party_names.at(v));
+  }
+}
+
+std::size_t BroadcastBoard::storage_bytes() const {
+  std::size_t size = leaders_.size() * 4 + directory_.size() * 32;
+  for (const auto& h : hashlocks_) size += h.size();
+  for (const auto& post : posts_) {
+    if (post.has_value()) size += post->encoded_size();
+  }
+  return size;
+}
+
+void BroadcastBoard::post(const chain::CallContext& ctx, std::size_t i,
+                          const Hashkey& key) {
+  if (i >= posts_.size()) {
+    throw std::runtime_error("board post: slot out of range");
+  }
+  if (ctx.sender != leader_names_[i]) {
+    throw std::runtime_error("board post: only leader " + leader_names_[i] +
+                             " may post slot " + std::to_string(i));
+  }
+  // Degenerate leader-rooted key: path (v_i), sig(s_i, v_i).
+  if (key.path != std::vector<PartyId>{leaders_[i]} || key.sigs.size() != 1) {
+    throw std::runtime_error("board post: key must be leader-rooted");
+  }
+  if (crypto::sha256_bytes(key.secret) != hashlocks_[i]) {
+    throw std::runtime_error("board post: secret does not match hashlock");
+  }
+  if (!crypto::verify(directory_[leaders_[i]], key.secret, key.sigs[0])) {
+    throw std::runtime_error("board post: bad leader signature");
+  }
+  if (!posts_[i].has_value()) posts_[i] = key;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,55 @@
+// The shared broadcast chain of §4.5.
+//
+// "Each leader v_i publishes its secret s_i on the shared blockchain, and
+// each follower monitors that blockchain, triggering its entering arcs
+// when it learns the secret." The board stores leader-rooted hashkeys
+// (path (v_i), leader signature included) so that a follower can extend
+// one into the virtual-arc hashkey (v, v_i) its contracts accept when the
+// spec's broadcast option is on.
+//
+// The broadcast chain can only shorten Phase Two, never replace it: a
+// deviating leader may skip the board while unlocking elsewhere, so
+// followers keep watching their leaving arcs as usual.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/contract.hpp"
+#include "swap/hashkey.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// Name of the shared broadcast chain used by the engine.
+inline constexpr const char* kBroadcastChain = "broadcast";
+
+/// On-chain bulletin board for leader secrets.
+class BroadcastBoard : public chain::Contract {
+ public:
+  explicit BroadcastBoard(const SwapSpec& spec);
+
+  std::string type_name() const override { return "board"; }
+  std::size_t storage_bytes() const override;
+  void on_publish(const chain::CallContext&) override {}  // holds no asset
+
+  /// Leader i posts its leader-rooted hashkey. Only the leader named in
+  /// the spec may post to slot i, and the key must verify (degenerate
+  /// path (v_i), correct secret, leader signature).
+  void post(const chain::CallContext& ctx, std::size_t i, const Hashkey& key);
+
+  /// The posted key for slot i (nullopt until posted).
+  const std::optional<Hashkey>& posted(std::size_t i) const {
+    return posts_.at(i);
+  }
+  std::size_t slot_count() const { return posts_.size(); }
+
+ private:
+  std::vector<PartyId> leaders_;
+  std::vector<Hashlock> hashlocks_;
+  std::vector<std::string> leader_names_;
+  PartyDirectory directory_;
+  std::vector<std::optional<Hashkey>> posts_;
+};
+
+}  // namespace xswap::swap

@@ -1,0 +1,114 @@
+#include "swap/clearing.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "graph/fvs.hpp"
+#include "graph/scc.hpp"
+
+namespace xswap::swap {
+
+std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers) {
+  if (offers.empty()) return std::nullopt;
+
+  ClearedSwap out;
+  std::map<std::string, PartyId> ids;
+  const auto intern = [&](const std::string& name) -> PartyId {
+    if (name.empty()) throw std::invalid_argument("clear_offers: empty party name");
+    const auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const PartyId id = out.digraph.add_vertex();
+    ids.emplace(name, id);
+    out.party_names.push_back(name);
+    return id;
+  };
+
+  for (const Offer& offer : offers) {
+    if (offer.from == offer.to) {
+      throw std::invalid_argument("clear_offers: self-transfer offer");
+    }
+    if (offer.chain.empty()) {
+      throw std::invalid_argument("clear_offers: offer without a chain");
+    }
+    const PartyId head = intern(offer.from);
+    const PartyId tail = intern(offer.to);
+    out.digraph.add_arc(head, tail);
+    out.arcs.push_back(ArcTerms{offer.chain, offer.asset});
+  }
+
+  if (!graph::is_strongly_connected(out.digraph)) return std::nullopt;
+
+  out.leaders = out.digraph.vertex_count() <= 16
+                    ? graph::minimum_feedback_vertex_set(out.digraph)
+                    : graph::greedy_feedback_vertex_set(out.digraph);
+  return out;
+}
+
+Decomposition decompose_offers(const std::vector<Offer>& offers) {
+  Decomposition result;
+  if (offers.empty()) return result;
+
+  // Build the full offer digraph once to compute components.
+  std::map<std::string, PartyId> ids;
+  std::vector<std::string> names;
+  graph::Digraph full;
+  const auto intern = [&](const std::string& name) -> PartyId {
+    if (name.empty()) {
+      throw std::invalid_argument("decompose_offers: empty party name");
+    }
+    const auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const PartyId id = full.add_vertex();
+    ids.emplace(name, id);
+    names.push_back(name);
+    return id;
+  };
+  std::vector<std::pair<PartyId, PartyId>> endpoints;
+  for (const Offer& offer : offers) {
+    if (offer.from == offer.to) {
+      throw std::invalid_argument("decompose_offers: self-transfer offer");
+    }
+    if (offer.chain.empty()) {
+      throw std::invalid_argument("decompose_offers: offer without a chain");
+    }
+    const PartyId head = intern(offer.from);
+    const PartyId tail = intern(offer.to);
+    full.add_arc(head, tail);
+    endpoints.emplace_back(head, tail);
+  }
+
+  const graph::SccResult scc = graph::strongly_connected_components(full);
+
+  // Group intra-component offers per component; cross-component offers
+  // are unmatched.
+  std::map<std::size_t, std::vector<std::size_t>> by_component;  // -> offer idx
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    const auto [head, tail] = endpoints[i];
+    if (scc.component[head] == scc.component[tail]) {
+      by_component[scc.component[head]].push_back(i);
+    } else {
+      result.unmatched.push_back(offers[i]);
+    }
+  }
+
+  for (const auto& [component, offer_indices] : by_component) {
+    std::vector<Offer> subset;
+    subset.reserve(offer_indices.size());
+    for (const std::size_t i : offer_indices) subset.push_back(offers[i]);
+    // Within one SCC the induced sub-digraph of *these* offers may still
+    // fall apart (the component's connectivity could rely on arcs we set
+    // aside — impossible here, since SCC membership is computed on the
+    // full offer digraph and cross-component arcs never join an SCC).
+    auto cleared = clear_offers(subset);
+    if (cleared.has_value()) {
+      result.swaps.push_back(std::move(*cleared));
+    } else {
+      for (const std::size_t i : offer_indices) {
+        result.unmatched.push_back(offers[i]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,59 @@
+// The market-clearing service of §4.2.
+//
+// Parties send the (untrusted) service offers — "I will transfer this
+// asset on this chain to that party". The service combines offers into a
+// swap digraph, checks it admits an atomic protocol (strongly connected,
+// Theorem 3.5), and picks a leader set (a feedback vertex set, Theorem
+// 4.12 — minimum when the digraph is small, greedy otherwise). The
+// service is not trusted: the SwapEngine re-validates everything it
+// produces with validate_spec() before any asset moves.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/asset.hpp"
+#include "graph/digraph.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// One party's proposed transfer.
+struct Offer {
+  std::string from;    // transferring party
+  std::string to;      // receiving counterparty
+  std::string chain;   // blockchain carrying the contract
+  chain::Asset asset;  // what moves
+};
+
+/// The cleared swap: inputs for SwapEngine's full constructor.
+struct ClearedSwap {
+  graph::Digraph digraph;
+  std::vector<std::string> party_names;  // index = PartyId
+  std::vector<PartyId> leaders;
+  std::vector<ArcTerms> arcs;            // parallel to digraph.arcs()
+};
+
+/// Combine `offers` into a swap. Returns nullopt when the offers do not
+/// form a strongly-connected digraph (such a swap would never be agreed
+/// to: the free-riding side has no incentive — Lemma 3.4). Throws
+/// std::invalid_argument on malformed offers (self-transfers, empty
+/// names/chains).
+std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers);
+
+/// A batch of offers split into independently runnable swaps.
+struct Decomposition {
+  std::vector<ClearedSwap> swaps;  // one per non-trivial SCC
+  std::vector<Offer> unmatched;    // offers no atomic swap can honour
+};
+
+/// Real clearing: a batch of offers rarely forms one strongly-connected
+/// digraph. Following §3 ("a disconnected digraph can be treated as
+/// multiple swaps"), split the offer digraph into strongly connected
+/// components; each component with at least one internal arc becomes its
+/// own ClearedSwap, and offers crossing components are returned as
+/// unmatched (executing them could only create free-riders, Lemma 3.4).
+Decomposition decompose_offers(const std::vector<Offer>& offers);
+
+}  // namespace xswap::swap

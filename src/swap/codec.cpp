@@ -1,0 +1,228 @@
+#include "swap/codec.hpp"
+
+namespace xswap::swap {
+
+void put_varuint(util::Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_bytes(util::Bytes& out, util::BytesView data) {
+  put_varuint(out, data.size());
+  util::append(out, data);
+}
+
+std::optional<std::uint64_t> Reader::varuint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 63 && (b & 0x7f) > 1) return std::nullopt;  // overflow
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return value;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<util::Bytes> Reader::bytes(std::size_t max_len) {
+  const auto len = varuint();
+  if (!len || *len > max_len || pos_ + *len > data_.size()) return std::nullopt;
+  util::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+std::optional<std::uint8_t> Reader::byte() {
+  if (pos_ >= data_.size()) return std::nullopt;
+  return data_[pos_++];
+}
+
+// ---- Hashkey ----
+
+util::Bytes encode_hashkey(const Hashkey& key) {
+  util::Bytes out;
+  out.push_back(kCodecVersion);
+  put_bytes(out, key.secret);
+  put_varuint(out, key.path.size());
+  for (const PartyId v : key.path) put_varuint(out, v);
+  put_varuint(out, key.sigs.size());
+  for (const auto& sig : key.sigs) {
+    util::append(out, util::BytesView(sig.bytes.data(), sig.bytes.size()));
+  }
+  return out;
+}
+
+std::optional<Hashkey> decode_hashkey(util::BytesView data) {
+  Reader r(data);
+  const auto version = r.byte();
+  if (!version || *version != kCodecVersion) return std::nullopt;
+
+  Hashkey key;
+  const auto secret = r.bytes(64);
+  if (!secret) return std::nullopt;
+  key.secret = *secret;
+
+  const auto path_len = r.varuint();
+  if (!path_len || *path_len == 0 || *path_len > 4096) return std::nullopt;
+  key.path.reserve(*path_len);
+  for (std::uint64_t i = 0; i < *path_len; ++i) {
+    const auto v = r.varuint();
+    if (!v || *v > 0xffffffffULL) return std::nullopt;
+    key.path.push_back(static_cast<PartyId>(*v));
+  }
+
+  const auto sig_count = r.varuint();
+  if (!sig_count || *sig_count != *path_len) return std::nullopt;
+  key.sigs.reserve(*sig_count);
+  for (std::uint64_t i = 0; i < *sig_count; ++i) {
+    crypto::Signature sig;
+    for (auto& b : sig.bytes) {
+      const auto byte = r.byte();
+      if (!byte) return std::nullopt;
+      b = *byte;
+    }
+    key.sigs.push_back(sig);
+  }
+  if (!r.at_end()) return std::nullopt;  // trailing garbage
+  return key;
+}
+
+// ---- SwapSpec ----
+
+util::Bytes encode_spec(const SwapSpec& spec) {
+  util::Bytes out;
+  out.push_back(kCodecVersion);
+
+  put_varuint(out, spec.digraph.vertex_count());
+  put_varuint(out, spec.digraph.arc_count());
+  for (const graph::Arc& arc : spec.digraph.arcs()) {
+    put_varuint(out, arc.head);
+    put_varuint(out, arc.tail);
+  }
+
+  put_varuint(out, spec.party_names.size());
+  for (const auto& name : spec.party_names) {
+    put_bytes(out, util::str_bytes(name));
+  }
+
+  put_varuint(out, spec.leaders.size());
+  for (const PartyId v : spec.leaders) put_varuint(out, v);
+  for (const auto& h : spec.hashlocks) put_bytes(out, h);
+
+  put_varuint(out, spec.arcs.size());
+  for (const ArcTerms& terms : spec.arcs) {
+    put_bytes(out, util::str_bytes(terms.chain));
+    put_bytes(out, util::str_bytes(terms.asset.symbol));
+    put_varuint(out, terms.asset.amount);
+    out.push_back(terms.asset.fungible ? 1 : 0);
+    put_bytes(out, util::str_bytes(terms.asset.unique_id));
+  }
+
+  put_varuint(out, spec.directory.size());
+  for (const auto& pk : spec.directory) {
+    util::append(out, util::BytesView(pk.bytes.data(), pk.bytes.size()));
+  }
+
+  put_varuint(out, spec.start_time);
+  put_varuint(out, spec.delta);
+  put_varuint(out, spec.diam);
+  out.push_back(spec.broadcast ? 1 : 0);
+  return out;
+}
+
+std::optional<SwapSpec> decode_spec(util::BytesView data) {
+  Reader r(data);
+  const auto version = r.byte();
+  if (!version || *version != kCodecVersion) return std::nullopt;
+
+  SwapSpec spec;
+  const auto n = r.varuint();
+  const auto m = r.varuint();
+  if (!n || !m || *n > 100000 || *m > 1000000) return std::nullopt;
+  spec.digraph = graph::Digraph(*n);
+  for (std::uint64_t i = 0; i < *m; ++i) {
+    const auto head = r.varuint();
+    const auto tail = r.varuint();
+    if (!head || !tail || *head >= *n || *tail >= *n || *head == *tail) {
+      return std::nullopt;
+    }
+    spec.digraph.add_arc(static_cast<PartyId>(*head),
+                         static_cast<PartyId>(*tail));
+  }
+
+  const auto name_count = r.varuint();
+  if (!name_count || *name_count != *n) return std::nullopt;
+  for (std::uint64_t i = 0; i < *name_count; ++i) {
+    const auto name = r.bytes();
+    if (!name) return std::nullopt;
+    spec.party_names.emplace_back(name->begin(), name->end());
+  }
+
+  const auto leader_count = r.varuint();
+  if (!leader_count || *leader_count > *n) return std::nullopt;
+  for (std::uint64_t i = 0; i < *leader_count; ++i) {
+    const auto v = r.varuint();
+    if (!v || *v >= *n) return std::nullopt;
+    spec.leaders.push_back(static_cast<PartyId>(*v));
+  }
+  for (std::uint64_t i = 0; i < *leader_count; ++i) {
+    const auto h = r.bytes(64);
+    if (!h) return std::nullopt;
+    spec.hashlocks.push_back(*h);
+  }
+
+  const auto arc_terms_count = r.varuint();
+  if (!arc_terms_count || *arc_terms_count != *m) return std::nullopt;
+  for (std::uint64_t i = 0; i < *arc_terms_count; ++i) {
+    const auto chain = r.bytes();
+    const auto symbol = r.bytes();
+    const auto amount = r.varuint();
+    const auto fungible = r.byte();
+    const auto unique_id = r.bytes();
+    if (!chain || !symbol || !amount || !fungible || !unique_id ||
+        *fungible > 1) {
+      return std::nullopt;
+    }
+    ArcTerms terms;
+    terms.chain.assign(chain->begin(), chain->end());
+    terms.asset.symbol.assign(symbol->begin(), symbol->end());
+    terms.asset.amount = *amount;
+    terms.asset.fungible = *fungible == 1;
+    terms.asset.unique_id.assign(unique_id->begin(), unique_id->end());
+    spec.arcs.push_back(std::move(terms));
+  }
+
+  const auto key_count = r.varuint();
+  if (!key_count || *key_count != *n) return std::nullopt;
+  for (std::uint64_t i = 0; i < *key_count; ++i) {
+    crypto::PublicKey pk;
+    for (auto& b : pk.bytes) {
+      const auto byte = r.byte();
+      if (!byte) return std::nullopt;
+      b = *byte;
+    }
+    spec.directory.push_back(pk);
+  }
+
+  const auto start = r.varuint();
+  const auto delta = r.varuint();
+  const auto diam = r.varuint();
+  const auto broadcast = r.byte();
+  if (!start || !delta || !diam || !broadcast || *broadcast > 1) {
+    return std::nullopt;
+  }
+  spec.start_time = *start;
+  spec.delta = *delta;
+  spec.diam = *diam;
+  spec.broadcast = *broadcast == 1;
+  if (!r.at_end()) return std::nullopt;
+  return spec;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,72 @@
+// Canonical wire format for protocol data.
+//
+// Theorem 4.10 measures "bits stored on all blockchains" and the
+// communication bound counts "bits published" — so the library defines an
+// actual byte encoding rather than hand-waving sizes. The format is a
+// simple length-prefixed binary layout with a version byte; decoding
+// rejects malformed input instead of guessing.
+//
+//   varuint  : unsigned LEB128
+//   bytes    : varuint length + raw bytes
+//   string   : bytes (UTF-8)
+//
+// Encoded objects: Hashkey (what an unlock call carries on the wire) and
+// SwapSpec (what a contract publication embeds — the digraph copy that
+// drives the O(|A|^2) space bound).
+#pragma once
+
+#include <optional>
+
+#include "swap/hashkey.hpp"
+#include "swap/spec.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::swap {
+
+/// Format version written into every encoding.
+inline constexpr std::uint8_t kCodecVersion = 1;
+
+// ---- primitives (exposed for tests and future encoders) ----
+
+/// Append LEB128 unsigned varint.
+void put_varuint(util::Bytes& out, std::uint64_t value);
+/// Append length-prefixed bytes.
+void put_bytes(util::Bytes& out, util::BytesView data);
+
+/// Stateful reader over an encoded buffer; all reads fail (return
+/// nullopt) on truncation or malformed data rather than throwing.
+class Reader {
+ public:
+  explicit Reader(util::BytesView data) : data_(data) {}
+
+  std::optional<std::uint64_t> varuint();
+  std::optional<util::Bytes> bytes(std::size_t max_len = kMaxField);
+  std::optional<std::uint8_t> byte();
+  bool at_end() const { return pos_ == data_.size(); }
+
+  /// Per-field sanity cap (prevents hostile length prefixes from driving
+  /// huge allocations).
+  static constexpr std::size_t kMaxField = 1 << 20;
+
+ private:
+  util::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Hashkey ----
+
+/// Encode a hashkey (secret, path, signature chain).
+util::Bytes encode_hashkey(const Hashkey& key);
+/// Decode; nullopt on malformed input.
+std::optional<Hashkey> decode_hashkey(util::BytesView data);
+
+// ---- SwapSpec ----
+
+/// Encode a full swap spec (digraph, parties, leaders, hashlocks, arc
+/// terms, directory, timing). This is the payload a contract publication
+/// stores on chain.
+util::Bytes encode_spec(const SwapSpec& spec);
+/// Decode; nullopt on malformed input.
+std::optional<SwapSpec> decode_spec(util::BytesView data);
+
+}  // namespace xswap::swap

@@ -1,0 +1,157 @@
+#include "swap/contract.hpp"
+
+#include <stdexcept>
+
+#include "chain/ledger.hpp"
+#include "graph/paths.hpp"
+
+namespace xswap::swap {
+
+const char* to_string(Disposition d) {
+  switch (d) {
+    case Disposition::kActive: return "active";
+    case Disposition::kClaimed: return "claimed";
+    case Disposition::kRefunded: return "refunded";
+  }
+  return "unknown";
+}
+
+SwapContract::SwapContract(const SwapSpec& spec, graph::ArcId arc)
+    : arc_(arc),
+      asset_(spec.arcs.at(arc).asset),
+      digraph_(spec.digraph),
+      leaders_(spec.leaders),
+      hashlocks_(spec.hashlocks),
+      directory_(spec.directory),
+      party_vertex_(spec.digraph.arc(arc).head),
+      counterparty_vertex_(spec.digraph.arc(arc).tail),
+      party_(spec.party_names.at(spec.digraph.arc(arc).head)),
+      counterparty_(spec.party_names.at(spec.digraph.arc(arc).tail)),
+      start_(spec.start_time),
+      delta_(spec.delta),
+      diam_(spec.diam),
+      broadcast_(spec.broadcast),
+      unlocked_(spec.leaders.size(), false),
+      unlock_keys_(spec.leaders.size()) {
+  // Longest admissible hashkey path per hashlock: D(counterparty, leader_i)
+  // per the paper's path semantics. Exact when the digraph is small, the
+  // always-safe diam bound otherwise.
+  max_path_len_.reserve(leaders_.size());
+  for (const PartyId leader : leaders_) {
+    std::size_t bound = diam_;
+    if (digraph_.vertex_count() <= 12) {
+      const auto exact = graph::longest_path(digraph_, counterparty_vertex_, leader);
+      bound = exact.value_or(0);
+    }
+    max_path_len_.push_back(std::min(bound, diam_));
+  }
+}
+
+std::size_t SwapContract::storage_bytes() const {
+  std::size_t size = 0;
+  size += asset_.encode().size();
+  size += digraph_.arc_count() * 8 + 8;     // the contract's copy of D
+  size += leaders_.size() * 4;
+  for (const auto& h : hashlocks_) size += h.size();
+  size += directory_.size() * 32;
+  size += party_.size() + counterparty_.size() + 8;
+  size += 8 + 8 + 8;                        // start, delta, diam
+  size += unlocked_.size();                 // unlocked flags
+  for (const auto& key : unlock_keys_) {
+    if (key.has_value()) size += key->encoded_size();
+  }
+  return size;
+}
+
+void SwapContract::on_publish(const chain::CallContext& ctx) {
+  // Only the arc's party may publish (their asset goes into escrow).
+  if (ctx.sender != party_) {
+    throw std::runtime_error("swap publish: sender " + ctx.sender +
+                             " is not the party " + party_);
+  }
+  ctx.ledger->transfer(party_, chain::contract_address(ctx.self), asset_);
+}
+
+void SwapContract::unlock(const chain::CallContext& ctx, std::size_t i,
+                          const Hashkey& key) {
+  if (ctx.sender != counterparty_) {  // Fig. 5 line 27
+    throw std::runtime_error("unlock: only the counterparty may call");
+  }
+  if (i >= hashlocks_.size()) {
+    throw std::runtime_error("unlock: hashlock index out of range");
+  }
+  if (disposition_ != Disposition::kActive) {
+    throw std::runtime_error("unlock: contract already settled");
+  }
+  // Fig. 5 line 28: hashkey still valid?
+  if (ctx.time >= hashkey_deadline(key.path_length())) {
+    throw std::runtime_error("unlock: hashkey timed out");
+  }
+  // Fig. 5 lines 29–31: secret, path, signatures.
+  if (!verify_hashkey(key, hashlocks_[i], digraph_, counterparty_vertex_,
+                      leaders_[i], directory_, broadcast_)) {
+    throw std::runtime_error("unlock: hashkey verification failed");
+  }
+  if (!unlocked_[i]) {
+    unlocked_[i] = true;
+    unlock_keys_[i] = key;
+    if (all_unlocked()) triggered_at_ = ctx.time;
+  }
+}
+
+void SwapContract::refund(const chain::CallContext& ctx) {
+  if (ctx.sender != party_) {  // Fig. 5 line 36
+    throw std::runtime_error("refund: only the party may call");
+  }
+  if (disposition_ != Disposition::kActive) {
+    throw std::runtime_error("refund: contract already settled");
+  }
+  if (!refundable(ctx.time)) {
+    throw std::runtime_error("refund: no hashlock has expired");
+  }
+  ctx.ledger->transfer(chain::contract_address(ctx.self), party_, asset_);
+  disposition_ = Disposition::kRefunded;
+}
+
+void SwapContract::claim(const chain::CallContext& ctx) {
+  if (ctx.sender != counterparty_) {  // Fig. 5 line 43
+    throw std::runtime_error("claim: only the counterparty may call");
+  }
+  if (disposition_ != Disposition::kActive) {
+    throw std::runtime_error("claim: contract already settled");
+  }
+  if (!all_unlocked()) {  // Fig. 5 line 44
+    throw std::runtime_error("claim: not all hashlocks unlocked");
+  }
+  ctx.ledger->transfer(chain::contract_address(ctx.self), counterparty_, asset_);
+  disposition_ = Disposition::kClaimed;
+}
+
+bool SwapContract::all_unlocked() const {
+  for (const bool u : unlocked_) {
+    if (!u) return false;
+  }
+  return true;
+}
+
+bool SwapContract::refundable(sim::Time now) const {
+  if (disposition_ != Disposition::kActive) return false;
+  for (std::size_t i = 0; i < hashlocks_.size(); ++i) {
+    if (hashlock_expired(i, now)) return true;
+  }
+  return false;
+}
+
+bool SwapContract::matches_spec(const SwapSpec& spec, graph::ArcId arc) const {
+  return arc_ == arc && spec.digraph == digraph_ && spec.leaders == leaders_ &&
+         spec.hashlocks == hashlocks_ && spec.directory == directory_ &&
+         arc < spec.arcs.size() && spec.arcs[arc].asset == asset_ &&
+         spec.digraph.arc(arc).head == party_vertex_ &&
+         spec.digraph.arc(arc).tail == counterparty_vertex_ &&
+         spec.party_names.at(party_vertex_) == party_ &&
+         spec.party_names.at(counterparty_vertex_) == counterparty_ &&
+         spec.start_time == start_ && spec.delta == delta_ &&
+         spec.diam == diam_ && spec.broadcast == broadcast_;
+}
+
+}  // namespace xswap::swap

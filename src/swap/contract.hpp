@@ -1,0 +1,136 @@
+// The hashed-timelock swap contract of Figures 4–5.
+//
+// One contract instance lives on the blockchain of each arc (u, v). It
+// escrows the arc's asset at publication and exposes the paper's three
+// entry points:
+//   * unlock(i, s, p, σ)  — counterparty presents a hashkey for h_i;
+//   * refund()            — party reclaims the asset once some hashlock
+//                           can no longer be unlocked;
+//   * claim()             — counterparty takes the asset once every
+//                           hashlock is unlocked.
+//
+// Each contract stores its own copy of the swap digraph (Fig. 4 line 3),
+// which is why total space across all chains is O(|A|^2) (Theorem 4.10).
+//
+// Note on refund: Fig. 5 line 37 reads "if any hashlock unlocked and
+// timed out". Taken literally that leaves assets stranded (a contract
+// with one never-unlocked hashlock could never refund) and lets a party
+// yank an asset whose remaining hashlocks are still live. We read it as
+// the evident intent: refund when some hashlock is still locked *and*
+// every hashkey that could unlock it has expired. DESIGN.md records this
+// reading.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/contract.hpp"
+#include "swap/hashkey.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// Lifecycle of the escrowed asset.
+enum class Disposition : std::uint8_t { kActive, kClaimed, kRefunded };
+
+const char* to_string(Disposition d);
+
+/// Swap contract for one arc of the swap digraph (Fig. 4–5).
+class SwapContract : public chain::Contract {
+ public:
+  /// Build the contract for `arc` from the agreed spec. The spec's
+  /// digraph, leaders, hashlocks, directory and timing are copied into
+  /// contract state, exactly as the Fig. 4 constructor copies its
+  /// arguments.
+  SwapContract(const SwapSpec& spec, graph::ArcId arc);
+
+  // ---- chain::Contract ----
+  std::string type_name() const override { return "swap"; }
+  std::size_t storage_bytes() const override;
+  /// Takes escrow of the asset from the party (head of the arc).
+  void on_publish(const chain::CallContext& ctx) override;
+
+  // ---- entry points (invoked via Ledger::submit_call) ----
+
+  /// Fig. 5 lines 26–34. Throws (failing the transaction) when the caller
+  /// is not the counterparty, the hashkey is expired, malformed, for the
+  /// wrong hashlock, or its path/signatures do not verify.
+  void unlock(const chain::CallContext& ctx, std::size_t i, const Hashkey& key);
+
+  /// Fig. 5 lines 35–41 (with the corrected refund condition above).
+  void refund(const chain::CallContext& ctx);
+
+  /// Fig. 5 lines 42–48.
+  void claim(const chain::CallContext& ctx);
+
+  // ---- read-only views (what any observer of the chain can see) ----
+
+  graph::ArcId arc() const { return arc_; }
+  const chain::Asset& asset() const { return asset_; }
+  PartyId party_vertex() const { return party_vertex_; }
+  PartyId counterparty_vertex() const { return counterparty_vertex_; }
+  const chain::Address& party() const { return party_; }
+  const chain::Address& counterparty() const { return counterparty_; }
+  Disposition disposition() const { return disposition_; }
+
+  std::size_t hashlock_count() const { return hashlocks_.size(); }
+  bool unlocked(std::size_t i) const { return unlocked_.at(i); }
+  bool all_unlocked() const;
+
+  /// The paper's trigger notion: an arc is *triggered* when all of its
+  /// hashlocks are unlocked (§4.1) — the claim that moves the asset can
+  /// follow at the counterparty's leisure. Chain time of the final
+  /// unlock, or 0 while untriggered.
+  sim::Time triggered_at() const { return triggered_at_; }
+
+  /// The hashkey that first unlocked hashlock i (observers extend these
+  /// during Phase Two), or nullopt while locked.
+  const std::optional<Hashkey>& unlocking_key(std::size_t i) const {
+    return unlock_keys_.at(i);
+  }
+
+  /// Absolute deadline for a hashkey with |p| = path_len on this arc.
+  sim::Time hashkey_deadline(std::size_t path_len) const {
+    return start_ + (diam_ + path_len) * delta_;
+  }
+
+  /// True when hashlock i can no longer be unlocked at `now`: every
+  /// admissible path (longest has max_path_len_[i] arcs) has expired.
+  bool hashlock_expired(std::size_t i, sim::Time now) const {
+    return !unlocked_.at(i) && now >= hashkey_deadline(max_path_len_.at(i));
+  }
+
+  /// True when refund() would succeed at `now`.
+  bool refundable(sim::Time now) const;
+
+  /// Does this published contract implement arc `arc` of `spec` exactly?
+  /// Parties verify observed contracts with this before counting them as
+  /// the Phase-One pebble on the arc ("verifies that contract is a
+  /// correct swap contract, and abandons the protocol otherwise", §4.5).
+  bool matches_spec(const SwapSpec& spec, graph::ArcId arc) const;
+
+ private:
+  // Fig. 4 long-lived state.
+  graph::ArcId arc_;
+  chain::Asset asset_;
+  graph::Digraph digraph_;
+  std::vector<PartyId> leaders_;
+  std::vector<Hashlock> hashlocks_;
+  PartyDirectory directory_;
+  PartyId party_vertex_;
+  PartyId counterparty_vertex_;
+  chain::Address party_;
+  chain::Address counterparty_;
+  sim::Time start_;
+  sim::Duration delta_;
+  std::size_t diam_;
+  bool broadcast_;  // accept virtual (v, leader) hashkey paths (§4.5)
+
+  std::vector<bool> unlocked_;
+  std::vector<std::optional<Hashkey>> unlock_keys_;
+  std::vector<std::size_t> max_path_len_;  // longest admissible |p| per hashlock
+  sim::Time triggered_at_ = 0;
+  Disposition disposition_ = Disposition::kActive;
+};
+
+}  // namespace xswap::swap

@@ -1,0 +1,294 @@
+#include "swap/engine.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "graph/paths.hpp"
+#include "swap/broadcast.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+
+namespace {
+
+std::vector<std::string> default_names(std::size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) names.push_back("P" + std::to_string(i));
+  return names;
+}
+
+std::vector<ArcTerms> default_arcs(const graph::Digraph& d) {
+  std::vector<ArcTerms> arcs;
+  arcs.reserve(d.arc_count());
+  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
+    arcs.push_back(ArcTerms{"chain-" + std::to_string(a),
+                            chain::Asset::coins("TOK" + std::to_string(a), 100)});
+  }
+  return arcs;
+}
+
+}  // namespace
+
+SwapEngine::SwapEngine(const graph::Digraph& digraph,
+                       std::vector<PartyId> leaders, EngineOptions options)
+    : SwapEngine(digraph, default_names(digraph.vertex_count()),
+                 std::move(leaders), default_arcs(digraph), options) {}
+
+SwapEngine::SwapEngine(graph::Digraph digraph,
+                       std::vector<std::string> party_names,
+                       std::vector<PartyId> leaders, std::vector<ArcTerms> arcs,
+                       EngineOptions options)
+    : options_(options) {
+  const sim::Duration hop = options_.seal_period + options_.chain_submit_delay;
+  if (options_.delta < 2 * hop && !options_.allow_unsafe_timing) {
+    throw std::invalid_argument(
+        "SwapEngine: delta must cover two chain hops "
+        "(publish + confirm, each seal_period + submit_delay)");
+  }
+  if (options_.mode == ProtocolMode::kSingleLeader && leaders.size() != 1) {
+    throw std::invalid_argument(
+        "SwapEngine: single-leader mode requires exactly one leader");
+  }
+
+  spec_.digraph = std::move(digraph);
+  spec_.party_names = std::move(party_names);
+  spec_.leaders = std::move(leaders);
+  spec_.delta = options_.delta;
+  spec_.broadcast = options_.broadcast;
+  spec_.start_time = options_.delta;  // "at least Δ in the future" (§4.2)
+
+  const std::size_t n = spec_.digraph.vertex_count();
+  spec_.diam = n <= 12 ? graph::diameter(spec_.digraph)
+                       : graph::diameter_upper_bound(spec_.digraph);
+
+  // Deterministic keys and secrets from the seed.
+  util::Rng rng(options_.seed);
+  spec_.directory.resize(n);
+  parties_.reserve(n);
+  std::vector<crypto::KeyPair> keypairs;
+  keypairs.reserve(n);
+  for (PartyId v = 0; v < n; ++v) {
+    keypairs.push_back(crypto::KeyPair::from_seed(rng.next_bytes(32)));
+    spec_.directory[v] = keypairs.back().public_key();
+  }
+  for (std::size_t i = 0; i < spec_.leaders.size(); ++i) {
+    leader_secrets_.push_back(rng.next_bytes(32));
+    spec_.hashlocks.push_back(crypto::sha256_bytes(leader_secrets_.back()));
+  }
+
+  build(std::move(arcs));
+
+  const auto problems = validate_spec(spec_);
+  if (!problems.empty()) {
+    std::string msg = "SwapEngine: invalid spec:";
+    for (const auto& p : problems) msg += "\n  - " + p;
+    throw std::invalid_argument(msg);
+  }
+
+  strategies_.assign(n, Strategy::honest());
+
+  // Parties are created in run() so that strategies set after
+  // construction are honored; keep the keypairs until then.
+  keypairs_ = std::move(keypairs);
+}
+
+void SwapEngine::build(std::vector<ArcTerms> arcs) {
+  spec_.arcs = std::move(arcs);
+  // One ledger per distinct chain name; genesis-fund each arc's party.
+  for (graph::ArcId a = 0; a < spec_.digraph.arc_count(); ++a) {
+    const ArcTerms& terms = spec_.arcs.at(a);
+    if (!ledgers_.count(terms.chain)) {
+      ledgers_[terms.chain] = std::make_unique<chain::Ledger>(
+          terms.chain, sim_, options_.seal_period);
+      ledgers_[terms.chain]->set_submit_delay(options_.chain_submit_delay);
+    }
+    const PartyId head = spec_.digraph.arc(a).head;
+    ledgers_[terms.chain]->mint(spec_.party_names.at(head), terms.asset);
+  }
+  if (options_.broadcast) {
+    ledgers_[kBroadcastChain] =
+        std::make_unique<chain::Ledger>(kBroadcastChain, sim_, options_.seal_period);
+    ledgers_[kBroadcastChain]->set_submit_delay(options_.chain_submit_delay);
+  }
+}
+
+void SwapEngine::set_strategy(PartyId v, Strategy strategy) {
+  if (ran_) throw std::logic_error("set_strategy: engine already ran");
+  strategies_.at(v) = strategy;
+}
+
+void SwapEngine::override_leader_secrets(const std::vector<Secret>& secrets) {
+  if (ran_) throw std::logic_error("override_leader_secrets: engine already ran");
+  if (secrets.size() != spec_.leaders.size()) {
+    throw std::invalid_argument(
+        "override_leader_secrets: need one secret per leader");
+  }
+  for (const Secret& s : secrets) {
+    if (s.size() != 32) {
+      throw std::invalid_argument("override_leader_secrets: secrets are 32 bytes");
+    }
+  }
+  leader_secrets_ = secrets;
+  for (std::size_t i = 0; i < secrets.size(); ++i) {
+    spec_.hashlocks[i] = crypto::sha256_bytes(secrets[i]);
+  }
+}
+
+const chain::Ledger& SwapEngine::ledger(const std::string& chain_name) const {
+  return *ledgers_.at(chain_name);
+}
+
+std::vector<std::string> SwapEngine::chain_names() const {
+  std::vector<std::string> names;
+  names.reserve(ledgers_.size());
+  for (const auto& [name, ledger] : ledgers_) names.push_back(name);
+  return names;
+}
+
+SwapReport SwapEngine::run() {
+  if (ran_) throw std::logic_error("SwapEngine::run: already ran");
+  ran_ = true;
+
+  // Coalition pools.
+  for (PartyId v = 0; v < spec_.digraph.vertex_count(); ++v) {
+    const int c = strategies_[v].coalition;
+    if (c >= 0 && !coalition_pools_.count(c)) {
+      coalition_pools_[c] = std::make_unique<CoalitionPool>();
+    }
+  }
+
+  // Ledger pointer map shared by all parties.
+  std::map<std::string, chain::Ledger*> ledger_ptrs;
+  for (auto& [name, ledger] : ledgers_) ledger_ptrs[name] = ledger.get();
+
+  for (PartyId v = 0; v < spec_.digraph.vertex_count(); ++v) {
+    const int c = strategies_[v].coalition;
+    parties_.push_back(std::make_unique<Party>(
+        spec_, v, keypairs_[v], options_.mode, strategies_[v], ledger_ptrs,
+        &counters_, c >= 0 ? coalition_pools_[c].get() : nullptr));
+    const std::size_t li = spec_.leader_index(v);
+    if (li != SwapSpec::npos) {
+      parties_.back()->set_leader_secret(leader_secrets_[li]);
+    }
+  }
+
+  // Broadcast board (published by the untrusted clearing service before
+  // the protocol starts; it holds no assets so trust is not required).
+  if (options_.broadcast) {
+    ledgers_[kBroadcastChain]->submit_contract(
+        "clearing", std::make_unique<BroadcastBoard>(spec_),
+        spec_.encoded_size());
+  }
+
+  // Start chains, schedule party polls (ledgers first so that seals
+  // execute before party ticks at equal timestamps).
+  for (auto& [name, ledger] : ledgers_) ledger->start();
+  for (auto& party : parties_) {
+    Party* p = party.get();
+    sim_.every(1, 1, [this, p] {
+      p->tick(sim_.now());
+      return sim_.now() < end_time();
+    });
+  }
+
+  sim_.run_until(end_time());
+  for (auto& [name, ledger] : ledgers_) ledger->stop();
+  sim_.run_until(end_time() + 2 * options_.seal_period);
+
+  return harvest();
+}
+
+sim::Time SwapEngine::end_time() const {
+  // Everything settles by the final hashkey deadline plus the refund
+  // round-trip; add margin for sealing and submission latency.
+  return spec_.final_deadline() + 2 * spec_.delta +
+         4 * (options_.seal_period + options_.chain_submit_delay);
+}
+
+SwapReport SwapEngine::harvest() {
+  SwapReport report;
+  const std::size_t arc_count = spec_.digraph.arc_count();
+  report.contract_published.assign(arc_count, false);
+  report.triggered.assign(arc_count, false);
+  report.refunded.assign(arc_count, false);
+  report.settled_at.assign(arc_count, 0);
+
+  for (graph::ArcId a = 0; a < arc_count; ++a) {
+    const chain::Ledger& ledger = *ledgers_.at(spec_.arcs[a].chain);
+    for (const chain::ContractId id : ledger.published_contracts()) {
+      const chain::Contract* c = ledger.get_contract(id);
+      Disposition disposition = Disposition::kActive;
+      sim::Time triggered_at = 0;
+      bool matches = false;
+      bool triggered = false;
+      if (options_.mode == ProtocolMode::kGeneral) {
+        const auto* sc = dynamic_cast<const SwapContract*>(c);
+        if (sc != nullptr && sc->matches_spec(spec_, a)) {
+          matches = true;
+          disposition = sc->disposition();
+          // §4.1: the arc is triggered once all hashlocks unlock; the
+          // claim merely collects (a crashed counterparty may never
+          // bother — that harms only itself).
+          triggered = sc->all_unlocked() || disposition == Disposition::kClaimed;
+          triggered_at = sc->triggered_at();
+        }
+      } else {
+        const auto* sc = dynamic_cast<const SingleLeaderContract*>(c);
+        if (sc != nullptr && sc->matches_spec(spec_, a)) {
+          matches = true;
+          disposition = sc->disposition();
+          triggered = sc->unlocked() || disposition == Disposition::kClaimed;
+          triggered_at = sc->triggered_at();
+        }
+      }
+      if (!matches) continue;
+      report.contract_published[a] = true;
+      report.triggered[a] = triggered;
+      report.refunded[a] = disposition == Disposition::kRefunded;
+      report.settled_at[a] = triggered_at;
+      break;
+    }
+    // Refunded arcs: take the refund transaction's execution time.
+    if (report.refunded[a]) {
+      for (const chain::Block& block : ledger.blocks()) {
+        for (const chain::Transaction& tx : block.txs) {
+          if (tx.succeeded && tx.kind == chain::TxKind::kContractCall &&
+              tx.summary.rfind("refund", 0) == 0) {
+            report.settled_at[a] = std::max(report.settled_at[a], tx.executed_at);
+          }
+        }
+      }
+    }
+  }
+
+  report.all_triggered = true;
+  for (graph::ArcId a = 0; a < arc_count; ++a) {
+    if (!report.triggered[a]) report.all_triggered = false;
+    if (report.triggered[a]) {
+      report.last_trigger_time =
+          std::max(report.last_trigger_time, report.settled_at[a]);
+    }
+  }
+
+  report.outcomes = classify_all(spec_.digraph, report.triggered);
+  for (PartyId v = 0; v < spec_.digraph.vertex_count(); ++v) {
+    if (strategies_[v].conforming() && !acceptable(report.outcomes[v])) {
+      report.no_conforming_underwater = false;
+    }
+  }
+
+  for (const auto& [name, ledger] : ledgers_) {
+    report.total_storage_bytes += ledger->storage_bytes();
+    report.total_call_payload_bytes += ledger->call_payload_bytes();
+    report.total_transactions += ledger->transaction_count();
+    report.failed_transactions += ledger->failed_transaction_count();
+  }
+  report.hashkey_bytes_submitted = counters_.hashkey_bytes_submitted;
+  report.sign_operations = counters_.sign_operations;
+  report.finished_at = sim_.now();
+  return report;
+}
+
+}  // namespace xswap::swap

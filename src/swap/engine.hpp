@@ -1,0 +1,138 @@
+// The swap test-bench: sets up blockchains, parties, and the agreed spec,
+// runs the protocol to completion in simulated time, and reports outcomes
+// and resource usage.
+//
+// This is the top of the public API: examples and benchmarks build a
+// digraph, pick strategies, call run(), and read the SwapReport. All
+// randomness (keys, secrets) derives from the configured seed, so every
+// run is exactly reproducible.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "sim/simulator.hpp"
+#include "swap/outcome.hpp"
+#include "swap/party.hpp"
+#include "swap/spec.hpp"
+#include "swap/strategy.hpp"
+
+namespace xswap::swap {
+
+/// Engine configuration knobs.
+struct EngineOptions {
+  sim::Duration delta = 4;        // Δ in ticks; must be ≥ 2 · hop latency
+  sim::Duration seal_period = 1;  // block interval of every chain
+  ProtocolMode mode = ProtocolMode::kGeneral;
+  bool broadcast = false;         // §4.5 shared broadcast chain
+  std::uint64_t seed = 20180101;  // keys + secrets derivation
+
+  /// Extra submission latency on every chain (congestion). One protocol
+  /// hop then costs seal_period + chain_submit_delay, and Δ must cover
+  /// two hops.
+  sim::Duration chain_submit_delay = 0;
+
+  /// Allow Δ below the safe bound — deliberately violating the paper's
+  /// timing assumption so the ablation benches can show what breaks
+  /// (liveness first, then safety). Never set this in real use.
+  bool allow_unsafe_timing = false;
+};
+
+/// Result of one protocol run.
+struct SwapReport {
+  // Per-arc results (indexed by ArcId).
+  std::vector<bool> contract_published;  // a spec-matching contract appeared
+  std::vector<bool> triggered;           // asset delivered to counterparty
+  std::vector<bool> refunded;            // asset returned to party
+  std::vector<sim::Time> settled_at;     // claim/refund execution time (0 = never)
+
+  // Per-party outcomes (§3 classes).
+  std::vector<Outcome> outcomes;
+
+  bool all_triggered = false;            // uniformity: everyone got Deal
+  sim::Time last_trigger_time = 0;       // when the final claim landed
+  sim::Time finished_at = 0;             // simulation end time
+
+  // Resource accounting (Theorem 4.10 and the communication bound).
+  std::size_t total_storage_bytes = 0;   // across every chain
+  std::size_t total_call_payload_bytes = 0;
+  std::size_t hashkey_bytes_submitted = 0;
+  std::size_t sign_operations = 0;
+  std::size_t total_transactions = 0;
+  std::size_t failed_transactions = 0;
+
+  /// True iff every party with Strategy::conforming() ended acceptably
+  /// (Theorem 4.9's invariant; filled against the engine's strategies).
+  bool no_conforming_underwater = true;
+};
+
+/// Builds and runs one atomic swap.
+class SwapEngine {
+ public:
+  /// Full-control constructor. `arcs` must parallel `digraph.arcs()`;
+  /// throws std::invalid_argument when the resulting spec fails
+  /// validate_spec() or options are inconsistent (e.g. delta too small
+  /// for the seal period, single-leader mode with several leaders).
+  SwapEngine(graph::Digraph digraph, std::vector<std::string> party_names,
+             std::vector<PartyId> leaders, std::vector<ArcTerms> arcs,
+             EngineOptions options);
+
+  /// Convenience constructor: parties "P0"…, one chain and one 100-token
+  /// asset per arc, leaders as given.
+  SwapEngine(const graph::Digraph& digraph, std::vector<PartyId> leaders,
+             EngineOptions options = {});
+
+  /// Override a party's behaviour (default: honest). Call before run().
+  void set_strategy(PartyId v, Strategy strategy);
+
+  /// Replace the seed-derived leader secrets (and recompute hashlocks)
+  /// before running. Used by recurrent swaps (§5), where round k's
+  /// secrets come from per-leader hash chains so that revealing round
+  /// k's secret distributes round k+1's hashlock. One 32-byte secret per
+  /// leader; call before run().
+  void override_leader_secrets(const std::vector<Secret>& secrets);
+
+  /// Run the protocol to quiescence and report.
+  SwapReport run();
+
+  const SwapSpec& spec() const { return spec_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Per-chain view, for tests that inspect chain internals.
+  const chain::Ledger& ledger(const std::string& chain_name) const;
+
+  /// Mutable per-chain access for fault injection (e.g. slowing one
+  /// chain's submissions below the Δ contract). Test/ablation use only —
+  /// the engine does not re-validate timing after manual changes.
+  chain::Ledger& ledger_mut(const std::string& chain_name) {
+    return *ledgers_.at(chain_name);
+  }
+
+  /// Names of every chain the engine created (arc chains + broadcast).
+  std::vector<std::string> chain_names() const;
+
+  /// The strategy configured for party `v`.
+  const Strategy& strategy(PartyId v) const { return strategies_.at(v); }
+
+ private:
+  void build(std::vector<ArcTerms> arcs);
+  sim::Time end_time() const;
+  SwapReport harvest();
+
+  EngineOptions options_;
+  SwapSpec spec_;
+  sim::Simulator sim_;
+  std::map<std::string, std::unique_ptr<chain::Ledger>> ledgers_;
+  std::vector<Strategy> strategies_;
+  std::vector<Secret> leader_secrets_;      // parallel to spec_.leaders
+  std::vector<crypto::KeyPair> keypairs_;   // per party, seed-derived
+  std::vector<std::unique_ptr<Party>> parties_;
+  std::map<int, std::unique_ptr<CoalitionPool>> coalition_pools_;
+  ProtocolCounters counters_;
+  bool ran_ = false;
+};
+
+}  // namespace xswap::swap

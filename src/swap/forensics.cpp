@@ -1,0 +1,230 @@
+#include "swap/forensics.hpp"
+
+#include <algorithm>
+
+#include "swap/contract.hpp"
+#include "swap/engine.hpp"
+#include "swap/single_leader_contract.hpp"
+
+namespace xswap::swap {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWithheldContract: return "withheld-contract";
+    case FaultKind::kLeaderNeverRevealed: return "leader-never-revealed";
+    case FaultKind::kWithheldUnlock: return "withheld-unlock";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Execution time of the publish transaction that created `id`.
+std::optional<sim::Time> publish_time(const chain::Ledger& ledger,
+                                      chain::ContractId id) {
+  const std::string needle = "as " + chain::contract_address(id);
+  for (const chain::Block& block : ledger.blocks()) {
+    for (const chain::Transaction& tx : block.txs) {
+      if (tx.succeeded && tx.kind == chain::TxKind::kPublishContract &&
+          tx.summary.size() >= needle.size() &&
+          tx.summary.compare(tx.summary.size() - needle.size(), needle.size(),
+                             needle) == 0) {
+        return tx.executed_at;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Execution time of the first successful call on `id` with the given
+// method label ("unlock[0]", "unlock", "refund", ...).
+std::optional<sim::Time> call_time(const chain::Ledger& ledger,
+                                   chain::ContractId id,
+                                   const std::string& method) {
+  const std::string summary = method + " on " + chain::contract_address(id);
+  for (const chain::Block& block : ledger.blocks()) {
+    for (const chain::Transaction& tx : block.txs) {
+      if (tx.succeeded && tx.kind == chain::TxKind::kContractCall &&
+          tx.summary == summary) {
+        return tx.executed_at;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Time> unlock_time(const chain::Ledger& ledger,
+                                     chain::ContractId id, std::size_t i) {
+  const auto general = call_time(ledger, id, "unlock[" + std::to_string(i) + "]");
+  return general ? general : call_time(ledger, id, "unlock");
+}
+
+}  // namespace
+
+std::vector<ArcEvents> collect_arc_events(
+    const SwapSpec& spec,
+    const std::map<std::string, const chain::Ledger*>& ledgers) {
+  std::vector<ArcEvents> events(spec.digraph.arc_count());
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    ArcEvents& ev = events[a];
+    ev.unlocked_at.assign(spec.leaders.size(), std::nullopt);
+    ev.unlock_path_len.assign(spec.leaders.size(), 0);
+
+    const chain::Ledger& ledger = *ledgers.at(spec.arcs[a].chain);
+    for (const chain::ContractId id : ledger.published_contracts()) {
+      const chain::Contract* c = ledger.get_contract(id);
+      if (const auto* sc = dynamic_cast<const SwapContract*>(c);
+          sc != nullptr && sc->matches_spec(spec, a)) {
+        ev.published = publish_time(ledger, id);
+        for (std::size_t i = 0; i < spec.leaders.size(); ++i) {
+          if (sc->unlocked(i)) {
+            ev.unlocked_at[i] = unlock_time(ledger, id, i);
+            if (sc->unlocking_key(i).has_value()) {
+              ev.unlock_path_len[i] = sc->unlocking_key(i)->path_length();
+            }
+          }
+        }
+        ev.claimed = sc->disposition() == Disposition::kClaimed;
+        ev.refunded = sc->disposition() == Disposition::kRefunded;
+        if (ev.refunded) ev.refunded_at = call_time(ledger, id, "refund");
+        break;
+      }
+      if (const auto* sc = dynamic_cast<const SingleLeaderContract*>(c);
+          sc != nullptr && sc->matches_spec(spec, a)) {
+        ev.published = publish_time(ledger, id);
+        if (sc->unlocked()) {
+          ev.unlocked_at[0] = unlock_time(ledger, id, 0);
+          ev.unlock_path_len[0] = 0;
+        }
+        ev.claimed = sc->disposition() == Disposition::kClaimed;
+        ev.refunded = sc->disposition() == Disposition::kRefunded;
+        if (ev.refunded) ev.refunded_at = call_time(ledger, id, "refund");
+        break;
+      }
+    }
+  }
+  return events;
+}
+
+FaultReport analyze_faults(
+    const SwapSpec& spec,
+    const std::map<std::string, const chain::Ledger*>& ledgers) {
+  FaultReport report;
+  report.arcs = collect_arc_events(spec, ledgers);
+  report.at_fault.assign(spec.digraph.vertex_count(), false);
+
+  const auto blame = [&](PartyId v, FaultKind kind, std::string detail,
+                         sim::Time at) {
+    report.findings.push_back(FaultFinding{v, kind, std::move(detail), at});
+    report.at_fault[v] = true;
+  };
+
+  // ---- Phase One: publication duties ----
+  for (PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+    // When was v enabled to publish its leaving arcs?
+    std::optional<sim::Time> enabled;
+    if (spec.is_leader(v)) {
+      enabled = spec.start_time;
+    } else {
+      sim::Time latest = spec.start_time;
+      bool all_in = true;
+      for (const graph::ArcId a : spec.digraph.in_arcs(v)) {
+        if (!report.arcs[a].published.has_value()) {
+          all_in = false;
+          break;
+        }
+        latest = std::max(latest, *report.arcs[a].published);
+      }
+      if (all_in) enabled = latest;
+    }
+    if (!enabled.has_value()) continue;
+    for (const graph::ArcId a : spec.digraph.out_arcs(v)) {
+      const auto& pub = report.arcs[a].published;
+      if (!pub.has_value() || *pub > *enabled + spec.delta) {
+        blame(v, FaultKind::kWithheldContract,
+              "arc " + std::to_string(a) + " enabled at t=" +
+                  std::to_string(*enabled) + ", contract " +
+                  (pub ? "late at t=" + std::to_string(*pub) : "never published"),
+              *enabled + spec.delta);
+      }
+    }
+  }
+
+  // ---- Phase Two: reveal and relay duties ----
+  for (std::size_t i = 0; i < spec.leaders.size(); ++i) {
+    const PartyId leader = spec.leaders[i];
+    // Leader enablement: all entering arcs carry contracts.
+    std::optional<sim::Time> enabled;
+    {
+      sim::Time latest = spec.start_time;
+      bool all_in = true;
+      for (const graph::ArcId a : spec.digraph.in_arcs(leader)) {
+        if (!report.arcs[a].published.has_value()) {
+          all_in = false;
+          break;
+        }
+        latest = std::max(latest, *report.arcs[a].published);
+      }
+      if (all_in) enabled = latest;
+    }
+    bool revealed_anywhere = false;
+    for (const auto& ev : report.arcs) {
+      if (ev.unlocked_at[i].has_value()) revealed_anywhere = true;
+    }
+    if (enabled.has_value() && !revealed_anywhere) {
+      blame(leader, FaultKind::kLeaderNeverRevealed,
+            "secret " + std::to_string(i) + " enabled at t=" +
+                std::to_string(*enabled) + ", never revealed on any arc",
+            *enabled + spec.delta);
+    }
+
+    // Relay duty: v provably knew secret i at time t (a leaving arc of v
+    // was unlocked with a key of length |p|); each entering arc of v with
+    // a contract should have been unlocked while the extension key
+    // (length |p|+1) was still valid.
+    for (PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+      std::optional<sim::Time> knew;
+      std::size_t knew_plen = 0;
+      for (const graph::ArcId a : spec.digraph.out_arcs(v)) {
+        const auto& ev = report.arcs[a];
+        if (ev.unlocked_at[i].has_value() &&
+            (!knew.has_value() || *ev.unlocked_at[i] < *knew)) {
+          knew = ev.unlocked_at[i];
+          knew_plen = ev.unlock_path_len[i];
+        }
+      }
+      if (!knew.has_value()) continue;
+      const sim::Time extension_deadline =
+          spec.hashkey_deadline(knew_plen + 1);
+      if (*knew + spec.delta >= extension_deadline) continue;  // too tight
+      for (const graph::ArcId a : spec.digraph.in_arcs(v)) {
+        const auto& ev = report.arcs[a];
+        // v's provable window closes at the extension deadline or when
+        // the contract settled by refund (possibly for another hashlock),
+        // whichever came first.
+        if (ev.refunded_at.has_value() && *knew + spec.delta >= *ev.refunded_at) {
+          continue;
+        }
+        if (ev.published.has_value() && !ev.unlocked_at[i].has_value()) {
+          blame(v, FaultKind::kWithheldUnlock,
+                "knew secret " + std::to_string(i) + " by t=" +
+                    std::to_string(*knew) + " but never unlocked arc " +
+                    std::to_string(a),
+                *knew + spec.delta);
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+FaultReport analyze_faults(const SwapEngine& engine) {
+  std::map<std::string, const chain::Ledger*> ledgers;
+  for (const ArcTerms& terms : engine.spec().arcs) {
+    ledgers[terms.chain] = &engine.ledger(terms.chain);
+  }
+  return analyze_faults(engine.spec(), ledgers);
+}
+
+}  // namespace xswap::swap

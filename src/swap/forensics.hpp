@@ -1,0 +1,92 @@
+// Post-mortem fault analysis (§5): "examine the blockchains to determine
+// who was at fault (by failing to execute an enabled transition)".
+//
+// Everything the protocol does is public: contract publications, unlock
+// calls (with their hashkeys), claims, refunds, all timestamped in sealed
+// blocks. After a failed swap, any observer can reconstruct which party
+// had an *enabled* transition — a contract it should have published, a
+// secret it provably knew in time — and did not execute it within Δ.
+//
+// Blame rules (conservative: only provable inaction is blamed):
+//  * Phase One: party v is at fault if all of v's entering arcs carried
+//    verified contracts (or v is a leader, enabled at start) and some
+//    leaving arc of v got no contract within Δ of enablement.
+//  * Phase Two, leader i: at fault if every entering arc carried a
+//    contract and hashlock i was never unlocked anywhere.
+//  * Phase Two, relay v: at fault if some leaving arc of v had hashlock i
+//    unlocked by a key with path length |p| at time t (so v knew the
+//    secret by t), some entering arc of v had a contract with hashlock i
+//    still locked, and t + Δ was within the extension deadline
+//    start + (diam + |p| + 1)·Δ.
+// Failing to claim or refund is never blamed: it harms only the party
+// itself.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+class SwapEngine;
+
+/// Reconstructed on-chain history of one arc.
+struct ArcEvents {
+  std::optional<sim::Time> published;  // spec-matching contract exec time
+  /// Per leader index: when the hashlock was unlocked, and by a key of
+  /// which path length.
+  std::vector<std::optional<sim::Time>> unlocked_at;
+  std::vector<std::size_t> unlock_path_len;
+  bool claimed = false;
+  bool refunded = false;
+  std::optional<sim::Time> refunded_at;  // refund execution time
+};
+
+enum class FaultKind : std::uint8_t {
+  kWithheldContract,   // Phase One: enabled publish not executed
+  kLeaderNeverRevealed,  // Phase Two: leader sat on its secret
+  kWithheldUnlock,     // Phase Two: knew the secret, did not relay
+};
+
+const char* to_string(FaultKind kind);
+
+/// One provable failure by one party.
+struct FaultFinding {
+  PartyId party = 0;
+  FaultKind kind = FaultKind::kWithheldContract;
+  std::string detail;        // human-readable evidence
+  sim::Time evident_at = 0;  // when the failure became provable
+};
+
+/// Full forensic report.
+struct FaultReport {
+  std::vector<ArcEvents> arcs;         // indexed by ArcId
+  std::vector<FaultFinding> findings;  // all provable failures
+  std::vector<bool> at_fault;          // per party (any finding)
+
+  bool anyone_at_fault() const {
+    for (const bool f : at_fault) {
+      if (f) return true;
+    }
+    return false;
+  }
+};
+
+/// Reconstruct per-arc events from the public chains.
+std::vector<ArcEvents> collect_arc_events(
+    const SwapSpec& spec,
+    const std::map<std::string, const chain::Ledger*>& ledgers);
+
+/// Run the blame rules over the public record.
+FaultReport analyze_faults(
+    const SwapSpec& spec,
+    const std::map<std::string, const chain::Ledger*>& ledgers);
+
+/// Convenience overload for a finished engine run.
+FaultReport analyze_faults(const SwapEngine& engine);
+
+}  // namespace xswap::swap

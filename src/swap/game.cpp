@@ -1,0 +1,93 @@
+#include "swap/game.hpp"
+
+#include <stdexcept>
+
+#include "graph/scc.hpp"
+
+namespace xswap::swap {
+
+std::optional<DeviationWitness> find_lemma33_counterexample(
+    const graph::Digraph& d, std::size_t max_vertices, std::size_t max_arcs) {
+  const std::size_t n = d.vertex_count();
+  const std::size_t m = d.arc_count();
+  if (n > max_vertices || m > max_arcs) {
+    throw std::invalid_argument(
+        "find_lemma33_counterexample: digraph too large for exhaustive search");
+  }
+  if (n < 2) return std::nullopt;
+
+  // Every nonempty proper coalition (by bitmask) × every trigger set.
+  for (std::uint64_t cmask = 1; cmask + 1 < (1ULL << n); ++cmask) {
+    std::vector<PartyId> coalition;
+    for (PartyId v = 0; v < n; ++v) {
+      if ((cmask >> v) & 1) coalition.push_back(v);
+    }
+    for (std::uint64_t tmask = 0; tmask < (1ULL << m); ++tmask) {
+      std::vector<bool> triggered(m);
+      for (std::size_t a = 0; a < m; ++a) triggered[a] = (tmask >> a) & 1;
+
+      const Outcome coalition_outcome =
+          classify_coalition(d, coalition, triggered);
+      if (coalition_outcome != Outcome::kFreeRide &&
+          coalition_outcome != Outcome::kDiscount) {
+        continue;  // not better than Deal
+      }
+      // Is any conforming (outside) party Underwater?
+      bool conforming_underwater = false;
+      for (PartyId v = 0; v < n; ++v) {
+        if ((cmask >> v) & 1) continue;
+        if (classify_party(d, v, triggered) == Outcome::kUnderwater) {
+          conforming_underwater = true;
+          break;
+        }
+      }
+      if (!conforming_underwater) {
+        return DeviationWitness{coalition, triggered, coalition_outcome};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DeviationWitness> free_ride_construction(const graph::Digraph& d) {
+  const std::size_t n = d.vertex_count();
+  if (n == 0 || graph::is_strongly_connected(d)) return std::nullopt;
+
+  // Find y whose reachable set Y is proper; X = V \ Y has no entering
+  // arcs from Y (Y is closed under reachability).
+  for (PartyId y = 0; y < n; ++y) {
+    const auto reach = graph::reachable_set(d, y);
+    if (reach.size() == n) continue;
+    std::vector<bool> in_y(n, false);
+    for (const graph::VertexId v : reach) in_y[v] = true;
+
+    DeviationWitness witness;
+    for (PartyId v = 0; v < n; ++v) {
+      if (!in_y[v]) witness.coalition.push_back(v);
+    }
+    // Trigger everything except arcs leaving X into Y.
+    witness.triggered.assign(d.arc_count(), true);
+    for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
+      const auto& arc = d.arc(a);
+      if (!in_y[arc.head] && in_y[arc.tail]) witness.triggered[a] = false;
+    }
+    witness.coalition_outcome =
+        classify_coalition(d, witness.coalition, witness.triggered);
+    return witness;
+  }
+  return std::nullopt;
+}
+
+bool members_prefer_to_full_trigger(const graph::Digraph& d,
+                                    const std::vector<PartyId>& coalition,
+                                    const std::vector<bool>& triggered) {
+  const std::vector<bool> all(d.arc_count(), true);
+  for (const PartyId v : coalition) {
+    const int deviated = preference_rank(classify_party(d, v, triggered));
+    const int baseline = preference_rank(classify_party(d, v, all));
+    if (deviated < baseline) return false;
+  }
+  return true;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,64 @@
+// The swap game of §3, made machine-checkable.
+//
+// A swap is a cooperative game: an outcome is a subdigraph of triggered
+// arcs, coalitions may deviate, payoffs are the Fig. 3 classes. Two
+// results pin down when atomic protocols exist (Theorem 3.5):
+//
+//  * Lemma 3.3 (combinatorial core): if D is strongly connected, then in
+//    ANY outcome where a coalition does better than Deal, some conforming
+//    (non-coalition) party is Underwater. So a uniform protocol leaves no
+//    profitable deviation: atomicity follows.
+//  * Lemma 3.4: if D is NOT strongly connected, the unreachable side X
+//    can trigger everything except its arcs into Y, ending FreeRide (and
+//    no individual member of X worse than Deal) — so no uniform protocol
+//    can be a strong Nash equilibrium.
+//
+// This module verifies Lemma 3.3 exhaustively on protocol-sized digraphs
+// (every coalition × every trigger set) and implements Lemma 3.4's
+// explicit construction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "swap/outcome.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// A concrete deviation: who colludes, which arcs end up triggered, and
+/// what the coalition gets.
+struct DeviationWitness {
+  std::vector<PartyId> coalition;
+  std::vector<bool> triggered;  // per ArcId
+  Outcome coalition_outcome = Outcome::kNoDeal;
+};
+
+/// Exhaustive Lemma 3.3 check: search every nonempty proper coalition and
+/// every trigger set for an outcome where the coalition beats Deal
+/// (FreeRide or Discount) while NO conforming party ends Underwater.
+/// Returns such a counterexample if one exists — for strongly connected
+/// digraphs it must return nullopt. Exponential (2^|V| · 2^|A|); throws
+/// std::invalid_argument beyond the size guards.
+std::optional<DeviationWitness> find_lemma33_counterexample(
+    const graph::Digraph& d, std::size_t max_vertices = 6,
+    std::size_t max_arcs = 12);
+
+/// Lemma 3.4's construction: for a non-strongly-connected D, return the
+/// coalition X (vertexes that cannot be reached from some vertex y) and
+/// the outcome that triggers every arc except those leaving X into the
+/// rest — X free-rides, and each member of X does at least as well as
+/// Deal. Returns nullopt when D is strongly connected.
+std::optional<DeviationWitness> free_ride_construction(const graph::Digraph& d);
+
+/// True iff every member of `coalition` individually prefers (or is
+/// indifferent to) its outcome under `triggered` compared with the
+/// all-arcs-triggered baseline — Lemma 3.4's "the payoff for each
+/// individual vertex in X is either the same or better than Deal",
+/// measured in Fig. 3 preference ranks.
+bool members_prefer_to_full_trigger(const graph::Digraph& d,
+                                    const std::vector<PartyId>& coalition,
+                                    const std::vector<bool>& triggered);
+
+}  // namespace xswap::swap

@@ -1,0 +1,94 @@
+#include "swap/hashkey.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "graph/paths.hpp"
+#include "swap/codec.hpp"
+
+namespace xswap::swap {
+
+std::size_t Hashkey::encoded_size() const {
+  return encode_hashkey(*this).size();
+}
+
+Hashkey make_leader_hashkey(const Secret& secret, PartyId leader,
+                            const crypto::KeyPair& keys) {
+  Hashkey key;
+  key.secret = secret;
+  key.path = {leader};
+  key.sigs = {keys.sign(secret)};
+  return key;
+}
+
+Hashkey extend_hashkey(const Hashkey& base, PartyId v,
+                       const crypto::KeyPair& keys) {
+  if (std::find(base.path.begin(), base.path.end(), v) != base.path.end()) {
+    throw std::invalid_argument(
+        "extend_hashkey: party already on path (use truncate_hashkey)");
+  }
+  if (base.sigs.empty()) {
+    throw std::invalid_argument("extend_hashkey: malformed base hashkey");
+  }
+  Hashkey key;
+  key.secret = base.secret;
+  key.path.reserve(base.path.size() + 1);
+  key.path.push_back(v);
+  key.path.insert(key.path.end(), base.path.begin(), base.path.end());
+  key.sigs.reserve(base.sigs.size() + 1);
+  key.sigs.push_back(keys.sign(base.sigs.front().as_bytes()));
+  key.sigs.insert(key.sigs.end(), base.sigs.begin(), base.sigs.end());
+  return key;
+}
+
+bool truncate_hashkey(const Hashkey& base, PartyId v, Hashkey* out) {
+  const auto it = std::find(base.path.begin(), base.path.end(), v);
+  if (it == base.path.end()) return false;
+  const std::size_t offset = static_cast<std::size_t>(it - base.path.begin());
+  Hashkey key;
+  key.secret = base.secret;
+  key.path.assign(base.path.begin() + offset, base.path.end());
+  key.sigs.assign(base.sigs.begin() + offset, base.sigs.end());
+  *out = key;
+  return true;
+}
+
+bool verify_hashkey(const Hashkey& key, const Hashlock& hashlock,
+                    const graph::Digraph& digraph, PartyId counterparty,
+                    PartyId leader, const PartyDirectory& directory,
+                    bool allow_virtual_leader_arc) {
+  // Shape checks.
+  if (key.path.empty() || key.sigs.size() != key.path.size()) return false;
+  if (key.path.front() != counterparty || key.path.back() != leader) return false;
+  for (const PartyId v : key.path) {
+    if (v >= directory.size()) return false;
+  }
+
+  // Secret matches the hashlock (Fig. 5 line 29).
+  if (crypto::sha256_bytes(key.secret) != hashlock) return false;
+
+  // Path is a real path in D from the counterparty to the leader
+  // (Fig. 5 line 30) — or the broadcast shortcut's virtual arc.
+  const bool virtual_ok = allow_virtual_leader_arc && key.path.size() == 2 &&
+                          key.path[0] != key.path[1] &&
+                          key.path[0] < digraph.vertex_count() &&
+                          key.path[1] < digraph.vertex_count();
+  if (!virtual_ok && !graph::is_path(digraph, key.path)) return false;
+
+  // Nested signature chain (Fig. 5 line 31): the leader signed the
+  // secret; each earlier party signed the next signature.
+  const std::size_t k = key.path.size() - 1;
+  if (!crypto::verify(directory[key.path[k]], key.secret, key.sigs[k])) {
+    return false;
+  }
+  for (std::size_t i = k; i-- > 0;) {
+    if (!crypto::verify(directory[key.path[i]], key.sigs[i + 1].as_bytes(),
+                        key.sigs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,72 @@
+// Hashkeys (§4.1): the generalized unlocking tokens of the protocol.
+//
+// A hashkey for hashlock h on arc (u, v) is a triple (s, p, σ): the secret
+// with h = H(s), a path p = (u_0, …, u_k) in D from the arc's counterparty
+// u_0 = v back to the leader u_k who generated s, and the nested signature
+// chain σ = sig(… sig(s, u_k) …, u_0). The hashkey is valid until
+// start + (diam(D) + |p|)·Δ — longer paths buy later deadlines, which is
+// what lets a party that learns a secret always re-lock its own entering
+// arcs in time (Lemma 4.8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/ed25519.hpp"
+#include "graph/digraph.hpp"
+#include "swap/spec.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::swap {
+
+/// A hashkey (s, p, σ). `sigs[i]` is the signature by `path[i]`; the
+/// innermost signature `sigs.back()` is the leader's over the secret, and
+/// each `sigs[i]` signs the bytes of `sigs[i+1]`.
+struct Hashkey {
+  Secret secret;
+  std::vector<PartyId> path;            // path[0] = counterparty … path.back() = leader
+  std::vector<crypto::Signature> sigs;  // parallel to path
+
+  /// |p|: the number of arcs in the path (vertex count minus one).
+  std::size_t path_length() const { return path.empty() ? 0 : path.size() - 1; }
+
+  /// Wire size in bytes of the canonical encoding (swap/codec.hpp):
+  /// secret + vertex ids + signature chain. This is the per-call payload
+  /// the communication bound O(|A|·|L|) measures.
+  std::size_t encoded_size() const;
+
+  bool operator==(const Hashkey&) const = default;
+};
+
+/// The leader's initial hashkey: degenerate path (v_i), σ = sig(s, v_i).
+/// `keys` must be the leader's key pair.
+Hashkey make_leader_hashkey(const Secret& secret, PartyId leader,
+                            const crypto::KeyPair& keys);
+
+/// Extend a hashkey one hop: path v + p, signature sig(σ, v). The caller
+/// must not already appear in `base.path` (use truncate_hashkey then).
+Hashkey extend_hashkey(const Hashkey& base, PartyId v,
+                       const crypto::KeyPair& keys);
+
+/// If `v` appears in `base.path`, return the valid sub-hashkey whose path
+/// starts at v (the inner signatures are already in place). Returns false
+/// when v is not on the path.
+bool truncate_hashkey(const Hashkey& base, PartyId v, Hashkey* out);
+
+/// Full verification as performed by the swap contract's unlock() (Fig. 5
+/// lines 28–31, minus the time check which needs chain time):
+///  * H(s) equals `hashlock`;
+///  * `path` is a path in `digraph` (paper §2.1 definition) from
+///    `counterparty` to `leader`;
+///  * the nested signature chain verifies against the party directory.
+///
+/// With `allow_virtual_leader_arc` (the §4.5 broadcast optimization), the
+/// two-vertex path (counterparty, leader) is accepted even when D lacks
+/// that arc — "logically, we create an arc from each follower directly to
+/// that leader". The signature chain is still fully verified.
+bool verify_hashkey(const Hashkey& key, const Hashlock& hashlock,
+                    const graph::Digraph& digraph, PartyId counterparty,
+                    PartyId leader, const PartyDirectory& directory,
+                    bool allow_virtual_leader_arc = false);
+
+}  // namespace xswap::swap

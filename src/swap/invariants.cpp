@@ -1,0 +1,134 @@
+#include "swap/invariants.hpp"
+
+#include <map>
+
+#include "swap/contract.hpp"
+#include "swap/single_leader_contract.hpp"
+
+namespace xswap::swap {
+
+std::string InvariantReport::to_string() const {
+  if (ok()) return "all invariants hold";
+  std::string out = "invariant violations:";
+  for (const auto& v : violations) out += "\n  - " + v;
+  return out;
+}
+
+InvariantReport check_conservation(const SwapEngine& engine) {
+  InvariantReport report;
+  const SwapSpec& spec = engine.spec();
+
+  // Expected supplies per chain, derived from the spec's arc terms (the
+  // engine mints exactly these at genesis).
+  std::map<std::string, std::map<std::string, std::uint64_t>> expected_fungible;
+  std::map<std::string, std::vector<chain::Asset>> expected_unique;
+  for (const ArcTerms& terms : spec.arcs) {
+    if (terms.asset.fungible) {
+      expected_fungible[terms.chain][terms.asset.symbol] += terms.asset.amount;
+    } else {
+      expected_unique[terms.chain].push_back(terms.asset);
+    }
+  }
+
+  for (const auto& [chain_name, symbols] : expected_fungible) {
+    const chain::Ledger& ledger = engine.ledger(chain_name);
+    for (const auto& [symbol, amount] : symbols) {
+      const std::uint64_t actual = ledger.total_supply(symbol);
+      if (actual != amount) {
+        report.violations.push_back(
+            "chain " + chain_name + ": supply of " + symbol + " is " +
+            std::to_string(actual) + ", expected " + std::to_string(amount));
+      }
+    }
+  }
+  for (const auto& [chain_name, uniques] : expected_unique) {
+    const chain::Ledger& ledger = engine.ledger(chain_name);
+    for (const chain::Asset& asset : uniques) {
+      if (!ledger.owner_of(asset.symbol, asset.unique_id).has_value()) {
+        report.violations.push_back("chain " + chain_name + ": unique asset " +
+                                    asset.to_string() + " vanished");
+      }
+    }
+  }
+
+  // Settled contracts must hold nothing.
+  for (const std::string& chain_name : engine.chain_names()) {
+    const chain::Ledger& ledger = engine.ledger(chain_name);
+    for (const chain::ContractId id : ledger.published_contracts()) {
+      const chain::Contract* c = ledger.get_contract(id);
+      const chain::Asset* asset = nullptr;
+      Disposition disposition = Disposition::kActive;
+      if (const auto* sc = dynamic_cast<const SwapContract*>(c)) {
+        asset = &sc->asset();
+        disposition = sc->disposition();
+      } else if (const auto* sc = dynamic_cast<const SingleLeaderContract*>(c)) {
+        asset = &sc->asset();
+        disposition = sc->disposition();
+      }
+      if (asset == nullptr || disposition == Disposition::kActive) continue;
+      if (ledger.owns(chain::contract_address(id), *asset)) {
+        report.violations.push_back("chain " + chain_name + ": settled " +
+                                    chain::contract_address(id) +
+                                    " still holds " + asset->to_string());
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_guarantees(const SwapEngine& engine,
+                                 const SwapReport& report) {
+  InvariantReport out;
+  const SwapSpec& spec = engine.spec();
+
+  // Theorem 4.9.
+  if (!report.no_conforming_underwater) {
+    out.violations.push_back("a conforming party ended Underwater (Thm 4.9)");
+  }
+  for (PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+    if (engine.strategy(v).conforming() && !acceptable(report.outcomes[v])) {
+      out.violations.push_back("conforming party " + spec.party_names[v] +
+                               " has unacceptable outcome " +
+                               std::string(to_string(report.outcomes[v])));
+    }
+  }
+
+  // Theorem 4.7 bound on every trigger.
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    if (report.triggered[a] && report.settled_at[a] > spec.final_deadline()) {
+      out.violations.push_back("arc " + std::to_string(a) + " triggered at t=" +
+                               std::to_string(report.settled_at[a]) +
+                               " past the 2*diam*delta deadline (Thm 4.7)");
+    }
+  }
+
+  // Uniformity: everyone conforming => everything triggered.
+  bool all_conforming = true;
+  for (PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+    if (!engine.strategy(v).conforming()) all_conforming = false;
+  }
+  if (all_conforming && !report.all_triggered) {
+    out.violations.push_back(
+        "all parties conformed but some arc did not trigger (uniformity)");
+  }
+
+  // Ledger integrity.
+  for (const std::string& chain_name : engine.chain_names()) {
+    if (!engine.ledger(chain_name).verify_integrity()) {
+      out.violations.push_back("chain " + chain_name +
+                               " failed hash/Merkle integrity");
+    }
+  }
+  return out;
+}
+
+InvariantReport check_all(const SwapEngine& engine, const SwapReport& report) {
+  InvariantReport combined = check_conservation(engine);
+  InvariantReport guarantees = check_guarantees(engine, report);
+  combined.violations.insert(combined.violations.end(),
+                             guarantees.violations.begin(),
+                             guarantees.violations.end());
+  return combined;
+}
+
+}  // namespace xswap::swap

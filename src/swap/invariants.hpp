@@ -1,0 +1,45 @@
+// Run-wide invariant checking.
+//
+// After any protocol run — honest or adversarial — these audits must
+// pass. They encode the paper's guarantees as machine-checkable
+// predicates so that tests, fuzz sweeps, and downstream users can assert
+// them with one call:
+//
+//  * conservation: no chain ever mints or destroys value; transfers and
+//    escrow only move it (the "tamper-proof ledger" of §2.2);
+//  * settled escrow: a claimed or refunded contract holds nothing;
+//  * safety (Theorem 4.9): no conforming party's outcome is Underwater;
+//  * liveness bound (Theorem 4.7 / §4.2): every trigger lands by
+//    start + 2·diam·Δ, and with everyone conforming everything triggers;
+//  * chain integrity: every ledger's hash links and Merkle roots check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+
+/// Outcome of an audit: empty `violations` means all invariants hold.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Audit conservation and settled-escrow on every chain of a finished
+/// engine. Uses genesis supplies recomputed from the chains themselves.
+InvariantReport check_conservation(const SwapEngine& engine);
+
+/// Audit the protocol guarantees on a finished run's report.
+/// `all_conforming` should be true when no strategy deviated; it enables
+/// the uniformity check (everything must have triggered).
+InvariantReport check_guarantees(const SwapEngine& engine,
+                                 const SwapReport& report);
+
+/// Both audits combined.
+InvariantReport check_all(const SwapEngine& engine, const SwapReport& report);
+
+}  // namespace xswap::swap

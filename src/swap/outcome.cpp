@@ -1,0 +1,102 @@
+#include "swap/outcome.hpp"
+
+#include <stdexcept>
+
+namespace xswap::swap {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kDeal: return "Deal";
+    case Outcome::kNoDeal: return "NoDeal";
+    case Outcome::kFreeRide: return "FreeRide";
+    case Outcome::kDiscount: return "Discount";
+    case Outcome::kUnderwater: return "Underwater";
+  }
+  return "unknown";
+}
+
+bool acceptable(Outcome o) { return o != Outcome::kUnderwater; }
+
+int preference_rank(Outcome o) {
+  switch (o) {
+    case Outcome::kUnderwater: return 0;
+    case Outcome::kNoDeal: return 1;
+    case Outcome::kDeal: return 2;
+    case Outcome::kDiscount: return 3;
+    case Outcome::kFreeRide: return 4;
+  }
+  return -1;
+}
+
+namespace {
+
+// Classify from the four counts; total counts are the arcs crossing the
+// boundary of the vertex/coalition.
+Outcome classify_counts(std::size_t in_triggered, std::size_t in_total,
+                        std::size_t out_triggered, std::size_t out_total) {
+  if (out_triggered == 0) {
+    // Paid nothing.
+    return in_triggered == 0 ? Outcome::kNoDeal : Outcome::kFreeRide;
+  }
+  // Paid something.
+  if (in_triggered < in_total) return Outcome::kUnderwater;
+  // Acquired everything.
+  return out_triggered == out_total ? Outcome::kDeal : Outcome::kDiscount;
+}
+
+}  // namespace
+
+Outcome classify_party(const graph::Digraph& d, graph::VertexId v,
+                       const std::vector<bool>& triggered) {
+  if (triggered.size() != d.arc_count()) {
+    throw std::invalid_argument("classify_party: trigger vector size mismatch");
+  }
+  std::size_t in_triggered = 0, out_triggered = 0;
+  for (const graph::ArcId a : d.in_arcs(v)) {
+    if (triggered[a]) ++in_triggered;
+  }
+  for (const graph::ArcId a : d.out_arcs(v)) {
+    if (triggered[a]) ++out_triggered;
+  }
+  return classify_counts(in_triggered, d.in_degree(v), out_triggered,
+                         d.out_degree(v));
+}
+
+std::vector<Outcome> classify_all(const graph::Digraph& d,
+                                  const std::vector<bool>& triggered) {
+  std::vector<Outcome> out;
+  out.reserve(d.vertex_count());
+  for (graph::VertexId v = 0; v < d.vertex_count(); ++v) {
+    out.push_back(classify_party(d, v, triggered));
+  }
+  return out;
+}
+
+Outcome classify_coalition(const graph::Digraph& d,
+                           const std::vector<graph::VertexId>& coalition,
+                           const std::vector<bool>& triggered) {
+  if (triggered.size() != d.arc_count()) {
+    throw std::invalid_argument("classify_coalition: trigger vector size mismatch");
+  }
+  std::vector<bool> inside(d.vertex_count(), false);
+  for (const graph::VertexId v : coalition) inside.at(v) = true;
+
+  std::size_t in_triggered = 0, in_total = 0;
+  std::size_t out_triggered = 0, out_total = 0;
+  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
+    const auto& arc = d.arc(a);
+    const bool head_in = inside[arc.head];
+    const bool tail_in = inside[arc.tail];
+    if (head_in == tail_in) continue;  // internal or external arc
+    if (tail_in) {  // enters the coalition
+      ++in_total;
+      if (triggered[a]) ++in_triggered;
+    } else {  // leaves the coalition
+      ++out_total;
+      if (triggered[a]) ++out_triggered;
+    }
+  }
+  return classify_counts(in_triggered, in_total, out_triggered, out_total);
+}
+
+}  // namespace xswap::swap

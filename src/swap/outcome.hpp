@@ -1,0 +1,56 @@
+// Protocol outcome classification (§3, Fig. 3).
+//
+// After a run, each party's payoff class is determined by which of its
+// entering and leaving arcs were triggered (asset actually delivered to
+// the counterparty). The partial order of Fig. 3:
+//
+//     FreeRide > Discount > Deal > NoDeal > Underwater
+//                            (acceptable) | (unacceptable)
+//
+// Theorem 4.9: no conforming party ever ends Underwater — the invariant
+// every adversarial test in this repository checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace xswap::swap {
+
+enum class Outcome : std::uint8_t {
+  kDeal,        // all entering and leaving arcs triggered
+  kNoDeal,      // no arc in either direction triggered
+  kFreeRide,    // acquired something, paid nothing
+  kDiscount,    // acquired everything, paid less than expected
+  kUnderwater,  // paid something, missing an acquisition
+};
+
+const char* to_string(Outcome o);
+
+/// True for every class a conforming party may acceptably end with
+/// (everything except Underwater).
+bool acceptable(Outcome o);
+
+/// Fig. 3's preference order as an integer rank:
+/// Underwater(0) < NoDeal(1) < Deal(2) < Discount(3) < FreeRide(4).
+/// Every party prefers higher ranks (§3's assumptions: Deal > NoDeal,
+/// FreeRide > NoDeal, Discount > Deal).
+int preference_rank(Outcome o);
+
+/// Classify one party given per-arc trigger flags (indexed by ArcId).
+Outcome classify_party(const graph::Digraph& d, graph::VertexId v,
+                       const std::vector<bool>& triggered);
+
+/// Classify every party.
+std::vector<Outcome> classify_all(const graph::Digraph& d,
+                                  const std::vector<bool>& triggered);
+
+/// Classify a coalition C ⊆ V (§3: replace v by C — only arcs crossing
+/// the coalition boundary count).
+Outcome classify_coalition(const graph::Digraph& d,
+                           const std::vector<graph::VertexId>& coalition,
+                           const std::vector<bool>& triggered);
+
+}  // namespace xswap::swap

@@ -1,0 +1,408 @@
+#include "swap/party.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "swap/broadcast.hpp"
+
+namespace xswap::swap {
+
+Party::Party(const SwapSpec& spec, PartyId self, crypto::KeyPair keys,
+             ProtocolMode mode, Strategy strategy,
+             const std::map<std::string, chain::Ledger*>& ledgers,
+             ProtocolCounters* counters, CoalitionPool* coalition_pool)
+    : spec_(spec),
+      self_(self),
+      keys_(std::move(keys)),
+      mode_(mode),
+      strategy_(strategy),
+      ledgers_(ledgers),
+      counters_(counters),
+      coalition_pool_(coalition_pool),
+      arc_contract_(spec.digraph.arc_count()),
+      published_(spec.digraph.arc_count(), false),
+      known_key_(spec.leaders.size()),
+      unlock_submitted_(spec.digraph.arc_count(),
+                        std::vector<bool>(spec.leaders.size(), false)),
+      claim_submitted_(spec.digraph.arc_count(), false),
+      refund_submitted_(spec.digraph.arc_count(), false) {
+  if (self_ >= spec.digraph.vertex_count()) {
+    throw std::out_of_range("Party: id out of range");
+  }
+  for (const ArcTerms& terms : spec.arcs) {
+    if (!ledgers_.count(terms.chain)) {
+      throw std::invalid_argument("Party: missing ledger for chain " + terms.chain);
+    }
+  }
+  if (spec.broadcast && !ledgers_.count(kBroadcastChain)) {
+    throw std::invalid_argument("Party: broadcast spec without broadcast chain");
+  }
+}
+
+void Party::set_leader_secret(Secret secret) {
+  if (!spec_.is_leader(self_)) {
+    throw std::logic_error("set_leader_secret: party is not a leader");
+  }
+  leader_secret_ = std::move(secret);
+}
+
+bool Party::crashed(sim::Time now) const {
+  return strategy_.crash_at.has_value() && now >= *strategy_.crash_at;
+}
+
+chain::Ledger& Party::ledger_for_arc(graph::ArcId arc) const {
+  return *ledgers_.at(spec_.arcs[arc].chain);
+}
+
+void Party::tick(sim::Time now) {
+  if (crashed(now)) return;
+
+  scan_for_contracts(now);
+  phase_one_publish(now);
+
+  // Phase Two: learn secrets, then act on them.
+  if (mode_ == ProtocolMode::kGeneral || mode_ == ProtocolMode::kSingleLeader) {
+    // Leader reveal: after Phase One locally completes (all entering arcs
+    // carry verified contracts), or at start under premature_reveal.
+    const std::size_t li = spec_.leader_index(self_);
+    if (li != SwapSpec::npos && !known_key_[li].has_value()) {
+      const bool ready = strategy_.premature_reveal
+                             ? now >= spec_.start_time
+                             : all_entering_have_contracts();
+      if (ready && leader_secret_.has_value()) {
+        if (mode_ == ProtocolMode::kGeneral) {
+          known_key_[li] = make_leader_hashkey(*leader_secret_, self_, keys_);
+          if (counters_) ++counters_->sign_operations;
+        } else {
+          // §4.6 needs no signatures: the bare secret is the key.
+          Hashkey key;
+          key.secret = *leader_secret_;
+          key.path = {self_};
+          known_key_[li] = std::move(key);
+        }
+        leader_revealed_ = true;
+      }
+    }
+    learn_from_leaving_arcs(now);
+    if (spec_.broadcast) learn_from_broadcast(now);
+    share_with_coalition();
+  }
+
+  act_unlocks(now);
+  act_claims(now);
+  act_refunds(now);
+}
+
+void Party::scan_for_contracts(sim::Time) {
+  // For every incident arc without a recorded contract, scan that arc's
+  // chain for a published contract that exactly matches the agreed spec.
+  // Non-matching contracts are ignored (a correct one may still appear).
+  for (graph::ArcId a = 0; a < spec_.digraph.arc_count(); ++a) {
+    if (arc_contract_[a].has_value()) continue;
+    const auto& arc = spec_.digraph.arc(a);
+    if (arc.head != self_ && arc.tail != self_) continue;  // not my arc
+    const chain::Ledger& ledger = ledger_for_arc(a);
+    for (const chain::ContractId id : ledger.published_contracts()) {
+      const chain::Contract* c = ledger.get_contract(id);
+      if (c == nullptr) continue;
+      if (mode_ == ProtocolMode::kGeneral) {
+        const auto* sc = dynamic_cast<const SwapContract*>(c);
+        if (sc != nullptr && sc->matches_spec(spec_, a)) {
+          arc_contract_[a] = id;
+          break;
+        }
+      } else {
+        const auto* sc = dynamic_cast<const SingleLeaderContract*>(c);
+        if (sc != nullptr && sc->matches_spec(spec_, a)) {
+          arc_contract_[a] = id;
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool Party::all_entering_have_contracts() const {
+  for (const graph::ArcId a : spec_.digraph.in_arcs(self_)) {
+    if (!arc_contract_[a].has_value()) return false;
+  }
+  return true;
+}
+
+void Party::phase_one_publish(sim::Time now) {
+  if (strategy_.withhold_contracts) return;
+  if (now < spec_.start_time) return;
+
+  const bool is_leader = spec_.is_leader(self_);
+  // Leaders publish at start; followers once all entering arcs carry
+  // verified contracts (§4.5 Phase One).
+  if (!is_leader && !all_entering_have_contracts()) return;
+
+  for (const graph::ArcId a : spec_.digraph.out_arcs(self_)) {
+    if (!published_[a]) {
+      publish_contract_on(a);
+      published_[a] = true;
+    }
+  }
+}
+
+void Party::publish_contract_on(graph::ArcId arc) {
+  chain::Ledger& ledger = ledger_for_arc(arc);
+  // A corrupting deviator publishes a contract over a *different* spec
+  // (flipped first hashlock byte); conforming counterparties detect and
+  // ignore it, so the arc never gets its pebble.
+  std::unique_ptr<chain::Contract> contract;
+  std::size_t payload = 0;
+  if (strategy_.publish_corrupt_contracts) {
+    SwapSpec corrupt = spec_;
+    if (!corrupt.hashlocks.empty() && !corrupt.hashlocks[0].empty()) {
+      corrupt.hashlocks[0][0] ^= 0x01;
+    }
+    contract = mode_ == ProtocolMode::kGeneral
+                   ? std::unique_ptr<chain::Contract>(
+                         std::make_unique<SwapContract>(corrupt, arc))
+                   : std::unique_ptr<chain::Contract>(
+                         std::make_unique<SingleLeaderContract>(corrupt, arc));
+    payload = corrupt.encoded_size();
+  } else if (mode_ == ProtocolMode::kGeneral) {
+    contract = std::make_unique<SwapContract>(spec_, arc);
+    payload = spec_.encoded_size();
+  } else {
+    contract = std::make_unique<SingleLeaderContract>(spec_, arc);
+    // §4.6: no digraph copy on chain, just terms + hashlock + timeout.
+    payload = 64;
+  }
+  ledger.submit_contract(name(), std::move(contract), payload);
+}
+
+void Party::adopt_hashkey(std::size_t i, const Hashkey& observed) {
+  if (known_key_[i].has_value()) return;
+  // Derive a key rooted at self: truncate when self already appears on
+  // the observed path (Lemma 4.8's second case), otherwise extend.
+  Hashkey mine;
+  if (truncate_hashkey(observed, self_, &mine)) {
+    known_key_[i] = std::move(mine);
+    return;
+  }
+  if (spec_.broadcast) {
+    // Virtual-arc shortcut: rebuild from the leader's inner signature and
+    // attach self directly (path (self, leader)).
+    Hashkey leader_rooted;
+    if (truncate_hashkey(observed, spec_.leaders[i], &leader_rooted)) {
+      known_key_[i] = extend_hashkey(leader_rooted, self_, keys_);
+      if (counters_) ++counters_->sign_operations;
+      return;
+    }
+  }
+  known_key_[i] = extend_hashkey(observed, self_, keys_);
+  if (counters_) ++counters_->sign_operations;
+}
+
+void Party::learn_from_leaving_arcs(sim::Time) {
+  for (const graph::ArcId a : spec_.digraph.out_arcs(self_)) {
+    if (!arc_contract_[a].has_value()) continue;
+    const chain::Ledger& ledger = ledger_for_arc(a);
+    const chain::Contract* c = ledger.get_contract(*arc_contract_[a]);
+    if (c == nullptr) continue;
+    if (mode_ == ProtocolMode::kGeneral) {
+      const auto* sc = dynamic_cast<const SwapContract*>(c);
+      for (std::size_t i = 0; i < spec_.leaders.size(); ++i) {
+        if (sc->unlocked(i) && !known_key_[i].has_value() &&
+            sc->unlocking_key(i).has_value()) {
+          adopt_hashkey(i, *sc->unlocking_key(i));
+        }
+      }
+    } else {
+      const auto* sc = dynamic_cast<const SingleLeaderContract*>(c);
+      if (sc->unlocked() && !known_key_[0].has_value() &&
+          sc->revealed_secret().has_value()) {
+        // Single-leader mode carries bare secrets; wrap one in a Hashkey
+        // shell (path/sigs unused by SingleLeaderContract::unlock).
+        Hashkey key;
+        key.secret = *sc->revealed_secret();
+        key.path = {self_};
+        known_key_[0] = std::move(key);
+      }
+    }
+  }
+}
+
+void Party::learn_from_broadcast(sim::Time) {
+  const chain::Ledger& board_chain = *ledgers_.at(kBroadcastChain);
+  for (const chain::ContractId id : board_chain.published_contracts()) {
+    const auto* board = dynamic_cast<const BroadcastBoard*>(board_chain.get_contract(id));
+    if (board == nullptr) continue;
+    for (std::size_t i = 0; i < board->slot_count(); ++i) {
+      if (!known_key_[i].has_value() && board->posted(i).has_value()) {
+        adopt_hashkey(i, *board->posted(i));
+      }
+    }
+  }
+}
+
+void Party::share_with_coalition() {
+  if (coalition_pool_ == nullptr) return;
+  // Publish newly learned keys to the pool.
+  for (const auto& key : known_key_) {
+    if (!key.has_value()) continue;
+    if (std::find(coalition_pool_->keys.begin(), coalition_pool_->keys.end(),
+                  *key) == coalition_pool_->keys.end()) {
+      coalition_pool_->keys.push_back(*key);
+    }
+  }
+  // Pull keys learned by partners. Signatures still bind paths: we can
+  // only use a pooled key by truncation (we appear on its path) or by
+  // extension along a real leaving arc of ours.
+  for (; coalition_pool_cursor_ < coalition_pool_->keys.size();
+       ++coalition_pool_cursor_) {
+    const Hashkey& pooled = coalition_pool_->keys[coalition_pool_cursor_];
+    // Which secret slot is this? Match by hashlock.
+    for (std::size_t i = 0; i < spec_.hashlocks.size(); ++i) {
+      if (known_key_[i].has_value()) continue;
+      if (crypto::sha256_bytes(pooled.secret) != spec_.hashlocks[i]) continue;
+      Hashkey mine;
+      if (truncate_hashkey(pooled, self_, &mine)) {
+        known_key_[i] = std::move(mine);
+      } else if (!pooled.path.empty() &&
+                 spec_.digraph.find_arc(self_, pooled.path.front()).has_value()) {
+        known_key_[i] = extend_hashkey(pooled, self_, keys_);
+        if (counters_) ++counters_->sign_operations;
+      }
+    }
+  }
+}
+
+void Party::act_unlocks(sim::Time now) {
+  if (strategy_.withhold_unlocks) return;
+  if (strategy_.delay_unlocks_until.has_value() &&
+      now < *strategy_.delay_unlocks_until) {
+    return;
+  }
+  for (const graph::ArcId a : spec_.digraph.in_arcs(self_)) {
+    if (!arc_contract_[a].has_value()) continue;
+    chain::Ledger& ledger = ledger_for_arc(a);
+    const chain::ContractId cid = *arc_contract_[a];
+    for (std::size_t i = 0; i < spec_.leaders.size(); ++i) {
+      if (unlock_submitted_[a][i] || !known_key_[i].has_value()) continue;
+      const Hashkey key = *known_key_[i];
+      if (mode_ == ProtocolMode::kGeneral) {
+        // Skip submissions that would arrive dead (deadline passed).
+        if (now >= spec_.hashkey_deadline(key.path_length())) {
+          unlock_submitted_[a][i] = true;
+          continue;
+        }
+        ledger.submit_call(
+            name(), cid, "unlock[" + std::to_string(i) + "]",
+            key.encoded_size(),
+            [i, key](chain::Contract& c, const chain::CallContext& ctx) {
+              dynamic_cast<SwapContract&>(c).unlock(ctx, i, key);
+            });
+      } else {
+        const Secret secret = key.secret;
+        ledger.submit_call(
+            name(), cid, "unlock", secret.size(),
+            [secret](chain::Contract& c, const chain::CallContext& ctx) {
+              dynamic_cast<SingleLeaderContract&>(c).unlock(ctx, secret);
+            });
+      }
+      unlock_submitted_[a][i] = true;
+      if (counters_) {
+        ++counters_->unlock_submissions;
+        counters_->hashkey_bytes_submitted +=
+            mode_ == ProtocolMode::kGeneral ? key.encoded_size() : key.secret.size();
+      }
+    }
+  }
+
+  // Broadcast posting: leaders put their leader-rooted key on the board.
+  const std::size_t li = spec_.leader_index(self_);
+  if (spec_.broadcast && li != SwapSpec::npos && leader_revealed_ &&
+      !board_posted_ && known_key_[li].has_value()) {
+    chain::Ledger& board_chain = *ledgers_.at(kBroadcastChain);
+    for (const chain::ContractId id : board_chain.published_contracts()) {
+      if (board_chain.get_contract(id)->type_name() != "board") continue;
+      // The leader-rooted key is the degenerate key we created at reveal
+      // time (path (self)). known_key_[li] is exactly that.
+      const Hashkey key = *known_key_[li];
+      board_chain.submit_call(
+          name(), id, "post[" + std::to_string(li) + "]", key.encoded_size(),
+          [li, key](chain::Contract& c, const chain::CallContext& ctx) {
+            dynamic_cast<BroadcastBoard&>(c).post(ctx, li, key);
+          });
+      board_posted_ = true;
+      break;
+    }
+  }
+}
+
+void Party::act_claims(sim::Time) {
+  if (strategy_.withhold_claims) return;
+  for (const graph::ArcId a : spec_.digraph.in_arcs(self_)) {
+    if (claim_submitted_[a] || !arc_contract_[a].has_value()) continue;
+    chain::Ledger& ledger = ledger_for_arc(a);
+    const chain::ContractId cid = *arc_contract_[a];
+    const chain::Contract* c = ledger.get_contract(cid);
+    if (c == nullptr) continue;
+    bool ready = false;
+    if (mode_ == ProtocolMode::kGeneral) {
+      const auto* sc = dynamic_cast<const SwapContract*>(c);
+      ready = sc->disposition() == Disposition::kActive && sc->all_unlocked();
+    } else {
+      const auto* sc = dynamic_cast<const SingleLeaderContract*>(c);
+      ready = sc->disposition() == Disposition::kActive && sc->unlocked();
+    }
+    if (!ready) continue;
+    if (mode_ == ProtocolMode::kGeneral) {
+      ledger.submit_call(name(), cid, "claim", 8,
+                         [](chain::Contract& c2, const chain::CallContext& ctx) {
+                           dynamic_cast<SwapContract&>(c2).claim(ctx);
+                         });
+    } else {
+      ledger.submit_call(name(), cid, "claim", 8,
+                         [](chain::Contract& c2, const chain::CallContext& ctx) {
+                           dynamic_cast<SingleLeaderContract&>(c2).claim(ctx);
+                         });
+    }
+    claim_submitted_[a] = true;
+  }
+}
+
+void Party::act_refunds(sim::Time now) {
+  // Refunding is always rational; even deviating strategies do it.
+  for (const graph::ArcId a : spec_.digraph.out_arcs(self_)) {
+    if (refund_submitted_[a] || !arc_contract_[a].has_value()) continue;
+    chain::Ledger& ledger = ledger_for_arc(a);
+    const chain::ContractId cid = *arc_contract_[a];
+    const chain::Contract* c = ledger.get_contract(cid);
+    if (c == nullptr) continue;
+    bool ready = false;
+    if (mode_ == ProtocolMode::kGeneral) {
+      ready = dynamic_cast<const SwapContract*>(c)->refundable(now);
+    } else {
+      ready = dynamic_cast<const SingleLeaderContract*>(c)->refundable(now);
+    }
+    if (!ready) continue;
+    if (mode_ == ProtocolMode::kGeneral) {
+      ledger.submit_call(name(), cid, "refund", 8,
+                         [](chain::Contract& c2, const chain::CallContext& ctx) {
+                           dynamic_cast<SwapContract&>(c2).refund(ctx);
+                         });
+    } else {
+      ledger.submit_call(name(), cid, "refund", 8,
+                         [](chain::Contract& c2, const chain::CallContext& ctx) {
+                           dynamic_cast<SingleLeaderContract&>(c2).refund(ctx);
+                         });
+    }
+    refund_submitted_[a] = true;
+  }
+}
+
+std::vector<bool> Party::known_secrets() const {
+  std::vector<bool> out(known_key_.size(), false);
+  for (std::size_t i = 0; i < known_key_.size(); ++i) {
+    out[i] = known_key_[i].has_value();
+  }
+  return out;
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,129 @@
+// The per-party protocol state machine (§4.5).
+//
+// Each party polls the blockchains of its incident arcs once per tick and
+// follows the two-phase protocol:
+//
+//   Phase One (contract propagation — the lazy pebble game):
+//     * a leader publishes contracts on all its leaving arcs at start,
+//       then waits for contracts on all its entering arcs;
+//     * a follower waits for verified contracts on all entering arcs,
+//       then publishes on all leaving arcs.
+//
+//   Phase Two (hashkey dissemination — the eager game on D^T):
+//     * leader v_i, once Phase One locally completes, unlocks h_i on each
+//       entering arc with the degenerate hashkey (s_i, (v_i), sig(s_i));
+//     * any party that observes hashlock h_i unlocked on a leaving arc
+//       derives a hashkey rooted at itself (extend, or truncate when it
+//       already appears on the observed path — Lemma 4.8) and unlocks its
+//       entering arcs;
+//     * a party claims an entering arc once all hashlocks unlock, and
+//       refunds a leaving arc once a hashlock expires locked.
+//
+// Observed contracts are verified against the agreed spec before they
+// count as the arc's Phase-One pebble; non-matching contracts are ignored.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "crypto/ed25519.hpp"
+#include "swap/contract.hpp"
+#include "swap/hashkey.hpp"
+#include "swap/single_leader_contract.hpp"
+#include "swap/spec.hpp"
+#include "swap/strategy.hpp"
+
+namespace xswap::swap {
+
+/// Which contract flavour the swap runs on.
+enum class ProtocolMode : std::uint8_t {
+  kGeneral,       // hashkey contracts (Fig. 4–5), any feedback vertex set
+  kSingleLeader,  // scalar-timeout contracts (§4.6), exactly one leader
+};
+
+/// Shared out-of-band state of a deviating coalition: hashkeys its
+/// members have learned, visible to all members instantly.
+struct CoalitionPool {
+  std::vector<Hashkey> keys;
+};
+
+/// Counters shared across parties for the cost accounting benches.
+struct ProtocolCounters {
+  std::size_t sign_operations = 0;
+  std::size_t unlock_submissions = 0;
+  std::size_t hashkey_bytes_submitted = 0;
+};
+
+/// A swap participant. Driven by tick(); owns no ledger state.
+class Party {
+ public:
+  /// `ledgers` maps chain name → ledger; it must outlive the party and
+  /// cover every chain named in the spec (plus "broadcast" when the
+  /// spec's broadcast option is on).
+  Party(const SwapSpec& spec, PartyId self, crypto::KeyPair keys,
+        ProtocolMode mode, Strategy strategy,
+        const std::map<std::string, chain::Ledger*>& ledgers,
+        ProtocolCounters* counters, CoalitionPool* coalition_pool);
+
+  /// Hand a leader its generated secret (engine/clearing does this before
+  /// the run; followers have none). The hashlock H(secret) must be the
+  /// spec's hashlock for this leader.
+  void set_leader_secret(Secret secret);
+
+  /// One poll-act round; call once per simulator tick.
+  void tick(sim::Time now);
+
+  PartyId id() const { return self_; }
+  const std::string& name() const { return spec_.party_names[self_]; }
+  bool crashed(sim::Time now) const;
+
+  /// Verified contract id observed for `arc` (nullopt until seen).
+  std::optional<chain::ContractId> contract_on(graph::ArcId arc) const {
+    return arc_contract_[arc];
+  }
+
+  /// Secrets (by leader index) this party currently knows.
+  std::vector<bool> known_secrets() const;
+
+ private:
+  chain::Ledger& ledger_for_arc(graph::ArcId arc) const;
+  void scan_for_contracts(sim::Time now);
+  void phase_one_publish(sim::Time now);
+  void publish_contract_on(graph::ArcId arc);
+  bool all_entering_have_contracts() const;
+  void learn_from_leaving_arcs(sim::Time now);
+  void learn_from_broadcast(sim::Time now);
+  void share_with_coalition();
+  void adopt_hashkey(std::size_t i, const Hashkey& observed);
+  void act_unlocks(sim::Time now);
+  void act_claims(sim::Time now);
+  void act_refunds(sim::Time now);
+
+  const SwapSpec& spec_;
+  PartyId self_;
+  crypto::KeyPair keys_;
+  ProtocolMode mode_;
+  Strategy strategy_;
+  std::map<std::string, chain::Ledger*> ledgers_;
+  ProtocolCounters* counters_;
+  CoalitionPool* coalition_pool_;
+
+  // Phase One.
+  std::vector<std::optional<chain::ContractId>> arc_contract_;  // per arc
+  std::vector<bool> published_;                                 // per leaving arc (by ArcId)
+  std::optional<Secret> leader_secret_;
+  bool leader_revealed_ = false;
+  bool board_posted_ = false;
+
+  // Phase Two. known_key_[i]: a hashkey for secret i rooted at self.
+  std::vector<std::optional<Hashkey>> known_key_;
+  std::vector<std::vector<bool>> unlock_submitted_;  // [arc][i]
+  std::vector<bool> claim_submitted_;                // per arc
+  std::vector<bool> refund_submitted_;               // per arc
+  std::size_t coalition_pool_cursor_ = 0;
+};
+
+}  // namespace xswap::swap

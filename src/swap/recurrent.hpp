@@ -1,0 +1,84 @@
+// Recurrent swaps (§5): "The swap protocol can be made recurrent by
+// having the leaders distribute the next round's hashlocks in Phase Two
+// of the previous round."
+//
+// Realized with per-leader hash chains (S/KEY style). A leader planning R
+// rounds draws x_R at random and sets x_{k-1} = H(x_k). Round k uses
+// secret x_k, whose hashlock is H(x_k) = x_{k-1} — a value every
+// participant learned *when x_{k-1} was revealed in round k-1* (round 1's
+// hashlock x_0 is the leader's initial commitment). So Phase Two of round
+// k-1 automatically distributes round k's hashlock: no extra messages,
+// and nobody can forge a future hashlock without inverting H.
+#pragma once
+
+#include <vector>
+
+#include "swap/engine.hpp"
+#include "swap/spec.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::swap {
+
+/// A leader's hash chain for R recurrent rounds.
+class SecretChain {
+ public:
+  /// Build a chain for `rounds` rounds from a 32-byte tail seed
+  /// (x_rounds = seed; x_{k-1} = H(x_k)).
+  SecretChain(Secret tail_seed, std::size_t rounds);
+
+  std::size_t rounds() const { return secrets_.size() - 1; }
+
+  /// The public commitment x_0 = hashlock of round 1.
+  const Hashlock& commitment() const { return secrets_.front(); }
+
+  /// Secret for round k (1-based): x_k.
+  const Secret& secret(std::size_t k) const { return secrets_.at(k); }
+
+  /// Hashlock for round k (1-based): x_{k-1}, i.e. the value revealed in
+  /// round k-1 (or the commitment for k = 1).
+  const Hashlock& hashlock(std::size_t k) const { return secrets_.at(k - 1); }
+
+  /// Verify that `revealed` is the round-k secret for a chain with this
+  /// commitment: hashing it k times must yield x_0. This is how a
+  /// participant audits a whole chain from the single commitment.
+  static bool verify_link(const Hashlock& commitment, const Secret& revealed,
+                          std::size_t k);
+
+ private:
+  std::vector<util::Bytes> secrets_;  // secrets_[k] = x_k, k = 0..rounds
+};
+
+/// Per-round result of a recurrent swap.
+struct RecurrentRoundResult {
+  SwapReport report;
+  /// True iff every leader's revealed secret hash-links to its chain
+  /// commitment (i.e. the next round's hashlocks were validly
+  /// pre-distributed).
+  bool chain_links_verified = false;
+};
+
+/// Runs R rounds of the same swap digraph, one engine per round, with
+/// leader secrets drawn from hash chains. Each round's engine is freshly
+/// funded (the simulator substitutes for real recurring liquidity).
+class RecurrentSwapRunner {
+ public:
+  RecurrentSwapRunner(graph::Digraph digraph, std::vector<PartyId> leaders,
+                      std::size_t rounds, EngineOptions options = {});
+
+  /// Run all rounds; stops early (returning fewer results) only if a
+  /// round's spec would be invalid — failed rounds (NoDeal) do not stop
+  /// later rounds, since the hashlock schedule is already committed.
+  std::vector<RecurrentRoundResult> run_all();
+
+  /// Chain commitments (one per leader), published before round 1.
+  std::vector<Hashlock> commitments() const;
+
+ private:
+  graph::Digraph digraph_;
+  std::vector<PartyId> leaders_;
+  std::size_t rounds_;
+  EngineOptions options_;
+  std::vector<SecretChain> chains_;  // one per leader
+};
+
+}  // namespace xswap::swap

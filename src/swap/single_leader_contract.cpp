@@ -1,0 +1,129 @@
+#include "swap/single_leader_contract.hpp"
+
+#include <stdexcept>
+
+#include "chain/ledger.hpp"
+#include "crypto/sha256.hpp"
+#include "graph/paths.hpp"
+
+namespace xswap::swap {
+
+sim::Time single_leader_timeout(const SwapSpec& spec, graph::ArcId arc) {
+  if (spec.leaders.size() != 1) {
+    throw std::invalid_argument(
+        "single_leader_timeout: spec must have exactly one leader");
+  }
+  const PartyId leader = spec.leaders[0];
+  const PartyId v = spec.digraph.arc(arc).tail;  // counterparty
+  // D(v, v̂): longest path from the counterparty to the leader; 0 for the
+  // leader itself (Fig. 1: the arc entering the leader has the earliest
+  // timeout, (diam + 1)·Δ).
+  std::size_t dist = 0;
+  if (v != leader) {
+    const auto exact = graph::longest_path(spec.digraph, v, leader);
+    if (!exact.has_value()) {
+      throw std::invalid_argument("single_leader_timeout: leader unreachable");
+    }
+    dist = *exact;
+  }
+  return spec.start_time + (spec.diam + dist + 1) * spec.delta;
+}
+
+SingleLeaderContract::SingleLeaderContract(const SwapSpec& spec, graph::ArcId arc)
+    : arc_(arc),
+      asset_(spec.arcs.at(arc).asset),
+      hashlock_(spec.hashlocks.at(0)),
+      party_vertex_(spec.digraph.arc(arc).head),
+      counterparty_vertex_(spec.digraph.arc(arc).tail),
+      party_(spec.party_names.at(spec.digraph.arc(arc).head)),
+      counterparty_(spec.party_names.at(spec.digraph.arc(arc).tail)),
+      timeout_(single_leader_timeout(spec, arc)),
+      disposition_(Disposition::kActive) {
+  if (spec.leaders.size() != 1 || spec.hashlocks.size() != 1) {
+    throw std::invalid_argument(
+        "SingleLeaderContract: spec must have exactly one leader/hashlock");
+  }
+}
+
+std::size_t SingleLeaderContract::storage_bytes() const {
+  // No digraph copy, no directory, no signature chains: constant state.
+  std::size_t size = asset_.encode().size() + hashlock_.size() +
+                     party_.size() + counterparty_.size() + 8 /*timeout*/ +
+                     1 /*unlocked*/ + 8 /*arc*/;
+  if (secret_.has_value()) size += secret_->size();
+  return size;
+}
+
+void SingleLeaderContract::on_publish(const chain::CallContext& ctx) {
+  if (ctx.sender != party_) {
+    throw std::runtime_error("swap1l publish: sender is not the party");
+  }
+  ctx.ledger->transfer(party_, chain::contract_address(ctx.self), asset_);
+}
+
+void SingleLeaderContract::unlock(const chain::CallContext& ctx,
+                                  const Secret& secret) {
+  if (ctx.sender != counterparty_) {
+    throw std::runtime_error("unlock: only the counterparty may call");
+  }
+  if (disposition_ != Disposition::kActive) {
+    throw std::runtime_error("unlock: contract already settled");
+  }
+  if (ctx.time >= timeout_) {
+    throw std::runtime_error("unlock: hashlock timed out");
+  }
+  if (crypto::sha256_bytes(secret) != hashlock_) {
+    throw std::runtime_error("unlock: wrong secret");
+  }
+  if (!unlocked_) {
+    unlocked_ = true;
+    secret_ = secret;
+    triggered_at_ = ctx.time;
+  }
+}
+
+void SingleLeaderContract::refund(const chain::CallContext& ctx) {
+  if (ctx.sender != party_) {
+    throw std::runtime_error("refund: only the party may call");
+  }
+  if (disposition_ != Disposition::kActive) {
+    throw std::runtime_error("refund: contract already settled");
+  }
+  if (!refundable(ctx.time)) {
+    throw std::runtime_error("refund: hashlock not expired");
+  }
+  ctx.ledger->transfer(chain::contract_address(ctx.self), party_, asset_);
+  disposition_ = Disposition::kRefunded;
+}
+
+void SingleLeaderContract::claim(const chain::CallContext& ctx) {
+  if (ctx.sender != counterparty_) {
+    throw std::runtime_error("claim: only the counterparty may call");
+  }
+  if (disposition_ != Disposition::kActive) {
+    throw std::runtime_error("claim: contract already settled");
+  }
+  if (!unlocked_) {
+    throw std::runtime_error("claim: hashlock still locked");
+  }
+  ctx.ledger->transfer(chain::contract_address(ctx.self), counterparty_, asset_);
+  disposition_ = Disposition::kClaimed;
+}
+
+bool SingleLeaderContract::refundable(sim::Time now) const {
+  return disposition_ == Disposition::kActive && !unlocked_ && now >= timeout_;
+}
+
+bool SingleLeaderContract::matches_spec(const SwapSpec& spec,
+                                        graph::ArcId arc) const {
+  if (spec.leaders.size() != 1 || spec.hashlocks.size() != 1) return false;
+  return arc_ == arc && spec.hashlocks[0] == hashlock_ &&
+         arc < spec.arcs.size() && spec.arcs[arc].asset == asset_ &&
+         spec.digraph.arc(arc).head == party_vertex_ &&
+         spec.digraph.arc(arc).tail == counterparty_vertex_ &&
+         spec.party_names.at(party_vertex_) == party_ &&
+         spec.party_names.at(counterparty_vertex_) == counterparty_ &&
+         single_leader_timeout(spec, arc) == timeout_;
+}
+
+}  // namespace xswap::swap

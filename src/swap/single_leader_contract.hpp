@@ -1,0 +1,82 @@
+// The single-leader swap contract (§4.6).
+//
+// When the swap digraph has a single leader v̂, the follower subdigraph is
+// acyclic, and plain timed hashlocks suffice: arc (u, v) carries the one
+// hashlock h = H(s) and scalar timeout (diam(D) + D(v, v̂) + 1)·Δ. No
+// hashkey paths, no signature chains — this is the variant the three-way
+// swap of Figures 1–2 runs, and the baseline bench_single_vs_multi
+// compares against the general protocol.
+#pragma once
+
+#include <optional>
+
+#include "chain/contract.hpp"
+#include "swap/contract.hpp"  // Disposition
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// Swap contract with a scalar timeout, for single-leader digraphs.
+class SingleLeaderContract : public chain::Contract {
+ public:
+  /// `spec.leaders` must have exactly one element. The arc's timeout is
+  /// computed as (diam + D(v, v̂) + 1)·Δ per Lemma 4.13.
+  SingleLeaderContract(const SwapSpec& spec, graph::ArcId arc);
+
+  // ---- chain::Contract ----
+  std::string type_name() const override { return "swap1l"; }
+  std::size_t storage_bytes() const override;
+  void on_publish(const chain::CallContext& ctx) override;
+
+  // ---- entry points ----
+
+  /// Unlock with the bare secret; valid while chain time < timeout().
+  void unlock(const chain::CallContext& ctx, const Secret& secret);
+
+  /// Refund to the party once the timeout has passed with the hashlock
+  /// still locked.
+  void refund(const chain::CallContext& ctx);
+
+  /// Transfer to the counterparty once unlocked.
+  void claim(const chain::CallContext& ctx);
+
+  // ---- views ----
+  graph::ArcId arc() const { return arc_; }
+  const chain::Asset& asset() const { return asset_; }
+  const chain::Address& party() const { return party_; }
+  const chain::Address& counterparty() const { return counterparty_; }
+  PartyId party_vertex() const { return party_vertex_; }
+  PartyId counterparty_vertex() const { return counterparty_vertex_; }
+  sim::Time timeout() const { return timeout_; }
+  bool unlocked() const { return unlocked_; }
+  /// Chain time of the unlock that triggered the arc (0 while locked).
+  sim::Time triggered_at() const { return triggered_at_; }
+  /// The revealed secret once unlocked (how followers learn s).
+  const std::optional<Secret>& revealed_secret() const { return secret_; }
+  Disposition disposition() const { return disposition_; }
+  bool refundable(sim::Time now) const;
+  bool matches_spec(const SwapSpec& spec, graph::ArcId arc) const;
+
+ private:
+  graph::ArcId arc_;
+  chain::Asset asset_;
+  Hashlock hashlock_;
+  PartyId party_vertex_;
+  PartyId counterparty_vertex_;
+  chain::Address party_;
+  chain::Address counterparty_;
+  sim::Time timeout_;
+
+  bool unlocked_ = false;
+  std::optional<Secret> secret_;
+  sim::Time triggered_at_ = 0;
+  Disposition disposition_;
+};
+
+/// The §4.6 timeout for arc (u, v): start + (diam + D(v, v̂) + 1)·Δ, where
+/// D(v, v̂) is the longest path from the counterparty to the leader that
+/// visits v̂ only at its end (0 when v = v̂). Exposed for tests and the
+/// Fig. 6 bench.
+sim::Time single_leader_timeout(const SwapSpec& spec, graph::ArcId arc);
+
+}  // namespace xswap::swap

@@ -1,0 +1,94 @@
+#include "swap/spec.hpp"
+
+#include <set>
+
+#include "graph/fvs.hpp"
+#include "graph/paths.hpp"
+#include "graph/scc.hpp"
+#include "swap/codec.hpp"
+
+namespace xswap::swap {
+
+std::size_t SwapSpec::leader_index(PartyId v) const {
+  for (std::size_t i = 0; i < leaders.size(); ++i) {
+    if (leaders[i] == v) return i;
+  }
+  return npos;
+}
+
+std::size_t SwapSpec::encoded_size() const {
+  return encode_spec(*this).size();
+}
+
+std::vector<std::string> validate_spec(const SwapSpec& spec) {
+  std::vector<std::string> problems;
+  const auto fail = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+  const std::size_t n = spec.digraph.vertex_count();
+  if (n < 2) fail("digraph must have at least 2 parties");
+  if (spec.digraph.arc_count() == 0) fail("digraph has no proposed transfers");
+
+  if (!graph::is_strongly_connected(spec.digraph)) {
+    fail("digraph is not strongly connected (Theorem 3.5: no atomic protocol exists)");
+  }
+
+  // Leaders: distinct, in range, feedback vertex set.
+  std::set<PartyId> leader_set(spec.leaders.begin(), spec.leaders.end());
+  if (leader_set.size() != spec.leaders.size()) fail("duplicate leaders");
+  if (spec.leaders.empty()) fail("leader set is empty");
+  bool leaders_in_range = true;
+  for (const PartyId v : spec.leaders) {
+    if (v >= n) {
+      fail("leader id out of range");
+      leaders_in_range = false;
+    }
+  }
+  if (leaders_in_range && !spec.leaders.empty() &&
+      !graph::is_feedback_vertex_set(spec.digraph, spec.leaders)) {
+    fail("leaders are not a feedback vertex set (Theorem 4.12)");
+  }
+
+  if (spec.hashlocks.size() != spec.leaders.size()) {
+    fail("need exactly one hashlock per leader");
+  }
+  for (const auto& h : spec.hashlocks) {
+    if (h.size() != 32) fail("hashlock is not a 32-byte SHA-256 digest");
+  }
+
+  if (spec.party_names.size() != n) fail("party_names size mismatch");
+  std::set<std::string> names(spec.party_names.begin(), spec.party_names.end());
+  if (names.size() != spec.party_names.size()) fail("duplicate party names");
+  for (const auto& name : spec.party_names) {
+    if (name.empty()) fail("empty party name");
+  }
+
+  if (spec.directory.size() != n) fail("public-key directory size mismatch");
+
+  if (spec.arcs.size() != spec.digraph.arc_count()) {
+    fail("arc terms size mismatch");
+  }
+  for (const ArcTerms& terms : spec.arcs) {
+    if (terms.chain.empty()) fail("arc without a chain");
+    if (terms.asset.fungible && terms.asset.amount == 0) {
+      fail("arc with zero-amount asset");
+    }
+  }
+
+  if (spec.delta == 0) fail("delta must be positive");
+
+  // The agreed diameter must dominate the true diameter, otherwise
+  // honest hashkeys could expire while still propagating. Use the exact
+  // value when the digraph is small, the safe |V| bound otherwise.
+  std::size_t required = graph::diameter_upper_bound(spec.digraph);
+  if (n <= 12) {
+    required = graph::diameter(spec.digraph);
+  }
+  if (spec.diam < required) {
+    fail("agreed diameter " + std::to_string(spec.diam) +
+         " is below the safe bound " + std::to_string(required));
+  }
+
+  return problems;
+}
+
+}  // namespace xswap::swap

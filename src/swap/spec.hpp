@@ -1,0 +1,92 @@
+// SwapSpec: the common knowledge shared by all swap participants (§4.2).
+//
+// The market-clearing service publishes: the swap digraph D, the leader
+// vector L (a feedback vertex set), the leaders' hashlocks, a starting
+// time, and per-arc terms (which chain, which asset). The service is NOT
+// trusted — every party re-validates the spec with validate_spec() before
+// taking part, and every contract carries a copy of the digraph so that
+// on-chain verification needs no off-chain trust.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/asset.hpp"
+#include "crypto/ed25519.hpp"
+#include "graph/digraph.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::swap {
+
+using PartyId = graph::VertexId;
+using Hashlock = util::Bytes;  // 32-byte SHA-256 image
+using Secret = util::Bytes;    // 32-byte preimage
+
+/// Public keys of all parties, indexed by PartyId. Contracts use these to
+/// verify hashkey signature chains (the paper's sig(x, v) primitive).
+using PartyDirectory = std::vector<crypto::PublicKey>;
+
+/// Terms of one proposed transfer: which blockchain the arc's contract
+/// lives on and which asset moves from the arc's head to its tail.
+struct ArcTerms {
+  std::string chain;
+  chain::Asset asset;
+
+  bool operator==(const ArcTerms&) const = default;
+};
+
+/// Everything a participant must know to run the protocol.
+struct SwapSpec {
+  graph::Digraph digraph;
+  std::vector<std::string> party_names;  // indexed by PartyId, unique
+  std::vector<PartyId> leaders;          // feedback vertex set of digraph
+  std::vector<Hashlock> hashlocks;       // h_i = H(s_i), parallel to leaders
+  std::vector<ArcTerms> arcs;            // parallel to digraph.arcs()
+  PartyDirectory directory;              // public keys, indexed by PartyId
+  sim::Time start_time = 0;              // protocol start T
+  sim::Duration delta = 4;               // Δ in simulator ticks
+  std::size_t diam = 0;                  // agreed diameter (≥ true diam(D))
+
+  /// §4.5 optimization: when true, a shared broadcast chain carries the
+  /// leaders' secrets and contracts accept the "virtual arc" hashkey path
+  /// (v, leader) even when D lacks that arc — Phase Two then completes in
+  /// O(1) time for conforming runs. The broadcast chain can shorten Phase
+  /// Two but never replaces it (a deviating leader might skip it).
+  bool broadcast = false;
+
+  /// Index of `v` in `leaders`, or `npos` when v is a follower.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t leader_index(PartyId v) const;
+  bool is_leader(PartyId v) const { return leader_index(v) != npos; }
+
+  /// Deadline after which a hashkey whose path has `path_len` arcs is no
+  /// longer accepted: start + (diam + |p|)·Δ (§4.1).
+  sim::Time hashkey_deadline(std::size_t path_len) const {
+    return start_time + (diam + path_len) * delta;
+  }
+
+  /// The latest instant any hashkey can be accepted on any arc:
+  /// start + 2·diam·Δ (Theorem 4.7's bound).
+  sim::Time final_deadline() const { return hashkey_deadline(diam); }
+
+  /// On-chain size in bytes of the canonical encoding (swap/codec.hpp)
+  /// of the swap's shared data (digraph + hashlocks + keys + terms);
+  /// each published contract stores a copy of this, which is what drives
+  /// Theorem 4.10's O(|A|^2) space bound.
+  std::size_t encoded_size() const;
+};
+
+/// Validate a spec. Returns a list of human-readable problems; an empty
+/// list means the spec is admissible:
+///  * digraph strongly connected, ≥ 2 vertexes, every vertex on some arc
+///    (Theorem 3.5);
+///  * leaders form a feedback vertex set, no duplicates (Theorem 4.12);
+///  * one 32-byte hashlock per leader;
+///  * arcs/terms/names/keys arrays sized consistently; names unique and
+///    non-empty; chains named; fungible amounts positive;
+///  * delta > 0; diam ≥ a safe diameter bound for the digraph.
+std::vector<std::string> validate_spec(const SwapSpec& spec);
+
+}  // namespace xswap::swap

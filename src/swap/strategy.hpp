@@ -1,0 +1,62 @@
+// Party strategies: conforming behaviour and the deviations the paper's
+// adversarial analysis considers (§2.2, §3).
+//
+// A *conforming* party follows the protocol exactly. Deviating parties may
+// crash, withhold steps, reveal secrets early (irrationally), publish
+// corrupted contracts, or collude in coalitions that share secrets
+// out-of-band instantly. Theorem 4.9's property tests sweep these knobs
+// and assert that no conforming party ever ends Underwater.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/simulator.hpp"
+
+namespace xswap::swap {
+
+struct Strategy {
+  /// Halt entirely (no publishes, no unlocks, no claims, no refunds) at
+  /// this simulated time.
+  std::optional<sim::Time> crash_at;
+
+  /// Never publish contracts on leaving arcs (Phase One defection).
+  bool withhold_contracts = false;
+
+  /// Publish contracts whose hashlocks do not match the spec; conforming
+  /// counterparties detect the mismatch and ignore them (§4.5 "verifies
+  /// that contract is a correct swap contract").
+  bool publish_corrupt_contracts = false;
+
+  /// Never call unlock on entering arcs (Phase Two defection; forfeits
+  /// the party's own acquisitions).
+  bool withhold_unlocks = false;
+
+  /// Never claim triggered entering arcs (leaves assets in escrow).
+  bool withhold_claims = false;
+
+  /// Leaders only: release the secret at protocol start without waiting
+  /// for contracts on all entering arcs (the "irrational Alice" of §1).
+  bool premature_reveal = false;
+
+  /// Delay every unlock submission until this time (adversarial
+  /// last-moment triggering, the timing attack of §1: "Carol could
+  /// reveal s ... at the very last moment").
+  std::optional<sim::Time> delay_unlocks_until;
+
+  /// Coalition id (-1 = none). Members share learned secrets/hashkeys
+  /// out-of-band instantly; signatures still prevent them from forging
+  /// shorter paths than the digraph admits.
+  int coalition = -1;
+
+  /// Fully conforming behaviour?
+  bool conforming() const {
+    return !crash_at && !withhold_contracts && !publish_corrupt_contracts &&
+           !withhold_unlocks && !withhold_claims && !premature_reveal &&
+           !delay_unlocks_until && coalition < 0;
+  }
+
+  static Strategy honest() { return {}; }
+};
+
+}  // namespace xswap::swap

@@ -1,0 +1,132 @@
+#include "swap/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "swap/contract.hpp"
+#include "swap/engine.hpp"
+#include "swap/single_leader_contract.hpp"
+
+namespace xswap::swap {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPublish: return "publish";
+    case EventKind::kUnlock: return "unlock";
+    case EventKind::kClaim: return "claim";
+    case EventKind::kRefund: return "refund";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Map every spec-matching contract id on `ledger` to its arc.
+std::map<chain::ContractId, graph::ArcId> arc_contracts(
+    const SwapSpec& spec, const std::string& chain_name,
+    const chain::Ledger& ledger) {
+  std::map<chain::ContractId, graph::ArcId> out;
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    if (spec.arcs[a].chain != chain_name) continue;
+    for (const chain::ContractId id : ledger.published_contracts()) {
+      const chain::Contract* c = ledger.get_contract(id);
+      if (const auto* sc = dynamic_cast<const SwapContract*>(c);
+          sc != nullptr && sc->matches_spec(spec, a)) {
+        out[id] = a;
+      } else if (const auto* sl = dynamic_cast<const SingleLeaderContract*>(c);
+                 sl != nullptr && sl->matches_spec(spec, a)) {
+        out[id] = a;
+      }
+    }
+  }
+  return out;
+}
+
+// Extract "contract:<id>" from a tx summary, if present.
+std::optional<chain::ContractId> target_of(const std::string& summary) {
+  const auto pos = summary.rfind("contract:");
+  if (pos == std::string::npos) return std::nullopt;
+  chain::ContractId id = 0;
+  bool any = false;
+  for (std::size_t i = pos + 9; i < summary.size(); ++i) {
+    if (summary[i] < '0' || summary[i] > '9') break;
+    id = id * 10 + static_cast<chain::ContractId>(summary[i] - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return id;
+}
+
+}  // namespace
+
+std::vector<TimelineEvent> collect_timeline(
+    const SwapSpec& spec,
+    const std::map<std::string, const chain::Ledger*>& ledgers) {
+  std::vector<TimelineEvent> events;
+  for (const auto& [chain_name, ledger] : ledgers) {
+    const auto contracts = arc_contracts(spec, chain_name, *ledger);
+    for (const chain::Block& block : ledger->blocks()) {
+      for (const chain::Transaction& tx : block.txs) {
+        const auto target = target_of(tx.summary);
+        if (!target) continue;
+        const auto it = contracts.find(*target);
+        if (it == contracts.end()) continue;
+
+        TimelineEvent ev;
+        ev.at = tx.executed_at;
+        ev.arc = it->second;
+        ev.chain = chain_name;
+        ev.actor = tx.sender;
+        ev.succeeded = tx.succeeded;
+        ev.detail = tx.summary.substr(0, tx.summary.find(" on "));
+        if (tx.kind == chain::TxKind::kPublishContract) {
+          ev.kind = EventKind::kPublish;
+          ev.detail = "contract";
+        } else if (ev.detail.rfind("unlock", 0) == 0) {
+          ev.kind = EventKind::kUnlock;
+        } else if (ev.detail.rfind("claim", 0) == 0) {
+          ev.kind = EventKind::kClaim;
+        } else if (ev.detail.rfind("refund", 0) == 0) {
+          ev.kind = EventKind::kRefund;
+        } else {
+          continue;  // unrelated call on a swap contract
+        }
+        events.push_back(std::move(ev));
+      }
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+std::vector<TimelineEvent> collect_timeline(const SwapEngine& engine) {
+  std::map<std::string, const chain::Ledger*> ledgers;
+  for (const ArcTerms& terms : engine.spec().arcs) {
+    ledgers[terms.chain] = &engine.ledger(terms.chain);
+  }
+  return collect_timeline(engine.spec(), ledgers);
+}
+
+std::string render_timeline(const SwapSpec& spec,
+                            const std::vector<TimelineEvent>& events) {
+  std::string out =
+      "  t/d      event    arc          actor        chain        note\n"
+      "  ------------------------------------------------------------\n";
+  char line[256];
+  for (const TimelineEvent& ev : events) {
+    const double t_delta =
+        (static_cast<double>(ev.at) - static_cast<double>(spec.start_time)) /
+        static_cast<double>(spec.delta);
+    const auto& arc = spec.digraph.arc(ev.arc);
+    const std::string arc_label = "(" + spec.party_names[arc.head] + "," +
+                                  spec.party_names[arc.tail] + ")";
+    std::snprintf(line, sizeof line, "  %+-8.2f %-8s %-12s %-12s %-12s %s%s\n",
+                  t_delta, to_string(ev.kind), arc_label.c_str(),
+                  ev.actor.c_str(), ev.chain.c_str(), ev.detail.c_str(),
+                  ev.succeeded ? "" : "  [FAILED]");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xswap::swap

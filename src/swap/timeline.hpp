@@ -1,0 +1,61 @@
+// Cross-chain event timelines.
+//
+// A swap touches one blockchain per arc; understanding a run means
+// merging their histories into one chronological view — the tool behind
+// the Fig. 1–2 reproduction and the examples' narrations. Events carry
+// the arc, chain, kind, actor and execution time; render() prints the
+// table in Δ units relative to the protocol start.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+class SwapEngine;
+
+enum class EventKind : std::uint8_t {
+  kPublish,  // contract published (escrow taken)
+  kUnlock,   // hashlock unlocked
+  kClaim,    // asset to counterparty
+  kRefund,   // asset back to party
+};
+
+const char* to_string(EventKind kind);
+
+/// One protocol-relevant chain event.
+struct TimelineEvent {
+  sim::Time at = 0;
+  EventKind kind = EventKind::kPublish;
+  graph::ArcId arc = 0;
+  std::string chain;
+  std::string actor;    // transaction sender
+  std::string detail;   // method label ("unlock[0]", ...)
+  bool succeeded = true;
+
+  bool operator<(const TimelineEvent& rhs) const {
+    return at != rhs.at ? at < rhs.at : arc < rhs.arc;
+  }
+};
+
+/// Merge the histories of every arc chain into one sorted timeline.
+/// Includes failed transactions (marked) — they are part of the public
+/// record and often the interesting part of adversarial runs.
+std::vector<TimelineEvent> collect_timeline(
+    const SwapSpec& spec,
+    const std::map<std::string, const chain::Ledger*>& ledgers);
+
+/// Convenience overload for a finished engine run.
+std::vector<TimelineEvent> collect_timeline(const SwapEngine& engine);
+
+/// Render as a fixed-width table; times are shown in Δ units after the
+/// protocol start (negative = setup before start).
+std::string render_timeline(const SwapSpec& spec,
+                            const std::vector<TimelineEvent>& events);
+
+}  // namespace xswap::swap

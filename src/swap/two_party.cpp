@@ -1,0 +1,24 @@
+#include "swap/two_party.hpp"
+
+#include <stdexcept>
+
+namespace xswap::swap {
+
+SwapEngine make_two_party_swap(const TwoPartySide& a, const TwoPartySide& b,
+                               EngineOptions options) {
+  if (a.party == b.party) {
+    throw std::invalid_argument("two-party swap: distinct parties required");
+  }
+  if (a.party.empty() || b.party.empty()) {
+    throw std::invalid_argument("two-party swap: empty party name");
+  }
+  graph::Digraph d(2);
+  d.add_arc(0, 1);  // a.party -> b.party on a.chain
+  d.add_arc(1, 0);  // b.party -> a.party on b.chain
+  std::vector<ArcTerms> arcs = {ArcTerms{a.chain, a.asset},
+                                ArcTerms{b.chain, b.asset}};
+  return SwapEngine(std::move(d), {a.party, b.party}, /*leaders=*/{0},
+                    std::move(arcs), options);
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,37 @@
+// Two-party swaps: the classic HTLC pair.
+//
+// "In a simple two-party swap, each party publishes a contract that
+// assumes temporary control of that party's asset" (§4.1) — the case all
+// pre-paper folklore implementations handled (BIP-199, Decred atomic
+// swaps). In digraph terms it is the 2-cycle with one leader, so the
+// §4.6 single-leader timeout protocol applies: two contracts, two
+// timeouts (the leader's arc gets the longer one), zero signatures.
+// This header is convenience sugar over SwapEngine for that case.
+#pragma once
+
+#include <string>
+
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+
+/// One side of a two-party swap.
+struct TwoPartySide {
+  std::string party;
+  std::string chain;
+  chain::Asset asset;
+};
+
+/// Build an engine for `a` paying `b.party`… more precisely: a.party
+/// transfers a.asset on a.chain to b.party, and b.party transfers
+/// b.asset on b.chain to a.party. `a.party` is the leader (generates the
+/// secret); per Fig. 1's schedule its own contract carries the longer
+/// timeout. Runs the §4.6 single-leader protocol by default.
+SwapEngine make_two_party_swap(const TwoPartySide& a, const TwoPartySide& b,
+                               EngineOptions options = [] {
+                                 EngineOptions o;
+                                 o.mode = ProtocolMode::kSingleLeader;
+                                 return o;
+                               }());
+
+}  // namespace xswap::swap

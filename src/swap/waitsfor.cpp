@@ -1,0 +1,84 @@
+#include "swap/waitsfor.hpp"
+
+#include <stdexcept>
+
+namespace xswap::swap {
+
+graph::Digraph waits_for_digraph(const graph::Digraph& d,
+                                 const std::vector<bool>& published) {
+  if (published.size() != d.arc_count()) {
+    throw std::invalid_argument("waits_for_digraph: published size mismatch");
+  }
+  graph::Digraph w(d.vertex_count());
+  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
+    if (!published[a]) {
+      const auto& arc = d.arc(a);
+      // v waits for u to publish on (u, v).
+      w.add_arc(arc.tail, arc.head);
+    }
+  }
+  return w;
+}
+
+graph::Digraph waits_for_digraph(const SwapSpec& spec,
+                                 const std::vector<ArcEvents>& events) {
+  std::vector<bool> published(spec.digraph.arc_count(), false);
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    published[a] = events.at(a).published.has_value();
+  }
+  return waits_for_digraph(spec.digraph, published);
+}
+
+std::optional<Deadlock> find_deadlock(const graph::Digraph& waits_for,
+                                      const std::vector<PartyId>& leaders) {
+  // Remove leaders; any remaining cycle is a follower deadlock. Find one
+  // with an iterative DFS that tracks the current path.
+  const graph::Digraph followers = waits_for.without_vertices(leaders);
+  const std::size_t n = followers.vertex_count();
+
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<PartyId> path;
+
+  struct Frame {
+    graph::VertexId v;
+    std::size_t next_arc;
+  };
+
+  for (graph::VertexId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack = {{root, 0}};
+    color[root] = Color::kGray;
+    path = {root};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& out = followers.out_arcs(f.v);
+      if (f.next_arc < out.size()) {
+        const graph::VertexId w = followers.arc(out[f.next_arc]).tail;
+        ++f.next_arc;
+        if (color[w] == Color::kGray) {
+          // Found a cycle: slice the current path from w onward.
+          Deadlock d;
+          bool in_cycle = false;
+          for (const PartyId v : path) {
+            if (v == w) in_cycle = true;
+            if (in_cycle) d.cycle.push_back(v);
+          }
+          return d;
+        }
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          path.push_back(w);
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[f.v] = Color::kBlack;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace xswap::swap

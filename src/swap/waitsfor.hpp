@@ -1,0 +1,45 @@
+// The waits-for digraph of Theorem 4.12.
+//
+// "At any step in the protocol, the waits-for digraph W is the subdigraph
+// of D^T where (v, u) is an arc of W if (u, v) has no published contract."
+// A follower can publish on its leaving arcs only when its waits-for
+// in-degree is zero; a cycle of followers in W therefore deadlocks Phase
+// One forever — which is exactly why the leader set must be a feedback
+// vertex set.
+//
+// This module builds W from the on-chain record (swap/forensics.hpp
+// events) or from a digraph + published set directly, and detects
+// deadlocked follower cycles. It powers both the Theorem 4.12 tests and
+// post-mortem diagnosis ("the swap stalled because these parties wait on
+// each other").
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "swap/forensics.hpp"
+#include "swap/spec.hpp"
+
+namespace xswap::swap {
+
+/// Build the waits-for digraph: same vertex set as D; for every arc
+/// (u, v) of D without a published contract, W gets the arc (v, u).
+graph::Digraph waits_for_digraph(const graph::Digraph& d,
+                                 const std::vector<bool>& published);
+
+/// Convenience: from reconstructed arc events.
+graph::Digraph waits_for_digraph(const SwapSpec& spec,
+                                 const std::vector<ArcEvents>& events);
+
+/// A deadlocked wait: a cycle in W containing no leader. Phase One can
+/// never complete while one exists (each member waits for the next).
+struct Deadlock {
+  std::vector<PartyId> cycle;  // vertexes of one such cycle, in order
+};
+
+/// Find a follower-only cycle in W, if any. With leaders forming a
+/// feedback vertex set and all leaders having published, none can exist.
+std::optional<Deadlock> find_deadlock(const graph::Digraph& waits_for,
+                                      const std::vector<PartyId>& leaders);
+
+}  // namespace xswap::swap

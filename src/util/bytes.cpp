@@ -1,0 +1,86 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace xswap::util {
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes str_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes be64(std::uint64_t v) {
+  Bytes out(8);
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+std::uint64_t read_be64(BytesView data) {
+  if (data.size() < 8) throw std::invalid_argument("read_be64: short input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data[static_cast<std::size_t>(i)];
+  return v;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace xswap::util

@@ -1,0 +1,46 @@
+// Byte-buffer helpers shared by every module.
+//
+// The whole library passes binary data around as `Bytes` (a vector of
+// uint8_t). These helpers cover the common needs: hex round-trips for
+// display and test vectors, concatenation for building signing payloads,
+// and big-endian integer packing for deterministic encodings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xswap::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (case-insensitive, no "0x" prefix, even length).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Bytes of a UTF-8/ASCII string, for hashing human-readable labels.
+Bytes str_bytes(std::string_view s);
+
+/// Concatenate any number of byte buffers into one.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Big-endian encoding of a 64-bit value (8 bytes), used wherever the
+/// library needs a canonical integer encoding (Merkle leaves, tx ids...).
+Bytes be64(std::uint64_t v);
+
+/// Parse 8 big-endian bytes back into a 64-bit value.
+std::uint64_t read_be64(BytesView data);
+
+/// Constant-time equality, used when comparing secrets against hashlocks.
+bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace xswap::util

@@ -1,0 +1,49 @@
+// Deterministic random number generation.
+//
+// Everything in the repository that needs randomness — key generation,
+// secret generation, random digraph construction, adversary schedules —
+// draws from a seeded Rng so that every simulation, test, and benchmark is
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace xswap::util {
+
+/// SplitMix64-seeded xoshiro256** generator. Not cryptographically secure;
+/// the simulator only needs determinism, not entropy (see DESIGN.md §2).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli draw with probability `num/den`.
+  bool next_chance(std::uint64_t num, std::uint64_t den);
+
+  /// `n` pseudo-random bytes (secrets, key seeds).
+  Bytes next_bytes(std::size_t n);
+
+  /// Fisher–Yates shuffle of an index container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace xswap::util

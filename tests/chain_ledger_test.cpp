@@ -1,0 +1,193 @@
+#include "chain/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace xswap::chain {
+namespace {
+
+// Minimal contract used to exercise the hosting machinery: escrows an
+// asset at publication and releases it on demand.
+class EscrowContract : public Contract {
+ public:
+  EscrowContract(Address party, Asset asset)
+      : party_(std::move(party)), asset_(std::move(asset)) {}
+
+  std::string type_name() const override { return "escrow"; }
+  std::size_t storage_bytes() const override { return asset_.encode().size(); }
+
+  void on_publish(const CallContext& ctx) override {
+    ctx.ledger->transfer(party_, contract_address(ctx.self), asset_);
+    escrowed_ = true;
+  }
+
+  void release(const CallContext& ctx, const Address& to) {
+    if (!escrowed_) throw std::runtime_error("nothing escrowed");
+    ctx.ledger->transfer(contract_address(ctx.self), to, asset_);
+    escrowed_ = false;
+  }
+
+  bool escrowed() const { return escrowed_; }
+
+ private:
+  Address party_;
+  Asset asset_;
+  bool escrowed_ = false;
+};
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : ledger_("testchain", sim_, /*seal_period=*/2) {
+    ledger_.mint("alice", Asset::coins("BTC", 100));
+    ledger_.mint("carol", Asset::unique("TITLE", "cadillac"));
+    ledger_.start();
+  }
+
+  sim::Simulator sim_;
+  Ledger ledger_;
+};
+
+TEST_F(LedgerTest, GenesisBalances) {
+  EXPECT_EQ(ledger_.balance("alice", "BTC"), 100u);
+  EXPECT_EQ(ledger_.balance("bob", "BTC"), 0u);
+  EXPECT_EQ(ledger_.owner_of("TITLE", "cadillac"), "carol");
+  EXPECT_FALSE(ledger_.owner_of("TITLE", "ghost").has_value());
+}
+
+TEST_F(LedgerTest, MintRejectsDuplicateUnique) {
+  EXPECT_THROW(ledger_.mint("bob", Asset::unique("TITLE", "cadillac")),
+               std::invalid_argument);
+}
+
+TEST_F(LedgerTest, OwnsChecksBothKinds) {
+  EXPECT_TRUE(ledger_.owns("alice", Asset::coins("BTC", 100)));
+  EXPECT_FALSE(ledger_.owns("alice", Asset::coins("BTC", 101)));
+  EXPECT_TRUE(ledger_.owns("carol", Asset::unique("TITLE", "cadillac")));
+  EXPECT_FALSE(ledger_.owns("alice", Asset::unique("TITLE", "cadillac")));
+}
+
+TEST_F(LedgerTest, TransferMovesAssets) {
+  ledger_.transfer("alice", "bob", Asset::coins("BTC", 30));
+  EXPECT_EQ(ledger_.balance("alice", "BTC"), 70u);
+  EXPECT_EQ(ledger_.balance("bob", "BTC"), 30u);
+  EXPECT_THROW(ledger_.transfer("bob", "alice", Asset::coins("BTC", 31)),
+               std::runtime_error);
+}
+
+TEST_F(LedgerTest, ContractInvisibleUntilSealed) {
+  const ContractId id = ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 10)),
+      64);
+  EXPECT_EQ(ledger_.get_contract(id), nullptr);
+  sim_.run_until(2);  // first seal
+  ASSERT_NE(ledger_.get_contract(id), nullptr);
+  EXPECT_EQ(ledger_.get_contract(id)->type_name(), "escrow");
+}
+
+TEST_F(LedgerTest, PublishTakesEscrow) {
+  const ContractId id = ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 10)),
+      64);
+  sim_.run_until(2);
+  EXPECT_EQ(ledger_.balance("alice", "BTC"), 90u);
+  EXPECT_EQ(ledger_.balance(contract_address(id), "BTC"), 10u);
+}
+
+TEST_F(LedgerTest, FailedPublishLeavesNoContract) {
+  // bob owns nothing: the escrow hook throws and publication is rejected.
+  const ContractId id = ledger_.submit_contract(
+      "bob", std::make_unique<EscrowContract>("bob", Asset::coins("BTC", 10)), 64);
+  sim_.run_until(2);
+  EXPECT_EQ(ledger_.get_contract(id), nullptr);
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(LedgerTest, CallsExecuteAtSeal) {
+  const ContractId id = ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 10)),
+      64);
+  sim_.run_until(2);
+  ledger_.submit_call("alice", id, "release", 16,
+                      [](Contract& c, const CallContext& ctx) {
+                        dynamic_cast<EscrowContract&>(c).release(ctx, "bob");
+                      });
+  // Not executed yet.
+  EXPECT_EQ(ledger_.balance("bob", "BTC"), 0u);
+  sim_.run_until(4);
+  EXPECT_EQ(ledger_.balance("bob", "BTC"), 10u);
+}
+
+TEST_F(LedgerTest, FailingCallIsRecordedNotFatal) {
+  const ContractId id = ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 10)),
+      64);
+  sim_.run_until(2);
+  ledger_.submit_call("bob", id, "release", 16,
+                      [](Contract& c, const CallContext& ctx) {
+                        auto& e = dynamic_cast<EscrowContract&>(c);
+                        e.release(ctx, "bob");
+                        e.release(ctx, "bob");  // second release throws
+                      });
+  sim_.run_until(4);
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(LedgerTest, CallToUnpublishedContractFails) {
+  ledger_.submit_call("alice", 999, "release", 8,
+                      [](Contract&, const CallContext&) {});
+  sim_.run_until(2);
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(LedgerTest, BlocksChainAndVerify) {
+  ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 1)),
+      10);
+  sim_.run_until(2);
+  ledger_.submit_call("alice", 1, "noop", 4, [](Contract&, const CallContext&) {});
+  sim_.run_until(4);
+  EXPECT_GE(ledger_.blocks().size(), 3u);  // genesis + 2
+  EXPECT_TRUE(ledger_.verify_integrity());
+}
+
+TEST_F(LedgerTest, EmptyTicksProduceNoBlocks) {
+  sim_.run_until(20);
+  EXPECT_EQ(ledger_.blocks().size(), 1u);  // genesis only
+}
+
+TEST_F(LedgerTest, StorageAccounting) {
+  ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 10)),
+      100);
+  sim_.run_until(2);
+  ledger_.submit_call("alice", 1, "release", 40,
+                      [](Contract& c, const CallContext& ctx) {
+                        dynamic_cast<EscrowContract&>(c).release(ctx, "bob");
+                      });
+  sim_.run_until(4);
+  // 100 (publish payload) + 40 (call payload) + live contract state.
+  EXPECT_GE(ledger_.storage_bytes(), 140u);
+  EXPECT_EQ(ledger_.call_payload_bytes(), 40u);
+  EXPECT_EQ(ledger_.transaction_count(), 2u);
+}
+
+TEST_F(LedgerTest, TraceRecordsEvents) {
+  ledger_.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 1)),
+      10);
+  sim_.run_until(2);
+  bool found = false;
+  for (const auto& line : ledger_.trace()) {
+    if (line.find("publish") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Ledger, RejectsZeroSealPeriod) {
+  sim::Simulator sim;
+  EXPECT_THROW(Ledger("x", sim, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xswap::chain

@@ -1,0 +1,99 @@
+// SPV-style light client: header chains and inclusion proofs.
+#include "chain/light_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/ledger.hpp"
+#include "sim/simulator.hpp"
+
+namespace xswap::chain {
+namespace {
+
+// Build a small chain with a few transfer transactions per block.
+class LightClientTest : public ::testing::Test {
+ protected:
+  LightClientTest() : ledger_("lc", sim_, 1) {
+    ledger_.mint("alice", Asset::coins("TOK", 100));
+    ledger_.start();
+    // Three blocks of simple transfers via a contract-free path: use a
+    // tiny contract to generate call transactions instead.
+    for (int round = 0; round < 3; ++round) {
+      ledger_.submit_call("alice", 999, "noop", 4,
+                          [](Contract&, const CallContext&) {});
+      ledger_.submit_call("alice", 998, "noop", 4,
+                          [](Contract&, const CallContext&) {});
+      sim_.run_until(sim_.now() + 1);
+    }
+  }
+
+  sim::Simulator sim_;
+  Ledger ledger_;
+};
+
+TEST_F(LightClientTest, HeaderHashMatchesBlockHash) {
+  for (const Block& b : ledger_.blocks()) {
+    EXPECT_EQ(BlockHeader::from_block(b).hash(), b.hash());
+  }
+}
+
+TEST_F(LightClientTest, AcceptsValidHeaderChain) {
+  LightClient client;
+  for (const Block& b : ledger_.blocks()) {
+    EXPECT_TRUE(client.accept(BlockHeader::from_block(b))) << b.height;
+  }
+  EXPECT_EQ(client.height(), ledger_.blocks().size());
+  EXPECT_EQ(client.tip()->height, ledger_.blocks().back().height);
+}
+
+TEST_F(LightClientTest, RejectsBrokenLink) {
+  LightClient client;
+  ASSERT_GE(ledger_.blocks().size(), 3u);
+  EXPECT_TRUE(client.accept(BlockHeader::from_block(ledger_.blocks()[0])));
+  BlockHeader tampered = BlockHeader::from_block(ledger_.blocks()[1]);
+  tampered.prev_hash[0] ^= 1;
+  EXPECT_FALSE(client.accept(tampered));
+  // Skipping a block also breaks the link.
+  EXPECT_FALSE(client.accept(BlockHeader::from_block(ledger_.blocks()[2])));
+}
+
+TEST_F(LightClientTest, RejectsNonMonotoneHeight) {
+  LightClient client;
+  EXPECT_TRUE(client.accept(BlockHeader::from_block(ledger_.blocks()[0])));
+  EXPECT_FALSE(client.accept(BlockHeader::from_block(ledger_.blocks()[0])));
+}
+
+TEST_F(LightClientTest, VerifiesInclusionProofs) {
+  LightClient client;
+  for (const Block& b : ledger_.blocks()) {
+    client.accept(BlockHeader::from_block(b));
+  }
+  for (const Block& b : ledger_.blocks()) {
+    for (std::size_t i = 0; i < b.txs.size(); ++i) {
+      const MerkleProof proof = prove_transaction(b, i);
+      EXPECT_TRUE(client.verify_inclusion(b.height, b.txs[i].digest(), proof));
+    }
+  }
+}
+
+TEST_F(LightClientTest, RejectsForeignTransaction) {
+  LightClient client;
+  for (const Block& b : ledger_.blocks()) {
+    client.accept(BlockHeader::from_block(b));
+  }
+  const Block& b = ledger_.blocks().back();
+  ASSERT_FALSE(b.txs.empty());
+  const MerkleProof proof = prove_transaction(b, 0);
+  crypto::Digest256 wrong = b.txs[0].digest();
+  wrong[0] ^= 1;
+  EXPECT_FALSE(client.verify_inclusion(b.height, wrong, proof));
+  // Unknown height fails too.
+  EXPECT_FALSE(client.verify_inclusion(12345, b.txs[0].digest(), proof));
+}
+
+TEST_F(LightClientTest, ProveTransactionBadIndex) {
+  const Block& b = ledger_.blocks().back();
+  EXPECT_THROW(prove_transaction(b, b.txs.size()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xswap::chain

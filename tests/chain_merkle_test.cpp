@@ -1,0 +1,80 @@
+#include "chain/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace xswap::chain {
+namespace {
+
+crypto::Digest256 leaf(int i) {
+  return crypto::sha256(util::be64(static_cast<std::uint64_t>(i)));
+}
+
+std::vector<crypto::Digest256> leaves(int n) {
+  std::vector<crypto::Digest256> out;
+  for (int i = 0; i < n; ++i) out.push_back(leaf(i));
+  return out;
+}
+
+TEST(Merkle, EmptyRootIsZero) {
+  EXPECT_EQ(merkle_root({}), crypto::Digest256{});
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  EXPECT_EQ(merkle_root({leaf(7)}), leaf(7));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto l = leaves(4);
+  const auto root = merkle_root(l);
+  l[2] = leaf(99);
+  EXPECT_NE(merkle_root(l), root);
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto l = leaves(4);
+  const auto root = merkle_root(l);
+  std::swap(l[0], l[1]);
+  EXPECT_NE(merkle_root(l), root);
+}
+
+TEST(Merkle, ProofVerifiesForEveryLeafAndSize) {
+  for (int n = 1; n <= 9; ++n) {
+    const auto l = leaves(n);
+    const auto root = merkle_root(l);
+    for (int i = 0; i < n; ++i) {
+      const MerkleProof proof = merkle_prove(l, static_cast<std::size_t>(i));
+      EXPECT_TRUE(merkle_verify(l[static_cast<std::size_t>(i)], proof, root))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Merkle, ProofRejectsWrongLeaf) {
+  const auto l = leaves(5);
+  const auto root = merkle_root(l);
+  const MerkleProof proof = merkle_prove(l, 2);
+  EXPECT_FALSE(merkle_verify(leaf(42), proof, root));
+}
+
+TEST(Merkle, ProofRejectsWrongRoot) {
+  const auto l = leaves(5);
+  const MerkleProof proof = merkle_prove(l, 2);
+  EXPECT_FALSE(merkle_verify(l[2], proof, leaf(0)));
+}
+
+TEST(Merkle, ProofRejectsTamperedSibling) {
+  const auto l = leaves(8);
+  const auto root = merkle_root(l);
+  MerkleProof proof = merkle_prove(l, 3);
+  proof.siblings[1] = leaf(77);
+  EXPECT_FALSE(merkle_verify(l[3], proof, root));
+}
+
+TEST(Merkle, ProveRejectsBadIndex) {
+  EXPECT_THROW(merkle_prove(leaves(3), 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xswap::chain

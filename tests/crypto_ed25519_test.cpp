@@ -1,0 +1,132 @@
+// Ed25519 against RFC 8032 §7.1 test vectors, plus negative cases.
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_hex;
+
+struct Rfc8032Vector {
+  const char* seed;
+  const char* public_key;
+  const char* message;
+  const char* signature;
+};
+
+// RFC 8032 §7.1 TEST 1, 2, 3.
+const Rfc8032Vector kVectors[] = {
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+     "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+     "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+class Rfc8032Test : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Rfc8032Test, PublicKeyDerivation) {
+  const auto& v = GetParam();
+  const KeyPair kp = KeyPair::from_seed(from_hex(v.seed));
+  EXPECT_EQ(to_hex(util::BytesView(kp.public_key().bytes.data(), 32)),
+            v.public_key);
+}
+
+TEST_P(Rfc8032Test, SignatureMatchesVector) {
+  const auto& v = GetParam();
+  const KeyPair kp = KeyPair::from_seed(from_hex(v.seed));
+  const Signature sig = kp.sign(from_hex(v.message));
+  EXPECT_EQ(to_hex(util::BytesView(sig.bytes.data(), 64)), v.signature);
+}
+
+TEST_P(Rfc8032Test, SignatureVerifies) {
+  const auto& v = GetParam();
+  const KeyPair kp = KeyPair::from_seed(from_hex(v.seed));
+  const auto sig = Signature::from_bytes(from_hex(v.signature));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(verify(kp.public_key(), from_hex(v.message), *sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc8032, Rfc8032Test, ::testing::ValuesIn(kVectors));
+
+TEST(Ed25519, RejectsWrongMessage) {
+  const KeyPair kp = KeyPair::from_seed(from_hex(kVectors[2].seed));
+  const Signature sig = kp.sign(from_hex("af82"));
+  EXPECT_FALSE(verify(kp.public_key(), from_hex("af83"), sig));
+  EXPECT_FALSE(verify(kp.public_key(), from_hex(""), sig));
+}
+
+TEST(Ed25519, RejectsFlippedSignatureBits) {
+  const KeyPair kp = KeyPair::from_seed(from_hex(kVectors[0].seed));
+  const Bytes msg = util::str_bytes("hello");
+  const Signature good = kp.sign(msg);
+  for (const std::size_t byte : {0u, 31u, 32u, 63u}) {
+    Signature bad = good;
+    bad.bytes[byte] ^= 0x01;
+    EXPECT_FALSE(verify(kp.public_key(), msg, bad)) << "byte " << byte;
+  }
+}
+
+TEST(Ed25519, RejectsWrongKey) {
+  const KeyPair a = KeyPair::from_seed(from_hex(kVectors[0].seed));
+  const KeyPair b = KeyPair::from_seed(from_hex(kVectors[1].seed));
+  const Bytes msg = util::str_bytes("message");
+  EXPECT_FALSE(verify(b.public_key(), msg, a.sign(msg)));
+}
+
+TEST(Ed25519, SignatureFromBytesRejectsBadLength) {
+  EXPECT_FALSE(Signature::from_bytes(Bytes(63)).has_value());
+  EXPECT_FALSE(Signature::from_bytes(Bytes(65)).has_value());
+  EXPECT_TRUE(Signature::from_bytes(Bytes(64)).has_value());
+}
+
+TEST(Ed25519, FromSeedRejectsBadLength) {
+  EXPECT_THROW(KeyPair::from_seed(Bytes(31)), std::invalid_argument);
+  EXPECT_THROW(KeyPair::from_seed(Bytes(33)), std::invalid_argument);
+}
+
+TEST(Ed25519, RejectsNonCanonicalS) {
+  // S >= L must be rejected even if the point equation would hold.
+  const KeyPair kp = KeyPair::from_seed(from_hex(kVectors[0].seed));
+  const Bytes msg = util::str_bytes("m");
+  Signature sig = kp.sign(msg);
+  // Set S to L itself (non-canonical encoding of 0 + L).
+  const Bytes l_bytes = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000" "10");
+  std::copy(l_bytes.begin(), l_bytes.end(), sig.bytes.begin() + 32);
+  EXPECT_FALSE(verify(kp.public_key(), msg, sig));
+}
+
+TEST(Ed25519, RandomRoundTrips) {
+  util::Rng rng(20260612);
+  for (int i = 0; i < 8; ++i) {
+    const KeyPair kp = KeyPair::from_seed(rng.next_bytes(32));
+    const Bytes msg = rng.next_bytes(1 + i * 17);
+    const Signature sig = kp.sign(msg);
+    EXPECT_TRUE(verify(kp.public_key(), msg, sig));
+  }
+}
+
+TEST(Ed25519, DeterministicSignatures) {
+  const KeyPair kp = KeyPair::from_seed(from_hex(kVectors[1].seed));
+  const Bytes msg = util::str_bytes("determinism");
+  EXPECT_EQ(kp.sign(msg), kp.sign(msg));
+}
+
+}  // namespace
+}  // namespace xswap::crypto

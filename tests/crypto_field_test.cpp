@@ -1,0 +1,164 @@
+// White-box algebra tests of the Ed25519 internals: GF(2^255-19) field
+// arithmetic and scalar arithmetic mod L.
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519_field.hpp"
+#include "crypto/ed25519_scalar.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::crypto {
+namespace {
+
+Fe25519 random_fe(util::Rng& rng) {
+  return Fe25519::from_bytes(rng.next_bytes(32));
+}
+
+Scalar25519 random_scalar(util::Rng& rng) {
+  return Scalar25519::from_bytes(rng.next_bytes(32));
+}
+
+TEST(Fe25519, AdditiveIdentityAndInverse) {
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Fe25519 a = random_fe(rng);
+    EXPECT_TRUE(a + Fe25519::zero() == a);
+    EXPECT_TRUE((a - a).is_zero());
+    EXPECT_TRUE((a + a.negate()).is_zero());
+  }
+}
+
+TEST(Fe25519, MultiplicativeIdentityAndInverse) {
+  util::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Fe25519 a = random_fe(rng);
+    EXPECT_TRUE(a * Fe25519::one() == a);
+    if (!a.is_zero()) {
+      EXPECT_TRUE(a * a.invert() == Fe25519::one());
+    }
+  }
+}
+
+TEST(Fe25519, RingAxiomsSampled) {
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Fe25519 a = random_fe(rng), b = random_fe(rng), c = random_fe(rng);
+    EXPECT_TRUE(a + b == b + a);
+    EXPECT_TRUE(a * b == b * a);
+    EXPECT_TRUE((a + b) + c == a + (b + c));
+    EXPECT_TRUE((a * b) * c == a * (b * c));
+    EXPECT_TRUE(a * (b + c) == a * b + a * c);
+  }
+}
+
+TEST(Fe25519, SquareMatchesMul) {
+  util::Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const Fe25519 a = random_fe(rng);
+    EXPECT_TRUE(a.square() == a * a);
+  }
+}
+
+TEST(Fe25519, BytesRoundTrip) {
+  util::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Fe25519 a = random_fe(rng);
+    const auto bytes = a.to_bytes();
+    EXPECT_TRUE(Fe25519::from_bytes(util::Bytes(bytes.begin(), bytes.end())) == a);
+  }
+}
+
+TEST(Fe25519, NonCanonicalInputReduced) {
+  // 2^255 - 19 encodes as zero; 2^255 - 18 as one.
+  util::Bytes p_bytes(32, 0xff);
+  p_bytes[0] = 0xed;
+  p_bytes[31] = 0x7f;
+  EXPECT_TRUE(Fe25519::from_bytes(p_bytes).is_zero());
+  p_bytes[0] = 0xee;
+  EXPECT_TRUE(Fe25519::from_bytes(p_bytes) == Fe25519::one());
+}
+
+TEST(Fe25519, SqrtMinusOneSquaresToMinusOne) {
+  const Fe25519 i = Fe25519::sqrt_minus_one();
+  EXPECT_TRUE(i.square() == Fe25519::one().negate());
+}
+
+TEST(Fe25519, CurveConstantD) {
+  // d·121666 = -121665.
+  EXPECT_TRUE(Fe25519::d() * Fe25519::from_u64(121666) ==
+              Fe25519::from_u64(121665).negate());
+  EXPECT_TRUE(Fe25519::two_d() == Fe25519::d() + Fe25519::d());
+}
+
+TEST(Fe25519, SqrtRatioOnSquares) {
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const Fe25519 x = random_fe(rng);
+    const Fe25519 v = random_fe(rng);
+    if (v.is_zero()) continue;
+    const Fe25519 u = x.square() * v;  // u/v = x^2 is a square
+    Fe25519 root;
+    ASSERT_TRUE(fe25519_sqrt_ratio(u, v, &root));
+    EXPECT_TRUE(root.square() == u * v.invert());
+  }
+}
+
+TEST(Fe25519, SqrtRatioRejectsNonSquares) {
+  // x^2 * sqrt(-1)^1... a known non-square: 2 is a non-square mod p?
+  // Robust approach: u/v = s^2 * i where i = sqrt(-1); s^2*i is a square
+  // iff i is, and i is not a square in GF(p) for p ≡ 5 (mod 8).
+  util::Rng rng(7);
+  const Fe25519 s = random_fe(rng);
+  const Fe25519 u = s.square() * Fe25519::sqrt_minus_one();
+  Fe25519 root;
+  if (!s.is_zero()) {
+    EXPECT_FALSE(fe25519_sqrt_ratio(u, Fe25519::one(), &root));
+  }
+}
+
+TEST(Scalar25519, CanonicalEncodingRoundTrip) {
+  util::Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const Scalar25519 a = random_scalar(rng);
+    const auto bytes = a.to_bytes();
+    EXPECT_TRUE(Scalar25519::is_canonical(util::BytesView(bytes.data(), 32)));
+    EXPECT_TRUE(Scalar25519::from_bytes(util::Bytes(bytes.begin(), bytes.end())) == a);
+  }
+}
+
+TEST(Scalar25519, LIsNotCanonicalAndReducesToZero) {
+  const util::Bytes l = util::from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000" "10");
+  EXPECT_FALSE(Scalar25519::is_canonical(l));
+  EXPECT_TRUE(Scalar25519::from_bytes(l).is_zero());
+}
+
+TEST(Scalar25519, RingAxiomsSampled) {
+  util::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const Scalar25519 a = random_scalar(rng), b = random_scalar(rng),
+                      c = random_scalar(rng);
+    EXPECT_TRUE(a + b == b + a);
+    EXPECT_TRUE(a * b == b * a);
+    EXPECT_TRUE(a * (b + c) == (a * b) + (a * c));
+  }
+}
+
+TEST(Scalar25519, WideReductionMatchesNarrow) {
+  util::Rng rng(10);
+  for (int i = 0; i < 10; ++i) {
+    // A 512-bit value whose top half is zero reduces like the bottom half.
+    util::Bytes wide = rng.next_bytes(32);
+    wide.resize(64, 0);
+    EXPECT_TRUE(Scalar25519::from_bytes_wide(wide) ==
+                Scalar25519::from_bytes(util::BytesView(wide.data(), 32)));
+  }
+}
+
+TEST(Scalar25519, RejectsBadLengths) {
+  EXPECT_THROW(Scalar25519::from_bytes(util::Bytes(31)), std::invalid_argument);
+  EXPECT_THROW(Scalar25519::from_bytes_wide(util::Bytes(63)), std::invalid_argument);
+  EXPECT_FALSE(Scalar25519::is_canonical(util::Bytes(31)));
+}
+
+}  // namespace
+}  // namespace xswap::crypto

@@ -1,0 +1,126 @@
+// SHA-256 / SHA-512 against FIPS 180-4 / NIST CAVP example vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::crypto {
+namespace {
+
+using util::from_hex;
+using util::str_bytes;
+using util::to_hex;
+
+std::string sha256_hex(std::string_view msg) {
+  const Digest256 d = sha256(str_bytes(msg));
+  return to_hex(util::BytesView(d.data(), d.size()));
+}
+
+std::string sha512_hex(std::string_view msg) {
+  const Digest512 d = sha512(str_bytes(msg));
+  return to_hex(util::BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const util::Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const Digest256 d = h.finalize();
+  EXPECT_EQ(to_hex(util::BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const util::Bytes msg = str_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(util::BytesView(msg.data(), split));
+    h.update(util::BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finalize(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const util::Bytes msg(len, 0x55);
+    Sha256 a;
+    a.update(msg);
+    EXPECT_EQ(a.finalize(), sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, UpdateAfterFinalizeThrows) {
+  Sha256 h;
+  h.update(str_bytes("x"));
+  h.finalize();
+  EXPECT_THROW(h.update(str_bytes("y")), std::logic_error);
+  EXPECT_THROW(h.finalize(), std::logic_error);
+}
+
+TEST(Sha256, BytesHelperMatches) {
+  const auto d = sha256(str_bytes("abc"));
+  const auto b = sha256_bytes(str_bytes("abc"));
+  EXPECT_TRUE(std::equal(d.begin(), d.end(), b.begin(), b.end()));
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(sha512_hex(""),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(sha512_hex("abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha512_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                 "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+      "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionA) {
+  Sha512 h;
+  const util::Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const Digest512 d = h.finalize();
+  EXPECT_EQ(to_hex(util::BytesView(d.data(), d.size())),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  const util::Bytes msg(300, 0xa7);
+  for (const std::size_t split : {0u, 1u, 127u, 128u, 129u, 255u, 300u}) {
+    Sha512 h;
+    h.update(util::BytesView(msg.data(), split));
+    h.update(util::BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finalize(), sha512(msg)) << "split at " << split;
+  }
+}
+
+}  // namespace
+}  // namespace xswap::crypto

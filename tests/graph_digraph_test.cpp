@@ -1,0 +1,99 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xswap::graph {
+namespace {
+
+TEST(Digraph, EmptyConstruction) {
+  Digraph d;
+  EXPECT_EQ(d.vertex_count(), 0u);
+  EXPECT_EQ(d.arc_count(), 0u);
+}
+
+TEST(Digraph, AddVertexAssignsDenseIds) {
+  Digraph d;
+  EXPECT_EQ(d.add_vertex(), 0u);
+  EXPECT_EQ(d.add_vertex(), 1u);
+  EXPECT_EQ(d.vertex_count(), 2u);
+}
+
+TEST(Digraph, AddArcTracksIncidence) {
+  Digraph d(3);
+  const ArcId a = d.add_arc(0, 1);
+  const ArcId b = d.add_arc(1, 2);
+  EXPECT_EQ(d.arc(a).head, 0u);
+  EXPECT_EQ(d.arc(a).tail, 1u);
+  EXPECT_EQ(d.out_degree(0), 1u);
+  EXPECT_EQ(d.in_degree(1), 1u);
+  EXPECT_EQ(d.out_arcs(1), std::vector<ArcId>{b});
+  EXPECT_EQ(d.in_arcs(2), std::vector<ArcId>{b});
+}
+
+TEST(Digraph, RejectsSelfLoop) {
+  Digraph d(2);
+  EXPECT_THROW(d.add_arc(1, 1), std::invalid_argument);
+}
+
+TEST(Digraph, RejectsOutOfRangeVertex) {
+  Digraph d(2);
+  EXPECT_THROW(d.add_arc(0, 2), std::out_of_range);
+  EXPECT_THROW(d.add_arc(5, 0), std::out_of_range);
+}
+
+TEST(Digraph, AllowsParallelArcs) {
+  Digraph d(2);
+  const ArcId a = d.add_arc(0, 1);
+  const ArcId b = d.add_arc(0, 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.arc_count(), 2u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+}
+
+TEST(Digraph, FindArc) {
+  Digraph d(3);
+  const ArcId a = d.add_arc(0, 1);
+  EXPECT_EQ(d.find_arc(0, 1), a);
+  EXPECT_FALSE(d.find_arc(1, 0).has_value());
+  EXPECT_FALSE(d.find_arc(9, 0).has_value());
+}
+
+TEST(Digraph, TransposeReversesArcsPreservingIds) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  const Digraph t = d.transpose();
+  EXPECT_EQ(t.arc(0).head, 1u);
+  EXPECT_EQ(t.arc(0).tail, 0u);
+  EXPECT_EQ(t.arc(1).head, 2u);
+  EXPECT_EQ(t.arc(1).tail, 1u);
+}
+
+TEST(Digraph, TransposeOfTransposeIsIdentity) {
+  Digraph d(4);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 3);
+  d.add_arc(3, 0);
+  d.add_arc(0, 2);
+  EXPECT_EQ(d.transpose().transpose(), d);
+}
+
+TEST(Digraph, WithoutVerticesDropsIncidentArcs) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  const Digraph r = d.without_vertices({1});
+  EXPECT_EQ(r.vertex_count(), 3u);  // ids preserved
+  EXPECT_EQ(r.arc_count(), 1u);
+  EXPECT_EQ(r.arc(0), (Arc{2, 0}));
+}
+
+TEST(Digraph, WithoutVerticesRejectsBadId) {
+  Digraph d(2);
+  EXPECT_THROW(d.without_vertices({7}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xswap::graph

@@ -1,0 +1,100 @@
+#include "graph/fvs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::graph {
+namespace {
+
+TEST(Fvs, VerifierOnCycle) {
+  const Digraph d = cycle(4);
+  EXPECT_TRUE(is_feedback_vertex_set(d, {0}));
+  EXPECT_TRUE(is_feedback_vertex_set(d, {2}));
+  EXPECT_FALSE(is_feedback_vertex_set(d, {}));
+}
+
+TEST(Fvs, VerifierOnComplete) {
+  const Digraph d = complete(4);
+  // Any two remaining vertexes form a 2-cycle, so an FVS must leave at
+  // most one vertex.
+  EXPECT_FALSE(is_feedback_vertex_set(d, {0, 1}));
+  EXPECT_TRUE(is_feedback_vertex_set(d, {0, 1, 2}));
+}
+
+TEST(Fvs, MinimumOnAcyclicIsEmpty) {
+  Digraph dag(3);
+  dag.add_arc(0, 1);
+  dag.add_arc(1, 2);
+  EXPECT_TRUE(minimum_feedback_vertex_set(dag).empty());
+}
+
+TEST(Fvs, MinimumOnCycleIsOne) {
+  for (std::size_t n = 2; n <= 8; ++n) {
+    EXPECT_EQ(minimum_feedback_vertex_set(cycle(n)).size(), 1u) << n;
+  }
+}
+
+TEST(Fvs, MinimumOnCompleteIsNMinusOne) {
+  for (std::size_t n = 2; n <= 5; ++n) {
+    EXPECT_EQ(minimum_feedback_vertex_set(complete(n)).size(), n - 1) << n;
+  }
+}
+
+TEST(Fvs, MinimumOnTwoSharedCyclesIsSharedVertex) {
+  const Digraph d = two_cycles_sharing_vertex(3, 4);
+  const auto fvs = minimum_feedback_vertex_set(d);
+  ASSERT_EQ(fvs.size(), 1u);
+  EXPECT_EQ(fvs[0], 0u);
+}
+
+TEST(Fvs, MinimumOnHubIsHub) {
+  const auto fvs = minimum_feedback_vertex_set(hub_and_spokes(5));
+  ASSERT_EQ(fvs.size(), 1u);
+  EXPECT_EQ(fvs[0], 0u);
+}
+
+TEST(Fvs, ExactSearchSizeGuard) {
+  EXPECT_THROW(minimum_feedback_vertex_set(cycle(25), 20), std::invalid_argument);
+}
+
+TEST(Fvs, GreedyAlwaysValid) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.next_below(12);
+    const Digraph d = random_strongly_connected(n, rng.next_below(2 * n), rng);
+    EXPECT_TRUE(is_feedback_vertex_set(d, greedy_feedback_vertex_set(d)));
+  }
+}
+
+TEST(Fvs, GreedyNeverSmallerThanMinimum) {
+  util::Rng rng(1000);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 2 + rng.next_below(8);
+    const Digraph d = random_strongly_connected(n, rng.next_below(n), rng);
+    const auto exact = minimum_feedback_vertex_set(d);
+    const auto greedy = greedy_feedback_vertex_set(d);
+    EXPECT_LE(exact.size(), greedy.size());
+    EXPECT_TRUE(is_feedback_vertex_set(d, exact));
+  }
+}
+
+TEST(Fvs, GreedyOnAcyclicIsEmpty) {
+  Digraph dag(4);
+  dag.add_arc(0, 1);
+  dag.add_arc(0, 2);
+  dag.add_arc(2, 3);
+  EXPECT_TRUE(greedy_feedback_vertex_set(dag).empty());
+}
+
+TEST(Fvs, MultigraphCycleNeedsLeader) {
+  const Digraph d = multi_cycle(3, 2);
+  EXPECT_FALSE(is_feedback_vertex_set(d, {}));
+  EXPECT_TRUE(is_feedback_vertex_set(d, {1}));
+  EXPECT_EQ(minimum_feedback_vertex_set(d).size(), 1u);
+}
+
+}  // namespace
+}  // namespace xswap::graph

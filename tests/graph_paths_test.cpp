@@ -1,0 +1,218 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::graph {
+namespace {
+
+TEST(Paths, AcyclicDetection) {
+  Digraph dag(3);
+  dag.add_arc(0, 1);
+  dag.add_arc(1, 2);
+  dag.add_arc(0, 2);
+  EXPECT_TRUE(is_acyclic(dag));
+  EXPECT_FALSE(is_acyclic(cycle(3)));
+  EXPECT_TRUE(is_acyclic(Digraph(5)));  // no arcs
+}
+
+TEST(Paths, TopologicalOrderRespectsArcs) {
+  Digraph dag(4);
+  dag.add_arc(3, 1);
+  dag.add_arc(1, 0);
+  dag.add_arc(3, 2);
+  dag.add_arc(2, 0);
+  const auto order = topological_order(dag);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (const Arc& a : dag.arcs()) EXPECT_LT(pos[a.head], pos[a.tail]);
+}
+
+TEST(Paths, TopologicalOrderNulloptOnCycle) {
+  EXPECT_FALSE(topological_order(cycle(4)).has_value());
+}
+
+TEST(Paths, LongestPathOnCycle) {
+  // In C_n the longest simple path between distinct u,v is the arc
+  // distance around the cycle; max over pairs is n-1.
+  const Digraph d = cycle(5);
+  EXPECT_EQ(longest_path(d, 0, 1), 1u);
+  EXPECT_EQ(longest_path(d, 0, 4), 4u);
+  EXPECT_EQ(longest_path(d, 2, 1), 4u);
+}
+
+TEST(Paths, LongestPathUnreachable) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  EXPECT_FALSE(longest_path(d, 1, 0).has_value());
+  EXPECT_FALSE(longest_path(d, 0, 2).has_value());
+}
+
+TEST(Paths, LongestPathSelfIsLongestCycle) {
+  // §2.1 paths may close back onto their start, so D(u, u) is the longest
+  // cycle through u.
+  EXPECT_EQ(longest_path(cycle(3), 0, 0), 3u);
+  EXPECT_EQ(longest_path(complete(4), 2, 2), 4u);
+  Digraph dag(2);
+  dag.add_arc(0, 1);
+  EXPECT_EQ(longest_path(dag, 0, 0), 0u);  // no cycle: trivial path only
+}
+
+TEST(Paths, LongestPathPicksLongerBranch) {
+  // 0→1→2→3 and shortcut 0→3: longest 0..3 path has length 3.
+  Digraph d(4);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 3);
+  d.add_arc(0, 3);
+  EXPECT_EQ(longest_path(d, 0, 3), 3u);
+}
+
+TEST(Paths, DiameterOfFamilies) {
+  // Closed paths count (Fig. 1 implies diam(C_3) = 3: timeouts 6Δ/5Δ/4Δ
+  // come from (diam + D(v, v̂) + 1)·Δ with D(B,A)=2, D(C,A)=1, D(A,A)=0).
+  EXPECT_EQ(diameter(cycle(3)), 3u);
+  EXPECT_EQ(diameter(cycle(8)), 8u);
+  EXPECT_EQ(diameter(complete(4)), 4u);  // Hamiltonian cycle
+  EXPECT_EQ(diameter(hub_and_spokes(4)), 2u);
+  EXPECT_EQ(diameter(Digraph(3)), 0u);
+}
+
+TEST(Paths, DiameterSizeGuard) {
+  EXPECT_THROW(diameter(cycle(30), /*max_exact_vertices=*/24),
+               std::invalid_argument);
+  EXPECT_EQ(diameter_upper_bound(cycle(30)), 30u);
+  EXPECT_EQ(diameter_upper_bound(Digraph(0)), 0u);
+}
+
+TEST(Paths, DiameterUpperBoundDominatesExact) {
+  for (std::size_t n = 2; n <= 7; ++n) {
+    EXPECT_GE(diameter_upper_bound(complete(n)), diameter(complete(n)));
+    EXPECT_GE(diameter_upper_bound(cycle(n)), diameter(cycle(n)));
+  }
+}
+
+TEST(Paths, LongestPathsToDagMatchesSingleLeaderFormula) {
+  // Followers of a single-leader triangle: B(0) → C(1), target C.
+  Digraph followers(2);
+  followers.add_arc(0, 1);
+  const auto dist = longest_paths_to_dag(followers, 1);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[1], 0u);
+}
+
+TEST(Paths, LongestPathsToDagUnreachable) {
+  Digraph dag(3);
+  dag.add_arc(0, 1);
+  const auto dist = longest_paths_to_dag(dag, 1);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_FALSE(dist[2].has_value());
+}
+
+TEST(Paths, LongestPathsToDagRejectsCycle) {
+  EXPECT_THROW(longest_paths_to_dag(cycle(3), 0), std::invalid_argument);
+}
+
+TEST(Paths, LongestPathsToDagDiamond) {
+  // 0→1→3, 0→2→3, 0→3: longest 0→3 distance is 2.
+  Digraph dag(4);
+  dag.add_arc(0, 1);
+  dag.add_arc(1, 3);
+  dag.add_arc(0, 2);
+  dag.add_arc(2, 3);
+  dag.add_arc(0, 3);
+  const auto dist = longest_paths_to_dag(dag, 3);
+  EXPECT_EQ(dist[0], 2u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+}
+
+TEST(Paths, IsPathAcceptsSimplePathsAndClosedCycles) {
+  const Digraph d = cycle(4);
+  EXPECT_TRUE(is_path(d, {0}));
+  EXPECT_TRUE(is_path(d, {0, 1, 2}));
+  EXPECT_TRUE(is_path(d, {0, 1, 2, 3, 0}));  // closing cycle allowed (§2.1)
+}
+
+TEST(Paths, EnumeratePathsOnCycle) {
+  const Digraph d = cycle(3);
+  // Exactly one path between distinct vertexes of a cycle.
+  EXPECT_EQ(enumerate_paths(d, 1, 0).size(), 1u);
+  EXPECT_EQ(enumerate_paths(d, 1, 0)[0], (std::vector<VertexId>{1, 2, 0}));
+  // from == to: the trivial path plus the full closed cycle.
+  const auto loops = enumerate_paths(d, 0, 0);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0], (std::vector<VertexId>{0}));
+  EXPECT_EQ(loops[1], (std::vector<VertexId>{0, 1, 2, 0}));
+}
+
+TEST(Paths, EnumeratePathsMatchesFig7Counts) {
+  // The two-leader digraph of Fig. 7: triangle plus reverse arcs. The
+  // figure labels the arc entering B with s_A:{BA, BCA} and
+  // s_B:{B, BAB, BCB, BACB, BCAB}.
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  d.add_arc(1, 0);
+  d.add_arc(2, 1);
+  d.add_arc(0, 2);
+  EXPECT_EQ(enumerate_paths(d, 1, 0).size(), 2u);  // B→A: BA, BCA
+  EXPECT_EQ(enumerate_paths(d, 1, 1).size(), 5u);  // B→B: B,BAB,BCB,BACB,BCAB
+  EXPECT_EQ(enumerate_paths(d, 2, 0).size(), 2u);  // C→A: CA, CBA
+  EXPECT_EQ(enumerate_paths(d, 0, 0).size(), 5u);  // A→A loops + trivial
+}
+
+TEST(Paths, EnumeratePathsAllResultsAreValidPaths) {
+  const Digraph d = complete(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      for (const auto& p : enumerate_paths(d, u, v)) {
+        EXPECT_TRUE(is_path(d, p));
+        EXPECT_EQ(p.front(), u);
+        EXPECT_EQ(p.back(), v);
+      }
+    }
+  }
+}
+
+TEST(Paths, EnumeratePathsUnreachableIsEmpty) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  EXPECT_TRUE(enumerate_paths(d, 1, 0).empty());
+  EXPECT_THROW(enumerate_paths(d, 0, 9), std::out_of_range);
+  EXPECT_THROW(enumerate_paths(cycle(20), 0, 1, 16), std::invalid_argument);
+}
+
+TEST(Paths, EnumeratePathsLongestMatchesLongestPath) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Digraph d = random_strongly_connected(3 + rng.next_below(4),
+                                                rng.next_below(4), rng);
+    for (VertexId u = 0; u < d.vertex_count(); ++u) {
+      for (VertexId v = 0; v < d.vertex_count(); ++v) {
+        const auto paths = enumerate_paths(d, u, v);
+        std::size_t longest = 0;
+        for (const auto& p : paths) longest = std::max(longest, p.size() - 1);
+        const auto expect = longest_path(d, u, v);
+        ASSERT_TRUE(expect.has_value());
+        EXPECT_EQ(longest, *expect) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Paths, IsPathRejectsBadSequences) {
+  const Digraph d = cycle(4);
+  EXPECT_FALSE(is_path(d, {}));
+  EXPECT_FALSE(is_path(d, {0, 2}));           // no such arc
+  EXPECT_FALSE(is_path(d, {0, 1, 0, 1}));     // repeated interior vertex
+  EXPECT_FALSE(is_path(d, {0, 1, 2, 1}));     // closes onto interior vertex
+  EXPECT_FALSE(is_path(d, {0, 9}));           // out of range
+}
+
+}  // namespace
+}  // namespace xswap::graph

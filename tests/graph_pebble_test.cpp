@@ -1,0 +1,145 @@
+// Lemmas 4.1–4.3: both pebble games pebble every arc, within diam(D)
+// rounds, when leaders form a feedback vertex set (lazy) or the digraph is
+// strongly connected (eager).
+#include "graph/pebble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::graph {
+namespace {
+
+TEST(LazyPebble, TriangleSingleLeader) {
+  const Digraph d = figure1_triangle();
+  const PebbleResult r = lazy_pebble_game(d, {0});
+  EXPECT_TRUE(r.complete);
+  // Contract wave: (0,1) at round 0, (1,2) at 1, (2,0) at 2 < diam(D)=3.
+  EXPECT_EQ(r.round[0], 0u);
+  EXPECT_EQ(r.round[1], 1u);
+  EXPECT_EQ(r.round[2], 2u);
+  EXPECT_LE(r.rounds, diameter(d));
+}
+
+TEST(LazyPebble, IncompleteWithoutFeedbackVertexSet) {
+  // Lemma 4.1's hypothesis is necessary: with no leader on some cycle,
+  // that cycle waits forever (this is Theorem 4.12's deadlock).
+  const Digraph d = two_cycles_sharing_vertex(3, 3);
+  // Vertex 1 lies only on the first cycle; the second cycle never fires.
+  const PebbleResult r = lazy_pebble_game(d, {1});
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(LazyPebble, EmptyLeaderSetPebblesNothingOnCycle) {
+  const PebbleResult r = lazy_pebble_game(cycle(4), {});
+  EXPECT_FALSE(r.complete);
+  for (const auto round : r.round) EXPECT_EQ(round, PebbleResult::kNever);
+}
+
+TEST(LazyPebble, RejectsBadLeaderId) {
+  EXPECT_THROW(lazy_pebble_game(cycle(3), {7}), std::out_of_range);
+}
+
+TEST(EagerPebble, CompleteFromAnyStartOnStronglyConnected) {
+  const Digraph d = cycle(6);
+  for (VertexId z = 0; z < 6; ++z) {
+    const PebbleResult r = eager_pebble_game(d, z);
+    EXPECT_TRUE(r.complete) << "start " << z;
+    EXPECT_LE(r.rounds, diameter(d));
+  }
+}
+
+TEST(EagerPebble, IncompleteWhenNotStronglyConnected) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  const PebbleResult r = eager_pebble_game(d, 1);
+  EXPECT_FALSE(r.complete);           // arc (0,1) never pebbled
+  EXPECT_EQ(r.round[1], 0u);          // but (1,2) is
+}
+
+TEST(EagerPebble, RejectsBadStart) {
+  EXPECT_THROW(eager_pebble_game(cycle(3), 5), std::out_of_range);
+}
+
+// ---- Property sweeps over digraph families (Lemma 4.3 bound) ----
+
+struct FamilyCase {
+  const char* name;
+  std::size_t n;
+};
+
+class PebbleBoundTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(PebbleBoundTest, LazyWithinDiameterOnCycles) {
+  const Digraph d = cycle(GetParam().n);
+  const auto fvs = minimum_feedback_vertex_set(d);
+  const PebbleResult r = lazy_pebble_game(d, fvs);
+  EXPECT_TRUE(r.complete);
+  EXPECT_LE(r.rounds, diameter(d));
+}
+
+TEST_P(PebbleBoundTest, LazyWithinDiameterOnComplete) {
+  if (GetParam().n > 7) GTEST_SKIP() << "exact diameter too slow";
+  const Digraph d = complete(GetParam().n);
+  const auto fvs = minimum_feedback_vertex_set(d);
+  const PebbleResult r = lazy_pebble_game(d, fvs);
+  EXPECT_TRUE(r.complete);
+  EXPECT_LE(r.rounds, diameter(d));
+}
+
+TEST_P(PebbleBoundTest, EagerWithinDiameter) {
+  const Digraph d = cycle(GetParam().n);
+  for (VertexId z = 0; z < d.vertex_count(); ++z) {
+    const PebbleResult r = eager_pebble_game(d, z);
+    EXPECT_TRUE(r.complete);
+    EXPECT_LE(r.rounds, diameter(d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PebbleBoundTest,
+                         ::testing::Values(FamilyCase{"n3", 3}, FamilyCase{"n4", 4},
+                                           FamilyCase{"n5", 5}, FamilyCase{"n6", 6},
+                                           FamilyCase{"n8", 8}, FamilyCase{"n10", 10}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(PebbleProperty, RandomStronglyConnectedLazyAndEager) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.next_below(8);
+    const Digraph d = random_strongly_connected(n, rng.next_below(n), rng);
+    const auto fvs = minimum_feedback_vertex_set(d);
+    const std::size_t diam = diameter(d);
+
+    const PebbleResult lazy = lazy_pebble_game(d, fvs);
+    EXPECT_TRUE(lazy.complete);
+    EXPECT_LE(lazy.rounds, diam);
+
+    // Phase Two runs the eager game on the transpose (Lemma 4.6).
+    const Digraph dt = d.transpose();
+    for (const VertexId leader : fvs) {
+      const PebbleResult eager = eager_pebble_game(dt, leader);
+      EXPECT_TRUE(eager.complete);
+      EXPECT_LE(eager.rounds, diam);
+    }
+  }
+}
+
+TEST(PebbleProperty, MultigraphArcsAllPebbled) {
+  const Digraph d = multi_cycle(4, 3);
+  const PebbleResult r = lazy_pebble_game(d, {0});
+  EXPECT_TRUE(r.complete);
+  // Parallel arcs leaving the same vertex are pebbled in the same round.
+  for (VertexId v = 0; v < 4; ++v) {
+    const auto& out = d.out_arcs(v);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_EQ(r.round[out[i]], r.round[out[0]]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xswap::graph

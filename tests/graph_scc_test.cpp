@@ -1,0 +1,82 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::graph {
+namespace {
+
+TEST(Scc, CycleIsStronglyConnected) {
+  for (std::size_t n = 2; n <= 10; ++n) {
+    EXPECT_TRUE(is_strongly_connected(cycle(n))) << n;
+  }
+}
+
+TEST(Scc, CompleteIsStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(complete(5)));
+}
+
+TEST(Scc, PathIsNotStronglyConnected) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  EXPECT_FALSE(is_strongly_connected(d));
+}
+
+TEST(Scc, SingleVertexIsStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+  EXPECT_TRUE(is_strongly_connected(Digraph(0)));
+}
+
+TEST(Scc, TwoComponentExample) {
+  // Two 2-cycles joined by a one-way arc: components {0,1} and {2,3}.
+  Digraph d(4);
+  d.add_arc(0, 1);
+  d.add_arc(1, 0);
+  d.add_arc(2, 3);
+  d.add_arc(3, 2);
+  d.add_arc(1, 2);
+  const SccResult r = strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+}
+
+TEST(Scc, DisconnectedVerticesAreOwnComponents) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  const SccResult r = strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 3u);
+}
+
+TEST(Scc, ReachableSet) {
+  Digraph d(4);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  const auto set = reachable_set(d, 0);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(reaches_all(cycle(5), 3));
+  EXPECT_FALSE(reaches_all(d, 0));
+  EXPECT_FALSE(reaches_all(d, 3));
+}
+
+TEST(Scc, RandomGeneratedGraphsAreStronglyConnected) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.next_below(10);
+    const std::size_t extra = rng.next_below(n * 2);
+    EXPECT_TRUE(is_strongly_connected(random_strongly_connected(n, extra, rng)));
+  }
+}
+
+TEST(Scc, DeepGraphDoesNotOverflowStack) {
+  // 50k-vertex cycle exercises the iterative DFS.
+  const std::size_t n = 50000;
+  EXPECT_TRUE(is_strongly_connected(cycle(n)));
+}
+
+}  // namespace
+}  // namespace xswap::graph

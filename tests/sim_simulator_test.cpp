@@ -1,0 +1,105 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xswap::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(5, [&] { order.push_back(2); });
+  s.at(3, [&] { order.push_back(1); });
+  s.at(9, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 9u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(4, [&] { order.push_back(1); });
+  s.at(4, [&] { order.push_back(2); });
+  s.at(4, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator s;
+  Time fired_at = 0;
+  s.at(10, [&] { s.after(5, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator s;
+  s.at(10, [] {});
+  s.run();
+  EXPECT_THROW(s.at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.after(1, chain);
+  };
+  s.at(0, chain);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 4u);
+}
+
+TEST(Simulator, EveryRepeatsUntilFalse) {
+  Simulator s;
+  int fires = 0;
+  s.every(2, 3, [&] { return ++fires < 4; });
+  s.run();
+  EXPECT_EQ(fires, 4);
+  EXPECT_EQ(s.now(), 2u + 3u * 3u);
+}
+
+TEST(Simulator, EveryRejectsZeroPeriod) {
+  Simulator s;
+  EXPECT_THROW(s.every(0, 0, [] { return false; }), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.at(5, [&] { ++fired; });
+  s.at(10, [&] { ++fired; });
+  s.at(11, [&] { ++fired; });
+  s.run_until(10);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 10u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator s;
+  s.run_until(42);
+  EXPECT_EQ(s.now(), 42u);
+}
+
+TEST(Simulator, RunHonorsMaxEvents) {
+  Simulator s;
+  int fires = 0;
+  s.every(0, 1, [&] { ++fires; return true; });
+  EXPECT_EQ(s.run(100), 100u);
+  EXPECT_EQ(fires, 100);
+}
+
+}  // namespace
+}  // namespace xswap::sim

@@ -1,0 +1,268 @@
+// Adversarial runs: crashes, withheld steps, corrupted contracts,
+// last-moment unlocks, premature reveals, and colluding coalitions.
+// The invariant checked everywhere is Theorem 4.9: no conforming party
+// ends Underwater (and assets always settle — every escrow is eventually
+// claimed or refunded).
+#include <gtest/gtest.h>
+
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+// `crashed[v]` marks parties that halt mid-run; their own escrows may
+// legitimately sit unsettled (only they can refund them) — that harms
+// only themselves.
+void expect_safe(const SwapReport& report, const SwapSpec& spec,
+                 const std::vector<bool>& crashed = {}) {
+  EXPECT_TRUE(report.no_conforming_underwater);
+  // Conservation: every arc with a spec contract whose party is still
+  // alive settles one way or the other (triggered or refunded).
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    const PartyId head = spec.digraph.arc(a).head;
+    if (!crashed.empty() && crashed[head]) continue;
+    if (report.contract_published[a]) {
+      EXPECT_TRUE(report.triggered[a] || report.refunded[a])
+          << "arc " << a << " stranded in escrow";
+    }
+  }
+}
+
+TEST(Adversary, LeaderNeverPublishes) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(0, s);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  // Nothing ever deploys: Phase One never starts.
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    EXPECT_FALSE(report.contract_published[a]);
+  }
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kNoDeal);
+}
+
+TEST(Adversary, FollowerNeverPublishes) {
+  // Bob (follower) withholds: Alice's contract refunds; Carol unaffected.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(1, s);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  EXPECT_TRUE(report.contract_published[0]);   // Alice published (A,B)
+  EXPECT_FALSE(report.contract_published[1]);  // Bob withheld (B,C)
+  EXPECT_TRUE(report.refunded[0]);
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kNoDeal);
+}
+
+TEST(Adversary, CrashDuringDeployment) {
+  // Carol crashes before she can publish (C,A): deployed contracts refund.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.crash_at = 0;  // never acts at all
+  engine.set_strategy(2, s);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kNoDeal);
+}
+
+TEST(Adversary, CrashSweepEveryPartyEveryTime) {
+  // Property sweep: each party crashing at each interesting time leaves
+  // no conforming party Underwater and no stranded escrow.
+  const graph::Digraph d = graph::figure1_triangle();
+  const SwapSpec probe = SwapEngine(d, {0}).spec();
+  const sim::Time horizon = probe.final_deadline() + 2 * probe.delta;
+  for (PartyId victim = 0; victim < 3; ++victim) {
+    for (sim::Time t = 0; t <= horizon; t += probe.delta / 2) {
+      SwapEngine engine(d, {0});
+      Strategy s;
+      s.crash_at = t;
+      engine.set_strategy(victim, s);
+      const SwapReport report = engine.run();
+      std::vector<bool> crashed(3, false);
+      crashed[victim] = true;
+      expect_safe(report, engine.spec(), crashed);
+    }
+  }
+}
+
+TEST(Adversary, CrashAfterPhaseOneOnlyHurtsCrasher) {
+  // Carol crashes after contracts deploy but before claiming: Alice and
+  // Bob still complete; only Carol may strand her own acquisition.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  // Phase one completes by start + diam·Δ; crash just after.
+  s.crash_at = engine.spec().start_time + 3 * engine.spec().delta + 2;
+  engine.set_strategy(2, s);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  EXPECT_EQ(report.outcomes[0], Outcome::kDeal);
+}
+
+TEST(Adversary, CorruptContractsAreIgnored) {
+  // Bob publishes contracts whose hashlocks differ from the spec:
+  // conforming parties treat the arc as contract-less and refund.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.publish_corrupt_contracts = true;
+  engine.set_strategy(1, s);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  EXPECT_FALSE(report.contract_published[1]);  // no *matching* contract
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kNoDeal);
+}
+
+TEST(Adversary, WithholdUnlocksForfeitsOwnAcquisition) {
+  // Carol never unlocks or claims. The reveal chain starts with leader
+  // Alice unlocking her entering arc (C,A); Carol then refuses to relay,
+  // so (B,C) refunds and Bob in turn never learns the secret through his
+  // leaving arc. Whatever settles, every conforming party must end in an
+  // acceptable class.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_unlocks = true;
+  s.withhold_claims = true;
+  engine.set_strategy(2, s);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  for (PartyId v = 0; v < 3; ++v) {
+    if (v != 2) {
+      EXPECT_TRUE(acceptable(report.outcomes[v]));
+    }
+  }
+}
+
+TEST(Adversary, LastMomentUnlockCannotStrandPredecessor) {
+  // The §1 timing attack: Carol delays her unlock of (B,C) to the last
+  // valid moment. Bob must still have time to unlock (A,B) — the per-path
+  // deadline gap (one extra Δ per hop) guarantees it.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  const SwapSpec& spec = engine.spec();
+  for (sim::Time delay = spec.start_time;
+       delay <= spec.final_deadline() + spec.delta; delay += 1) {
+    SwapEngine e(graph::figure1_triangle(), {0});
+    Strategy s;
+    s.delay_unlocks_until = delay;
+    e.set_strategy(2, s);
+    const SwapReport report = e.run();
+    expect_safe(report, e.spec());
+    EXPECT_TRUE(acceptable(report.outcomes[1])) << "delay " << delay;
+    EXPECT_TRUE(acceptable(report.outcomes[0])) << "delay " << delay;
+  }
+}
+
+TEST(Adversary, PrematureRevealHurtsOnlyTheLeader) {
+  // §1: "If Alice (irrationally) reveals s before the first phase
+  // completes, Bob can take Alice's alt-coins ... but Alice will not get
+  // her Cadillac, so only she is worse off." Alice reveals at start while
+  // Carol withholds her contract, so Alice's entering arc never exists.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy alice;
+  alice.premature_reveal = true;
+  engine.set_strategy(0, alice);
+  Strategy carol;
+  carol.withhold_contracts = true;
+  engine.set_strategy(2, carol);
+  const SwapReport report = engine.run();
+  // Alice deviated; she may end Underwater — but conforming Bob must not.
+  EXPECT_TRUE(acceptable(report.outcomes[1]));
+  EXPECT_TRUE(report.no_conforming_underwater);
+}
+
+TEST(Adversary, CoalitionSharingSecretsGainsNothing) {
+  // Figs. 7–8 digraph; leaders 0,1. Coalition {1,2} shares secrets
+  // instantly out-of-band. Conforming party 0 must still end acceptably.
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  d.add_arc(1, 0);
+  d.add_arc(2, 1);
+  d.add_arc(0, 2);
+  SwapEngine engine(d, {0, 1});
+  Strategy member;
+  member.coalition = 7;
+  engine.set_strategy(1, member);
+  engine.set_strategy(2, member);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  EXPECT_TRUE(acceptable(report.outcomes[0]));
+  // With everyone otherwise following the protocol, sharing secrets early
+  // merely speeds things up: still all Deal.
+  EXPECT_TRUE(report.all_triggered);
+}
+
+TEST(Adversary, CoalitionWithholdingAgainstVictim) {
+  // Coalition {0, 2} (leader + Carol) tries to squeeze Bob: they share
+  // secrets and withhold unlocks/claims selectively. Bob must never end
+  // Underwater.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy alice;
+  alice.coalition = 1;
+  Strategy carol;
+  carol.coalition = 1;
+  carol.withhold_unlocks = true;
+  carol.withhold_claims = true;
+  engine.set_strategy(0, alice);
+  engine.set_strategy(2, carol);
+  const SwapReport report = engine.run();
+  expect_safe(report, engine.spec());
+  EXPECT_TRUE(acceptable(report.outcomes[1]));
+}
+
+TEST(Adversary, RandomizedDeviationSweep) {
+  // Fuzz: random digraphs, random per-party deviations. Assert the
+  // Theorem 4.9 invariant and settlement of all published contracts.
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 3 + rng.next_below(4);
+    const graph::Digraph d =
+        graph::random_strongly_connected(n, rng.next_below(n), rng);
+    const auto leaders = graph::minimum_feedback_vertex_set(d);
+    EngineOptions options;
+    options.seed = 5000 + static_cast<std::uint64_t>(trial);
+    SwapEngine engine(d, leaders, options);
+    const sim::Time horizon = engine.spec().final_deadline();
+    std::vector<bool> crashed(n, false);
+    for (PartyId v = 0; v < n; ++v) {
+      Strategy s;
+      switch (rng.next_below(6)) {
+        case 0:
+          s.crash_at = rng.next_below(horizon + 1);
+          crashed[v] = true;
+          break;
+        case 1: s.withhold_contracts = true; break;
+        case 2: s.withhold_unlocks = true; break;
+        case 3: s.publish_corrupt_contracts = true; break;
+        case 4: s.delay_unlocks_until = rng.next_below(horizon + 1); break;
+        default: break;  // conforming
+      }
+      engine.set_strategy(v, s);
+    }
+    const SwapReport report = engine.run();
+    expect_safe(report, engine.spec(), crashed);
+  }
+}
+
+TEST(Adversary, AllPartiesDeviatingStillSettles) {
+  // Everyone withholds unlocks: all contracts deploy, none trigger, all
+  // refund — global NoDeal, nobody Underwater.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_unlocks = true;
+  s.withhold_claims = true;
+  for (PartyId v = 0; v < 3; ++v) engine.set_strategy(v, s);
+  const SwapReport report = engine.run();
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    EXPECT_TRUE(report.contract_published[a]);
+    EXPECT_TRUE(report.refunded[a]);
+  }
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kNoDeal);
+}
+
+}  // namespace
+}  // namespace xswap::swap

@@ -1,0 +1,103 @@
+// The §4.5 broadcast-chain optimization: Phase Two completes in constant
+// time, but the broadcast can shorten — never replace — the arc-by-arc
+// dissemination.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "swap/broadcast.hpp"
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+namespace {
+
+EngineOptions broadcast_options() {
+  EngineOptions options;
+  options.broadcast = true;
+  return options;
+}
+
+TEST(Broadcast, AllDealOnTriangle) {
+  SwapEngine engine(graph::figure1_triangle(), {0}, broadcast_options());
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kDeal);
+}
+
+TEST(Broadcast, PhaseTwoFasterOnLongCycle) {
+  // On C_8 the secret normally walks 7 hops back around the cycle; with
+  // the broadcast chain every follower learns it in O(1).
+  SwapEngine plain(graph::cycle(8), {0});
+  SwapEngine fast(graph::cycle(8), {0}, broadcast_options());
+  const SwapReport p = plain.run();
+  const SwapReport f = fast.run();
+  ASSERT_TRUE(p.all_triggered);
+  ASSERT_TRUE(f.all_triggered);
+  EXPECT_LT(f.last_trigger_time, p.last_trigger_time);
+}
+
+TEST(Broadcast, MultiLeaderDigraph) {
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  d.add_arc(1, 0);
+  d.add_arc(2, 1);
+  d.add_arc(0, 2);
+  SwapEngine engine(d, {0, 1}, broadcast_options());
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+}
+
+TEST(Broadcast, DeviatingLeaderSkippingBoardStillCompletes) {
+  // A leader that crashes after Phase Two begins cannot be forced to
+  // post; the normal arc-by-arc dissemination still finishes the job for
+  // whatever it revealed on-chain. Model: leader never posts because it
+  // has withhold_claims (it still unlocks normally) — the board is only
+  // an accelerator, so everyone still Deals.
+  SwapEngine engine(graph::cycle(5), {0}, broadcast_options());
+  Strategy s;
+  s.withhold_claims = true;  // deviation unrelated to the board
+  engine.set_strategy(0, s);
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.no_conforming_underwater);
+  // Followers' arcs all triggered; only the deviator's own claim may lag.
+  for (PartyId v = 1; v < 5; ++v) {
+    EXPECT_TRUE(acceptable(report.outcomes[v]));
+  }
+}
+
+TEST(Broadcast, BoardRejectsImposterAndGarbage) {
+  SwapEngine engine(graph::figure1_triangle(), {0}, broadcast_options());
+  engine.run();
+  const chain::Ledger& board_chain = engine.ledger(kBroadcastChain);
+  // Find the board and check its slot got the leader's post.
+  const BroadcastBoard* board = nullptr;
+  for (const chain::ContractId id : board_chain.published_contracts()) {
+    board = dynamic_cast<const BroadcastBoard*>(board_chain.get_contract(id));
+    if (board != nullptr) break;
+  }
+  ASSERT_NE(board, nullptr);
+  ASSERT_EQ(board->slot_count(), 1u);
+  EXPECT_TRUE(board->posted(0).has_value());
+  EXPECT_EQ(board->posted(0)->path, (std::vector<PartyId>{0}));
+}
+
+TEST(Broadcast, CrashSweepSafety) {
+  const SwapSpec probe =
+      SwapEngine(graph::cycle(5), {0}, broadcast_options()).spec();
+  const sim::Time horizon = probe.final_deadline();
+  for (sim::Time t = 0; t <= horizon; t += probe.delta) {
+    for (PartyId victim = 0; victim < 5; ++victim) {
+      SwapEngine engine(graph::cycle(5), {0}, broadcast_options());
+      Strategy s;
+      s.crash_at = t;
+      engine.set_strategy(victim, s);
+      const SwapReport report = engine.run();
+      EXPECT_TRUE(report.no_conforming_underwater)
+          << "victim " << victim << " at " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

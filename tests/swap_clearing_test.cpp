@@ -1,0 +1,174 @@
+// The market-clearing service (§4.2): offers → swap digraph + leaders.
+#include "swap/clearing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fvs.hpp"
+#include "graph/scc.hpp"
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+namespace {
+
+std::vector<Offer> triangle_offers() {
+  return {
+      {"Alice", "Bob", "altchain", chain::Asset::coins("ALT", 100)},
+      {"Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 2)},
+      {"Carol", "Alice", "titles", chain::Asset::unique("TITLE", "cadillac")},
+  };
+}
+
+TEST(Clearing, TriangleOffersClear) {
+  const auto cleared = clear_offers(triangle_offers());
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(cleared->digraph.vertex_count(), 3u);
+  EXPECT_EQ(cleared->digraph.arc_count(), 3u);
+  EXPECT_EQ(cleared->party_names,
+            (std::vector<std::string>{"Alice", "Bob", "Carol"}));
+  EXPECT_TRUE(graph::is_strongly_connected(cleared->digraph));
+  EXPECT_TRUE(graph::is_feedback_vertex_set(cleared->digraph, cleared->leaders));
+  EXPECT_EQ(cleared->leaders.size(), 1u);
+  EXPECT_EQ(cleared->arcs[0].chain, "altchain");
+  EXPECT_EQ(cleared->arcs[2].asset, chain::Asset::unique("TITLE", "cadillac"));
+}
+
+TEST(Clearing, NonStronglyConnectedOffersRejected) {
+  // One-way generosity does not clear (Lemma 3.4: the other side would
+  // free-ride).
+  const std::vector<Offer> offers = {
+      {"Alice", "Bob", "c1", chain::Asset::coins("ALT", 1)},
+      {"Bob", "Carol", "c2", chain::Asset::coins("BTC", 1)},
+  };
+  EXPECT_FALSE(clear_offers(offers).has_value());
+}
+
+TEST(Clearing, EmptyOffersRejected) {
+  EXPECT_FALSE(clear_offers({}).has_value());
+}
+
+TEST(Clearing, MalformedOffersThrow) {
+  EXPECT_THROW(
+      clear_offers({{"Alice", "Alice", "c", chain::Asset::coins("X", 1)}}),
+      std::invalid_argument);
+  EXPECT_THROW(clear_offers({{"", "Bob", "c", chain::Asset::coins("X", 1)}}),
+               std::invalid_argument);
+  EXPECT_THROW(clear_offers({{"Alice", "Bob", "", chain::Asset::coins("X", 1)}}),
+               std::invalid_argument);
+}
+
+TEST(Clearing, ParallelOffersBecomeMultigraph) {
+  // Alice owes Bob on two chains (§5 multigraph extension).
+  const std::vector<Offer> offers = {
+      {"Alice", "Bob", "c1", chain::Asset::coins("X", 1)},
+      {"Alice", "Bob", "c2", chain::Asset::coins("Y", 1)},
+      {"Bob", "Alice", "c3", chain::Asset::coins("Z", 1)},
+  };
+  const auto cleared = clear_offers(offers);
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(cleared->digraph.arc_count(), 3u);
+  EXPECT_EQ(cleared->digraph.out_degree(0), 2u);
+}
+
+TEST(Clearing, ClearedSwapRunsEndToEnd) {
+  const auto cleared = clear_offers(triangle_offers());
+  ASSERT_TRUE(cleared.has_value());
+  SwapEngine engine(cleared->digraph, cleared->party_names, cleared->leaders,
+                    cleared->arcs, EngineOptions{});
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kDeal);
+  // The Cadillac ends with Alice.
+  EXPECT_EQ(engine.ledger("titles").owner_of("TITLE", "cadillac"), "Alice");
+  EXPECT_EQ(engine.ledger("bitcoin").balance("Carol", "BTC"), 2u);
+  EXPECT_EQ(engine.ledger("altchain").balance("Bob", "ALT"), 100u);
+}
+
+TEST(Decompose, SplitsIndependentRings) {
+  // Two disjoint triangles in one offer batch: two independent swaps.
+  const std::vector<Offer> offers = {
+      {"A", "B", "c0", chain::Asset::coins("T", 1)},
+      {"B", "C", "c1", chain::Asset::coins("T", 1)},
+      {"C", "A", "c2", chain::Asset::coins("T", 1)},
+      {"X", "Y", "c3", chain::Asset::coins("T", 1)},
+      {"Y", "Z", "c4", chain::Asset::coins("T", 1)},
+      {"Z", "X", "c5", chain::Asset::coins("T", 1)},
+  };
+  const Decomposition d = decompose_offers(offers);
+  EXPECT_EQ(d.swaps.size(), 2u);
+  EXPECT_TRUE(d.unmatched.empty());
+  for (const auto& swap : d.swaps) {
+    EXPECT_EQ(swap.digraph.arc_count(), 3u);
+    EXPECT_TRUE(graph::is_strongly_connected(swap.digraph));
+  }
+}
+
+TEST(Decompose, CrossComponentOffersUnmatched) {
+  // A ring plus a one-way offer into a stranger: the ring clears, the
+  // dangling offer is returned (honouring it would create a free-rider).
+  const std::vector<Offer> offers = {
+      {"A", "B", "c0", chain::Asset::coins("T", 1)},
+      {"B", "A", "c1", chain::Asset::coins("T", 1)},
+      {"A", "Mallory", "c2", chain::Asset::coins("T", 1)},
+  };
+  const Decomposition d = decompose_offers(offers);
+  ASSERT_EQ(d.swaps.size(), 1u);
+  EXPECT_EQ(d.swaps[0].digraph.arc_count(), 2u);
+  ASSERT_EQ(d.unmatched.size(), 1u);
+  EXPECT_EQ(d.unmatched[0].to, "Mallory");
+}
+
+TEST(Decompose, AllUnmatchedWhenNothingCycles) {
+  const std::vector<Offer> offers = {
+      {"A", "B", "c0", chain::Asset::coins("T", 1)},
+      {"B", "C", "c1", chain::Asset::coins("T", 1)},
+  };
+  const Decomposition d = decompose_offers(offers);
+  EXPECT_TRUE(d.swaps.empty());
+  EXPECT_EQ(d.unmatched.size(), 2u);
+}
+
+TEST(Decompose, EmptyBatch) {
+  const Decomposition d = decompose_offers({});
+  EXPECT_TRUE(d.swaps.empty());
+  EXPECT_TRUE(d.unmatched.empty());
+}
+
+TEST(Decompose, EachClearedSwapRuns) {
+  const std::vector<Offer> offers = {
+      {"A", "B", "c0", chain::Asset::coins("T0", 1)},
+      {"B", "A", "c1", chain::Asset::coins("T1", 1)},
+      {"X", "Y", "c2", chain::Asset::coins("T2", 1)},
+      {"Y", "Z", "c3", chain::Asset::coins("T3", 1)},
+      {"Z", "X", "c4", chain::Asset::coins("T4", 1)},
+      {"A", "X", "c5", chain::Asset::coins("T5", 1)},  // cross: unmatched
+  };
+  const Decomposition d = decompose_offers(offers);
+  ASSERT_EQ(d.swaps.size(), 2u);
+  EXPECT_EQ(d.unmatched.size(), 1u);
+  for (const auto& cleared : d.swaps) {
+    SwapEngine engine(cleared.digraph, cleared.party_names, cleared.leaders,
+                      cleared.arcs, EngineOptions{});
+    EXPECT_TRUE(engine.run().all_triggered);
+  }
+}
+
+TEST(Clearing, LargerBarterRing) {
+  // A five-party barter ring with a cross chord clears with a small FVS.
+  const std::vector<Offer> offers = {
+      {"A", "B", "c0", chain::Asset::coins("T0", 1)},
+      {"B", "C", "c1", chain::Asset::coins("T1", 1)},
+      {"C", "D", "c2", chain::Asset::coins("T2", 1)},
+      {"D", "E", "c3", chain::Asset::coins("T3", 1)},
+      {"E", "A", "c4", chain::Asset::coins("T4", 1)},
+      {"C", "A", "c5", chain::Asset::coins("T5", 1)},
+  };
+  const auto cleared = clear_offers(offers);
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_TRUE(graph::is_feedback_vertex_set(cleared->digraph, cleared->leaders));
+  SwapEngine engine(cleared->digraph, cleared->party_names, cleared->leaders,
+                    cleared->arcs, EngineOptions{});
+  EXPECT_TRUE(engine.run().all_triggered);
+}
+
+}  // namespace
+}  // namespace xswap::swap

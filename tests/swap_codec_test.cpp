@@ -1,0 +1,189 @@
+// Wire-format round trips and malformed-input rejection.
+#include "swap/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(Codec, VaruintRoundTrip) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+        0xffffffffULL, 0xffffffffffffffffULL}) {
+    util::Bytes buf;
+    put_varuint(buf, v);
+    Reader r(buf);
+    const auto decoded = r.varuint();
+    ASSERT_TRUE(decoded.has_value()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Codec, VaruintRejectsTruncationAndOverflow) {
+  // Truncated: continuation bit set, no next byte.
+  const util::Bytes dangling = {0x80};
+  Reader truncated(dangling);
+  EXPECT_FALSE(truncated.varuint().has_value());
+  // Overflow: eleven continuation bytes.
+  util::Bytes huge(11, 0xff);
+  Reader overflow(huge);
+  EXPECT_FALSE(overflow.varuint().has_value());
+}
+
+TEST(Codec, BytesRoundTripAndCaps) {
+  util::Bytes buf;
+  put_bytes(buf, util::str_bytes("hello"));
+  Reader r(buf);
+  const auto out = r.bytes();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(util::Bytes(out->begin(), out->end()), util::str_bytes("hello"));
+
+  // Length prefix longer than payload.
+  util::Bytes bad;
+  put_varuint(bad, 100);
+  bad.push_back('x');
+  Reader r2(bad);
+  EXPECT_FALSE(r2.bytes().has_value());
+
+  // Over the per-field cap.
+  util::Bytes capped;
+  put_bytes(capped, util::str_bytes("abcdef"));
+  Reader r3(capped);
+  EXPECT_FALSE(r3.bytes(3).has_value());
+}
+
+class CodecFixture : public ::testing::Test {
+ protected:
+  CodecFixture() : engine_(graph::figure1_triangle(), {0}) {}
+
+  Hashkey sample_hashkey() {
+    util::Rng rng(5);
+    const crypto::KeyPair leader = crypto::KeyPair::from_seed(rng.next_bytes(32));
+    const crypto::KeyPair relay = crypto::KeyPair::from_seed(rng.next_bytes(32));
+    Hashkey key = make_leader_hashkey(rng.next_bytes(32), 0, leader);
+    return extend_hashkey(key, 2, relay);
+  }
+
+  SwapEngine engine_;
+};
+
+TEST_F(CodecFixture, HashkeyRoundTrip) {
+  const Hashkey key = sample_hashkey();
+  const util::Bytes wire = encode_hashkey(key);
+  const auto decoded = decode_hashkey(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, key);
+}
+
+TEST_F(CodecFixture, HashkeyRejectsMutations) {
+  const Hashkey key = sample_hashkey();
+  const util::Bytes wire = encode_hashkey(key);
+
+  // Wrong version byte.
+  util::Bytes bad = wire;
+  bad[0] = 0x7f;
+  EXPECT_FALSE(decode_hashkey(bad).has_value());
+
+  // Truncations at every prefix length must fail, never crash.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        decode_hashkey(util::BytesView(wire.data(), len)).has_value())
+        << "prefix " << len;
+  }
+
+  // Trailing garbage.
+  bad = wire;
+  bad.push_back(0x00);
+  EXPECT_FALSE(decode_hashkey(bad).has_value());
+}
+
+TEST_F(CodecFixture, SpecRoundTrip) {
+  const SwapSpec& spec = engine_.spec();
+  const util::Bytes wire = encode_spec(spec);
+  const auto decoded = decode_spec(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->digraph, spec.digraph);
+  EXPECT_EQ(decoded->party_names, spec.party_names);
+  EXPECT_EQ(decoded->leaders, spec.leaders);
+  EXPECT_EQ(decoded->hashlocks, spec.hashlocks);
+  EXPECT_EQ(decoded->arcs, spec.arcs);
+  EXPECT_EQ(decoded->directory, spec.directory);
+  EXPECT_EQ(decoded->start_time, spec.start_time);
+  EXPECT_EQ(decoded->delta, spec.delta);
+  EXPECT_EQ(decoded->diam, spec.diam);
+  EXPECT_EQ(decoded->broadcast, spec.broadcast);
+  // Round-tripped spec still validates.
+  EXPECT_TRUE(validate_spec(*decoded).empty());
+}
+
+TEST_F(CodecFixture, SpecWithUniqueAssetsAndBroadcast) {
+  graph::Digraph d = graph::figure1_triangle();
+  std::vector<ArcTerms> arcs = {
+      {"c0", chain::Asset::unique("TITLE", "car")},
+      {"c1", chain::Asset::coins("BTC", 9)},
+      {"c2", chain::Asset::coins("ALT", 1)},
+  };
+  EngineOptions options;
+  options.broadcast = true;
+  SwapEngine engine(d, {"A", "B", "C"}, {0}, arcs, options);
+  const util::Bytes wire = encode_spec(engine.spec());
+  const auto decoded = decode_spec(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->arcs, engine.spec().arcs);
+  EXPECT_TRUE(decoded->broadcast);
+}
+
+TEST_F(CodecFixture, SpecRejectsTruncationsEverywhere) {
+  const util::Bytes wire = encode_spec(engine_.spec());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode_spec(util::BytesView(wire.data(), len)).has_value())
+        << "prefix " << len;
+  }
+}
+
+TEST_F(CodecFixture, SpecRejectsStructuralCorruption) {
+  const util::Bytes wire = encode_spec(engine_.spec());
+  // Flip every single byte and require decode to fail or produce a spec
+  // that differs from the original (no silent aliasing).
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    util::Bytes bad = wire;
+    bad[i] ^= 0x01;
+    const auto decoded = decode_spec(bad);
+    if (!decoded.has_value()) {
+      ++rejected;
+    } else {
+      EXPECT_FALSE(decoded->digraph == engine_.spec().digraph &&
+                   decoded->party_names == engine_.spec().party_names &&
+                   decoded->hashlocks == engine_.spec().hashlocks &&
+                   decoded->leaders == engine_.spec().leaders &&
+                   decoded->arcs == engine_.spec().arcs &&
+                   decoded->directory == engine_.spec().directory &&
+                   decoded->start_time == engine_.spec().start_time &&
+                   decoded->delta == engine_.spec().delta &&
+                   decoded->diam == engine_.spec().diam &&
+                   decoded->broadcast == engine_.spec().broadcast)
+          << "byte " << i << " flip silently ignored";
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(Codec, FuzzedRandomBuffersNeverCrash) {
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const util::Bytes junk = rng.next_bytes(rng.next_below(200));
+    (void)decode_hashkey(junk);
+    (void)decode_spec(junk);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace xswap::swap

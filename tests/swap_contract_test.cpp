@@ -1,0 +1,288 @@
+// The swap contract of Fig. 4–5: escrow, unlock, claim, refund, and every
+// authorization / timing rejection path.
+#include "swap/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/ledger.hpp"
+#include "crypto/sha256.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+// Triangle Alice(0) → Bob(1) → Carol(2) → Alice, leader Alice, all arcs on
+// one chain for convenience. Δ = 4, start = 4, diam = 3.
+class SwapContractTest : public ::testing::Test {
+ protected:
+  SwapContractTest() : ledger_("c", sim_, 1), rng_(99) {
+    spec_.digraph = graph::cycle(3);
+    spec_.party_names = {"Alice", "Bob", "Carol"};
+    spec_.leaders = {0};
+    for (int i = 0; i < 3; ++i) {
+      keys_.push_back(crypto::KeyPair::from_seed(rng_.next_bytes(32)));
+      spec_.directory.push_back(keys_.back().public_key());
+    }
+    secret_ = rng_.next_bytes(32);
+    spec_.hashlocks = {crypto::sha256_bytes(secret_)};
+    spec_.arcs = {ArcTerms{"c", chain::Asset::coins("ALT", 50)},
+                  ArcTerms{"c", chain::Asset::coins("BTC", 2)},
+                  ArcTerms{"c", chain::Asset::unique("TITLE", "cadillac")}};
+    spec_.start_time = 4;
+    spec_.delta = 4;
+    spec_.diam = graph::diameter(spec_.digraph);
+
+    ledger_.mint("Alice", spec_.arcs[0].asset);
+    ledger_.mint("Bob", spec_.arcs[1].asset);
+    ledger_.mint("Carol", spec_.arcs[2].asset);
+    ledger_.start();
+  }
+
+  // Publish the contract for arc `a` from its party; returns its id.
+  chain::ContractId publish(graph::ArcId a) {
+    const auto& name = spec_.party_names[spec_.digraph.arc(a).head];
+    const chain::ContractId id =
+        ledger_.submit_contract(name, std::make_unique<SwapContract>(spec_, a),
+                                spec_.encoded_size());
+    seal();
+    return id;
+  }
+
+  void seal() { sim_.run_until(sim_.now() + 1); }
+  void advance_to(sim::Time t) { sim_.run_until(t); }
+
+  const SwapContract* view(chain::ContractId id) {
+    return dynamic_cast<const SwapContract*>(ledger_.get_contract(id));
+  }
+
+  void call_unlock(chain::ContractId id, const std::string& sender,
+                   std::size_t i, const Hashkey& key) {
+    ledger_.submit_call(sender, id, "unlock", key.encoded_size(),
+                        [i, key](chain::Contract& c, const chain::CallContext& ctx) {
+                          dynamic_cast<SwapContract&>(c).unlock(ctx, i, key);
+                        });
+    seal();
+  }
+
+  void call_claim(chain::ContractId id, const std::string& sender) {
+    ledger_.submit_call(sender, id, "claim", 8,
+                        [](chain::Contract& c, const chain::CallContext& ctx) {
+                          dynamic_cast<SwapContract&>(c).claim(ctx);
+                        });
+    seal();
+  }
+
+  void call_refund(chain::ContractId id, const std::string& sender) {
+    ledger_.submit_call(sender, id, "refund", 8,
+                        [](chain::Contract& c, const chain::CallContext& ctx) {
+                          dynamic_cast<SwapContract&>(c).refund(ctx);
+                        });
+    seal();
+  }
+
+  // Hashkey for counterparty Bob on arc (Alice,Bob): path (1,2,0).
+  Hashkey bob_key() {
+    const Hashkey k0 = make_leader_hashkey(secret_, 0, keys_[0]);
+    const Hashkey k2 = extend_hashkey(k0, 2, keys_[2]);
+    return extend_hashkey(k2, 1, keys_[1]);
+  }
+
+  sim::Simulator sim_;
+  chain::Ledger ledger_;
+  util::Rng rng_;
+  SwapSpec spec_;
+  std::vector<crypto::KeyPair> keys_;
+  Secret secret_;
+};
+
+TEST_F(SwapContractTest, PublishEscrowsAsset) {
+  const auto id = publish(0);
+  EXPECT_EQ(ledger_.balance("Alice", "ALT"), 0u);
+  EXPECT_EQ(ledger_.balance(chain::contract_address(id), "ALT"), 50u);
+  ASSERT_NE(view(id), nullptr);
+  EXPECT_EQ(view(id)->disposition(), Disposition::kActive);
+  EXPECT_FALSE(view(id)->all_unlocked());
+}
+
+TEST_F(SwapContractTest, PublishByNonPartyFails) {
+  ledger_.submit_contract("Bob", std::make_unique<SwapContract>(spec_, 0), 10);
+  seal();
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+  EXPECT_EQ(ledger_.balance("Alice", "ALT"), 50u);
+}
+
+TEST_F(SwapContractTest, UniqueAssetEscrowAndClaim) {
+  // Carol's Cadillac title on arc (Carol, Alice).
+  const auto id = publish(2);
+  EXPECT_EQ(ledger_.owner_of("TITLE", "cadillac"), chain::contract_address(id));
+  // Leader Alice is the counterparty of arc 2: degenerate key unlocks it.
+  advance_to(5);
+  call_unlock(id, "Alice", 0, make_leader_hashkey(secret_, 0, keys_[0]));
+  EXPECT_TRUE(view(id)->all_unlocked());
+  call_claim(id, "Alice");
+  EXPECT_EQ(ledger_.owner_of("TITLE", "cadillac"), "Alice");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kClaimed);
+}
+
+TEST_F(SwapContractTest, UnlockAcceptsValidHashkey) {
+  const auto id = publish(0);
+  call_unlock(id, "Bob", 0, bob_key());
+  EXPECT_TRUE(view(id)->unlocked(0));
+  ASSERT_TRUE(view(id)->unlocking_key(0).has_value());
+  EXPECT_EQ(view(id)->unlocking_key(0)->path, (std::vector<PartyId>{1, 2, 0}));
+  EXPECT_EQ(ledger_.failed_transaction_count(), 0u);
+}
+
+TEST_F(SwapContractTest, UnlockRejectsNonCounterparty) {
+  const auto id = publish(0);
+  call_unlock(id, "Carol", 0, bob_key());
+  EXPECT_FALSE(view(id)->unlocked(0));
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(SwapContractTest, UnlockRejectsBadIndex) {
+  const auto id = publish(0);
+  call_unlock(id, "Bob", 5, bob_key());
+  EXPECT_FALSE(view(id)->unlocked(0));
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(SwapContractTest, UnlockRejectsExpiredHashkey) {
+  const auto id = publish(0);
+  // Deadline for |p| = 2 is start + (3+2)·4 = 24.
+  advance_to(30);
+  call_unlock(id, "Bob", 0, bob_key());
+  EXPECT_FALSE(view(id)->unlocked(0));
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(SwapContractTest, LongerPathBuysLaterDeadline) {
+  const auto id = publish(0);
+  EXPECT_EQ(view(id)->hashkey_deadline(0), 4u + 3 * 4);
+  EXPECT_EQ(view(id)->hashkey_deadline(2), 4u + 5 * 4);
+  // |p| = 0 key expired at t = 16, |p| = 2 key still valid.
+  advance_to(20);
+  call_unlock(id, "Bob", 0, bob_key());
+  EXPECT_TRUE(view(id)->unlocked(0));
+}
+
+TEST_F(SwapContractTest, UnlockRejectsTamperedKey) {
+  const auto id = publish(0);
+  Hashkey bad = bob_key();
+  bad.secret[0] ^= 1;
+  call_unlock(id, "Bob", 0, bad);
+  EXPECT_FALSE(view(id)->unlocked(0));
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(SwapContractTest, ClaimRequiresAllUnlocked) {
+  const auto id = publish(0);
+  call_claim(id, "Bob");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kActive);
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(SwapContractTest, ClaimTransfersToCounterparty) {
+  const auto id = publish(0);
+  call_unlock(id, "Bob", 0, bob_key());
+  call_claim(id, "Bob");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kClaimed);
+  EXPECT_EQ(ledger_.balance("Bob", "ALT"), 50u);
+}
+
+TEST_F(SwapContractTest, ClaimByNonCounterpartyFails) {
+  const auto id = publish(0);
+  call_unlock(id, "Bob", 0, bob_key());
+  call_claim(id, "Carol");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kActive);
+}
+
+TEST_F(SwapContractTest, RefundBeforeExpiryFails) {
+  const auto id = publish(0);
+  call_refund(id, "Alice");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kActive);
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+}
+
+TEST_F(SwapContractTest, RefundAfterExpiryReturnsAsset) {
+  const auto id = publish(0);
+  // Max admissible |p| from Bob to leader Alice is D(1,0) = 2, so the
+  // hashlock expires at start + (3+2)·4 = 24.
+  EXPECT_FALSE(view(id)->refundable(23));
+  EXPECT_TRUE(view(id)->refundable(24));
+  advance_to(24);
+  call_refund(id, "Alice");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kRefunded);
+  EXPECT_EQ(ledger_.balance("Alice", "ALT"), 50u);
+}
+
+TEST_F(SwapContractTest, RefundByNonPartyFails) {
+  const auto id = publish(0);
+  advance_to(24);
+  call_refund(id, "Bob");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kActive);
+}
+
+TEST_F(SwapContractTest, NoRefundOnceFullyUnlocked) {
+  const auto id = publish(0);
+  call_unlock(id, "Bob", 0, bob_key());
+  advance_to(40);
+  call_refund(id, "Alice");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kActive);
+  // The counterparty can still claim arbitrarily late.
+  call_claim(id, "Bob");
+  EXPECT_EQ(view(id)->disposition(), Disposition::kClaimed);
+}
+
+TEST_F(SwapContractTest, NoDoubleSettlement) {
+  const auto id = publish(0);
+  call_unlock(id, "Bob", 0, bob_key());
+  call_claim(id, "Bob");
+  call_claim(id, "Bob");  // second claim fails
+  EXPECT_EQ(ledger_.failed_transaction_count(), 1u);
+  advance_to(40);
+  call_refund(id, "Alice");  // refund after claim fails
+  EXPECT_EQ(view(id)->disposition(), Disposition::kClaimed);
+  EXPECT_EQ(ledger_.balance("Bob", "ALT"), 50u);
+  EXPECT_EQ(ledger_.balance("Alice", "ALT"), 0u);
+}
+
+TEST_F(SwapContractTest, UnlockAfterSettlementFails) {
+  const auto id = publish(0);
+  advance_to(24);
+  call_refund(id, "Alice");
+  ASSERT_EQ(view(id)->disposition(), Disposition::kRefunded);
+  call_unlock(id, "Bob", 0, bob_key());
+  EXPECT_FALSE(view(id)->unlocked(0));
+}
+
+TEST_F(SwapContractTest, MatchesSpecDetectsTampering) {
+  const auto id = publish(0);
+  EXPECT_TRUE(view(id)->matches_spec(spec_, 0));
+  EXPECT_FALSE(view(id)->matches_spec(spec_, 1));
+
+  SwapSpec other = spec_;
+  other.hashlocks[0][0] ^= 1;
+  EXPECT_FALSE(view(id)->matches_spec(other, 0));
+
+  other = spec_;
+  other.start_time += 1;
+  EXPECT_FALSE(view(id)->matches_spec(other, 0));
+
+  other = spec_;
+  other.arcs[0].asset = chain::Asset::coins("ALT", 49);
+  EXPECT_FALSE(view(id)->matches_spec(other, 0));
+}
+
+TEST_F(SwapContractTest, StorageIncludesDigraphCopy) {
+  const auto id = publish(0);
+  // Theorem 4.10: each contract stores a copy of D — at least |A| arcs'
+  // worth of bytes.
+  EXPECT_GE(view(id)->storage_bytes(), spec_.digraph.arc_count() * 8);
+}
+
+}  // namespace
+}  // namespace xswap::swap

@@ -1,0 +1,122 @@
+// Cross-checking the contract's timeout machinery against independent
+// path enumeration: for every arc and every hashlock, the contract's
+// "hashlock expired" time must equal the latest deadline over all
+// admissible hashkey paths — two implementations of §4.1's timing rules
+// must agree.
+#include <gtest/gtest.h>
+
+#include "chain/ledger.hpp"
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "swap/contract.hpp"
+#include "swap/engine.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+struct DeadlineCase {
+  const char* name;
+  graph::Digraph digraph;
+  std::vector<PartyId> leaders;
+};
+
+std::vector<DeadlineCase> deadline_cases() {
+  std::vector<DeadlineCase> cases;
+  cases.push_back({"cycle3", graph::cycle(3), {0}});
+  cases.push_back({"cycle5", graph::cycle(5), {2}});
+  cases.push_back({"hub4", graph::hub_and_spokes(4), {0}});
+  cases.push_back({"twocycles", graph::two_cycles_sharing_vertex(3, 4), {0}});
+  {
+    graph::Digraph fig8(3);
+    fig8.add_arc(0, 1);
+    fig8.add_arc(1, 2);
+    fig8.add_arc(2, 0);
+    fig8.add_arc(1, 0);
+    fig8.add_arc(2, 1);
+    fig8.add_arc(0, 2);
+    cases.push_back({"fig8", std::move(fig8), {0, 1}});
+  }
+  {
+    util::Rng rng(4242);
+    cases.push_back(
+        {"random6", graph::random_strongly_connected(6, 4, rng), {}});
+    cases.back().leaders =
+        graph::minimum_feedback_vertex_set(cases.back().digraph);
+  }
+  return cases;
+}
+
+class DeadlineProperty : public ::testing::TestWithParam<DeadlineCase> {};
+
+TEST_P(DeadlineProperty, ContractExpiryMatchesPathEnumeration) {
+  const DeadlineCase& c = GetParam();
+  SwapEngine engine(c.digraph, c.leaders, EngineOptions{});
+  const SwapSpec& spec = engine.spec();
+
+  // Build contracts directly (no run needed: timing is constructor math).
+  sim::Simulator sim;
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    const SwapContract contract(spec, a);
+    const PartyId counterparty = spec.digraph.arc(a).tail;
+    for (std::size_t i = 0; i < spec.leaders.size(); ++i) {
+      // Independent computation: the latest deadline over all admissible
+      // hashkey paths for this (arc, leader).
+      const auto paths =
+          graph::enumerate_paths(spec.digraph, counterparty, spec.leaders[i]);
+      ASSERT_FALSE(paths.empty());  // strongly connected
+      sim::Time latest = 0;
+      for (const auto& p : paths) {
+        latest = std::max(latest, spec.hashkey_deadline(p.size() - 1));
+      }
+      // The contract must refuse refunds strictly before `latest` and
+      // allow expiry exactly from `latest` on.
+      EXPECT_FALSE(contract.hashlock_expired(i, latest - 1))
+          << c.name << " arc " << a << " lock " << i;
+      EXPECT_TRUE(contract.hashlock_expired(i, latest))
+          << c.name << " arc " << a << " lock " << i;
+      // And no admissible path may outlive the global 2·diam·Δ bound.
+      EXPECT_LE(latest, spec.final_deadline());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DeadlineProperty,
+                         ::testing::ValuesIn(deadline_cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(DeadlineProperty, RefundableTracksEarliestExpiredLock) {
+  // With several hashlocks, the contract becomes refundable at the
+  // earliest per-lock expiry (any permanently locked hashlock suffices).
+  graph::Digraph fig8(3);
+  fig8.add_arc(0, 1);
+  fig8.add_arc(1, 2);
+  fig8.add_arc(2, 0);
+  fig8.add_arc(1, 0);
+  fig8.add_arc(2, 1);
+  fig8.add_arc(0, 2);
+  SwapEngine engine(fig8, {0, 1}, EngineOptions{});
+  const SwapSpec& spec = engine.spec();
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    const SwapContract contract(spec, a);
+    sim::Time earliest = ~0ULL;
+    const PartyId counterparty = spec.digraph.arc(a).tail;
+    for (std::size_t i = 0; i < spec.leaders.size(); ++i) {
+      const auto paths =
+          graph::enumerate_paths(spec.digraph, counterparty, spec.leaders[i]);
+      sim::Time latest = 0;
+      for (const auto& p : paths) {
+        latest = std::max(latest, spec.hashkey_deadline(p.size() - 1));
+      }
+      earliest = std::min(earliest, latest);
+    }
+    EXPECT_FALSE(contract.refundable(earliest - 1)) << "arc " << a;
+    EXPECT_TRUE(contract.refundable(earliest)) << "arc " << a;
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

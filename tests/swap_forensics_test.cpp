@@ -1,0 +1,246 @@
+// Fault forensics (§5): reconstruct who failed an enabled transition
+// from public chain data, and settle bonds accordingly.
+#include "swap/forensics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "swap/bonds.hpp"
+#include "swap/engine.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(Forensics, CleanRunBlamesNobody) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  engine.run();
+  const FaultReport report = analyze_faults(engine);
+  EXPECT_FALSE(report.anyone_at_fault());
+  EXPECT_TRUE(report.findings.empty());
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    EXPECT_TRUE(report.arcs[a].published.has_value());
+    EXPECT_TRUE(report.arcs[a].unlocked_at[0].has_value());
+  }
+}
+
+TEST(Forensics, WithheldContractBlamed) {
+  // Bob (follower) never publishes (B,C): Phase One fault on Bob alone.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(1, s);
+  engine.run();
+  const FaultReport report = analyze_faults(engine);
+  EXPECT_TRUE(report.at_fault[1]);
+  EXPECT_FALSE(report.at_fault[0]);
+  EXPECT_FALSE(report.at_fault[2]);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].kind, FaultKind::kWithheldContract);
+}
+
+TEST(Forensics, CrashedLeaderBlamedForSilence) {
+  // Leader Alice crashes right after Phase One completes: contracts all
+  // exist but she never reveals.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.crash_at = engine.spec().start_time + 3;  // after publishing (A,B)
+  engine.set_strategy(0, s);
+  engine.run();
+  const FaultReport report = analyze_faults(engine);
+  EXPECT_TRUE(report.at_fault[0]);
+  bool leader_fault = false;
+  for (const auto& f : report.findings) {
+    if (f.party == 0 && f.kind == FaultKind::kLeaderNeverRevealed) {
+      leader_fault = true;
+    }
+  }
+  EXPECT_TRUE(leader_fault);
+  EXPECT_FALSE(report.at_fault[1]);
+  EXPECT_FALSE(report.at_fault[2]);
+}
+
+TEST(Forensics, WithheldUnlockBlamed) {
+  // Carol refuses to relay the secret she provably learned (her leaving
+  // arc (C,A) was unlocked by Alice).
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_unlocks = true;
+  s.withhold_claims = true;
+  engine.set_strategy(2, s);
+  engine.run();
+  const FaultReport report = analyze_faults(engine);
+  EXPECT_TRUE(report.at_fault[2]);
+  EXPECT_FALSE(report.at_fault[0]);
+  EXPECT_FALSE(report.at_fault[1]);
+  bool relay_fault = false;
+  for (const auto& f : report.findings) {
+    if (f.party == 2 && f.kind == FaultKind::kWithheldUnlock) relay_fault = true;
+  }
+  EXPECT_TRUE(relay_fault);
+}
+
+TEST(Forensics, CorruptContractCountsAsWithheld) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.publish_corrupt_contracts = true;
+  engine.set_strategy(1, s);
+  engine.run();
+  const FaultReport report = analyze_faults(engine);
+  // No spec-matching contract on Bob's leaving arc: same as withholding.
+  EXPECT_TRUE(report.at_fault[1]);
+  EXPECT_FALSE(report.at_fault[0]);
+  EXPECT_FALSE(report.at_fault[2]);
+}
+
+TEST(Forensics, SweepNeverBlamesConformingParties) {
+  // Whatever one deviator does, conforming parties are never blamed.
+  util::Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.next_below(3);
+    const graph::Digraph d = graph::cycle(n);
+    SwapEngine engine(d, {0});
+    const PartyId deviator = static_cast<PartyId>(rng.next_below(n));
+    Strategy s;
+    switch (rng.next_below(4)) {
+      case 0: s.withhold_contracts = true; break;
+      case 1: s.withhold_unlocks = true; break;
+      case 2: s.crash_at = engine.spec().start_time + rng.next_below(20); break;
+      default: s.publish_corrupt_contracts = true; break;
+    }
+    engine.set_strategy(deviator, s);
+    engine.run();
+    const FaultReport report = analyze_faults(engine);
+    for (PartyId v = 0; v < n; ++v) {
+      if (v != deviator) {
+        EXPECT_FALSE(report.at_fault[v])
+            << "trial " << trial << ": conforming party " << v << " blamed";
+      }
+    }
+  }
+}
+
+// ---- Bond pool ----
+
+class BondTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kArbiter = "arbiter";
+
+  // Sets up an engine plus a bond chain where every party deposits 10 BND.
+  void run_with_bonds(SwapEngine& engine) {
+    bond_ledger_ = std::make_unique<chain::Ledger>("bonds", engine.simulator(), 1);
+    const auto& spec = engine.spec();
+    for (const auto& name : spec.party_names) {
+      bond_ledger_->mint(name, chain::Asset::coins("BND", 10));
+    }
+    pool_id_ = bond_ledger_->submit_contract(
+        kArbiter,
+        std::make_unique<BondPool>(spec, chain::Asset::coins("BND", 10), kArbiter),
+        64);
+    bond_ledger_->start();
+    for (const auto& name : spec.party_names) {
+      // Deposits execute once the pool is published (next seal).
+      bond_ledger_->submit_call(
+          name, pool_id_, "deposit", 8,
+          [](chain::Contract& c, const chain::CallContext& ctx) {
+            dynamic_cast<BondPool&>(c).deposit(ctx);
+          });
+    }
+    report_ = engine.run();
+    fault_report_ = settle_bonds(engine, *bond_ledger_, pool_id_, kArbiter);
+    engine.simulator().run_until(engine.simulator().now() + 2);
+  }
+
+  const BondPool& pool() const {
+    return *dynamic_cast<const BondPool*>(bond_ledger_->get_contract(pool_id_));
+  }
+
+  std::unique_ptr<chain::Ledger> bond_ledger_;
+  chain::ContractId pool_id_ = 0;
+  SwapReport report_;
+  FaultReport fault_report_;
+};
+
+TEST_F(BondTest, CleanRunReturnsAllBonds) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  run_with_bonds(engine);
+  EXPECT_TRUE(pool().settled());
+  EXPECT_FALSE(fault_report_.anyone_at_fault());
+  for (const auto& name : engine.spec().party_names) {
+    EXPECT_EQ(bond_ledger_->balance(name, "BND"), 10u) << name;
+  }
+}
+
+TEST_F(BondTest, FaultyPartySlashedOthersCompensated) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(1, s);
+  run_with_bonds(engine);
+  EXPECT_TRUE(pool().settled());
+  EXPECT_TRUE(fault_report_.at_fault[1]);
+  // Bob's 10 BND are split between Alice and Carol (5 each on top of
+  // their returned bonds).
+  EXPECT_EQ(bond_ledger_->balance("P0", "BND"), 15u);
+  EXPECT_EQ(bond_ledger_->balance("P1", "BND"), 0u);
+  EXPECT_EQ(bond_ledger_->balance("P2", "BND"), 15u);
+}
+
+TEST_F(BondTest, DepositRules) {
+  sim::Simulator sim;
+  chain::Ledger ledger("bonds", sim, 1);
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  const auto& spec = engine.spec();
+  ledger.mint("P0", chain::Asset::coins("BND", 25));
+  const auto id = ledger.submit_contract(
+      "arb", std::make_unique<BondPool>(spec, chain::Asset::coins("BND", 10), "arb"),
+      64);
+  ledger.start();
+  const auto call_deposit = [&](const std::string& who) {
+    ledger.submit_call(who, id, "deposit", 8,
+                       [](chain::Contract& c, const chain::CallContext& ctx) {
+                         dynamic_cast<BondPool&>(c).deposit(ctx);
+                       });
+  };
+  call_deposit("P0");
+  sim.run_until(2);
+  call_deposit("P0");       // double deposit fails
+  call_deposit("stranger");  // non-party fails
+  sim.run_until(4);
+  const auto* pool = dynamic_cast<const BondPool*>(ledger.get_contract(id));
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->deposit_count(), 1u);
+  EXPECT_EQ(ledger.failed_transaction_count(), 2u);
+}
+
+TEST_F(BondTest, SettleRules) {
+  sim::Simulator sim;
+  chain::Ledger ledger("bonds", sim, 1);
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  const auto& spec = engine.spec();
+  const auto id = ledger.submit_contract(
+      "arb", std::make_unique<BondPool>(spec, chain::Asset::coins("BND", 10), "arb"),
+      64);
+  ledger.start();
+  sim.run_until(2);
+  const auto call_settle = [&](const std::string& who, std::vector<bool> faults) {
+    ledger.submit_call(who, id, "settle", 8,
+                       [faults](chain::Contract& c, const chain::CallContext& ctx) {
+                         dynamic_cast<BondPool&>(c).settle(ctx, faults);
+                       });
+  };
+  call_settle("impostor", {false, false, false});  // wrong arbiter
+  call_settle("arb", {false, false});              // wrong size
+  sim.run_until(4);
+  EXPECT_EQ(ledger.failed_transaction_count(), 2u);
+  call_settle("arb", {false, false, false});
+  sim.run_until(6);
+  const auto* pool = dynamic_cast<const BondPool*>(ledger.get_contract(id));
+  EXPECT_TRUE(pool->settled());
+  call_settle("arb", {false, false, false});  // double settle fails
+  sim.run_until(8);
+  EXPECT_EQ(ledger.failed_transaction_count(), 3u);
+}
+
+}  // namespace
+}  // namespace xswap::swap

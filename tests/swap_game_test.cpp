@@ -1,0 +1,131 @@
+// §3 game theory: Lemma 3.3 verified exhaustively on strongly connected
+// digraphs, Lemma 3.4's free-ride construction on non-SC ones — together,
+// Theorem 3.5.
+#include "swap/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(Game, PreferenceRanksFollowFig3) {
+  EXPECT_LT(preference_rank(Outcome::kUnderwater), preference_rank(Outcome::kNoDeal));
+  EXPECT_LT(preference_rank(Outcome::kNoDeal), preference_rank(Outcome::kDeal));
+  EXPECT_LT(preference_rank(Outcome::kDeal), preference_rank(Outcome::kDiscount));
+  EXPECT_LT(preference_rank(Outcome::kDiscount), preference_rank(Outcome::kFreeRide));
+}
+
+TEST(Game, Lemma33HoldsOnTriangle) {
+  // No coalition can beat Deal without drowning a conforming party.
+  EXPECT_FALSE(find_lemma33_counterexample(graph::cycle(3)).has_value());
+}
+
+TEST(Game, Lemma33HoldsOnSmallFamilies) {
+  EXPECT_FALSE(find_lemma33_counterexample(graph::cycle(4)).has_value());
+  EXPECT_FALSE(find_lemma33_counterexample(graph::complete(3)).has_value());
+  EXPECT_FALSE(find_lemma33_counterexample(graph::hub_and_spokes(4)).has_value());
+  EXPECT_FALSE(
+      find_lemma33_counterexample(graph::two_cycles_sharing_vertex(3, 3), 6, 12)
+          .has_value());
+}
+
+TEST(Game, Lemma33HoldsOnRandomStronglyConnected) {
+  util::Rng rng(606);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 3 + rng.next_below(3);
+    const graph::Digraph d =
+        graph::random_strongly_connected(n, rng.next_below(3), rng);
+    if (d.arc_count() > 12) continue;
+    EXPECT_FALSE(find_lemma33_counterexample(d).has_value()) << "trial " << trial;
+  }
+}
+
+TEST(Game, Lemma33CounterexampleExistsWhenNotStronglyConnected) {
+  // Two vertexes, one arc: the receiver can free-ride with nobody
+  // conforming left underwater... receiver B free-rides when (A,B)
+  // triggers: A is underwater though. Take the 3-vertex line where the
+  // middle coalition profits: coalition {1,2} on 0→1→2 with arc (0,1)
+  // triggered: boundary in={(0,1)} triggered, out={} — FreeRide, and
+  // conforming 0 is Underwater... need a case with NO conforming
+  // underwater: non-SC digraph where the coalition's gain costs nobody
+  // outside: 2-cycle {0,1} plus stray receiver 2 on arc (0,2):
+  // coalition {0,1} triggers its internal 2-cycle, withholds (0,2):
+  // outside party 2 ends NoDeal, coalition boundary: out=(0,2)
+  // untriggered, in: none -> NoDeal... boundary classes need care; use
+  // the exhaustive search itself to certify existence.
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 0);
+  d.add_arc(2, 0);  // stranger pays into the pair; nothing flows back
+  ASSERT_FALSE(graph::is_strongly_connected(d));
+  const auto witness = find_lemma33_counterexample(d);
+  ASSERT_TRUE(witness.has_value());
+  // The witness coalition beats Deal with no conforming party underwater.
+  EXPECT_TRUE(witness->coalition_outcome == Outcome::kFreeRide ||
+              witness->coalition_outcome == Outcome::kDiscount);
+  for (PartyId v = 0; v < 3; ++v) {
+    bool inside = false;
+    for (const PartyId c : witness->coalition) inside |= (c == v);
+    if (!inside) {
+      EXPECT_NE(classify_party(d, v, witness->triggered), Outcome::kUnderwater);
+    }
+  }
+}
+
+TEST(Game, FreeRideConstructionOnNonStronglyConnected) {
+  // 0↔1 strongly connected pair feeding 2: X = {0,1} (cannot be reached
+  // from 2's side... take y=2: Y={2}, X={0,1}).
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 0);
+  d.add_arc(1, 2);
+  const auto witness = free_ride_construction(d);
+  ASSERT_TRUE(witness.has_value());
+  // X keeps its internal swap, withholds the arc into Y.
+  EXPECT_EQ(witness->coalition.size(), 2u);
+  EXPECT_FALSE(witness->triggered[2]);  // arc (1,2) withheld
+  EXPECT_TRUE(witness->triggered[0]);
+  EXPECT_TRUE(witness->triggered[1]);
+  // Each member does at least as well as under full triggering.
+  EXPECT_TRUE(members_prefer_to_full_trigger(d, witness->coalition,
+                                             witness->triggered));
+}
+
+TEST(Game, FreeRideConstructionNulloptWhenStronglyConnected) {
+  EXPECT_FALSE(free_ride_construction(graph::cycle(4)).has_value());
+  EXPECT_FALSE(free_ride_construction(graph::complete(3)).has_value());
+}
+
+TEST(Game, FreeRideMembersPreferDeviationOnDanglingReceiver) {
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(1, 0);  // 0↔1 cycle, 2 dangles downstream
+  const auto witness = free_ride_construction(d);
+  ASSERT_TRUE(witness.has_value());
+  // The paper's Lemma 3.4 claim is per-member: "the payoff for each
+  // individual vertex in X is either the same or better than Deal".
+  // (The coalition *boundary* class can read as NoDeal here because Y
+  // never pays into X — boundary classes are vacuous without entering
+  // arcs, which is also why pure-source parties fall outside the model:
+  // they would never agree to a swap.)
+  EXPECT_TRUE(members_prefer_to_full_trigger(d, witness->coalition,
+                                             witness->triggered));
+  // Member 1 keeps its internal acquisition while paying less: Discount.
+  EXPECT_EQ(classify_party(d, 1, witness->triggered), Outcome::kDiscount);
+  EXPECT_EQ(classify_party(d, 0, witness->triggered), Outcome::kDeal);
+}
+
+TEST(Game, ExhaustiveSearchSizeGuard) {
+  EXPECT_THROW(find_lemma33_counterexample(graph::complete(5), 6, 12),
+               std::invalid_argument);
+  EXPECT_THROW(find_lemma33_counterexample(graph::cycle(8), 6, 12),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xswap::swap

@@ -1,0 +1,96 @@
+// The invariant auditor: conservation, settled escrow, and the protocol
+// guarantees, across honest and adversarial runs.
+#include "swap/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(Invariants, CleanRunPassesAll) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  const SwapReport report = engine.run();
+  const InvariantReport audit = check_all(engine, report);
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
+  EXPECT_EQ(audit.to_string(), "all invariants hold");
+}
+
+TEST(Invariants, SingleLeaderModePasses) {
+  EngineOptions options;
+  options.mode = ProtocolMode::kSingleLeader;
+  SwapEngine engine(graph::cycle(5), {0}, options);
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(check_all(engine, report).ok());
+}
+
+TEST(Invariants, BroadcastModePasses) {
+  EngineOptions options;
+  options.broadcast = true;
+  SwapEngine engine(graph::cycle(6), {0}, options);
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(check_all(engine, report).ok());
+}
+
+TEST(Invariants, UniqueAssetsConserved) {
+  graph::Digraph d = graph::figure1_triangle();
+  std::vector<ArcTerms> arcs = {
+      {"c0", chain::Asset::unique("DEED", "house-1")},
+      {"c1", chain::Asset::unique("DEED", "house-2")},
+      {"c2", chain::Asset::coins("TOK", 7)},
+  };
+  SwapEngine engine(d, {"A", "B", "C"}, {0}, arcs, EngineOptions{});
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+  EXPECT_TRUE(check_all(engine, report).ok());
+}
+
+TEST(Invariants, HoldUnderEveryDeviationKind) {
+  for (int kind = 0; kind < 5; ++kind) {
+    SwapEngine engine(graph::figure1_triangle(), {0});
+    Strategy s;
+    switch (kind) {
+      case 0: s.withhold_contracts = true; break;
+      case 1: s.withhold_unlocks = true; break;
+      case 2: s.publish_corrupt_contracts = true; break;
+      case 3: s.crash_at = engine.spec().start_time + 5; break;
+      case 4: s.premature_reveal = true; break;
+    }
+    engine.set_strategy(kind == 4 ? 0 : 1, s);
+    const SwapReport report = engine.run();
+    const InvariantReport audit = check_all(engine, report);
+    EXPECT_TRUE(audit.ok()) << "kind " << kind << ": " << audit.to_string();
+  }
+}
+
+TEST(Invariants, FuzzedAdversarialSweep) {
+  util::Rng rng(20260612);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.next_below(4);
+    const graph::Digraph d =
+        graph::random_strongly_connected(n, rng.next_below(n + 1), rng);
+    EngineOptions options;
+    options.seed = 9000 + static_cast<std::uint64_t>(trial);
+    SwapEngine engine(d, graph::minimum_feedback_vertex_set(d), options);
+    for (PartyId v = 0; v < n; ++v) {
+      Strategy s;
+      if (rng.next_chance(1, 3)) {
+        switch (rng.next_below(3)) {
+          case 0: s.withhold_contracts = true; break;
+          case 1: s.withhold_unlocks = true; break;
+          default: s.crash_at = rng.next_below(60); break;
+        }
+      }
+      engine.set_strategy(v, s);
+    }
+    const SwapReport report = engine.run();
+    const InvariantReport audit = check_all(engine, report);
+    EXPECT_TRUE(audit.ok()) << "trial " << trial << ": " << audit.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

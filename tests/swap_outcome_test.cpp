@@ -1,0 +1,98 @@
+// §3 outcome classes and the Fig. 3 partial order.
+#include "swap/outcome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace xswap::swap {
+namespace {
+
+// Triangle 0→1→2→0: each vertex has exactly one entering and one leaving arc.
+class TriangleOutcome : public ::testing::Test {
+ protected:
+  graph::Digraph d_ = graph::cycle(3);
+};
+
+TEST_F(TriangleOutcome, AllTriggeredIsDealForEveryone) {
+  const std::vector<bool> triggered = {true, true, true};
+  for (graph::VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(classify_party(d_, v, triggered), Outcome::kDeal);
+  }
+}
+
+TEST_F(TriangleOutcome, NoneTriggeredIsNoDeal) {
+  const std::vector<bool> triggered = {false, false, false};
+  for (graph::VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(classify_party(d_, v, triggered), Outcome::kNoDeal);
+  }
+}
+
+TEST_F(TriangleOutcome, SingleArcTriggered) {
+  // Arc 0 is (0,1): vertex 0 paid without acquiring (Underwater),
+  // vertex 1 acquired without paying (FreeRide), vertex 2 untouched.
+  const std::vector<bool> triggered = {true, false, false};
+  EXPECT_EQ(classify_party(d_, 0, triggered), Outcome::kUnderwater);
+  EXPECT_EQ(classify_party(d_, 1, triggered), Outcome::kFreeRide);
+  EXPECT_EQ(classify_party(d_, 2, triggered), Outcome::kNoDeal);
+}
+
+TEST_F(TriangleOutcome, ClassifyAllMatchesPerParty) {
+  const std::vector<bool> triggered = {true, true, false};
+  const auto all = classify_all(d_, triggered);
+  ASSERT_EQ(all.size(), 3u);
+  for (graph::VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(all[v], classify_party(d_, v, triggered));
+  }
+}
+
+TEST(Outcome, DiscountNeedsPartialPayment) {
+  // Vertex 0 of hub(3): two leaving arcs (0,1),(0,2), two entering.
+  const graph::Digraph d = graph::hub_and_spokes(3);
+  // Arcs in construction order: (0,1),(1,0),(0,2),(2,0).
+  // Hub acquired everything, paid only one of two: Discount.
+  EXPECT_EQ(classify_party(d, 0, {true, true, false, true}), Outcome::kDiscount);
+  // Hub acquired everything, paid nothing: FreeRide (better than Discount).
+  EXPECT_EQ(classify_party(d, 0, {false, true, false, true}), Outcome::kFreeRide);
+  // Hub missing one acquisition while paying: Underwater.
+  EXPECT_EQ(classify_party(d, 0, {true, false, false, true}), Outcome::kUnderwater);
+}
+
+TEST(Outcome, AcceptableClasses) {
+  EXPECT_TRUE(acceptable(Outcome::kDeal));
+  EXPECT_TRUE(acceptable(Outcome::kNoDeal));
+  EXPECT_TRUE(acceptable(Outcome::kFreeRide));
+  EXPECT_TRUE(acceptable(Outcome::kDiscount));
+  EXPECT_FALSE(acceptable(Outcome::kUnderwater));
+}
+
+TEST(Outcome, SizeMismatchRejected) {
+  const graph::Digraph d = graph::cycle(3);
+  EXPECT_THROW(classify_party(d, 0, {true}), std::invalid_argument);
+  EXPECT_THROW(classify_coalition(d, {0}, {true}), std::invalid_argument);
+}
+
+TEST(Outcome, CoalitionClassification) {
+  // Triangle, coalition {0,1}: boundary arcs are (1,2) leaving and (2,0)
+  // entering; the internal arc (0,1) is ignored.
+  const graph::Digraph d = graph::cycle(3);
+  EXPECT_EQ(classify_coalition(d, {0, 1}, {true, true, true}), Outcome::kDeal);
+  EXPECT_EQ(classify_coalition(d, {0, 1}, {true, false, false}), Outcome::kNoDeal);
+  EXPECT_EQ(classify_coalition(d, {0, 1}, {false, false, true}), Outcome::kFreeRide);
+  EXPECT_EQ(classify_coalition(d, {0, 1}, {false, true, false}), Outcome::kUnderwater);
+}
+
+TEST(Outcome, CoalitionFreeRideWhenWithholdingLeavingArc) {
+  // The Lemma 3.4 payoff shape: coalition X = {0,1} triggers its internal
+  // arcs, collects the arc entering it, and withholds the arc leaving it.
+  graph::Digraph d(3);
+  d.add_arc(0, 1);  // internal to X
+  d.add_arc(1, 0);  // internal to X
+  d.add_arc(1, 2);  // X → Y (withheld)
+  d.add_arc(2, 0);  // Y → X (triggered)
+  EXPECT_EQ(classify_coalition(d, {0, 1}, {true, true, false, true}),
+            Outcome::kFreeRide);
+}
+
+}  // namespace
+}  // namespace xswap::swap

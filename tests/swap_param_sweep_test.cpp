@@ -1,0 +1,102 @@
+// Parameterized grid: digraph family × protocol mode × Δ × broadcast.
+// Every combination must produce uniform all-Deal runs that pass the full
+// invariant audit.
+#include <gtest/gtest.h>
+
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "swap/invariants.hpp"
+
+namespace xswap::swap {
+namespace {
+
+struct SweepCase {
+  const char* name;
+  int family;           // 0=cycle4 1=hub5 2=two_cycles(3,3) 3=fig8 4=multi_cycle(3,2)
+  ProtocolMode mode;
+  sim::Duration delta;
+  bool broadcast;
+};
+
+graph::Digraph build_family(int family) {
+  switch (family) {
+    case 0: return graph::cycle(4);
+    case 1: return graph::hub_and_spokes(5);
+    case 2: return graph::two_cycles_sharing_vertex(3, 3);
+    case 4: return graph::multi_cycle(3, 2);
+    default: {
+      graph::Digraph d(3);
+      d.add_arc(0, 1);
+      d.add_arc(1, 2);
+      d.add_arc(2, 0);
+      d.add_arc(1, 0);
+      d.add_arc(2, 1);
+      d.add_arc(0, 2);
+      return d;
+    }
+  }
+}
+
+std::vector<PartyId> leaders_for(int family) {
+  return family == 3 ? std::vector<PartyId>{0, 1} : std::vector<PartyId>{0};
+}
+
+class ProtocolSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ProtocolSweep, UniformAllDealAndInvariants) {
+  const SweepCase& c = GetParam();
+  const graph::Digraph d = build_family(c.family);
+  const auto leaders = leaders_for(c.family);
+
+  EngineOptions options;
+  options.mode = c.mode;
+  options.delta = c.delta;
+  options.broadcast = c.broadcast;
+  options.seed = 31000 + static_cast<std::uint64_t>(c.family) * 17 +
+                 c.delta * 3 + (c.broadcast ? 1 : 0);
+  SwapEngine engine(d, leaders, options);
+  const SwapReport report = engine.run();
+
+  EXPECT_TRUE(report.all_triggered);
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kDeal);
+  const InvariantReport audit = check_all(engine, report);
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
+  EXPECT_LE(report.last_trigger_time, engine.spec().final_deadline());
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const auto add = [&](const char* name, int family, ProtocolMode mode,
+                       sim::Duration delta, bool broadcast) {
+    cases.push_back(SweepCase{name, family, mode, delta, broadcast});
+  };
+  for (const sim::Duration delta : {2u, 4u, 7u}) {
+    // General protocol on every family.
+    for (int family = 0; family <= 4; ++family) {
+      static const char* kNames[] = {"cycle4", "hub5", "twocyc", "fig8",
+                                     "multi"};
+      add(kNames[family], family, ProtocolMode::kGeneral, delta, false);
+    }
+    // Single-leader mode on the single-leader families.
+    for (const int family : {0, 1, 2, 4}) {
+      static const char* kNames1L[] = {"cycle4_1L", "hub5_1L", "twocyc_1L",
+                                       "", "multi_1L"};
+      add(kNames1L[family], family, ProtocolMode::kSingleLeader, delta, false);
+    }
+    // Broadcast on a couple of families.
+    add("cycle4_bc", 0, ProtocolMode::kGeneral, delta, true);
+    add("fig8_bc", 3, ProtocolMode::kGeneral, delta, true);
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return std::string(info.param.name) + "_d" +
+         std::to_string(info.param.delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProtocolSweep, ::testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace xswap::swap

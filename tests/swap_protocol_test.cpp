@@ -1,0 +1,182 @@
+// End-to-end protocol runs with all parties conforming: uniformity
+// (everyone ends Deal) and the Theorem 4.7 time bound.
+#include <gtest/gtest.h>
+
+#include "graph/fvs.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "swap/engine.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+void expect_all_deal(const SwapReport& report, const SwapSpec& spec) {
+  EXPECT_TRUE(report.all_triggered);
+  for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
+    EXPECT_TRUE(report.contract_published[a]) << "arc " << a;
+    EXPECT_TRUE(report.triggered[a]) << "arc " << a;
+    EXPECT_FALSE(report.refunded[a]) << "arc " << a;
+  }
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kDeal);
+  EXPECT_TRUE(report.no_conforming_underwater);
+  // Theorem 4.7: triggered within 2·diam·Δ of the start.
+  EXPECT_LE(report.last_trigger_time,
+            spec.start_time + 2 * spec.diam * spec.delta);
+}
+
+TEST(Protocol, TriangleSingleLeaderGeneralMode) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, TriangleEachLeaderChoiceWorks) {
+  for (PartyId leader = 0; leader < 3; ++leader) {
+    SwapEngine engine(graph::figure1_triangle(), {leader});
+    const SwapReport report = engine.run();
+    expect_all_deal(report, engine.spec());
+  }
+}
+
+TEST(Protocol, Figure8TwoLeaderTriangleWithReverseArcs) {
+  // Figs. 7–8: a two-leader digraph — triangle plus reversed arcs needs a
+  // 2-element feedback vertex set.
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  d.add_arc(1, 0);
+  d.add_arc(2, 1);
+  d.add_arc(0, 2);
+  ASSERT_TRUE(graph::is_feedback_vertex_set(d, {0, 1}));
+  SwapEngine engine(d, {0, 1});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, CompleteDigraphAllButOneLeaders) {
+  const graph::Digraph d = graph::complete(4);
+  SwapEngine engine(d, {0, 1, 2});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, TwoCyclesSharedVertexSingleLeader) {
+  const graph::Digraph d = graph::two_cycles_sharing_vertex(3, 4);
+  SwapEngine engine(d, {0});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, HubAndSpokes) {
+  SwapEngine engine(graph::hub_and_spokes(5), {0});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, MultigraphParallelArcs) {
+  // §5: several blockchains between the same pair of parties.
+  SwapEngine engine(graph::multi_cycle(3, 2), {0});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, LargerCycle) {
+  SwapEngine engine(graph::cycle(8), {3});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, NonMinimalLeaderSetStillWorks) {
+  // Any FVS works, minimal or not (here: every vertex is a leader).
+  SwapEngine engine(graph::figure1_triangle(), {0, 1, 2});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, SharedChainForAllArcs) {
+  // All arcs on one blockchain is allowed (arcs ↔ contracts, not chains).
+  graph::Digraph d = graph::figure1_triangle();
+  std::vector<ArcTerms> arcs;
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    arcs.push_back(ArcTerms{"mainnet",
+                            chain::Asset::coins("TOK" + std::to_string(a), 5)});
+  }
+  SwapEngine engine(d, {"Alice", "Bob", "Carol"}, {0}, arcs, EngineOptions{});
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, RandomStronglyConnectedSweep) {
+  util::Rng rng(20180718);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 3 + rng.next_below(5);
+    const graph::Digraph d = graph::random_strongly_connected(n, rng.next_below(n), rng);
+    const auto leaders = graph::minimum_feedback_vertex_set(d);
+    EngineOptions options;
+    options.seed = 1000 + static_cast<std::uint64_t>(trial);
+    SwapEngine engine(d, leaders, options);
+    const SwapReport report = engine.run();
+    expect_all_deal(report, engine.spec());
+  }
+}
+
+TEST(Protocol, DeltaVariations) {
+  for (const sim::Duration delta : {2u, 3u, 8u}) {
+    EngineOptions options;
+    options.delta = delta;
+    SwapEngine engine(graph::figure1_triangle(), {0}, options);
+    const SwapReport report = engine.run();
+    expect_all_deal(report, engine.spec());
+  }
+}
+
+TEST(Protocol, SlowChainsLargerSealPeriod) {
+  EngineOptions options;
+  options.seal_period = 2;
+  options.delta = 6;
+  SwapEngine engine(graph::figure1_triangle(), {0}, options);
+  const SwapReport report = engine.run();
+  expect_all_deal(report, engine.spec());
+}
+
+TEST(Protocol, ReportsResourceUsage) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  const SwapReport report = engine.run();
+  EXPECT_GT(report.total_storage_bytes, 0u);
+  EXPECT_GT(report.hashkey_bytes_submitted, 0u);
+  EXPECT_GT(report.sign_operations, 0u);
+  EXPECT_GT(report.total_transactions, 0u);
+  EXPECT_EQ(report.failed_transactions, 0u);
+}
+
+TEST(Protocol, ChainsStayConsistent) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  engine.run();
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    EXPECT_TRUE(engine.ledger(engine.spec().arcs[a].chain).verify_integrity());
+  }
+}
+
+TEST(Protocol, EngineRejectsBadConfigurations) {
+  // Non-FVS leader set.
+  EXPECT_THROW(SwapEngine(graph::two_cycles_sharing_vertex(3, 3), {1}),
+               std::invalid_argument);
+  // Not strongly connected.
+  graph::Digraph path(2);
+  path.add_arc(0, 1);
+  EXPECT_THROW(SwapEngine(path, {0}), std::invalid_argument);
+  // Delta too small for the seal period.
+  EngineOptions options;
+  options.delta = 1;
+  EXPECT_THROW(SwapEngine(graph::figure1_triangle(), {0}, options),
+               std::invalid_argument);
+  // Double run.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  engine.run();
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xswap::swap

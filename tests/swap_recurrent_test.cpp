@@ -1,0 +1,110 @@
+// Recurrent swaps (§5) via hash chains: revealing round k's secret
+// distributes round k+1's hashlock.
+#include "swap/recurrent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(SecretChain, LinksHashCorrectly) {
+  util::Rng rng(1);
+  const SecretChain chain(rng.next_bytes(32), 4);
+  EXPECT_EQ(chain.rounds(), 4u);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    // Round-k hashlock is H(round-k secret)...
+    EXPECT_EQ(crypto::sha256_bytes(chain.secret(k)), chain.hashlock(k));
+    // ...and equals the value revealed in round k-1.
+    if (k >= 2) {
+      EXPECT_EQ(chain.hashlock(k), chain.secret(k - 1));
+    }
+  }
+  EXPECT_EQ(chain.hashlock(1), chain.commitment());
+}
+
+TEST(SecretChain, VerifyLinkFromCommitment) {
+  util::Rng rng(2);
+  const SecretChain chain(rng.next_bytes(32), 5);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_TRUE(SecretChain::verify_link(chain.commitment(), chain.secret(k), k));
+    // Wrong round index fails.
+    if (k >= 2) {
+      EXPECT_FALSE(
+          SecretChain::verify_link(chain.commitment(), chain.secret(k), k - 1));
+    }
+  }
+  EXPECT_FALSE(SecretChain::verify_link(chain.commitment(), chain.secret(1), 0));
+  Secret tampered = chain.secret(2);
+  tampered[5] ^= 1;
+  EXPECT_FALSE(SecretChain::verify_link(chain.commitment(), tampered, 2));
+}
+
+TEST(SecretChain, RejectsBadInputs) {
+  EXPECT_THROW(SecretChain(Secret(16), 3), std::invalid_argument);
+  EXPECT_THROW(SecretChain(Secret(32), 0), std::invalid_argument);
+}
+
+TEST(Recurrent, ThreeRoundsAllDeal) {
+  RecurrentSwapRunner runner(graph::figure1_triangle(), {0}, 3);
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& round : results) {
+    EXPECT_TRUE(round.report.all_triggered);
+    EXPECT_TRUE(round.chain_links_verified);
+    for (const Outcome o : round.report.outcomes) EXPECT_EQ(o, Outcome::kDeal);
+  }
+}
+
+TEST(Recurrent, MultiLeaderRounds) {
+  graph::Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  d.add_arc(1, 0);
+  d.add_arc(2, 1);
+  d.add_arc(0, 2);
+  RecurrentSwapRunner runner(d, {0, 1}, 2);
+  EXPECT_EQ(runner.commitments().size(), 2u);
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& round : results) {
+    EXPECT_TRUE(round.report.all_triggered);
+    EXPECT_TRUE(round.chain_links_verified);
+  }
+}
+
+TEST(Recurrent, HashlocksDifferAcrossRounds) {
+  RecurrentSwapRunner runner(graph::cycle(4), {0}, 3);
+  SecretChain chain(util::Rng(99).next_bytes(32), 3);
+  // Distinct hashlocks per round — replaying round 1's secret cannot
+  // unlock round 2.
+  EXPECT_NE(chain.hashlock(1), chain.hashlock(2));
+  EXPECT_NE(chain.hashlock(2), chain.hashlock(3));
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 3u);
+}
+
+TEST(Recurrent, RejectsZeroRounds) {
+  EXPECT_THROW(RecurrentSwapRunner(graph::cycle(3), {0}, 0),
+               std::invalid_argument);
+}
+
+TEST(Recurrent, EngineSecretOverrideValidation) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  EXPECT_THROW(engine.override_leader_secrets({}), std::invalid_argument);
+  EXPECT_THROW(engine.override_leader_secrets({Secret(16)}),
+               std::invalid_argument);
+  // Valid override changes the spec hashlock accordingly.
+  util::Rng rng(7);
+  const Secret s = rng.next_bytes(32);
+  engine.override_leader_secrets({s});
+  EXPECT_EQ(engine.spec().hashlocks[0], crypto::sha256_bytes(s));
+  EXPECT_TRUE(engine.run().all_triggered);
+}
+
+}  // namespace
+}  // namespace xswap::swap

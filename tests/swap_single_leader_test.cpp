@@ -1,0 +1,154 @@
+// The single-leader variant (§4.6): scalar timeouts, no signatures.
+// Includes the Fig. 1 timeout schedule (6Δ/5Δ/4Δ) and Lemma 4.13's gap
+// property.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "swap/engine.hpp"
+#include "swap/single_leader_contract.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+EngineOptions single_leader_options() {
+  EngineOptions options;
+  options.mode = ProtocolMode::kSingleLeader;
+  return options;
+}
+
+TEST(SingleLeader, Figure1TimeoutSchedule) {
+  // Triangle A(0)→B(1)→C(2)→A, leader A, diam 3: timeouts must be
+  // 6Δ, 5Δ, 4Δ after start for arcs (A,B), (B,C), (C,A) respectively.
+  SwapEngine engine(graph::figure1_triangle(), {0}, single_leader_options());
+  const SwapSpec& spec = engine.spec();
+  EXPECT_EQ(single_leader_timeout(spec, 0), spec.start_time + 6 * spec.delta);
+  EXPECT_EQ(single_leader_timeout(spec, 1), spec.start_time + 5 * spec.delta);
+  EXPECT_EQ(single_leader_timeout(spec, 2), spec.start_time + 4 * spec.delta);
+}
+
+TEST(SingleLeader, Lemma413TimeoutGap) {
+  // For every conforming follower v, the timeout on each entering arc is
+  // at least Δ later than on each leaving arc.
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.next_below(5);
+    // Single-leader digraphs: hub, cycles, shared-vertex cycles.
+    graph::Digraph d;
+    switch (trial % 3) {
+      case 0: d = graph::cycle(n); break;
+      case 1: d = graph::hub_and_spokes(n); break;
+      default: d = graph::two_cycles_sharing_vertex(3, n); break;
+    }
+    EngineOptions options = single_leader_options();
+    options.seed = 100 + static_cast<std::uint64_t>(trial);
+    SwapEngine engine(d, {0}, options);
+    const SwapSpec& spec = engine.spec();
+    for (PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+      if (v == 0) continue;  // leader
+      for (const graph::ArcId in : spec.digraph.in_arcs(v)) {
+        for (const graph::ArcId out : spec.digraph.out_arcs(v)) {
+          EXPECT_GE(single_leader_timeout(spec, in),
+                    single_leader_timeout(spec, out) + spec.delta)
+              << "vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(SingleLeader, TriangleAllDeal) {
+  SwapEngine engine(graph::figure1_triangle(), {0}, single_leader_options());
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kDeal);
+  EXPECT_LE(report.last_trigger_time,
+            engine.spec().start_time +
+                2 * engine.spec().diam * engine.spec().delta);
+  // §4.6's whole point: no signatures at all.
+  EXPECT_EQ(report.sign_operations, 0u);
+}
+
+TEST(SingleLeader, FamiliesAllDeal) {
+  for (const std::size_t n : {3u, 5u, 8u}) {
+    SwapEngine cyc(graph::cycle(n), {0}, single_leader_options());
+    EXPECT_TRUE(cyc.run().all_triggered) << "cycle " << n;
+
+    SwapEngine hub(graph::hub_and_spokes(n), {0}, single_leader_options());
+    EXPECT_TRUE(hub.run().all_triggered) << "hub " << n;
+  }
+  SwapEngine shared(graph::two_cycles_sharing_vertex(4, 3), {0},
+                    single_leader_options());
+  EXPECT_TRUE(shared.run().all_triggered);
+}
+
+TEST(SingleLeader, RejectsMultipleLeaders) {
+  EXPECT_THROW(SwapEngine(graph::complete(3), {0, 1}, single_leader_options()),
+               std::invalid_argument);
+}
+
+TEST(SingleLeader, CheaperThanGeneralProtocol) {
+  // Same digraph, same Δ: the §4.6 variant stores and transmits less.
+  SwapEngine general(graph::figure1_triangle(), {0});
+  SwapEngine single(graph::figure1_triangle(), {0}, single_leader_options());
+  const SwapReport g = general.run();
+  const SwapReport s = single.run();
+  ASSERT_TRUE(g.all_triggered);
+  ASSERT_TRUE(s.all_triggered);
+  EXPECT_LT(s.total_storage_bytes, g.total_storage_bytes);
+  EXPECT_LT(s.hashkey_bytes_submitted, g.hashkey_bytes_submitted);
+  EXPECT_LT(s.sign_operations, g.sign_operations);
+}
+
+TEST(SingleLeader, CrashSweepSafety) {
+  const graph::Digraph d = graph::figure1_triangle();
+  const SwapSpec probe = SwapEngine(d, {0}, single_leader_options()).spec();
+  const sim::Time horizon = probe.final_deadline() + probe.delta;
+  for (PartyId victim = 0; victim < 3; ++victim) {
+    for (sim::Time t = 0; t <= horizon; t += probe.delta) {
+      SwapEngine engine(d, {0}, single_leader_options());
+      Strategy s;
+      s.crash_at = t;
+      engine.set_strategy(victim, s);
+      const SwapReport report = engine.run();
+      EXPECT_TRUE(report.no_conforming_underwater)
+          << "victim " << victim << " crash at " << t;
+      for (graph::ArcId a = 0; a < 3; ++a) {
+        if (report.contract_published[a]) {
+          EXPECT_TRUE(report.triggered[a] || report.refunded[a]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SingleLeader, LastMomentUnlockSafety) {
+  // Delayed reveals: the Δ gap between leaving and entering timeouts
+  // (Lemma 4.14) keeps conforming parties whole.
+  const SwapSpec probe =
+      SwapEngine(graph::figure1_triangle(), {0}, single_leader_options()).spec();
+  for (sim::Time delay = probe.start_time;
+       delay <= probe.final_deadline() + probe.delta; delay += 2) {
+    SwapEngine engine(graph::figure1_triangle(), {0}, single_leader_options());
+    Strategy s;
+    s.delay_unlocks_until = delay;
+    engine.set_strategy(2, s);
+    const SwapReport report = engine.run();
+    EXPECT_TRUE(report.no_conforming_underwater) << "delay " << delay;
+    EXPECT_TRUE(acceptable(report.outcomes[1])) << "delay " << delay;
+  }
+}
+
+TEST(SingleLeader, WithholdContractRefundsEverything) {
+  SwapEngine engine(graph::cycle(4), {0}, single_leader_options());
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(2, s);
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.no_conforming_underwater);
+  for (const Outcome o : report.outcomes) EXPECT_EQ(o, Outcome::kNoDeal);
+}
+
+}  // namespace
+}  // namespace xswap::swap

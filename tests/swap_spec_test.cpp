@@ -1,0 +1,176 @@
+// SwapSpec validation (§4.2) — the admission test every swap must pass.
+#include "swap/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+SwapSpec valid_triangle_spec() {
+  SwapSpec spec;
+  spec.digraph = graph::cycle(3);
+  spec.party_names = {"Alice", "Bob", "Carol"};
+  spec.leaders = {0};
+  util::Rng rng(7);
+  spec.hashlocks = {crypto::sha256_bytes(rng.next_bytes(32))};
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    spec.arcs.push_back(ArcTerms{"chain-" + std::to_string(a),
+                                 chain::Asset::coins("TOK", 10)});
+  }
+  spec.directory.resize(3);
+  for (int i = 0; i < 3; ++i) {
+    spec.directory[static_cast<std::size_t>(i)] =
+        crypto::KeyPair::from_seed(rng.next_bytes(32)).public_key();
+  }
+  spec.start_time = 4;
+  spec.delta = 4;
+  spec.diam = graph::diameter(spec.digraph);
+  return spec;
+}
+
+TEST(SwapSpec, ValidSpecPasses) {
+  EXPECT_TRUE(validate_spec(valid_triangle_spec()).empty());
+}
+
+TEST(SwapSpec, LeaderIndexLookup) {
+  const SwapSpec spec = valid_triangle_spec();
+  EXPECT_EQ(spec.leader_index(0), 0u);
+  EXPECT_EQ(spec.leader_index(1), SwapSpec::npos);
+  EXPECT_TRUE(spec.is_leader(0));
+  EXPECT_FALSE(spec.is_leader(2));
+}
+
+TEST(SwapSpec, DeadlineFormula) {
+  const SwapSpec spec = valid_triangle_spec();
+  // start + (diam + |p|)·Δ with diam = 3, Δ = 4.
+  EXPECT_EQ(spec.hashkey_deadline(0), 4u + 3 * 4);
+  EXPECT_EQ(spec.hashkey_deadline(2), 4u + 5 * 4);
+  EXPECT_EQ(spec.final_deadline(), 4u + 6 * 4);  // start + 2·diam·Δ
+}
+
+TEST(SwapSpec, RejectsNonStronglyConnected) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.digraph = graph::Digraph(3);
+  spec.digraph.add_arc(0, 1);
+  spec.digraph.add_arc(1, 2);
+  spec.digraph.add_arc(0, 2);
+  spec.arcs.resize(3, ArcTerms{"c", chain::Asset::coins("TOK", 1)});
+  spec.diam = 10;
+  const auto problems = validate_spec(spec);
+  ASSERT_FALSE(problems.empty());
+  bool found = false;
+  for (const auto& p : problems) {
+    if (p.find("strongly connected") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SwapSpec, RejectsNonFvsLeaders) {
+  // Two cycles sharing vertex 0; leader {1} misses the second cycle
+  // (Theorem 4.12).
+  SwapSpec spec = valid_triangle_spec();
+  spec.digraph = graph::two_cycles_sharing_vertex(3, 3);
+  spec.party_names = {"A", "B", "C", "D", "E"};
+  spec.directory.resize(5);
+  spec.leaders = {1};
+  spec.arcs.assign(spec.digraph.arc_count(),
+                   ArcTerms{"c", chain::Asset::coins("TOK", 1)});
+  spec.diam = graph::diameter(spec.digraph);
+  const auto problems = validate_spec(spec);
+  bool found = false;
+  for (const auto& p : problems) {
+    if (p.find("feedback vertex set") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SwapSpec, RejectsEmptyOrDuplicateLeaders) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.leaders = {};
+  spec.hashlocks = {};
+  EXPECT_FALSE(validate_spec(spec).empty());
+
+  spec = valid_triangle_spec();
+  spec.leaders = {0, 0};
+  spec.hashlocks.push_back(spec.hashlocks[0]);
+  EXPECT_FALSE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, RejectsHashlockMismatches) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.hashlocks.clear();
+  EXPECT_FALSE(validate_spec(spec).empty());
+
+  spec = valid_triangle_spec();
+  spec.hashlocks[0].resize(16);  // not a SHA-256 digest
+  EXPECT_FALSE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, RejectsBadNames) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.party_names = {"Alice", "Alice", "Carol"};
+  EXPECT_FALSE(validate_spec(spec).empty());
+
+  spec = valid_triangle_spec();
+  spec.party_names[1] = "";
+  EXPECT_FALSE(validate_spec(spec).empty());
+
+  spec = valid_triangle_spec();
+  spec.party_names.pop_back();
+  EXPECT_FALSE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, RejectsBadArcTerms) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.arcs.pop_back();
+  EXPECT_FALSE(validate_spec(spec).empty());
+
+  spec = valid_triangle_spec();
+  spec.arcs[0].chain = "";
+  EXPECT_FALSE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, RejectsUndersizedDiameter) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.diam = 2;  // true diameter is 3
+  const auto problems = validate_spec(spec);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("diameter"), std::string::npos);
+}
+
+TEST(SwapSpec, AcceptsOverApproximatedDiameter) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.diam = 10;  // timeouts only need to be >= the true values
+  EXPECT_TRUE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, RejectsZeroDelta) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.delta = 0;
+  EXPECT_FALSE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, RejectsDirectorySizeMismatch) {
+  SwapSpec spec = valid_triangle_spec();
+  spec.directory.pop_back();
+  EXPECT_FALSE(validate_spec(spec).empty());
+}
+
+TEST(SwapSpec, EncodedSizeGrowsWithArcs) {
+  const SwapSpec small = valid_triangle_spec();
+  SwapSpec big = small;
+  big.digraph = graph::cycle(6);
+  big.party_names = {"A", "B", "C", "D", "E", "F"};
+  big.directory.resize(6);
+  big.arcs.assign(6, ArcTerms{"c", chain::Asset::coins("TOK", 1)});
+  big.diam = 6;
+  EXPECT_GT(big.encoded_size(), small.encoded_size());
+}
+
+}  // namespace
+}  // namespace xswap::swap

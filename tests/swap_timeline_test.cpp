@@ -1,0 +1,95 @@
+// Timeline collection and rendering across chains.
+#include "swap/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(Timeline, CleanRunHasFullLifecyclePerArc) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  engine.run();
+  const auto events = collect_timeline(engine);
+
+  // Each arc: 1 publish, 1 unlock (single hashlock), 1 claim.
+  std::vector<int> publishes(3, 0), unlocks(3, 0), claims(3, 0), refunds(3, 0);
+  for (const TimelineEvent& ev : events) {
+    ASSERT_TRUE(ev.succeeded);
+    switch (ev.kind) {
+      case EventKind::kPublish: ++publishes[ev.arc]; break;
+      case EventKind::kUnlock: ++unlocks[ev.arc]; break;
+      case EventKind::kClaim: ++claims[ev.arc]; break;
+      case EventKind::kRefund: ++refunds[ev.arc]; break;
+    }
+  }
+  for (graph::ArcId a = 0; a < 3; ++a) {
+    EXPECT_EQ(publishes[a], 1) << a;
+    EXPECT_EQ(unlocks[a], 1) << a;
+    EXPECT_EQ(claims[a], 1) << a;
+    EXPECT_EQ(refunds[a], 0) << a;
+  }
+}
+
+TEST(Timeline, EventsAreChronological) {
+  SwapEngine engine(graph::cycle(5), {0});
+  engine.run();
+  const auto events = collect_timeline(engine);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+  // Per arc: publish < unlock < claim.
+  std::vector<sim::Time> publish_at(5, 0), unlock_at(5, 0), claim_at(5, 0);
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kPublish) publish_at[ev.arc] = ev.at;
+    if (ev.kind == EventKind::kUnlock) unlock_at[ev.arc] = ev.at;
+    if (ev.kind == EventKind::kClaim) claim_at[ev.arc] = ev.at;
+  }
+  for (graph::ArcId a = 0; a < 5; ++a) {
+    EXPECT_LT(publish_at[a], unlock_at[a]);
+    EXPECT_LE(unlock_at[a], claim_at[a]);
+  }
+}
+
+TEST(Timeline, AdversarialRunShowsRefundsAndFailures) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(2, s);
+  engine.run();
+  const auto events = collect_timeline(engine);
+  bool saw_refund = false;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kRefund && ev.succeeded) saw_refund = true;
+  }
+  EXPECT_TRUE(saw_refund);
+}
+
+TEST(Timeline, RenderContainsPartiesAndEvents) {
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  engine.run();
+  const std::string text = render_timeline(engine.spec(), collect_timeline(engine));
+  EXPECT_NE(text.find("publish"), std::string::npos);
+  EXPECT_NE(text.find("unlock"), std::string::npos);
+  EXPECT_NE(text.find("claim"), std::string::npos);
+  EXPECT_NE(text.find("(P0,P1)"), std::string::npos);
+}
+
+TEST(Timeline, SingleLeaderModeWorksToo) {
+  EngineOptions options;
+  options.mode = ProtocolMode::kSingleLeader;
+  SwapEngine engine(graph::figure1_triangle(), {0}, options);
+  engine.run();
+  const auto events = collect_timeline(engine);
+  int unlocks = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kUnlock) ++unlocks;
+  }
+  EXPECT_EQ(unlocks, 3);
+}
+
+}  // namespace
+}  // namespace xswap::swap

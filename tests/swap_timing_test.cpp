@@ -1,0 +1,109 @@
+// The Δ timing assumption under chain latency: safety holds whenever Δ
+// covers two chain hops, and provably breaks when the assumption is
+// violated — the load-bearing role of §2.2's "known duration Δ".
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+#include "swap/invariants.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(Timing, SlowChainsWithinContractStaySafe) {
+  // Sweep submission delays with Δ scaled to cover them: everything must
+  // still be uniform all-Deal.
+  for (const sim::Duration delay : {0u, 1u, 2u, 4u}) {
+    EngineOptions options;
+    options.chain_submit_delay = delay;
+    options.delta = 2 * (options.seal_period + delay) + 2;
+    SwapEngine engine(graph::figure1_triangle(), {0}, options);
+    const SwapReport report = engine.run();
+    EXPECT_TRUE(report.all_triggered) << "delay " << delay;
+    EXPECT_TRUE(check_all(engine, report).ok()) << "delay " << delay;
+  }
+}
+
+TEST(Timing, SlowChainsWithAdversaryStaySafe) {
+  // Last-moment unlocks on congested chains: the Δ contract still leaves
+  // conforming parties whole.
+  EngineOptions options;
+  options.chain_submit_delay = 2;
+  options.delta = 8;
+  const SwapSpec probe = SwapEngine(graph::figure1_triangle(), {0}, options).spec();
+  for (sim::Time delay_until = probe.start_time;
+       delay_until <= probe.final_deadline(); delay_until += 3) {
+    SwapEngine engine(graph::figure1_triangle(), {0}, options);
+    Strategy s;
+    s.delay_unlocks_until = delay_until;
+    engine.set_strategy(2, s);
+    const SwapReport report = engine.run();
+    EXPECT_TRUE(report.no_conforming_underwater) << "delay " << delay_until;
+  }
+}
+
+TEST(Timing, EngineRejectsUndersizedDelta) {
+  EngineOptions options;
+  options.chain_submit_delay = 3;
+  options.delta = 6;  // needs >= 2*(1+3) = 8
+  EXPECT_THROW(SwapEngine(graph::figure1_triangle(), {0}, options),
+               std::invalid_argument);
+  options.allow_unsafe_timing = true;
+  EXPECT_NO_THROW(SwapEngine(graph::figure1_triangle(), {0}, options));
+}
+
+TEST(Timing, ViolatedDeltaCanDrownConformingParty) {
+  // Negative result (why the assumption matters). A uniform slowdown only
+  // stalls liveness — everything misses its deadline together. The real
+  // exploit needs *asymmetric* latency: the adversary's unlock rides a
+  // fast chain to land at the last valid moment, while the victim's
+  // extension sits in a slow chain's queue past its (one-Δ-later)
+  // deadline. We slow only Bob's entering chain below the Δ contract and
+  // sweep Carol's last-moment timing: at least one run must leave
+  // conforming Bob Underwater — the guarantee is really gone.
+  const auto make_engine = [] {
+    EngineOptions options;
+    options.delta = 4;
+    options.allow_unsafe_timing = true;
+    return SwapEngine(graph::figure1_triangle(), {0}, options);
+  };
+  const SwapSpec probe = make_engine().spec();
+
+  bool conforming_party_drowned = false;
+  for (sim::Time delay_until = probe.start_time;
+       delay_until <= probe.final_deadline() + probe.delta; ++delay_until) {
+    SwapEngine engine = make_engine();
+    // Arc 0 is (A,B): Bob's entering arc. Slow only that chain, with a
+    // hop cost exceeding Δ.
+    engine.ledger_mut(engine.spec().arcs[0].chain).set_submit_delay(6);
+    Strategy s;
+    s.delay_unlocks_until = delay_until;
+    engine.set_strategy(2, s);
+    const SwapReport report = engine.run();
+    if (!report.no_conforming_underwater) {
+      conforming_party_drowned = true;
+      EXPECT_EQ(report.outcomes[1], Outcome::kUnderwater);
+    }
+  }
+  EXPECT_TRUE(conforming_party_drowned)
+      << "expected the broken timing assumption to be exploitable";
+}
+
+TEST(Timing, ViolatedDeltaWithHonestPartiesOnlyStallsLiveness) {
+  // With everyone honest, a broken Δ can cost liveness (refunds instead
+  // of deals) but never safety.
+  EngineOptions options;
+  options.chain_submit_delay = 4;
+  options.delta = 2;
+  options.allow_unsafe_timing = true;
+  SwapEngine engine(graph::figure1_triangle(), {0}, options);
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.no_conforming_underwater);
+  for (const Outcome o : report.outcomes) {
+    EXPECT_TRUE(o == Outcome::kDeal || o == Outcome::kNoDeal)
+        << to_string(o);
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

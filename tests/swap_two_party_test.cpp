@@ -1,0 +1,136 @@
+// The classic two-party HTLC swap, plus the general/single-leader mode
+// equivalence property on single-leader digraphs.
+#include "swap/two_party.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "swap/invariants.hpp"
+#include "swap/single_leader_contract.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TwoPartySide alice() {
+  return {"Alice", "altchain", chain::Asset::coins("ALT", 500)};
+}
+TwoPartySide bob() {
+  return {"Bob", "bitcoin", chain::Asset::coins("BTC", 2)};
+}
+
+TEST(TwoParty, HappyPath) {
+  SwapEngine engine = make_two_party_swap(alice(), bob());
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+  EXPECT_EQ(report.outcomes[0], Outcome::kDeal);
+  EXPECT_EQ(report.outcomes[1], Outcome::kDeal);
+  EXPECT_EQ(engine.ledger("altchain").balance("Bob", "ALT"), 500u);
+  EXPECT_EQ(engine.ledger("bitcoin").balance("Alice", "BTC"), 2u);
+  EXPECT_EQ(report.sign_operations, 0u);  // §4.6: no signatures
+  EXPECT_TRUE(check_all(engine, report).ok());
+}
+
+TEST(TwoParty, TimeoutsFollowFig1Pattern) {
+  SwapEngine engine = make_two_party_swap(alice(), bob());
+  const SwapSpec& spec = engine.spec();
+  // Leader Alice's arc (0,1) expires later than Bob's (1,0): Bob must
+  // have time to relay after Alice reveals.
+  EXPECT_GT(single_leader_timeout(spec, 0), single_leader_timeout(spec, 1));
+  EXPECT_GE(single_leader_timeout(spec, 0),
+            single_leader_timeout(spec, 1) + spec.delta);
+}
+
+TEST(TwoParty, CounterpartyWalkingAwayRefunds) {
+  SwapEngine engine = make_two_party_swap(alice(), bob());
+  Strategy s;
+  s.crash_at = 0;
+  engine.set_strategy(1, s);
+  const SwapReport report = engine.run();
+  EXPECT_FALSE(report.all_triggered);
+  EXPECT_EQ(report.outcomes[0], Outcome::kNoDeal);
+  EXPECT_EQ(engine.ledger("altchain").balance("Alice", "ALT"), 500u);
+  EXPECT_TRUE(report.no_conforming_underwater);
+}
+
+TEST(TwoParty, GeneralModeAlsoWorks) {
+  EngineOptions options;  // default: general hashkey protocol
+  SwapEngine engine = make_two_party_swap(alice(), bob(), options);
+  const SwapReport report = engine.run();
+  EXPECT_TRUE(report.all_triggered);
+  EXPECT_GT(report.sign_operations, 0u);
+}
+
+TEST(TwoParty, RejectsDegenerateSides) {
+  EXPECT_THROW(make_two_party_swap(alice(), alice()), std::invalid_argument);
+  TwoPartySide anon = bob();
+  anon.party = "";
+  EXPECT_THROW(make_two_party_swap(alice(), anon), std::invalid_argument);
+}
+
+// ---- Mode equivalence: on single-leader digraphs, the general hashkey
+// protocol and the §4.6 timeout protocol must produce identical outcome
+// vectors under the same strategies. ----
+
+struct EquivCase {
+  std::string name;
+  int family;      // 0=cycle3 1=cycle5 2=hub4 3=twocycles
+  int deviation;   // 0=none 1=crash 2=withhold contracts 3=withhold unlocks
+};
+
+graph::Digraph equiv_digraph(int family) {
+  switch (family) {
+    case 0: return graph::cycle(3);
+    case 1: return graph::cycle(5);
+    case 2: return graph::hub_and_spokes(4);
+    default: return graph::two_cycles_sharing_vertex(3, 3);
+  }
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(ModeEquivalence, SameOutcomesBothModes) {
+  const EquivCase& c = GetParam();
+  std::vector<Outcome> outcomes[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    EngineOptions options;
+    options.mode = mode == 0 ? ProtocolMode::kGeneral
+                             : ProtocolMode::kSingleLeader;
+    options.seed = 77;
+    SwapEngine engine(equiv_digraph(c.family), {0}, options);
+    Strategy s;
+    switch (c.deviation) {
+      case 1: s.crash_at = engine.spec().start_time + engine.spec().delta; break;
+      case 2: s.withhold_contracts = true; break;
+      case 3: s.withhold_unlocks = true; s.withhold_claims = true; break;
+      default: break;
+    }
+    if (c.deviation != 0) {
+      engine.set_strategy(
+          static_cast<PartyId>(engine.spec().digraph.vertex_count() - 1), s);
+    }
+    const SwapReport report = engine.run();
+    outcomes[mode] = report.outcomes;
+    EXPECT_TRUE(report.no_conforming_underwater);
+  }
+  EXPECT_EQ(outcomes[0], outcomes[1]) << c.name;
+}
+
+std::vector<EquivCase> equivalence_cases() {
+  std::vector<EquivCase> cases;
+  const char* families[] = {"cycle3", "cycle5", "hub4", "twocycles"};
+  const char* deviations[] = {"honest", "crash", "silent", "withhold"};
+  for (int f = 0; f < 4; ++f) {
+    for (int dev = 0; dev < 4; ++dev) {
+      cases.push_back(
+          EquivCase{std::string(families[f]) + "_" + deviations[dev], f, dev});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModeEquivalence,
+                         ::testing::ValuesIn(equivalence_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace xswap::swap

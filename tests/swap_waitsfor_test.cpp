@@ -1,0 +1,96 @@
+// The waits-for digraph of Theorem 4.12: deadlock detection for Phase One.
+#include "swap/waitsfor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(WaitsFor, ReversedUnpublishedArcs) {
+  const graph::Digraph d = graph::cycle(3);
+  // Only arc (0,1) published: W has arcs (2,1) and (0,2).
+  const graph::Digraph w = waits_for_digraph(d, {true, false, false});
+  EXPECT_EQ(w.arc_count(), 2u);
+  EXPECT_TRUE(w.find_arc(2, 1).has_value());
+  EXPECT_TRUE(w.find_arc(0, 2).has_value());
+}
+
+TEST(WaitsFor, EmptyWhenAllPublished) {
+  const graph::Digraph d = graph::cycle(4);
+  const graph::Digraph w = waits_for_digraph(d, std::vector<bool>(4, true));
+  EXPECT_EQ(w.arc_count(), 0u);
+  EXPECT_FALSE(find_deadlock(w, {0}).has_value());
+}
+
+TEST(WaitsFor, SizeMismatchRejected) {
+  EXPECT_THROW(waits_for_digraph(graph::cycle(3), {true}), std::invalid_argument);
+}
+
+TEST(WaitsFor, InitialStateDeadlocksWithoutFvsLeaders) {
+  // Theorem 4.12's argument: nothing published yet, W = D^T. If the
+  // leaders are not a feedback vertex set, a follower cycle exists in W
+  // and Phase One can never complete.
+  const graph::Digraph d = graph::two_cycles_sharing_vertex(3, 3);
+  const graph::Digraph w = waits_for_digraph(d, std::vector<bool>(d.arc_count(), false));
+  // Leader {1} covers only the first cycle: the second cycle deadlocks.
+  const auto deadlock = find_deadlock(w, {1});
+  ASSERT_TRUE(deadlock.has_value());
+  EXPECT_GE(deadlock->cycle.size(), 2u);
+  // Leader {0} (the shared vertex, a real FVS) leaves no follower cycle.
+  EXPECT_FALSE(find_deadlock(w, {0}).has_value());
+}
+
+TEST(WaitsFor, DeadlockCycleIsARealCycle) {
+  const graph::Digraph d = graph::cycle(5);
+  const graph::Digraph w =
+      waits_for_digraph(d, std::vector<bool>(d.arc_count(), false));
+  const auto deadlock = find_deadlock(w, {});
+  ASSERT_TRUE(deadlock.has_value());
+  ASSERT_EQ(deadlock->cycle.size(), 5u);
+  // Consecutive members must be joined by W arcs.
+  for (std::size_t i = 0; i < deadlock->cycle.size(); ++i) {
+    const PartyId from = deadlock->cycle[i];
+    const PartyId to = deadlock->cycle[(i + 1) % deadlock->cycle.size()];
+    EXPECT_TRUE(w.find_arc(from, to).has_value()) << from << "->" << to;
+  }
+}
+
+TEST(WaitsFor, LiveRunNeverDeadlocks) {
+  // Reconstruct W from the chains after an honest run: empty.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  engine.run();
+  std::map<std::string, const chain::Ledger*> ledgers;
+  for (const auto& terms : engine.spec().arcs) {
+    ledgers[terms.chain] = &engine.ledger(terms.chain);
+  }
+  const auto events = collect_arc_events(engine.spec(), ledgers);
+  const graph::Digraph w = waits_for_digraph(engine.spec(), events);
+  EXPECT_EQ(w.arc_count(), 0u);
+}
+
+TEST(WaitsFor, StalledRunShowsWhoWaits) {
+  // Bob withholds: afterwards W records exactly who waited on whom.
+  SwapEngine engine(graph::figure1_triangle(), {0});
+  Strategy s;
+  s.withhold_contracts = true;
+  engine.set_strategy(1, s);
+  engine.run();
+  std::map<std::string, const chain::Ledger*> ledgers;
+  for (const auto& terms : engine.spec().arcs) {
+    ledgers[terms.chain] = &engine.ledger(terms.chain);
+  }
+  const auto events = collect_arc_events(engine.spec(), ledgers);
+  const graph::Digraph w = waits_for_digraph(engine.spec(), events);
+  // (B,C) and (C,A) never published: Carol waits on Bob, Alice on Carol.
+  EXPECT_EQ(w.arc_count(), 2u);
+  EXPECT_TRUE(w.find_arc(2, 1).has_value());
+  EXPECT_TRUE(w.find_arc(0, 2).has_value());
+  EXPECT_FALSE(find_deadlock(w, {0}).has_value());  // chain, not a cycle
+}
+
+}  // namespace
+}  // namespace xswap::swap

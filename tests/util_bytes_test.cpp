@@ -1,0 +1,74 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xswap::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StrBytes) {
+  const Bytes b = str_bytes("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = concat({a, b, a});
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 1, 2}));
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1};
+  append(dst, Bytes{2, 3});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, Be64RoundTrip) {
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  const Bytes enc = be64(v);
+  ASSERT_EQ(enc.size(), 8u);
+  EXPECT_EQ(enc[0], 0x01);
+  EXPECT_EQ(enc[7], 0xef);
+  EXPECT_EQ(read_be64(enc), v);
+}
+
+TEST(Bytes, Be64Zero) {
+  EXPECT_EQ(read_be64(be64(0)), 0u);
+}
+
+TEST(Bytes, ReadBe64RejectsShort) {
+  EXPECT_THROW(read_be64(Bytes{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace xswap::util

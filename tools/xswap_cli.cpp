@@ -1,0 +1,207 @@
+// xswap_cli — run an atomic cross-chain swap simulation from the command
+// line and inspect what happened.
+//
+//   xswap_cli [options]
+//     --digraph KIND     cycle:N | complete:N | hub:N | twocycles:A,B | fig8
+//                        (default cycle:3, the paper's three-way swap)
+//     --mode MODE        general | single | broadcast   (default general)
+//     --delta N          Δ in ticks (default 4)
+//     --seed N           RNG seed (default 20180101)
+//     --adversary SPEC   V:crash:T | V:withhold | V:silent | V:corrupt |
+//                        V:late:T | V:reveal   (repeatable; V = party id)
+//     --timeline         print the merged cross-chain event timeline
+//     --forensics        print the fault-attribution report
+//     --help
+//
+// Examples:
+//   xswap_cli --digraph cycle:5 --timeline
+//   xswap_cli --digraph fig8 --adversary 2:withhold --forensics
+//   xswap_cli --digraph hub:6 --mode single --adversary 3:crash:10
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+#include "swap/forensics.hpp"
+#include "swap/invariants.hpp"
+#include "swap/timeline.hpp"
+
+using namespace xswap;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: xswap_cli [--digraph KIND] [--mode MODE] [--delta N]\n"
+               "                 [--seed N] [--adversary V:KIND[:ARG]]...\n"
+               "                 [--timeline] [--forensics]\n"
+               "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
+               "MODE: general | single | broadcast\n"
+               "adversary KIND: crash:T | withhold | silent | corrupt | "
+               "late:T | reveal\n");
+  std::exit(2);
+}
+
+struct ParsedDigraph {
+  graph::Digraph d;
+  std::vector<swap::PartyId> leaders;
+};
+
+ParsedDigraph parse_digraph(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "fig8") {
+    graph::Digraph d(3);
+    d.add_arc(0, 1);
+    d.add_arc(1, 2);
+    d.add_arc(2, 0);
+    d.add_arc(1, 0);
+    d.add_arc(2, 1);
+    d.add_arc(0, 2);
+    return {std::move(d), {0, 1}};
+  }
+  if (kind == "twocycles") {
+    const auto comma = args.find(',');
+    if (comma == std::string::npos) usage("twocycles needs A,B");
+    const std::size_t a = std::strtoul(args.c_str(), nullptr, 10);
+    const std::size_t b = std::strtoul(args.c_str() + comma + 1, nullptr, 10);
+    return {graph::two_cycles_sharing_vertex(a, b), {0}};
+  }
+  const std::size_t n = std::strtoul(args.c_str(), nullptr, 10);
+  if (n < 2) usage("digraph size must be at least 2");
+  if (kind == "cycle") return {graph::cycle(n), {0}};
+  if (kind == "hub") return {graph::hub_and_spokes(n), {0}};
+  if (kind == "complete") {
+    std::vector<swap::PartyId> leaders;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      leaders.push_back(static_cast<swap::PartyId>(i));
+    }
+    return {graph::complete(n), std::move(leaders)};
+  }
+  usage("unknown digraph kind");
+}
+
+swap::Strategy parse_adversary(const std::string& spec, swap::PartyId* victim,
+                               const swap::SwapSpec& swap_spec) {
+  const auto c1 = spec.find(':');
+  if (c1 == std::string::npos) usage("adversary needs V:KIND");
+  *victim = static_cast<swap::PartyId>(std::strtoul(spec.c_str(), nullptr, 10));
+  const auto c2 = spec.find(':', c1 + 1);
+  const std::string kind = spec.substr(c1 + 1, c2 == std::string::npos
+                                                   ? std::string::npos
+                                                   : c2 - c1 - 1);
+  const std::string arg = c2 == std::string::npos ? "" : spec.substr(c2 + 1);
+  swap::Strategy s;
+  if (kind == "crash") {
+    s.crash_at = swap_spec.start_time +
+                 static_cast<sim::Time>(std::strtoul(arg.c_str(), nullptr, 10));
+  } else if (kind == "withhold") {
+    s.withhold_unlocks = true;
+    s.withhold_claims = true;
+  } else if (kind == "silent") {
+    s.withhold_contracts = true;
+  } else if (kind == "corrupt") {
+    s.publish_corrupt_contracts = true;
+  } else if (kind == "late") {
+    s.delay_unlocks_until =
+        swap_spec.start_time +
+        static_cast<sim::Time>(std::strtoul(arg.c_str(), nullptr, 10));
+  } else if (kind == "reveal") {
+    s.premature_reveal = true;
+  } else {
+    usage("unknown adversary kind");
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string digraph_spec = "cycle:3";
+  std::string mode = "general";
+  swap::EngineOptions options;
+  std::vector<std::string> adversaries;
+  bool show_timeline = false;
+  bool show_forensics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--digraph") digraph_spec = next();
+    else if (arg == "--mode") mode = next();
+    else if (arg == "--delta") options.delta = std::strtoul(next().c_str(), nullptr, 10);
+    else if (arg == "--seed") options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--adversary") adversaries.push_back(next());
+    else if (arg == "--timeline") show_timeline = true;
+    else if (arg == "--forensics") show_forensics = true;
+    else if (arg == "--help") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+
+  if (mode == "single") options.mode = swap::ProtocolMode::kSingleLeader;
+  else if (mode == "broadcast") options.broadcast = true;
+  else if (mode != "general") usage("unknown mode");
+
+  ParsedDigraph parsed = parse_digraph(digraph_spec);
+  if (options.mode == swap::ProtocolMode::kSingleLeader &&
+      parsed.leaders.size() != 1) {
+    usage("single-leader mode needs a single-leader digraph");
+  }
+
+  swap::SwapEngine engine(parsed.d, parsed.leaders, options);
+  const swap::SwapSpec& spec = engine.spec();
+  for (const std::string& a : adversaries) {
+    swap::PartyId victim = 0;
+    const swap::Strategy s = parse_adversary(a, &victim, spec);
+    if (victim >= spec.digraph.vertex_count()) usage("adversary id out of range");
+    engine.set_strategy(victim, s);
+  }
+
+  std::printf("swap: %zu parties, %zu transfers, %zu leader(s), diam=%zu, "
+              "delta=%llu, mode=%s\n",
+              spec.digraph.vertex_count(), spec.digraph.arc_count(),
+              spec.leaders.size(), spec.diam,
+              static_cast<unsigned long long>(spec.delta), mode.c_str());
+
+  const swap::SwapReport report = engine.run();
+
+  if (show_timeline) {
+    std::printf("\ntimeline (t in delta units after start):\n%s",
+                swap::render_timeline(spec, swap::collect_timeline(engine)).c_str());
+  }
+
+  std::printf("\noutcomes:\n");
+  for (swap::PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+    std::printf("  %-6s %-10s%s\n", spec.party_names[v].c_str(),
+                to_string(report.outcomes[v]),
+                engine.strategy(v).conforming() ? "" : "  (deviated)");
+  }
+  std::printf("all transfers triggered: %s; no conforming party underwater: %s\n",
+              report.all_triggered ? "yes" : "no",
+              report.no_conforming_underwater ? "yes" : "NO");
+
+  const swap::InvariantReport audit = swap::check_all(engine, report);
+  std::printf("invariant audit: %s\n", audit.ok() ? "ok" : audit.to_string().c_str());
+
+  if (show_forensics) {
+    const swap::FaultReport faults = swap::analyze_faults(engine);
+    std::printf("\nforensics:\n");
+    if (faults.findings.empty()) {
+      std::printf("  nobody failed an enabled transition\n");
+    }
+    for (const auto& f : faults.findings) {
+      std::printf("  %-6s %-22s %s\n",
+                  spec.party_names[f.party].c_str(), to_string(f.kind),
+                  f.detail.c_str());
+    }
+  }
+  return report.no_conforming_underwater && audit.ok() ? 0 : 1;
+}
