@@ -42,6 +42,26 @@ struct EngineOptions {
 };
 
 /// Result of one protocol run.
+///
+/// Invariants the test suite asserts against every report. The starred
+/// ones have machine-checkable audits in swap/invariants.hpp
+/// (check_guarantees / check_all); the rest are asserted directly by
+/// individual tests:
+///  * (*) whatever the adversary does, `no_conforming_underwater` stays
+///    true (Theorem 4.9) — a violation is a protocol bug, not a test
+///    artifact;
+///  * (*) every trigger lands by spec().final_deadline() — that is,
+///    `last_trigger_time` ≤ start + 2·diam·Δ (Theorem 4.7) — and with
+///    everyone conforming, `all_triggered` is true and every entry of
+///    `outcomes` is Outcome::kDeal (atomicity);
+///  * (*) no chain mints or destroys value, and every ledger's hash
+///    links and Merkle roots check out;
+///  * an arc can be `triggered` or `refunded` but never both, and either
+///    implies `contract_published` for that arc;
+///  * every nonzero `settled_at` is ≤ `finished_at`;
+///  * resource counters only grow with digraph size; total storage obeys
+///    Theorem 4.10's O(|A|^2) bound (bench/bench_space_vs_arcs.cpp
+///    measures the curve).
 struct SwapReport {
   // Per-arc results (indexed by ArcId).
   std::vector<bool> contract_published;  // a spec-matching contract appeared

@@ -45,9 +45,27 @@ struct SwapSpec {
   std::vector<Hashlock> hashlocks;       // h_i = H(s_i), parallel to leaders
   std::vector<ArcTerms> arcs;            // parallel to digraph.arcs()
   PartyDirectory directory;              // public keys, indexed by PartyId
-  sim::Time start_time = 0;              // protocol start T
-  sim::Duration delta = 4;               // Δ in simulator ticks
-  std::size_t diam = 0;                  // agreed diameter (≥ true diam(D))
+
+  /// Protocol starting time T. All hashkey deadlines are measured from
+  /// here; contracts published before T simply wait, and a party that
+  /// first observes the spec after T should decline to participate.
+  sim::Time start_time = 0;
+
+  /// Δ, in simulator ticks: the agreed duration long enough for one
+  /// party to publish (or trigger) a contract change AND for every other
+  /// party to observe it — i.e. at least two protocol hops (§2.2). With
+  /// a seal period of `p` and submission delay `d`, safety requires
+  /// Δ ≥ 2·(p + d); SwapEngine enforces this unless
+  /// EngineOptions::allow_unsafe_timing is set.
+  sim::Duration delta = 4;
+
+  /// The agreed diameter bound: any value ≥ the true diam(D) (longest
+  /// shortest-path between ordered vertex pairs). Deadlines scale with
+  /// it, so a larger value is always safe but delays refunds; 0 is
+  /// invalid (validate_spec rejects it for any digraph with ≥ 2
+  /// vertexes). All parties must use the same value — it is part of the
+  /// common knowledge, not a local tuning knob.
+  std::size_t diam = 0;
 
   /// §4.5 optimization: when true, a shared broadcast chain carries the
   /// leaders' secrets and contracts accept the "virtual arc" hashkey path

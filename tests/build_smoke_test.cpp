@@ -1,0 +1,29 @@
+// Fast build canary: one conforming run of the paper's Figure 1 triangle
+// (Alice -> Bob -> Carol -> Alice, Alice the sole leader) must end with
+// every arc triggered and every party classified kDeal. If this binary
+// compiles, links, and passes, the library's full stack — graph, chain,
+// sim, crypto, swap — is wired together correctly.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+#include "swap/outcome.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(BuildSmoke, Figure1TriangleAllDeal) {
+  const graph::Digraph d = graph::figure1_triangle();
+  SwapEngine engine(d, /*leaders=*/{0});
+  const SwapReport report = engine.run();
+
+  EXPECT_TRUE(report.all_triggered);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  for (const Outcome outcome : report.outcomes) {
+    EXPECT_EQ(outcome, Outcome::kDeal);
+  }
+  EXPECT_TRUE(report.no_conforming_underwater);
+}
+
+}  // namespace
+}  // namespace xswap::swap
