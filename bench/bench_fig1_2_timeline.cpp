@@ -13,8 +13,7 @@
 
 #include "bench_util.hpp"
 #include "chain/ledger.hpp"
-#include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 #include "swap/single_leader_contract.hpp"
 
 using namespace xswap;
@@ -23,22 +22,21 @@ int main() {
   bench::title("bench_fig1_2_timeline",
                "Figures 1-2: three-way swap deployment and triggering");
 
-  swap::EngineOptions options;
-  options.mode = swap::ProtocolMode::kSingleLeader;
-  const std::vector<std::string> names = {"Alice", "Bob", "Carol"};
-  std::vector<swap::ArcTerms> arcs = {
-      {"altchain", chain::Asset::coins("ALT", 100)},
-      {"bitcoin", chain::Asset::coins("BTC", 1)},
-      {"dmv", chain::Asset::unique("TITLE", "cadillac")},
-  };
-  swap::SwapEngine engine(graph::figure1_triangle(), names, {0}, arcs, options);
+  swap::Scenario scenario =
+      swap::ScenarioBuilder()
+          .offer("Alice", "Bob", "altchain", chain::Asset::coins("ALT", 100))
+          .offer("Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 1))
+          .offer("Carol", "Alice", "dmv", chain::Asset::unique("TITLE", "cadillac"))
+          .mode(swap::ProtocolMode::kSingleLeader)
+          .build();
+  swap::SwapEngine& engine = scenario.engine(0);
   const swap::SwapSpec& spec = engine.spec();
   const double delta = static_cast<double>(spec.delta);
   const auto in_delta = [&](sim::Time t) {
     return (static_cast<double>(t) - static_cast<double>(spec.start_time)) / delta;
   };
 
-  const swap::SwapReport report = engine.run();
+  const swap::SwapReport report = scenario.run().swaps[0];
 
   std::printf("delta = %llu ticks, start T = %llu, diam(D) = %zu\n\n",
               static_cast<unsigned long long>(spec.delta),

@@ -1,29 +1,51 @@
 // Simulator performance: wall-clock cost of a full end-to-end swap
 // simulation (chains + contracts + real Ed25519 signatures) as the
 // digraph grows. Not a paper claim — capacity data for anyone using this
-// library for larger studies.
+// library for larger studies. Drives the Scenario API end to end
+// (offers → clearing → engine → run), so the measured cost is what a
+// batch-runner user would see per component swap.
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 
 using namespace xswap;
 
 namespace {
 
-double run_ms(const graph::Digraph& d, const std::vector<swap::PartyId>& leaders,
-              swap::ProtocolMode mode, std::uint64_t seed) {
-  swap::EngineOptions options;
-  options.mode = mode;
-  options.seed = seed;
-  swap::SwapEngine engine(d, leaders, options);
+struct Timed {
+  double ms = -1.0;
+  std::size_t leaders = 0;
+};
+
+Timed run_ms(const graph::Digraph& d, swap::ProtocolMode mode,
+             std::uint64_t seed) {
+  swap::Scenario scenario = swap::ScenarioBuilder()
+                                .offers(swap::offers_for_digraph(d))
+                                .mode(mode)
+                                .seed(seed)
+                                .build();
+  Timed out;
+  out.leaders = scenario.cleared(0).leaders.size();
   const auto start = std::chrono::steady_clock::now();
-  const swap::SwapReport report = engine.run();
+  const swap::BatchReport report = scenario.run();
   const auto end = std::chrono::steady_clock::now();
-  if (!report.all_triggered) return -1.0;
-  return std::chrono::duration<double, std::milli>(end - start).count();
+  if (!report.all_triggered) return out;
+  out.ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return out;
+}
+
+void emit_row(const char* family, std::size_t n, const graph::Digraph& d,
+              double general_ms, double single_ms, std::size_t leaders) {
+  bench::row_json("bench_sim_throughput", "run_ms",
+                  {{"family", family},
+                   {"n", n},
+                   {"arcs", d.arc_count()},
+                   {"leaders", leaders},
+                   {"general_ms", general_ms},
+                   {"single_leader_ms", single_ms}});
 }
 
 }  // namespace
@@ -37,20 +59,18 @@ int main() {
   bench::rule();
   for (const std::size_t n : {3u, 6u, 10u, 14u, 18u}) {
     const graph::Digraph d = graph::cycle(n);
-    const double g = run_ms(d, {0}, swap::ProtocolMode::kGeneral, n);
-    const double s = run_ms(d, {0}, swap::ProtocolMode::kSingleLeader, n);
-    std::printf("cycle%-5zu %4zu %5u | %12.2f %12.2f\n", n, d.arc_count(), 1u,
-                g, s);
+    const Timed g = run_ms(d, swap::ProtocolMode::kGeneral, n);
+    const Timed s = run_ms(d, swap::ProtocolMode::kSingleLeader, n);
+    std::printf("cycle%-5zu %4zu %5zu | %12.2f %12.2f\n", n, d.arc_count(),
+                g.leaders, g.ms, s.ms);
+    emit_row("cycle", n, d, g.ms, s.ms, g.leaders);
   }
   for (const std::size_t n : {4u, 5u, 6u}) {
     const graph::Digraph d = graph::complete(n);
-    std::vector<swap::PartyId> leaders;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      leaders.push_back(static_cast<swap::PartyId>(i));
-    }
-    const double g = run_ms(d, leaders, swap::ProtocolMode::kGeneral, 50 + n);
+    const Timed g = run_ms(d, swap::ProtocolMode::kGeneral, 50 + n);
     std::printf("complete%-2zu %4zu %5zu | %12.2f %12s\n", n, d.arc_count(),
-                leaders.size(), g, "n/a");
+                g.leaders, g.ms, "n/a");
+    emit_row("complete", n, d, g.ms, -1.0, g.leaders);
   }
   bench::rule();
   std::printf("expected shape: cost is dominated by Ed25519 signature "

@@ -4,14 +4,28 @@
 // Sweep cycle sizes, print total on-chain bytes, and normalize by |A|^2:
 // the normalized column should approach a constant. The single-leader
 // variant (§4.6) stores no digraph copies, so its bytes/|A| is the flat
-// one instead.
+// one instead. Both variants run through the Scenario API.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 
 using namespace xswap;
+
+namespace {
+
+swap::BatchReport run(const graph::Digraph& d, swap::ProtocolMode mode,
+                      std::uint64_t seed) {
+  return swap::ScenarioBuilder()
+      .offers(swap::offers_for_digraph(d))
+      .mode(mode)
+      .seed(seed)
+      .build()
+      .run();
+}
+
+}  // namespace
 
 int main() {
   bench::title("bench_space_vs_arcs",
@@ -23,17 +37,8 @@ int main() {
 
   for (std::size_t n = 3; n <= 12; ++n) {
     const graph::Digraph d = graph::cycle(n);
-
-    swap::EngineOptions general;
-    general.seed = n;
-    swap::SwapEngine ge(d, {0}, general);
-    const swap::SwapReport gr = ge.run();
-
-    swap::EngineOptions single;
-    single.seed = n;
-    single.mode = swap::ProtocolMode::kSingleLeader;
-    swap::SwapEngine se(d, {0}, single);
-    const swap::SwapReport sr = se.run();
+    const swap::BatchReport gr = run(d, swap::ProtocolMode::kGeneral, n);
+    const swap::BatchReport sr = run(d, swap::ProtocolMode::kSingleLeader, n);
 
     const double a = static_cast<double>(d.arc_count());
     std::printf("cycle%-3zu %5zu %12zu %14.1f %14zu %12.1f%s\n", n,
@@ -42,6 +47,17 @@ int main() {
                 sr.total_storage_bytes,
                 static_cast<double>(sr.total_storage_bytes) / a,
                 (gr.all_triggered && sr.all_triggered) ? "" : "  <-- FAILED");
+    bench::row_json("bench_space_vs_arcs", "storage_bytes",
+                    {{"family", "cycle"},
+                     {"n", n},
+                     {"arcs", d.arc_count()},
+                     {"general_bytes", gr.total_storage_bytes},
+                     {"general_bytes_per_arc_sq",
+                      static_cast<double>(gr.total_storage_bytes) / (a * a)},
+                     {"single_leader_bytes", sr.total_storage_bytes},
+                     {"single_leader_bytes_per_arc",
+                      static_cast<double>(sr.total_storage_bytes) / a},
+                     {"all_triggered", gr.all_triggered && sr.all_triggered}});
   }
   bench::rule();
   std::printf("expected shape: bytes/|A|^2 flattens to a constant for the "

@@ -4,34 +4,45 @@
 // Sweep digraph families, measure the last trigger time in Δ units, and
 // compare against the bound. The measured/bound ratio should stay ≤ 1
 // everywhere, growing with the diameter (cycles) and staying flat where
-// the diameter is flat (hubs).
+// the diameter is flat (hubs). Each case rides the Scenario API, so
+// leader election is the clearing layer's FVS (minimum for these sizes).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "graph/fvs.hpp"
 #include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 #include "util/rng.hpp"
 
 using namespace xswap;
 
 namespace {
 
-void run_case(const char* family, const graph::Digraph& d,
-              const std::vector<swap::PartyId>& leaders, std::uint64_t seed) {
-  swap::EngineOptions options;
-  options.seed = seed;
-  swap::SwapEngine engine(d, leaders, options);
-  const swap::SwapSpec& spec = engine.spec();
-  const swap::SwapReport report = engine.run();
+void run_case(const char* family, const graph::Digraph& d, std::uint64_t seed) {
+  swap::Scenario scenario = swap::ScenarioBuilder()
+                                .offers(swap::offers_for_digraph(d))
+                                .seed(seed)
+                                .build();
+  const swap::SwapSpec& spec = scenario.engine(0).spec();
+  const std::size_t leaders = spec.leaders.size();
+  const swap::BatchReport batch = scenario.run();
   const double measured =
-      static_cast<double>(report.last_trigger_time - spec.start_time) /
+      static_cast<double>(batch.last_trigger_time - spec.start_time) /
       static_cast<double>(spec.delta);
   const double bound = 2.0 * static_cast<double>(spec.diam);
   std::printf("%-10s %4zu %4zu %4zu %5zu %12.2f %10.0f %8.2f %s\n", family,
-              d.vertex_count(), d.arc_count(), spec.diam, leaders.size(),
-              measured, bound, measured / bound,
-              report.all_triggered ? "" : "  <-- NOT ALL TRIGGERED");
+              d.vertex_count(), d.arc_count(), spec.diam, leaders, measured,
+              bound, measured / bound,
+              batch.all_triggered ? "" : "  <-- NOT ALL TRIGGERED");
+  bench::row_json("bench_time_vs_diameter", "trigger_time_deltas",
+                  {{"family", family},
+                   {"n", d.vertex_count()},
+                   {"arcs", d.arc_count()},
+                   {"diam", spec.diam},
+                   {"leaders", leaders},
+                   {"measured_deltas", measured},
+                   {"bound_deltas", bound},
+                   {"ratio", measured / bound},
+                   {"all_triggered", batch.all_triggered}});
 }
 
 }  // namespace
@@ -44,24 +55,19 @@ int main() {
   bench::rule();
 
   for (std::size_t n = 3; n <= 10; ++n) {
-    run_case("cycle", graph::cycle(n), {0}, n);
+    run_case("cycle", graph::cycle(n), n);
   }
   for (std::size_t n = 3; n <= 6; ++n) {
-    std::vector<swap::PartyId> leaders;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      leaders.push_back(static_cast<swap::PartyId>(i));
-    }
-    run_case("complete", graph::complete(n), leaders, 100 + n);
+    run_case("complete", graph::complete(n), 100 + n);
   }
   for (std::size_t n = 3; n <= 8; ++n) {
-    run_case("hub", graph::hub_and_spokes(n), {0}, 200 + n);
+    run_case("hub", graph::hub_and_spokes(n), 200 + n);
   }
   util::Rng rng(33);
   for (int t = 0; t < 4; ++t) {
     const std::size_t n = 4 + rng.next_below(5);
     const graph::Digraph d = graph::random_strongly_connected(n, n / 2, rng);
-    run_case("random", d, graph::minimum_feedback_vertex_set(d),
-             300 + static_cast<std::uint64_t>(t));
+    run_case("random", d, 300 + static_cast<std::uint64_t>(t));
   }
   bench::rule();
   std::printf("expected shape: measured grows linearly with diam and never "

@@ -4,10 +4,18 @@
 // (see DESIGN.md §4 and EXPERIMENTS.md). They print fixed-width tables to
 // stdout; absolute numbers are simulator ticks, shapes are what should
 // match the paper.
+//
+// For machine consumers, row_json() emits one self-contained JSON object
+// per table row on its own line, e.g.
+//   {"bench":"bench_space_vs_arcs","metric":"storage_bytes","family":"cycle",...}
+// so `grep '^{'` over any bench's stdout yields a JSON-lines stream
+// uniform across benches.
 #pragma once
 
+#include <concepts>
 #include <cstdarg>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 
 namespace xswap::bench {
@@ -21,6 +29,63 @@ inline void title(const std::string& name, const std::string& claim) {
 
 inline void rule() {
   std::printf("--------------------------------------------------------------\n");
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One key/value pair of a row_json() line, pre-rendered as JSON.
+struct JsonField {
+  std::string key;
+  std::string rendered;
+
+  JsonField(std::string k, const char* v)
+      : key(std::move(k)), rendered('"' + json_escape(v) + '"') {}
+  JsonField(std::string k, const std::string& v)
+      : key(std::move(k)), rendered('"' + json_escape(v) + '"') {}
+  JsonField(std::string k, bool v)
+      : key(std::move(k)), rendered(v ? "true" : "false") {}
+  template <std::integral T>
+  JsonField(std::string k, T v) : key(std::move(k)), rendered(std::to_string(v)) {}
+  template <std::floating_point T>
+  JsonField(std::string k, T v) : key(std::move(k)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(v));
+    rendered = buf;
+  }
+};
+
+/// Emit one machine-parseable line per table row:
+///   {"bench":"<bench>","metric":"<metric>", <fields...>}
+/// `metric` names the measured quantity so rows from different benches
+/// can share one downstream schema.
+inline void row_json(const std::string& bench, const std::string& metric,
+                     std::initializer_list<JsonField> fields) {
+  std::printf("{\"bench\":\"%s\",\"metric\":\"%s\"", json_escape(bench).c_str(),
+              json_escape(metric).c_str());
+  for (const JsonField& f : fields) {
+    std::printf(",\"%s\":%s", json_escape(f.key).c_str(), f.rendered.c_str());
+  }
+  std::printf("}\n");
 }
 
 }  // namespace xswap::bench

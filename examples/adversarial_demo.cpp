@@ -7,35 +7,36 @@
 //              hashkey deadlines keeps its predecessor whole.
 // Scenario 3 — the leader irrationally reveals early while another party
 //              withholds: only the deviators can suffer.
+//
+// Strategy overrides ride the Scenario API two ways: time-free
+// deviations go through ScenarioBuilder::strategy(name, s); deviations
+// pinned to spec deadlines are set on the built engine (whose spec is
+// available before run()).
 #include <cstdio>
 
-#include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 
 using namespace xswap;
 
 namespace {
 
-void print_outcomes(const swap::SwapEngine& engine, const swap::SwapReport& r) {
-  const auto& spec = engine.spec();
+swap::Scenario triangle(std::uint64_t seed) {
+  return swap::ScenarioBuilder()
+      .offer("Alice", "Bob", "altchain", chain::Asset::coins("ALT", 100))
+      .offer("Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 1))
+      .offer("Carol", "Alice", "dmv", chain::Asset::unique("TITLE", "cadillac"))
+      .seed(seed)
+      .build();
+}
+
+void print_outcomes(const swap::Scenario& scenario, const swap::BatchReport& r) {
+  const auto& spec = scenario.engine(0).spec();
   for (swap::PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
     std::printf("    %-6s %-10s\n", spec.party_names[v].c_str(),
-                to_string(r.outcomes[v]));
+                to_string(r.swaps[0].outcomes[v]));
   }
   std::printf("    no conforming party underwater: %s\n",
               r.no_conforming_underwater ? "yes" : "NO (bug!)");
-}
-
-swap::SwapEngine triangle(std::uint64_t seed) {
-  const std::vector<std::string> names = {"Alice", "Bob", "Carol"};
-  std::vector<swap::ArcTerms> arcs = {
-      {"altchain", chain::Asset::coins("ALT", 100)},
-      {"bitcoin", chain::Asset::coins("BTC", 1)},
-      {"dmv", chain::Asset::unique("TITLE", "cadillac")},
-  };
-  swap::EngineOptions options;
-  options.seed = seed;
-  return swap::SwapEngine(graph::figure1_triangle(), names, {0}, arcs, options);
 }
 
 }  // namespace
@@ -43,41 +44,48 @@ swap::SwapEngine triangle(std::uint64_t seed) {
 int main() {
   std::puts("scenario 1: Carol halts during contract deployment");
   {
-    swap::SwapEngine engine = triangle(11);
+    swap::Scenario scenario = triangle(11);
     swap::Strategy s;
-    s.crash_at = engine.spec().start_time + 1;
-    engine.set_strategy(2, s);
-    const auto report = engine.run();
-    print_outcomes(engine, report);
+    s.crash_at = scenario.engine(0).spec().start_time + 1;
+    scenario.set_strategy("Carol", s);
+    const auto report = scenario.run();
+    print_outcomes(scenario, report);
     std::printf("    Alice's ALT after refund: %llu\n\n",
                 static_cast<unsigned long long>(
-                    engine.ledger("altchain").balance("Alice", "ALT")));
+                    scenario.engine(0).ledger("altchain").balance("Alice", "ALT")));
     if (!report.no_conforming_underwater) return 1;
   }
 
   std::puts("scenario 2: Carol triggers at the very last moment");
   {
-    swap::SwapEngine engine = triangle(22);
+    swap::Scenario scenario = triangle(22);
     swap::Strategy s;
-    s.delay_unlocks_until = engine.spec().hashkey_deadline(1) - 1;
-    engine.set_strategy(2, s);
-    const auto report = engine.run();
-    print_outcomes(engine, report);
+    s.delay_unlocks_until = scenario.engine(0).spec().hashkey_deadline(1) - 1;
+    scenario.set_strategy("Carol", s);
+    const auto report = scenario.run();
+    print_outcomes(scenario, report);
     std::puts("    (Bob still had a full delta to react)\n");
     if (!report.no_conforming_underwater) return 1;
   }
 
   std::puts("scenario 3: Alice reveals early while Carol withholds");
   {
-    swap::SwapEngine engine = triangle(33);
     swap::Strategy alice;
     alice.premature_reveal = true;
-    engine.set_strategy(0, alice);
     swap::Strategy carol;
     carol.withhold_contracts = true;
-    engine.set_strategy(2, carol);
-    const auto report = engine.run();
-    print_outcomes(engine, report);
+    swap::Scenario scenario =
+        swap::ScenarioBuilder()
+            .offer("Alice", "Bob", "altchain", chain::Asset::coins("ALT", 100))
+            .offer("Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 1))
+            .offer("Carol", "Alice", "dmv",
+                   chain::Asset::unique("TITLE", "cadillac"))
+            .strategy("Alice", alice)
+            .strategy("Carol", carol)
+            .seed(33)
+            .build();
+    const auto report = scenario.run();
+    print_outcomes(scenario, report);
     std::puts("    (only deviators can end up worse off)");
     if (!report.no_conforming_underwater) return 1;
   }

@@ -3,43 +3,45 @@
 // The clearing service (§4.2) receives a pile of offers, splits them into
 // strongly connected components (each an independently runnable atomic
 // swap, §3), rejects the offers no atomic protocol can honour (they would
-// create free-riders, Lemma 3.4), and runs every cleared swap.
+// create free-riders, Lemma 3.4), and runs every cleared swap. The
+// Scenario layer does all of that behind one build()/run() pair and
+// hands back a BatchReport with per-swap reports plus batch totals.
 #include <cstdio>
 
-#include "swap/clearing.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 
 using namespace xswap;
 
 int main() {
   // An offer book: a 3-ring, a 2-ring, and two dangling offers.
-  const std::vector<swap::Offer> book = {
-      {"Ann", "Ben", "c0", chain::Asset::coins("USDx", 120)},
-      {"Ben", "Cyn", "c1", chain::Asset::coins("EURx", 100)},
-      {"Cyn", "Ann", "c2", chain::Asset::coins("GBPx", 90)},
-      {"Dee", "Eli", "c3", chain::Asset::coins("BTC", 1)},
-      {"Eli", "Dee", "c4", chain::Asset::coins("ETH", 12)},
-      {"Ann", "Dee", "c5", chain::Asset::coins("USDx", 5)},   // cross-ring
-      {"Zed", "Ann", "c6", chain::Asset::coins("DOGE", 999)}, // one-way
-  };
-  std::printf("offer book: %zu offers\n", book.size());
-
-  const swap::Decomposition batch = swap::decompose_offers(book);
+  swap::Scenario scenario =
+      swap::ScenarioBuilder()
+          .offer("Ann", "Ben", "c0", chain::Asset::coins("USDx", 120))
+          .offer("Ben", "Cyn", "c1", chain::Asset::coins("EURx", 100))
+          .offer("Cyn", "Ann", "c2", chain::Asset::coins("GBPx", 90))
+          .offer("Dee", "Eli", "c3", chain::Asset::coins("BTC", 1))
+          .offer("Eli", "Dee", "c4", chain::Asset::coins("ETH", 12))
+          .offer("Ann", "Dee", "c5", chain::Asset::coins("USDx", 5))    // cross-ring
+          .offer("Zed", "Ann", "c6", chain::Asset::coins("DOGE", 999))  // one-way
+          .seed(500)
+          .build();
+  std::printf("offer book: 7 offers\n");
   std::printf("cleared into %zu independent swaps; %zu offers unmatched\n\n",
-              batch.swaps.size(), batch.unmatched.size());
+              scenario.swap_count(), scenario.unmatched().size());
+
+  const swap::BatchReport batch = scenario.run();
 
   for (std::size_t i = 0; i < batch.swaps.size(); ++i) {
-    const swap::ClearedSwap& cleared = batch.swaps[i];
-    swap::EngineOptions options;
-    options.seed = 500 + i;
-    swap::SwapEngine engine(cleared.digraph, cleared.party_names,
-                            cleared.leaders, cleared.arcs, options);
-    const swap::SwapReport report = engine.run();
+    const swap::ClearedSwap& cleared = scenario.cleared(i);
     std::printf("swap %zu: %zu parties, %zu transfers -> %s\n", i + 1,
                 cleared.party_names.size(), cleared.arcs.size(),
-                report.all_triggered ? "all Deal" : "FAILED");
-    if (!report.all_triggered) return 1;
+                batch.swaps[i].all_triggered ? "all Deal" : "FAILED");
   }
+  std::printf("\nbatch totals: %zu/%zu swaps fully triggered, "
+              "%zu transactions, %zu B on-chain, safety held: %s\n",
+              batch.swaps_fully_triggered, batch.swaps.size(),
+              batch.total_transactions, batch.total_storage_bytes,
+              batch.no_conforming_underwater ? "yes" : "NO");
 
   std::printf("\nunmatched offers (returned to their makers):\n");
   for (const swap::Offer& offer : batch.unmatched) {
@@ -47,5 +49,5 @@ int main() {
                 offer.from.c_str(), offer.to.c_str(),
                 offer.asset.to_string().c_str());
   }
-  return 0;
+  return batch.all_triggered && batch.no_conforming_underwater ? 0 : 1;
 }

@@ -4,38 +4,33 @@
 //
 // A coordinator shard rebalances accounts against four worker shards:
 // the coordinator moves allocation tokens out to every shard and pulls
-// settlement tokens back — a hub-and-spokes swap digraph whose hub is the
-// single leader. We run it twice: plain, and with the §4.5 broadcast
-// chain, showing the constant-time Phase Two.
+// settlement tokens back — a hub-and-spokes offer book whose hub is the
+// natural leader (the clearing layer's FVS picks exactly it). We run it
+// twice: plain, and with the §4.5 broadcast chain, showing the
+// constant-time Phase Two.
 #include <cstdio>
+#include <string>
 
-#include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 
 using namespace xswap;
 
 namespace {
 
-swap::SwapEngine make_rebalance(bool broadcast) {
-  const std::size_t shards = 5;  // hub + 4 workers
-  const graph::Digraph d = graph::hub_and_spokes(shards);
-  std::vector<std::string> names = {"coordinator"};
-  for (std::size_t i = 1; i < shards; ++i) {
-    names.push_back("shard-" + std::to_string(i));
-  }
-  std::vector<swap::ArcTerms> arcs;
-  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
-    const auto& arc = d.arc(a);
+swap::Scenario make_rebalance(bool broadcast) {
+  const std::size_t workers = 4;
+  swap::ScenarioBuilder builder;
+  for (std::size_t i = 1; i <= workers; ++i) {
+    const std::string shard = "shard-" + std::to_string(i);
+    const std::string chain_name = "shard-chain-" + std::to_string(i);
     // Outbound arcs carry allocations, inbound carry settlements; the
-    // contract for a shard pair lives on that shard's chain.
-    const std::size_t shard = arc.head == 0 ? arc.tail : arc.head;
-    arcs.push_back(swap::ArcTerms{
-        "shard-chain-" + std::to_string(shard),
-        chain::Asset::coins(arc.head == 0 ? "ALLOC" : "SETTLE", 10 + a)});
+    // contracts for a shard pair live on that shard's chain.
+    builder.offer("coordinator", shard, chain_name,
+                  chain::Asset::coins("ALLOC", 10 + 2 * (i - 1)));
+    builder.offer(shard, "coordinator", chain_name,
+                  chain::Asset::coins("SETTLE", 11 + 2 * (i - 1)));
   }
-  swap::EngineOptions options;
-  options.broadcast = broadcast;
-  return swap::SwapEngine(d, names, /*leaders=*/{0}, arcs, options);
+  return builder.broadcast(broadcast).build();
 }
 
 }  // namespace
@@ -43,9 +38,9 @@ swap::SwapEngine make_rebalance(bool broadcast) {
 int main() {
   std::puts("cross-shard rebalance: coordinator <-> 4 shards (8 transfers)\n");
   for (const bool broadcast : {false, true}) {
-    swap::SwapEngine engine = make_rebalance(broadcast);
-    const auto& spec = engine.spec();
-    const swap::SwapReport report = engine.run();
+    swap::Scenario scenario = make_rebalance(broadcast);
+    const auto& spec = scenario.engine(0).spec();
+    const swap::BatchReport report = scenario.run();
     std::printf("%-18s all_triggered=%s  triggered by T+%llu ticks  storage=%zu B\n",
                 broadcast ? "with broadcast:" : "plain protocol:",
                 report.all_triggered ? "yes" : "no",

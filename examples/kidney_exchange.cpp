@@ -5,38 +5,43 @@
 // Two donation cycles share one hospital consortium ("Mercy"): a 3-cycle
 // and a 4-cycle of paired exchanges, each transfer recorded on a regional
 // registry chain. The shared vertex is the unique feedback vertex, so the
-// whole exchange needs exactly one leader and could even run the §4.6
-// single-leader variant; we run the general protocol and show the safety
-// guarantee: a hospital that withdraws (crashes) mid-protocol can only
-// hurt itself, and every conforming hospital ends in an acceptable state.
+// clearing layer elects exactly one leader. We run the general protocol
+// and show the safety guarantee: a hospital that withdraws (crashes)
+// mid-protocol can only hurt itself, and every conforming hospital ends
+// in an acceptable state.
 #include <cstdio>
+#include <string>
 
-#include "graph/generators.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 
 using namespace xswap;
 
 namespace {
 
-swap::SwapEngine make_exchange(std::uint64_t seed) {
-  // Vertex 0 = Mercy (shared); 1,2 = first ring; 3,4,5 = second ring.
-  const graph::Digraph d = graph::two_cycles_sharing_vertex(3, 4);
-  const std::vector<std::string> names = {"Mercy",   "StJude", "County",
-                                          "General", "Summit", "Lakeside"};
-  std::vector<swap::ArcTerms> arcs;
-  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
-    arcs.push_back(swap::ArcTerms{
-        "registry-" + std::to_string(a),
-        chain::Asset::unique("ORGAN-CONSENT", "case-" + std::to_string(100 + a))});
+swap::ScenarioBuilder exchange_book() {
+  // Mercy is the shared consortium; ring 1 = Mercy→StJude→County→Mercy,
+  // ring 2 = Mercy→General→Summit→Lakeside→Mercy.
+  const char* ring1[] = {"Mercy", "StJude", "County", "Mercy"};
+  const char* ring2[] = {"Mercy", "General", "Summit", "Lakeside", "Mercy"};
+  swap::ScenarioBuilder builder;
+  std::size_t a = 0;
+  for (std::size_t i = 0; i + 1 < std::size(ring1); ++i, ++a) {
+    builder.offer(ring1[i], ring1[i + 1], "registry-" + std::to_string(a),
+                  chain::Asset::unique("ORGAN-CONSENT",
+                                       "case-" + std::to_string(100 + a)));
   }
-  swap::EngineOptions options;
-  options.seed = seed;
-  return swap::SwapEngine(d, names, /*leaders=*/{0}, arcs, options);
+  for (std::size_t i = 0; i + 1 < std::size(ring2); ++i, ++a) {
+    builder.offer(ring2[i], ring2[i + 1], "registry-" + std::to_string(a),
+                  chain::Asset::unique("ORGAN-CONSENT",
+                                       "case-" + std::to_string(100 + a)));
+  }
+  return builder;
 }
 
-void report_run(const char* label, const swap::SwapEngine& engine,
-                const swap::SwapReport& report) {
-  const auto& spec = engine.spec();
+void report_run(const char* label, const swap::Scenario& scenario,
+                const swap::BatchReport& batch) {
+  const auto& spec = scenario.engine(0).spec();
+  const swap::SwapReport& report = batch.swaps[0];
   std::printf("%s\n", label);
   std::size_t done = 0;
   for (graph::ArcId a = 0; a < spec.digraph.arc_count(); ++a) {
@@ -56,24 +61,25 @@ int main() {
 
   // Run 1: everyone conforms — every consent transfers.
   {
-    swap::SwapEngine engine = make_exchange(1);
-    const swap::SwapReport report = engine.run();
-    report_run("all hospitals conform:", engine, report);
-    if (!report.all_triggered) return 1;
+    swap::Scenario scenario = exchange_book().seed(1).build();
+    const swap::BatchReport batch = scenario.run();
+    report_run("all hospitals conform:", scenario, batch);
+    if (!batch.all_triggered) return 1;
   }
 
   // Run 2: Summit withdraws mid-protocol. Contracts that can no longer
   // complete time out and refund; no conforming hospital ends Underwater
   // (only the withdrawing party can).
   {
-    swap::SwapEngine engine = make_exchange(2);
+    swap::Scenario scenario = exchange_book().seed(2).build();
     swap::Strategy withdraw;
-    withdraw.crash_at = engine.spec().start_time + engine.spec().delta;
-    engine.set_strategy(4, withdraw);
-    const swap::SwapReport report = engine.run();
+    withdraw.crash_at = scenario.engine(0).spec().start_time +
+                        scenario.engine(0).spec().delta;
+    scenario.set_strategy("Summit", withdraw);
+    const swap::BatchReport batch = scenario.run();
     std::puts("");
-    report_run("Summit withdraws during deployment:", engine, report);
-    if (!report.no_conforming_underwater) return 1;
+    report_run("Summit withdraws during deployment:", scenario, batch);
+    if (!batch.no_conforming_underwater) return 1;
   }
   return 0;
 }

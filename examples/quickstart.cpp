@@ -2,60 +2,59 @@
 //
 // Alice pays alt-coins to Bob, Bob pays bitcoins to Carol, and Carol
 // signs her Cadillac's title over to Alice — three assets, three
-// blockchains, no trusted intermediary. Offers go through the (untrusted)
-// clearing service, the engine runs the hashed-timelock protocol, and we
-// print who owns what before and after.
+// blockchains, no trusted intermediary. The Scenario API wraps the whole
+// §4.2 flow: offers go through the (untrusted) clearing service, the
+// engine runs the hashed-timelock protocol, and we print who owns what
+// before and after.
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+// Build & run:  cmake -B build -G Ninja -DXSWAP_BUILD_EXAMPLES=ON && cmake --build build
+//               ./build/examples/example_quickstart
 #include <cstdio>
 
-#include "swap/clearing.hpp"
-#include "swap/engine.hpp"
+#include "swap/scenario.hpp"
 #include "swap/timeline.hpp"
 
 using namespace xswap;
 
 int main() {
-  // 1. Each party tells the clearing service what it is willing to give.
-  const std::vector<swap::Offer> offers = {
-      {"Alice", "Bob", "altchain", chain::Asset::coins("ALT", 1000)},
-      {"Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 3)},
-      {"Carol", "Alice", "dmv-ledger", chain::Asset::unique("TITLE", "cadillac-1957")},
-  };
+  // 1. Each party tells the clearing service what it is willing to give;
+  //    the builder clears the book (digraph + leader FVS) and constructs
+  //    the engine. Parties re-validate everything the service produced.
+  swap::Scenario scenario =
+      swap::ScenarioBuilder()
+          .offer("Alice", "Bob", "altchain", chain::Asset::coins("ALT", 1000))
+          .offer("Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 3))
+          .offer("Carol", "Alice", "dmv-ledger",
+                 chain::Asset::unique("TITLE", "cadillac-1957"))
+          .build();
 
-  // 2. The service combines offers into a swap digraph and picks leaders
-  //    (a feedback vertex set). Parties re-validate everything.
-  const auto cleared = swap::clear_offers(offers);
-  if (!cleared) {
-    std::puts("offers do not form a strongly-connected swap: no deal");
-    return 1;
-  }
+  const swap::ClearedSwap& cleared = scenario.cleared(0);
   std::printf("cleared swap: %zu parties, %zu transfers, leader: %s\n",
-              cleared->digraph.vertex_count(), cleared->digraph.arc_count(),
-              cleared->party_names[cleared->leaders[0]].c_str());
+              cleared.digraph.vertex_count(), cleared.digraph.arc_count(),
+              cleared.party_names[cleared.leaders[0]].c_str());
 
-  // 3. Run the protocol.
-  swap::SwapEngine engine(cleared->digraph, cleared->party_names,
-                          cleared->leaders, cleared->arcs, swap::EngineOptions{});
-  const swap::SwapSpec& spec = engine.spec();
+  const swap::SwapSpec& spec = scenario.engine(0).spec();
   std::printf("start T=%llu, delta=%llu ticks, diam(D)=%zu -> all-done deadline T+%zu\n",
               static_cast<unsigned long long>(spec.start_time),
               static_cast<unsigned long long>(spec.delta), spec.diam,
               2 * spec.diam * static_cast<std::size_t>(spec.delta));
 
-  const swap::SwapReport report = engine.run();
+  // 2. Run the protocol.
+  const swap::BatchReport batch = scenario.run();
+  const swap::SwapReport& report = batch.swaps[0];
 
-  // 4. What happened, chain by chain, in Δ units after the start.
+  // 3. What happened, chain by chain, in Δ units after the start.
   std::printf("\nmerged cross-chain timeline:\n%s",
-              swap::render_timeline(spec, swap::collect_timeline(engine)).c_str());
+              swap::render_timeline(
+                  spec, swap::collect_timeline(scenario.engine(0))).c_str());
 
-  // 5. Results.
+  // 4. Results.
   std::printf("\nper-party outcomes:\n");
   for (swap::PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
     std::printf("  %-6s %s\n", spec.party_names[v].c_str(),
                 to_string(report.outcomes[v]));
   }
+  const swap::SwapEngine& engine = scenario.engine(0);
   std::printf("\nfinal ownership:\n");
   std::printf("  Bob's ALT balance   : %llu\n",
               static_cast<unsigned long long>(engine.ledger("altchain").balance("Bob", "ALT")));
@@ -64,7 +63,7 @@ int main() {
   const auto title = engine.ledger("dmv-ledger").owner_of("TITLE", "cadillac-1957");
   std::printf("  Cadillac title      : %s\n", title ? title->c_str() : "(escrow)");
   std::printf("\nall transfers triggered by T+%llu (bound: T+%llu)\n",
-              static_cast<unsigned long long>(report.last_trigger_time - spec.start_time),
+              static_cast<unsigned long long>(batch.last_trigger_time - spec.start_time),
               static_cast<unsigned long long>(2 * spec.diam * spec.delta));
-  return report.all_triggered ? 0 : 1;
+  return batch.all_triggered ? 0 : 1;
 }

@@ -5,9 +5,12 @@
 // commits once to the head of a hash chain; revealing round k's secret IS
 // the distribution of round k+1's hashlock. Any participant can audit a
 // revealed secret against the single commitment.
+//
+// The offer book goes through the clearing layer once; the cleared swap
+// (digraph + leader FVS + terms) is then recurred by RecurrentSwapRunner.
 #include <cstdio>
 
-#include "graph/generators.hpp"
+#include "swap/clearing.hpp"
 #include "swap/recurrent.hpp"
 #include "util/bytes.hpp"
 
@@ -17,7 +20,20 @@ int main() {
   constexpr std::size_t kRounds = 4;
   std::printf("recurrent 4-party ring, %zu rounds, one leader\n\n", kRounds);
 
-  swap::RecurrentSwapRunner runner(graph::cycle(4), {0}, kRounds);
+  // The maker ships inventory around a four-venue ring each epoch.
+  const std::vector<swap::Offer> book = {
+      {"maker", "venue-1", "chain-0", chain::Asset::coins("INV", 100)},
+      {"venue-1", "venue-2", "chain-1", chain::Asset::coins("INV", 100)},
+      {"venue-2", "venue-3", "chain-2", chain::Asset::coins("INV", 100)},
+      {"venue-3", "maker", "chain-3", chain::Asset::coins("INV", 100)},
+  };
+  const auto cleared = swap::clear_offers(book);
+  if (!cleared) {
+    std::puts("offer book does not clear: no deal");
+    return 1;
+  }
+
+  swap::RecurrentSwapRunner runner(*cleared, kRounds);
   const auto commitments = runner.commitments();
   std::printf("leader commitment (x_0, published once before round 1):\n  %s\n\n",
               util::to_hex(commitments[0]).c_str());

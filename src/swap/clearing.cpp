@@ -1,6 +1,7 @@
 #include "swap/clearing.hpp"
 
 #include <map>
+#include <set>
 #include <stdexcept>
 
 #include "graph/fvs.hpp"
@@ -8,7 +9,33 @@
 
 namespace xswap::swap {
 
+namespace {
+
+// Reject exact duplicates deterministically (see clearing.hpp). The key
+// joins every field (not rendered summaries) with '\x1f' separators so
+// no concatenation of distinct offers collides.
+void check_no_duplicates(const std::vector<Offer>& offers, const char* fn) {
+  std::set<std::string> seen;
+  for (const Offer& offer : offers) {
+    const chain::Asset& a = offer.asset;
+    const std::string key = offer.from + '\x1f' + offer.to + '\x1f' +
+                            offer.chain + '\x1f' + a.symbol + '\x1f' +
+                            std::to_string(a.amount) + '\x1f' +
+                            (a.fungible ? '1' : '0') + ('\x1f' + a.unique_id);
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument(
+          std::string(fn) + ": duplicate offer " + offer.from + " -> " +
+          offer.to + " on " + offer.chain + " (" + offer.asset.to_string() +
+          "); resubmit on a distinct chain or with distinct terms to make "
+          "parallel arcs");
+    }
+  }
+}
+
+}  // namespace
+
 std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers) {
+  check_no_duplicates(offers, "clear_offers");
   if (offers.empty()) return std::nullopt;
 
   ClearedSwap out;
@@ -45,6 +72,7 @@ std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers) {
 }
 
 Decomposition decompose_offers(const std::vector<Offer>& offers) {
+  check_no_duplicates(offers, "decompose_offers");
   Decomposition result;
   if (offers.empty()) return result;
 
@@ -109,6 +137,37 @@ Decomposition decompose_offers(const std::vector<Offer>& offers) {
     }
   }
   return result;
+}
+
+std::vector<Offer> offers_for_digraph(const graph::Digraph& digraph) {
+  std::vector<Offer> offers;
+  offers.reserve(digraph.arc_count());
+  for (graph::ArcId a = 0; a < digraph.arc_count(); ++a) {
+    const auto& arc = digraph.arc(a);
+    offers.push_back(Offer{"P" + std::to_string(arc.head),
+                           "P" + std::to_string(arc.tail),
+                           "chain-" + std::to_string(a),
+                           chain::Asset::coins("TOK" + std::to_string(a), 100)});
+  }
+  return offers;
+}
+
+ClearedSwap cleared_for_digraph(graph::Digraph digraph,
+                                std::vector<PartyId> leaders) {
+  ClearedSwap out;
+  out.party_names.reserve(digraph.vertex_count());
+  for (PartyId v = 0; v < digraph.vertex_count(); ++v) {
+    out.party_names.push_back("P" + std::to_string(v));
+  }
+  out.arcs.reserve(digraph.arc_count());
+  for (graph::ArcId a = 0; a < digraph.arc_count(); ++a) {
+    out.arcs.push_back(ArcTerms{
+        "chain-" + std::to_string(a),
+        chain::Asset::coins("TOK" + std::to_string(a), 100)});
+  }
+  out.digraph = std::move(digraph);
+  out.leaders = std::move(leaders);
+  return out;
 }
 
 }  // namespace xswap::swap

@@ -27,7 +27,8 @@ struct Offer {
   chain::Asset asset;  // what moves
 };
 
-/// The cleared swap: inputs for SwapEngine's full constructor.
+/// The cleared swap: everything SwapEngine needs to run one protocol
+/// instance (its primary constructor takes exactly this).
 struct ClearedSwap {
   graph::Digraph digraph;
   std::vector<std::string> party_names;  // index = PartyId
@@ -39,7 +40,12 @@ struct ClearedSwap {
 /// form a strongly-connected digraph (such a swap would never be agreed
 /// to: the free-riding side has no incentive — Lemma 3.4). Throws
 /// std::invalid_argument on malformed offers (self-transfers, empty
-/// names/chains).
+/// names/chains) and on duplicate offers: the same (from, to, chain,
+/// asset) tuple twice is rejected deterministically, because a
+/// double-submitted offer is indistinguishable from a typo and two
+/// spec-identical contracts on one chain would make report harvesting
+/// ambiguous. Genuine parallel arcs stay expressible — repeat the pair
+/// on a different chain or with a different asset (§5 multigraphs).
 std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers);
 
 /// A batch of offers split into independently runnable swaps.
@@ -55,5 +61,18 @@ struct Decomposition {
 /// own ClearedSwap, and offers crossing components are returned as
 /// unmatched (executing them could only create free-riders, Lemma 3.4).
 Decomposition decompose_offers(const std::vector<Offer>& offers);
+
+/// Synthetic offers for a bare digraph: parties "P0"…, one chain
+/// ("chain-<a>") and one 100-token asset ("TOK<a>") per arc — the same
+/// defaults SwapEngine's legacy convenience constructor applies. Lets
+/// digraph-first callers (generator presets in the CLI, benches) ride
+/// the clearing → Scenario path.
+std::vector<Offer> offers_for_digraph(const graph::Digraph& digraph);
+
+/// The same defaults packaged as a ClearedSwap with caller-chosen
+/// leaders (no FVS recomputation). Backs the legacy convenience
+/// constructors of SwapEngine and RecurrentSwapRunner.
+ClearedSwap cleared_for_digraph(graph::Digraph digraph,
+                                std::vector<PartyId> leaders);
 
 }  // namespace xswap::swap

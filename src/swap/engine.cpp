@@ -10,36 +10,19 @@
 
 namespace xswap::swap {
 
-namespace {
-
-std::vector<std::string> default_names(std::size_t n) {
-  std::vector<std::string> names;
-  names.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) names.push_back("P" + std::to_string(i));
-  return names;
-}
-
-std::vector<ArcTerms> default_arcs(const graph::Digraph& d) {
-  std::vector<ArcTerms> arcs;
-  arcs.reserve(d.arc_count());
-  for (graph::ArcId a = 0; a < d.arc_count(); ++a) {
-    arcs.push_back(ArcTerms{"chain-" + std::to_string(a),
-                            chain::Asset::coins("TOK" + std::to_string(a), 100)});
-  }
-  return arcs;
-}
-
-}  // namespace
-
 SwapEngine::SwapEngine(const graph::Digraph& digraph,
                        std::vector<PartyId> leaders, EngineOptions options)
-    : SwapEngine(digraph, default_names(digraph.vertex_count()),
-                 std::move(leaders), default_arcs(digraph), options) {}
+    : SwapEngine(cleared_for_digraph(digraph, std::move(leaders)), options) {}
 
 SwapEngine::SwapEngine(graph::Digraph digraph,
                        std::vector<std::string> party_names,
                        std::vector<PartyId> leaders, std::vector<ArcTerms> arcs,
                        EngineOptions options)
+    : SwapEngine(ClearedSwap{std::move(digraph), std::move(party_names),
+                             std::move(leaders), std::move(arcs)},
+                 options) {}
+
+SwapEngine::SwapEngine(ClearedSwap cleared, EngineOptions options)
     : options_(options) {
   const sim::Duration hop = options_.seal_period + options_.chain_submit_delay;
   if (options_.delta < 2 * hop && !options_.allow_unsafe_timing) {
@@ -47,14 +30,15 @@ SwapEngine::SwapEngine(graph::Digraph digraph,
         "SwapEngine: delta must cover two chain hops "
         "(publish + confirm, each seal_period + submit_delay)");
   }
-  if (options_.mode == ProtocolMode::kSingleLeader && leaders.size() != 1) {
+  if (options_.mode == ProtocolMode::kSingleLeader &&
+      cleared.leaders.size() != 1) {
     throw std::invalid_argument(
         "SwapEngine: single-leader mode requires exactly one leader");
   }
 
-  spec_.digraph = std::move(digraph);
-  spec_.party_names = std::move(party_names);
-  spec_.leaders = std::move(leaders);
+  spec_.digraph = std::move(cleared.digraph);
+  spec_.party_names = std::move(cleared.party_names);
+  spec_.leaders = std::move(cleared.leaders);
   spec_.delta = options_.delta;
   spec_.broadcast = options_.broadcast;
   spec_.start_time = options_.delta;  // "at least Δ in the future" (§4.2)
@@ -78,7 +62,7 @@ SwapEngine::SwapEngine(graph::Digraph digraph,
     spec_.hashlocks.push_back(crypto::sha256_bytes(leader_secrets_.back()));
   }
 
-  build(std::move(arcs));
+  build(std::move(cleared.arcs));
 
   const auto problems = validate_spec(spec_);
   if (!problems.empty()) {

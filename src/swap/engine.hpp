@@ -2,10 +2,12 @@
 // runs the protocol to completion in simulated time, and reports outcomes
 // and resource usage.
 //
-// This is the top of the public API: examples and benchmarks build a
-// digraph, pick strategies, call run(), and read the SwapReport. All
-// randomness (keys, secrets) derives from the configured seed, so every
-// run is exactly reproducible.
+// One engine runs ONE cleared swap. The top of the public API is the
+// Scenario layer (swap/scenario.hpp): a fluent builder that clears a
+// whole offer batch and runs every component swap. Use SwapEngine
+// directly only when you already hold a ClearedSwap (or need the
+// low-level knobs below). All randomness (keys, secrets) derives from
+// the configured seed, so every run is exactly reproducible.
 #pragma once
 
 #include <map>
@@ -15,6 +17,7 @@
 
 #include "chain/ledger.hpp"
 #include "sim/simulator.hpp"
+#include "swap/clearing.hpp"
 #include "swap/outcome.hpp"
 #include "swap/party.hpp"
 #include "swap/spec.hpp"
@@ -92,16 +95,25 @@ struct SwapReport {
 /// Builds and runs one atomic swap.
 class SwapEngine {
  public:
-  /// Full-control constructor. `arcs` must parallel `digraph.arcs()`;
-  /// throws std::invalid_argument when the resulting spec fails
+  /// Primary constructor: run the swap the clearing layer produced
+  /// (clear_offers / decompose_offers / ScenarioBuilder). Throws
+  /// std::invalid_argument when the resulting spec fails
   /// validate_spec() or options are inconsistent (e.g. delta too small
   /// for the seal period, single-leader mode with several leaders).
+  explicit SwapEngine(ClearedSwap cleared, EngineOptions options = {});
+
+  /// DEPRECATED thin wrapper over the ClearedSwap constructor — kept so
+  /// pre-Scenario callers keep compiling. `arcs` must parallel
+  /// `digraph.arcs()`. New code should clear offers (or assemble a
+  /// ClearedSwap) instead of passing loose spec pieces.
   SwapEngine(graph::Digraph digraph, std::vector<std::string> party_names,
              std::vector<PartyId> leaders, std::vector<ArcTerms> arcs,
              EngineOptions options);
 
-  /// Convenience constructor: parties "P0"…, one chain and one 100-token
-  /// asset per arc, leaders as given.
+  /// DEPRECATED thin wrapper: parties "P0"…, one chain and one
+  /// 100-token asset per arc, leaders as given (equivalent to
+  /// cleared_for_digraph in swap/clearing.hpp). Prefer
+  /// ScenarioBuilder().offers(offers_for_digraph(d)).
   SwapEngine(const graph::Digraph& digraph, std::vector<PartyId> leaders,
              EngineOptions options = {});
 

@@ -30,22 +30,26 @@ bool SecretChain::verify_link(const Hashlock& commitment, const Secret& revealed
   return acc == commitment;
 }
 
-RecurrentSwapRunner::RecurrentSwapRunner(graph::Digraph digraph,
-                                         std::vector<PartyId> leaders,
+RecurrentSwapRunner::RecurrentSwapRunner(ClearedSwap cleared,
                                          std::size_t rounds,
                                          EngineOptions options)
-    : digraph_(std::move(digraph)),
-      leaders_(std::move(leaders)),
-      rounds_(rounds),
-      options_(options) {
+    : cleared_(std::move(cleared)), rounds_(rounds), options_(options) {
   if (rounds_ == 0) {
     throw std::invalid_argument("RecurrentSwapRunner: need at least one round");
   }
   util::Rng rng(options_.seed ^ 0x5eedc4a1f00dULL);
-  for (std::size_t i = 0; i < leaders_.size(); ++i) {
+  for (std::size_t i = 0; i < cleared_.leaders.size(); ++i) {
     chains_.emplace_back(rng.next_bytes(32), rounds_);
   }
 }
+
+RecurrentSwapRunner::RecurrentSwapRunner(graph::Digraph digraph,
+                                         std::vector<PartyId> leaders,
+                                         std::size_t rounds,
+                                         EngineOptions options)
+    : RecurrentSwapRunner(
+          cleared_for_digraph(std::move(digraph), std::move(leaders)), rounds,
+          options) {}
 
 std::vector<Hashlock> RecurrentSwapRunner::commitments() const {
   std::vector<Hashlock> out;
@@ -59,7 +63,7 @@ std::vector<RecurrentRoundResult> RecurrentSwapRunner::run_all() {
   for (std::size_t k = 1; k <= rounds_; ++k) {
     EngineOptions options = options_;
     options.seed = options_.seed + k;  // fresh keys per round
-    SwapEngine engine(digraph_, leaders_, options);
+    SwapEngine engine(cleared_, options);
 
     std::vector<Secret> secrets;
     secrets.reserve(chains_.size());

@@ -62,6 +62,13 @@ struct RecurrentRoundResult {
 /// funded (the simulator substitutes for real recurring liquidity).
 class RecurrentSwapRunner {
  public:
+  /// Primary constructor: recur a swap the clearing layer produced
+  /// (clear_offers) for `rounds` rounds.
+  RecurrentSwapRunner(ClearedSwap cleared, std::size_t rounds,
+                      EngineOptions options = {});
+
+  /// DEPRECATED thin wrapper: default party names/arc terms for a bare
+  /// digraph (see cleared_for_digraph in swap/clearing.hpp).
   RecurrentSwapRunner(graph::Digraph digraph, std::vector<PartyId> leaders,
                       std::size_t rounds, EngineOptions options = {});
 
@@ -74,8 +81,7 @@ class RecurrentSwapRunner {
   std::vector<Hashlock> commitments() const;
 
  private:
-  graph::Digraph digraph_;
-  std::vector<PartyId> leaders_;
+  ClearedSwap cleared_;
   std::size_t rounds_;
   EngineOptions options_;
   std::vector<SecretChain> chains_;  // one per leader

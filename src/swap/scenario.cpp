@@ -1,0 +1,143 @@
+#include "swap/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace xswap::swap {
+
+std::size_t Scenario::component_of(const std::string& party) const {
+  for (std::size_t i = 0; i < cleared_.size(); ++i) {
+    const auto& names = cleared_[i].party_names;
+    if (std::find(names.begin(), names.end(), party) != names.end()) return i;
+  }
+  return npos;
+}
+
+void Scenario::set_strategy(const std::string& party, Strategy strategy) {
+  const std::size_t i = component_of(party);
+  if (i == npos) {
+    throw std::invalid_argument("Scenario::set_strategy: '" + party +
+                                "' is in no component swap");
+  }
+  const auto& names = cleared_[i].party_names;
+  const PartyId v = static_cast<PartyId>(
+      std::find(names.begin(), names.end(), party) - names.begin());
+  engines_[i]->set_strategy(v, strategy);
+}
+
+BatchReport Scenario::run() {
+  if (ran_) throw std::logic_error("Scenario::run: already ran");
+  ran_ = true;
+
+  BatchReport batch;
+  batch.unmatched = unmatched_;
+  for (auto& engine : engines_) {
+    SwapReport report = engine->run();
+    if (report.all_triggered) batch.swaps_fully_triggered += 1;
+    batch.all_triggered = batch.all_triggered && report.all_triggered;
+    batch.no_conforming_underwater =
+        batch.no_conforming_underwater && report.no_conforming_underwater;
+    for (const Outcome o : report.outcomes) batch.outcome_counts[o] += 1;
+    batch.last_trigger_time =
+        std::max(batch.last_trigger_time, report.last_trigger_time);
+    batch.finished_at = std::max(batch.finished_at, report.finished_at);
+    batch.total_storage_bytes += report.total_storage_bytes;
+    batch.total_call_payload_bytes += report.total_call_payload_bytes;
+    batch.hashkey_bytes_submitted += report.hashkey_bytes_submitted;
+    batch.sign_operations += report.sign_operations;
+    batch.total_transactions += report.total_transactions;
+    batch.failed_transactions += report.failed_transactions;
+    batch.swaps.push_back(std::move(report));
+  }
+  return batch;
+}
+
+ScenarioBuilder& ScenarioBuilder::offer(std::string from, std::string to,
+                                        std::string chain, chain::Asset asset) {
+  offers_.push_back(Offer{std::move(from), std::move(to), std::move(chain),
+                          std::move(asset)});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::offer(Offer o) {
+  offers_.push_back(std::move(o));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::offers(std::vector<Offer> many) {
+  for (Offer& o : many) offers_.push_back(std::move(o));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::options(EngineOptions o) {
+  options_ = o;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::delta(sim::Duration d) {
+  options_.delta = d;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t s) {
+  options_.seed = s;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::broadcast(bool on) {
+  options_.broadcast = on;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::mode(ProtocolMode m) {
+  options_.mode = m;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::strategy(std::string party, Strategy s) {
+  strategies_.emplace_back(std::move(party), s);
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  if (offers_.empty()) {
+    throw std::invalid_argument("ScenarioBuilder: no offers in the book");
+  }
+  std::set<std::string> offered;
+  for (const Offer& o : offers_) {
+    offered.insert(o.from);
+    offered.insert(o.to);
+  }
+  for (const auto& [party, s] : strategies_) {
+    if (!offered.count(party)) {
+      throw std::invalid_argument(
+          "ScenarioBuilder: strategy override for '" + party +
+          "', which appears in no offer");
+    }
+  }
+
+  Decomposition decomposition = decompose_offers(offers_);
+
+  Scenario scenario;
+  scenario.unmatched_ = std::move(decomposition.unmatched);
+  for (std::size_t i = 0; i < decomposition.swaps.size(); ++i) {
+    EngineOptions per_swap = options_;
+    per_swap.seed = options_.seed + i;  // distinct keys per component
+    scenario.engines_.push_back(
+        std::make_unique<SwapEngine>(decomposition.swaps[i], per_swap));
+    scenario.cleared_.push_back(std::move(decomposition.swaps[i]));
+  }
+
+  // Latest override for a name wins: later set_strategy calls replace
+  // earlier ones on the same engine.
+  for (const auto& [party, s] : strategies_) {
+    if (scenario.component_of(party) == Scenario::npos) {
+      continue;  // all of the party's offers unmatched
+    }
+    scenario.set_strategy(party, s);
+  }
+  return scenario;
+}
+
+}  // namespace xswap::swap

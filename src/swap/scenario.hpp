@@ -1,0 +1,151 @@
+// The Scenario layer: the top of the public API (§4.2's full market
+// flow — offers → digraph → leader FVS → spec → run — as one surface).
+//
+// A ScenarioBuilder collects an offer book plus engine knobs and
+// per-party strategy overrides, clears the offers internally
+// (decompose_offers splits the book into independently runnable swaps,
+// one per non-trivial SCC), and yields a Scenario. Scenario::run()
+// executes every component swap and returns a BatchReport: the per-swap
+// SwapReports plus aggregated outcome/resource/latency totals and the
+// unmatched-offer list.
+//
+//   const swap::BatchReport r =
+//       swap::ScenarioBuilder()
+//           .offer("Alice", "Bob", "altchain", chain::Asset::coins("ALT", 1000))
+//           .offer("Bob", "Carol", "bitcoin", chain::Asset::coins("BTC", 3))
+//           .offer("Carol", "Alice", "dmv", chain::Asset::unique("TITLE", "vin"))
+//           .strategy("Carol", crash_strategy)
+//           .delta(6)
+//           .seed(42)
+//           .build()
+//           .run();
+//
+// Reproducibility: component i runs with seed `options.seed + i`
+// (components are ordered deterministically by decompose_offers), so a
+// single-component scenario reproduces a direct
+// SwapEngine(cleared, options) run bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "swap/clearing.hpp"
+#include "swap/engine.hpp"
+#include "swap/strategy.hpp"
+
+namespace xswap::swap {
+
+/// Result of running a whole offer batch. Invariants the test suite
+/// asserts (tests/swap_scenario_test.cpp): `no_conforming_underwater`
+/// must hold across EVERY swap in the batch (Theorem 4.9 is per swap,
+/// so the conjunction is the batch-level safety statement); every total
+/// is the exact sum of its per-swap counterparts; `last_trigger_time`
+/// and `finished_at` are maxima over the component runs (components are
+/// independent, so batch latency is the slowest component's).
+struct BatchReport {
+  std::vector<SwapReport> swaps;  // parallel to Scenario components
+  std::vector<Offer> unmatched;   // offers no atomic swap could honour
+
+  // Outcome aggregation (§3 classes, across all parties of all swaps).
+  std::size_t swaps_fully_triggered = 0;       // components with all_triggered
+  bool all_triggered = true;                   // AND over components
+  bool no_conforming_underwater = true;        // AND over components
+  std::map<Outcome, std::size_t> outcome_counts;
+
+  // Latency (simulated ticks; maxima — components run independently).
+  sim::Time last_trigger_time = 0;
+  sim::Time finished_at = 0;
+
+  // Resource totals (sums over components).
+  std::size_t total_storage_bytes = 0;
+  std::size_t total_call_payload_bytes = 0;
+  std::size_t hashkey_bytes_submitted = 0;
+  std::size_t sign_operations = 0;
+  std::size_t total_transactions = 0;
+  std::size_t failed_transactions = 0;
+};
+
+/// A cleared, ready-to-run offer batch: one SwapEngine per component
+/// swap (constructed eagerly, so spec problems surface at build()), the
+/// unmatched offers, and accessors for pre-run tweaks (set_strategy on
+/// an engine) and post-run inspection (ledgers, timelines).
+class Scenario {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t swap_count() const { return engines_.size(); }
+  const ClearedSwap& cleared(std::size_t i) const { return cleared_.at(i); }
+  SwapEngine& engine(std::size_t i) { return *engines_.at(i); }
+  const SwapEngine& engine(std::size_t i) const { return *engines_.at(i); }
+  const std::vector<Offer>& unmatched() const { return unmatched_; }
+
+  /// Index of the component swap the named party takes part in, or
+  /// `npos` when the party only appears in unmatched offers (or not at
+  /// all). Party names are unique across components — a party cannot be
+  /// in two SCCs at once.
+  std::size_t component_of(const std::string& party) const;
+
+  /// Post-build strategy override by name, for deviations pinned to
+  /// spec-dependent times (deadlines are only known once the spec
+  /// exists). Call before run(); throws std::invalid_argument when the
+  /// party is in no component swap.
+  void set_strategy(const std::string& party, Strategy strategy);
+
+  /// Run every component swap to quiescence (each in its own simulated
+  /// timeline) and aggregate. Callable once; throws std::logic_error on
+  /// a second call.
+  BatchReport run();
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario() = default;
+
+  std::vector<ClearedSwap> cleared_;
+  std::vector<std::unique_ptr<SwapEngine>> engines_;  // parallel to cleared_
+  std::vector<Offer> unmatched_;
+  bool ran_ = false;
+};
+
+/// Fluent builder: the intended entry point for examples, benches, the
+/// CLI, and library users. Collects offers and knobs, then build()
+/// clears the batch and constructs every engine (throwing
+/// std::invalid_argument on empty books, malformed or duplicate offers,
+/// strategy overrides naming parties absent from the book, and specs or
+/// options SwapEngine rejects).
+class ScenarioBuilder {
+ public:
+  /// Add one offer: `from` transfers `asset` to `to` on `chain`.
+  ScenarioBuilder& offer(std::string from, std::string to, std::string chain,
+                         chain::Asset asset);
+  ScenarioBuilder& offer(Offer o);
+  ScenarioBuilder& offers(std::vector<Offer> many);
+
+  /// Replace all engine knobs at once (delta/seed/... below tweak the
+  /// same stored options afterwards).
+  ScenarioBuilder& options(EngineOptions o);
+  ScenarioBuilder& delta(sim::Duration d);
+  ScenarioBuilder& seed(std::uint64_t s);
+  ScenarioBuilder& broadcast(bool on = true);
+  ScenarioBuilder& mode(ProtocolMode m);
+
+  /// Override the named party's behaviour (default: honest). Applied to
+  /// whichever component swap the party clears into; the latest
+  /// override for a name wins. build() throws if the name appears in no
+  /// offer; an override for a party whose offers all end up unmatched
+  /// is silently unused (that party runs in no swap).
+  ScenarioBuilder& strategy(std::string party, Strategy s);
+
+  /// Clear the book and construct the scenario.
+  Scenario build() const;
+
+ private:
+  std::vector<Offer> offers_;
+  EngineOptions options_;
+  std::vector<std::pair<std::string, Strategy>> strategies_;
+};
+
+}  // namespace xswap::swap

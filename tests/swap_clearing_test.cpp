@@ -56,6 +56,65 @@ TEST(Clearing, MalformedOffersThrow) {
                std::invalid_argument);
 }
 
+TEST(Clearing, DuplicateOffersRejected) {
+  // The same (from, to, chain, asset) tuple twice is deterministically
+  // rejected: a double-submitted offer is indistinguishable from a typo,
+  // and two spec-identical contracts on one chain would make report
+  // harvesting ambiguous.
+  std::vector<Offer> offers = triangle_offers();
+  offers.push_back(offers.front());
+  EXPECT_THROW(clear_offers(offers), std::invalid_argument);
+  EXPECT_THROW(decompose_offers(offers), std::invalid_argument);
+}
+
+TEST(Clearing, NearDuplicateOffersAreParallelArcs) {
+  // Any differing field makes the repeat a genuine parallel arc (§5
+  // multigraphs): same pair and asset on another chain clears.
+  std::vector<Offer> offers = triangle_offers();
+  offers.push_back({"Alice", "Bob", "altchain2", chain::Asset::coins("ALT", 100)});
+  const auto cleared = clear_offers(offers);
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(cleared->digraph.arc_count(), 4u);
+  EXPECT_EQ(cleared->digraph.out_degree(0), 2u);
+
+  // Same chain but a different amount is also distinct.
+  std::vector<Offer> amounts = triangle_offers();
+  amounts.push_back({"Alice", "Bob", "altchain", chain::Asset::coins("ALT", 101)});
+  EXPECT_TRUE(clear_offers(amounts).has_value());
+
+  // The duplicate key compares fields, not rendered summaries: these two
+  // unique assets stringify identically ("A#B#C") but are distinct.
+  const std::vector<Offer> tricky = {
+      {"Alice", "Bob", "c1", chain::Asset::unique("A", "B#C")},
+      {"Alice", "Bob", "c1", chain::Asset::unique("A#B", "C")},
+      {"Bob", "Alice", "c2", chain::Asset::coins("Z", 1)},
+  };
+  EXPECT_TRUE(clear_offers(tricky).has_value());
+}
+
+TEST(Decompose, DuplicateRejectionIsFieldSensitive) {
+  // decompose_offers applies the same duplicate rule across the whole
+  // book, even when the duplicates would land in different components
+  // or in the unmatched list.
+  const std::vector<Offer> offers = {
+      {"A", "B", "c0", chain::Asset::coins("T", 1)},
+      {"B", "A", "c1", chain::Asset::coins("T", 1)},
+      {"A", "Mallory", "c2", chain::Asset::coins("T", 1)},
+      {"A", "Mallory", "c2", chain::Asset::coins("T", 1)},  // dupe, unmatched side
+  };
+  EXPECT_THROW(decompose_offers(offers), std::invalid_argument);
+
+  const std::vector<Offer> distinct = {
+      {"A", "B", "c0", chain::Asset::coins("T", 1)},
+      {"B", "A", "c1", chain::Asset::coins("T", 1)},
+      {"A", "Mallory", "c2", chain::Asset::coins("T", 1)},
+      {"A", "Mallory", "c3", chain::Asset::coins("T", 1)},  // distinct chain: ok
+  };
+  const Decomposition d = decompose_offers(distinct);
+  EXPECT_EQ(d.swaps.size(), 1u);
+  EXPECT_EQ(d.unmatched.size(), 2u);
+}
+
 TEST(Clearing, ParallelOffersBecomeMultigraph) {
   // Alice owes Bob on two chains (§5 multigraph extension).
   const std::vector<Offer> offers = {

@@ -1,7 +1,9 @@
-// xswap_cli — run an atomic cross-chain swap simulation from the command
-// line and inspect what happened.
+// xswap — run atomic cross-chain swap simulations from the command line
+// and inspect what happened. Both subcommands drive the Scenario API
+// (swap/scenario.hpp): offers are cleared into component swaps, each
+// component runs the hashed-timelock protocol in simulated time.
 //
-//   xswap_cli [options]
+//   xswap [run] [options]          one synthetic swap from a digraph preset
 //     --digraph KIND     cycle:N | complete:N | hub:N | twocycles:A,B | fig8
 //                        (default cycle:3, the paper's three-way swap)
 //     --mode MODE        general | single | broadcast   (default general)
@@ -11,22 +13,33 @@
 //                        V:late:T | V:reveal   (repeatable; V = party id)
 //     --timeline         print the merged cross-chain event timeline
 //     --forensics        print the fault-attribution report
-//     --help
+//
+//   xswap batch <offers-file> [options]   clear and run a whole offer book
+//     --mode/--delta/--seed/--timeline/--forensics as above, applied
+//     per component swap (adversaries address batch parties by name:
+//     --adversary NAME:KIND[:ARG]; --digraph is run-mode only)
+//     Offers file: one offer per line, `FROM TO CHAIN ASSET`, where
+//     ASSET is `coin:SYM:AMOUNT` or `unique:SYM:ID`; '#' starts a
+//     comment. Offers that clear into strongly connected components run
+//     as independent swaps; the rest are reported unmatched.
 //
 // Examples:
-//   xswap_cli --digraph cycle:5 --timeline
-//   xswap_cli --digraph fig8 --adversary 2:withhold --forensics
-//   xswap_cli --digraph hub:6 --mode single --adversary 3:crash:10
+//   xswap --digraph cycle:5 --timeline
+//   xswap --digraph fig8 --adversary 2:withhold --forensics
+//   xswap batch book.txt --adversary Carol:crash:10
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
-#include "swap/engine.hpp"
 #include "swap/forensics.hpp"
 #include "swap/invariants.hpp"
+#include "swap/scenario.hpp"
 #include "swap/timeline.hpp"
 
 using namespace xswap;
@@ -36,22 +49,20 @@ namespace {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: xswap_cli [--digraph KIND] [--mode MODE] [--delta N]\n"
-               "                 [--seed N] [--adversary V:KIND[:ARG]]...\n"
-               "                 [--timeline] [--forensics]\n"
+               "usage: xswap [run] [--digraph KIND] [--mode MODE] [--delta N]\n"
+               "             [--seed N] [--adversary V:KIND[:ARG]]...\n"
+               "             [--timeline] [--forensics]\n"
+               "       xswap batch <offers-file> [--mode MODE] [--delta N]\n"
+               "             [--seed N] [--adversary NAME:KIND[:ARG]]...\n"
                "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
                "MODE: general | single | broadcast\n"
                "adversary KIND: crash:T | withhold | silent | corrupt | "
-               "late:T | reveal\n");
+               "late:T | reveal\n"
+               "offers file line: FROM TO CHAIN coin:SYM:AMOUNT|unique:SYM:ID\n");
   std::exit(2);
 }
 
-struct ParsedDigraph {
-  graph::Digraph d;
-  std::vector<swap::PartyId> leaders;
-};
-
-ParsedDigraph parse_digraph(const std::string& spec) {
+graph::Digraph parse_digraph(const std::string& spec) {
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
   const std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
@@ -63,34 +74,30 @@ ParsedDigraph parse_digraph(const std::string& spec) {
     d.add_arc(1, 0);
     d.add_arc(2, 1);
     d.add_arc(0, 2);
-    return {std::move(d), {0, 1}};
+    return d;
   }
   if (kind == "twocycles") {
     const auto comma = args.find(',');
     if (comma == std::string::npos) usage("twocycles needs A,B");
     const std::size_t a = std::strtoul(args.c_str(), nullptr, 10);
     const std::size_t b = std::strtoul(args.c_str() + comma + 1, nullptr, 10);
-    return {graph::two_cycles_sharing_vertex(a, b), {0}};
+    return graph::two_cycles_sharing_vertex(a, b);
   }
   const std::size_t n = std::strtoul(args.c_str(), nullptr, 10);
   if (n < 2) usage("digraph size must be at least 2");
-  if (kind == "cycle") return {graph::cycle(n), {0}};
-  if (kind == "hub") return {graph::hub_and_spokes(n), {0}};
-  if (kind == "complete") {
-    std::vector<swap::PartyId> leaders;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      leaders.push_back(static_cast<swap::PartyId>(i));
-    }
-    return {graph::complete(n), std::move(leaders)};
-  }
+  if (kind == "cycle") return graph::cycle(n);
+  if (kind == "hub") return graph::hub_and_spokes(n);
+  if (kind == "complete") return graph::complete(n);
   usage("unknown digraph kind");
 }
 
-swap::Strategy parse_adversary(const std::string& spec, swap::PartyId* victim,
-                               const swap::SwapSpec& swap_spec) {
+/// `NAME:KIND[:ARG]` → (party name, strategy). Times are relative to the
+/// spec's protocol start.
+std::pair<std::string, swap::Strategy> parse_adversary(
+    const std::string& spec, const swap::SwapSpec& swap_spec) {
   const auto c1 = spec.find(':');
   if (c1 == std::string::npos) usage("adversary needs V:KIND");
-  *victim = static_cast<swap::PartyId>(std::strtoul(spec.c_str(), nullptr, 10));
+  const std::string victim = spec.substr(0, c1);
   const auto c2 = spec.find(':', c1 + 1);
   const std::string kind = spec.substr(c1 + 1, c2 == std::string::npos
                                                    ? std::string::npos
@@ -116,82 +123,148 @@ swap::Strategy parse_adversary(const std::string& spec, swap::PartyId* victim,
   } else {
     usage("unknown adversary kind");
   }
-  return s;
+  return {victim, s};
 }
 
-}  // namespace
+std::vector<swap::Offer> parse_offers_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open offers file " + path).c_str());
+  std::vector<swap::Offer> offers;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string from, to, chain_name, asset_spec;
+    if (!(fields >> from)) continue;  // blank/comment line
+    if (!(fields >> to >> chain_name >> asset_spec)) {
+      usage(("offers file line " + std::to_string(lineno) +
+             ": need FROM TO CHAIN ASSET").c_str());
+    }
+    const auto c1 = asset_spec.find(':');
+    const auto c2 = asset_spec.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      usage(("offers file line " + std::to_string(lineno) +
+             ": asset must be coin:SYM:AMOUNT or unique:SYM:ID").c_str());
+    }
+    const std::string akind = asset_spec.substr(0, c1);
+    const std::string symbol = asset_spec.substr(c1 + 1, c2 - c1 - 1);
+    const std::string value = asset_spec.substr(c2 + 1);
+    chain::Asset asset;
+    if (akind == "coin") {
+      errno = 0;
+      const unsigned long long amount =
+          value.empty() || value.find_first_not_of("0123456789") != std::string::npos
+              ? 0
+              : std::strtoull(value.c_str(), nullptr, 10);
+      if (amount == 0 || errno == ERANGE) {
+        usage(("offers file line " + std::to_string(lineno) +
+               ": coin amount must be a positive 64-bit integer, got '" +
+               value + "'")
+                  .c_str());
+      }
+      asset = chain::Asset::coins(symbol, amount);
+    } else if (akind == "unique") {
+      if (value.empty()) {
+        usage(("offers file line " + std::to_string(lineno) +
+               ": unique asset needs a non-empty id").c_str());
+      }
+      asset = chain::Asset::unique(symbol, value);
+    } else {
+      usage(("offers file line " + std::to_string(lineno) +
+             ": unknown asset kind " + akind).c_str());
+    }
+    offers.push_back(swap::Offer{from, to, chain_name, std::move(asset)});
+  }
+  if (offers.empty()) usage(("no offers in " + path).c_str());
+  return offers;
+}
 
-int main(int argc, char** argv) {
-  std::string digraph_spec = "cycle:3";
+struct CommonFlags {
   std::string mode = "general";
   swap::EngineOptions options;
   std::vector<std::string> adversaries;
   bool show_timeline = false;
   bool show_forensics = false;
+};
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
-      return argv[++i];
-    };
-    if (arg == "--digraph") digraph_spec = next();
-    else if (arg == "--mode") mode = next();
-    else if (arg == "--delta") options.delta = std::strtoul(next().c_str(), nullptr, 10);
-    else if (arg == "--seed") options.seed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--adversary") adversaries.push_back(next());
-    else if (arg == "--timeline") show_timeline = true;
-    else if (arg == "--forensics") show_forensics = true;
-    else if (arg == "--help") usage();
-    else usage(("unknown option " + arg).c_str());
+void apply_mode(CommonFlags* flags) {
+  if (flags->mode == "single") {
+    flags->options.mode = swap::ProtocolMode::kSingleLeader;
+  } else if (flags->mode == "broadcast") {
+    flags->options.broadcast = true;
+  } else if (flags->mode != "general") {
+    usage("unknown mode");
   }
+}
 
-  if (mode == "single") options.mode = swap::ProtocolMode::kSingleLeader;
-  else if (mode == "broadcast") options.broadcast = true;
-  else if (mode != "general") usage("unknown mode");
-
-  ParsedDigraph parsed = parse_digraph(digraph_spec);
-  if (options.mode == swap::ProtocolMode::kSingleLeader &&
-      parsed.leaders.size() != 1) {
-    usage("single-leader mode needs a single-leader digraph");
-  }
-
-  swap::SwapEngine engine(parsed.d, parsed.leaders, options);
+/// Print one engine's per-party outcomes and audit; returns audit-ok.
+bool report_swap(swap::SwapEngine& engine, const swap::SwapReport& report) {
   const swap::SwapSpec& spec = engine.spec();
-  for (const std::string& a : adversaries) {
-    swap::PartyId victim = 0;
-    const swap::Strategy s = parse_adversary(a, &victim, spec);
-    if (victim >= spec.digraph.vertex_count()) usage("adversary id out of range");
-    engine.set_strategy(victim, s);
+  for (swap::PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
+    std::printf("  %-10s %-10s%s\n", spec.party_names[v].c_str(),
+                to_string(report.outcomes[v]),
+                engine.strategy(v).conforming() ? "" : "  (deviated)");
+  }
+  const swap::InvariantReport audit = swap::check_all(engine, report);
+  if (!audit.ok()) {
+    std::printf("  invariant audit: %s\n", audit.to_string().c_str());
+  }
+  return audit.ok();
+}
+
+int run_single(const std::string& digraph_spec, CommonFlags flags) {
+  apply_mode(&flags);
+  const graph::Digraph d = parse_digraph(digraph_spec);
+
+  swap::Scenario scenario = [&] {
+    try {
+      return swap::ScenarioBuilder()
+          .offers(swap::offers_for_digraph(d))
+          .options(flags.options)
+          .build();
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+  }();
+  if (scenario.swap_count() != 1) usage("digraph preset did not clear to one swap");
+
+  swap::SwapEngine& engine = scenario.engine(0);
+  const swap::SwapSpec& spec = engine.spec();
+  for (const std::string& a : flags.adversaries) {
+    auto [victim, s] = parse_adversary(a, spec);
+    // run-mode adversaries address synthetic parties by id: V -> "PV".
+    try {
+      scenario.set_strategy("P" + victim, s);
+    } catch (const std::invalid_argument&) {
+      usage("adversary id out of range");
+    }
   }
 
   std::printf("swap: %zu parties, %zu transfers, %zu leader(s), diam=%zu, "
               "delta=%llu, mode=%s\n",
               spec.digraph.vertex_count(), spec.digraph.arc_count(),
               spec.leaders.size(), spec.diam,
-              static_cast<unsigned long long>(spec.delta), mode.c_str());
+              static_cast<unsigned long long>(spec.delta), flags.mode.c_str());
 
-  const swap::SwapReport report = engine.run();
+  const swap::BatchReport batch = scenario.run();
+  const swap::SwapReport& report = batch.swaps[0];
 
-  if (show_timeline) {
+  if (flags.show_timeline) {
     std::printf("\ntimeline (t in delta units after start):\n%s",
                 swap::render_timeline(spec, swap::collect_timeline(engine)).c_str());
   }
 
   std::printf("\noutcomes:\n");
-  for (swap::PartyId v = 0; v < spec.digraph.vertex_count(); ++v) {
-    std::printf("  %-6s %-10s%s\n", spec.party_names[v].c_str(),
-                to_string(report.outcomes[v]),
-                engine.strategy(v).conforming() ? "" : "  (deviated)");
-  }
+  const bool audit_ok = report_swap(engine, report);
   std::printf("all transfers triggered: %s; no conforming party underwater: %s\n",
               report.all_triggered ? "yes" : "no",
               report.no_conforming_underwater ? "yes" : "NO");
+  std::printf("invariant audit: %s\n", audit_ok ? "ok" : "FAILED (above)");
 
-  const swap::InvariantReport audit = swap::check_all(engine, report);
-  std::printf("invariant audit: %s\n", audit.ok() ? "ok" : audit.to_string().c_str());
-
-  if (show_forensics) {
+  if (flags.show_forensics) {
     const swap::FaultReport faults = swap::analyze_faults(engine);
     std::printf("\nforensics:\n");
     if (faults.findings.empty()) {
@@ -203,5 +276,133 @@ int main(int argc, char** argv) {
                   f.detail.c_str());
     }
   }
-  return report.no_conforming_underwater && audit.ok() ? 0 : 1;
+  return report.no_conforming_underwater && audit_ok ? 0 : 1;
+}
+
+int run_batch(const std::string& offers_path, CommonFlags flags) {
+  apply_mode(&flags);
+  const std::vector<swap::Offer> offers = parse_offers_file(offers_path);
+
+  swap::Scenario scenario = [&] {
+    try {
+      return swap::ScenarioBuilder()
+          .offers(offers)
+          .options(flags.options)
+          .build();
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+  }();
+
+  std::printf("offer book: %zu offers -> %zu independent swap(s), "
+              "%zu unmatched\n",
+              offers.size(), scenario.swap_count(), scenario.unmatched().size());
+
+  for (const std::string& a : flags.adversaries) {
+    if (scenario.swap_count() == 0) {
+      usage("no swaps cleared; adversaries have no target");
+    }
+    // batch-mode adversaries address parties by their book name. Every
+    // component shares the engine options, so component 0's spec gives
+    // the common start time for relative deadlines.
+    auto [victim, s] = parse_adversary(a, scenario.engine(0).spec());
+    try {
+      scenario.set_strategy(victim, s);
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+  }
+
+  const swap::BatchReport batch = scenario.run();
+
+  bool audits_ok = true;
+  for (std::size_t i = 0; i < batch.swaps.size(); ++i) {
+    const swap::ClearedSwap& cleared = scenario.cleared(i);
+    swap::SwapEngine& engine = scenario.engine(i);
+    std::printf("\nswap %zu: %zu parties, %zu transfers, %zu leader(s) -> %s\n",
+                i + 1, cleared.party_names.size(), cleared.arcs.size(),
+                cleared.leaders.size(),
+                batch.swaps[i].all_triggered ? "all triggered" : "partial");
+    audits_ok = report_swap(engine, batch.swaps[i]) && audits_ok;
+    if (flags.show_timeline) {
+      std::printf("  timeline (t in delta units after start):\n%s",
+                  swap::render_timeline(engine.spec(),
+                                        swap::collect_timeline(engine)).c_str());
+    }
+    if (flags.show_forensics) {
+      const swap::FaultReport faults = swap::analyze_faults(engine);
+      std::printf("  forensics:\n");
+      if (faults.findings.empty()) {
+        std::printf("    nobody failed an enabled transition\n");
+      }
+      for (const auto& f : faults.findings) {
+        std::printf("    %-10s %-22s %s\n",
+                    engine.spec().party_names[f.party].c_str(),
+                    to_string(f.kind), f.detail.c_str());
+      }
+    }
+  }
+
+  if (!batch.unmatched.empty()) {
+    std::printf("\nunmatched offers (returned to their makers):\n");
+    for (const swap::Offer& offer : batch.unmatched) {
+      std::printf("  %s -> %s on %s: %s\n", offer.from.c_str(),
+                  offer.to.c_str(), offer.chain.c_str(),
+                  offer.asset.to_string().c_str());
+    }
+  }
+
+  std::printf("\nbatch: %zu/%zu swaps fully triggered; last trigger T=%llu; "
+              "%zu transactions (%zu failed); %zu B on-chain; "
+              "no conforming party underwater: %s; audits: %s\n",
+              batch.swaps_fully_triggered, batch.swaps.size(),
+              static_cast<unsigned long long>(batch.last_trigger_time),
+              batch.total_transactions, batch.failed_transactions,
+              batch.total_storage_bytes,
+              batch.no_conforming_underwater ? "yes" : "NO",
+              audits_ok ? "ok" : "FAILED");
+  return batch.no_conforming_underwater && audits_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string subcommand = "run";
+  std::string offers_path;
+  std::string digraph_spec = "cycle:3";
+  CommonFlags flags;
+
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    subcommand = argv[i++];
+    if (subcommand == "batch") {
+      if (i >= argc || argv[i][0] == '-') usage("batch needs an offers file");
+      offers_path = argv[i++];
+    } else if (subcommand != "run") {
+      usage(("unknown subcommand " + subcommand).c_str());
+    }
+  }
+
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--digraph") {
+      if (subcommand == "batch") usage("--digraph applies to run mode only");
+      digraph_spec = next();
+    }
+    else if (arg == "--mode") flags.mode = next();
+    else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
+    else if (arg == "--seed") flags.options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--adversary") flags.adversaries.push_back(next());
+    else if (arg == "--timeline") flags.show_timeline = true;
+    else if (arg == "--forensics") flags.show_forensics = true;
+    else if (arg == "--help") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+
+  if (subcommand == "batch") return run_batch(offers_path, flags);
+  return run_single(digraph_spec, flags);
 }
