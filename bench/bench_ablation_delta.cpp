@@ -48,6 +48,12 @@ int main() {
                   static_cast<unsigned long long>(worst_slack),
                   static_cast<double>(worst_slack) / static_cast<double>(delta),
                   report.all_triggered ? "" : "  <-- FAILED");
+      bench::row_json("bench_ablation_delta", "delta_sweep",
+                      {{"delta", delta},
+                       {"seal_period", seal},
+                       {"done_tick", report.last_trigger_time},
+                       {"worst_slack_ticks", worst_slack},
+                       {"all_triggered", report.all_triggered}});
     }
   }
   bench::rule();

@@ -41,6 +41,12 @@ int main() {
                 static_cast<unsigned long long>(1 + delay),
                 report.all_triggered ? "all-Deal" : "refunds", deals,
                 report.no_conforming_underwater ? "yes" : "NO");
+    bench::row_json("bench_ablation_latency", "uniform_congestion",
+                    {{"submit_delay", delay},
+                     {"hop_ticks", 1 + delay},
+                     {"deals", deals},
+                     {"all_triggered", report.all_triggered},
+                     {"safe", report.no_conforming_underwater}});
   }
 
   std::printf("\npart 2: only Bob's entering chain slowed; Carol unlocks at "
@@ -78,6 +84,11 @@ int main() {
                 hop <= 4 ? "within" : "EXCEEDS", to_string(worst),
                 to_string(worst),
                 worst != swap::Outcome::kUnderwater ? "yes" : "NO <-- broken");
+    bench::row_json("bench_ablation_latency", "asymmetric_congestion",
+                    {{"slow_hop_ticks", hop},
+                     {"within_delta", hop <= 4},
+                     {"worst_outcome", to_string(worst)},
+                     {"safe", worst != swap::Outcome::kUnderwater}});
   }
   bench::rule();
   std::printf("expected shape: uniform slowdown degrades gracefully "

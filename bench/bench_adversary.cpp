@@ -53,6 +53,14 @@ int main() {
       std::printf("+%-9.0f %c          | %-8zu %-8zu %-8zu | %s %s\n",
                   crash_delta, names[victim], deals, nodeals, other, settled_str,
                   report.no_conforming_underwater ? "yes" : "NO <-- VIOLATION");
+      bench::row_json("bench_adversary", "crash_sweep",
+                      {{"victim", std::string(1, names[victim])},
+                       {"crash_deltas", crash_delta},
+                       {"deals", deals},
+                       {"nodeals", nodeals},
+                       {"other", other},
+                       {"settled_tick", settled},
+                       {"safe", report.no_conforming_underwater}});
     }
   }
   bench::rule();

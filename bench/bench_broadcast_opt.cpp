@@ -41,6 +41,14 @@ int main() {
     std::printf("cycle%-3zu %5zu %6zu | %10.2f %10.2f | %9.2fx%s\n", n,
                 pe.spec().diam, d.arc_count(), pd, bd, pd / bd,
                 (pr.all_triggered && br.all_triggered) ? "" : " <-- FAILED");
+    bench::row_json("bench_broadcast_opt", "completion_deltas",
+                    {{"family", "cycle"},
+                     {"n", n},
+                     {"diam", pe.spec().diam},
+                     {"plain_deltas", pd},
+                     {"broadcast_deltas", bd},
+                     {"speedup", pd / bd},
+                     {"all_triggered", pr.all_triggered && br.all_triggered}});
   }
   bench::rule();
   std::printf("expected shape: plain grows ~2x faster with n than broadcast; "

@@ -38,6 +38,15 @@ int main() {
                 report.hashkey_bytes_submitted,
                 static_cast<double>(report.hashkey_bytes_submitted) / al,
                 report.all_triggered ? "" : "  <-- FAILED");
+    bench::row_json("bench_comm_vs_leaders", "hashkey_bytes",
+                    {{"family", "cycle"},
+                     {"n", d.vertex_count()},
+                     {"arcs", d.arc_count()},
+                     {"leaders", leader_count},
+                     {"hashkey_bytes", report.hashkey_bytes_submitted},
+                     {"bytes_per_arc_leader",
+                      static_cast<double>(report.hashkey_bytes_submitted) / al},
+                     {"all_triggered", report.all_triggered}});
   }
   bench::rule();
 
@@ -58,6 +67,15 @@ int main() {
                 report.hashkey_bytes_submitted,
                 static_cast<double>(report.hashkey_bytes_submitted) / al,
                 report.all_triggered ? "" : "  <-- FAILED");
+    bench::row_json("bench_comm_vs_leaders", "hashkey_bytes",
+                    {{"family", "complete"},
+                     {"n", kd.vertex_count()},
+                     {"arcs", kd.arc_count()},
+                     {"leaders", leaders.size()},
+                     {"hashkey_bytes", report.hashkey_bytes_submitted},
+                     {"bytes_per_arc_leader",
+                      static_cast<double>(report.hashkey_bytes_submitted) / al},
+                     {"all_triggered", report.all_triggered}});
   }
   bench::rule();
   std::printf("expected shape: bytes/(|A|*|L|) stays within a small constant "

@@ -63,6 +63,13 @@ int main() {
                 in_delta(swap::single_leader_timeout(spec, a)),
                 in_delta(deployed), in_delta(report.settled_at[a]),
                 paper_trigger[a]);
+    bench::row_json("bench_fig1_2_timeline", "arc_schedule_deltas",
+                    {{"arc", arc_names[a]},
+                     {"asset", spec.arcs[a].asset.to_string()},
+                     {"timeout_deltas", in_delta(swap::single_leader_timeout(spec, a))},
+                     {"deployed_deltas", in_delta(deployed)},
+                     {"triggered_deltas", in_delta(report.settled_at[a])},
+                     {"paper_bound_deltas", paper_trigger[a]}});
   }
   bench::rule();
   std::printf("paper timeout schedule: (A,B)=+6d (B,C)=+5d (C,A)=+4d\n");

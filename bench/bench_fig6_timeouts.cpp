@@ -39,6 +39,12 @@ int main() {
                   arc.tail, "", spec.diam, dvl,
                   static_cast<unsigned long long>(
                       swap::single_leader_timeout(spec, a)));
+      bench::row_json("bench_fig6_timeouts", "single_leader_timeout",
+                      {{"head", arc.head},
+                       {"tail", arc.tail},
+                       {"diam", spec.diam},
+                       {"dist_to_leader", dvl},
+                       {"timeout_ticks", swap::single_leader_timeout(spec, a)}});
     }
     bool gap_ok = true;
     for (swap::PartyId v = 1; v < 3; ++v) {
@@ -53,6 +59,8 @@ int main() {
     }
     std::printf("  Lemma 4.13 gap (entering >= leaving + delta) at every "
                 "follower: %s\n\n", gap_ok ? "yes" : "NO");
+    bench::row_json("bench_fig6_timeouts", "lemma413_gap",
+                    {{"digraph", "triangle"}, {"gap_ok", gap_ok}});
   }
 
   // Right: two leaders -> follower cycle; scalar timeouts cannot work.
@@ -81,6 +89,10 @@ int main() {
     const swap::SwapReport report = engine.run();
     std::printf("  general hashkey protocol on the same digraph: all Deal = %s\n",
                 report.all_triggered ? "yes" : "NO");
+    bench::row_json("bench_fig6_timeouts", "two_leader_general_run",
+                    {{"digraph", "fig6_right"},
+                     {"scalar_timeouts_satisfiable", false},
+                     {"all_triggered", report.all_triggered}});
     std::printf("  (hashkeys assign per-path deadlines (diam+|p|)*d instead of "
                 "per-arc scalars)\n");
     return report.all_triggered ? 0 : 1;

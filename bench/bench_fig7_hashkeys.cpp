@@ -45,6 +45,12 @@ int main() {
         for (const auto v : p) label += names[v];
         std::printf("    %-20s |p|=%zu  deadline start+%zu*d\n", label.c_str(),
                     p.size() - 1, diam + (p.size() - 1));
+        bench::row_json("bench_fig7_hashkeys", "hashkey_path",
+                        {{"head", arc.head},
+                         {"tail", arc.tail},
+                         {"leader", leader},
+                         {"path_len", p.size() - 1},
+                         {"deadline_deltas", diam + (p.size() - 1)}});
         ++total;
       }
     }

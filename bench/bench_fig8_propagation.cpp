@@ -56,6 +56,12 @@ int main() {
     std::printf("(%c,%c)%-5s %-14zu %-20llu %.1f\n", names[arc.head],
                 names[arc.tail], "", pebbles.round[a],
                 static_cast<unsigned long long>(published[a]), rounds);
+    bench::row_json("bench_fig8_propagation", "arc_publication",
+                    {{"head", arc.head},
+                     {"tail", arc.tail},
+                     {"pebble_round", pebbles.round[a]},
+                     {"published_tick", published[a]},
+                     {"published_rounds", rounds}});
   }
   // Publication times must respect the pebble-round partial order.
   for (graph::ArcId a = 0; a < d.arc_count(); ++a) {

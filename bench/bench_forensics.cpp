@@ -71,6 +71,15 @@ int main() {
                   blamed.c_str(),
                   deviating ? (hit ? "yes" : "no (not provable)") : "n/a",
                   false_blame ? "YES <-- BUG" : "no");
+      bench::row_json("bench_forensics", "blame_attribution",
+                      {{"deviation", c.name},
+                       {"deviator", deviating
+                                        ? std::string(1, static_cast<char>(
+                                                             'A' + deviator))
+                                        : "-"},
+                       {"blamed", blamed},
+                       {"deviator_hit", hit},
+                       {"false_blame", false_blame}});
     }
   }
   bench::rule();

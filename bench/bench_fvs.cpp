@@ -45,6 +45,14 @@ int main() {
     std::printf("%-4zu %4zu | %6zu %10.3f | %6zu %10.3f | %s\n", n,
                 d.arc_count(), exact.size(), exact_ms, greedy.size(), greedy_ms,
                 graph::is_feedback_vertex_set(d, greedy) ? "yes" : "NO");
+    bench::row_json("bench_fvs", "fvs_size_and_ms",
+                    {{"n", n},
+                     {"arcs", d.arc_count()},
+                     {"exact_size", exact.size()},
+                     {"exact_ms", exact_ms},
+                     {"greedy_size", greedy.size()},
+                     {"greedy_ms", greedy_ms},
+                     {"greedy_valid", graph::is_feedback_vertex_set(d, greedy)}});
   }
   bench::rule();
   std::printf("expected shape: exact time grows exponentially with n while "

@@ -27,13 +27,21 @@ void run_case(const char* family, const graph::Digraph& d,
     eager_rounds = std::max(eager_rounds, eager.rounds);
     eager_complete = eager_complete && eager.complete;
   }
+  const bool within = lazy.complete && eager_complete &&
+                      lazy.rounds <= diam && eager_rounds <= diam;
   std::printf("%-10s %4zu %4zu %5zu %5zu | %9zu %9zu | %s\n", family,
               d.vertex_count(), d.arc_count(), leaders.size(), diam,
               lazy.rounds, eager_rounds,
-              (lazy.complete && eager_complete && lazy.rounds <= diam &&
-               eager_rounds <= diam)
-                  ? "within bound"
-                  : "VIOLATION");
+              within ? "within bound" : "VIOLATION");
+  bench::row_json("bench_pebble", "pebble_rounds",
+                  {{"family", family},
+                   {"n", d.vertex_count()},
+                   {"arcs", d.arc_count()},
+                   {"leaders", leaders.size()},
+                   {"diam", diam},
+                   {"lazy_rounds", lazy.rounds},
+                   {"eager_rounds", eager_rounds},
+                   {"within_bound", within}});
 }
 
 }  // namespace

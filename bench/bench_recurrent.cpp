@@ -37,6 +37,15 @@ int main() {
                   deals, rounds, bytes / rounds,
                   static_cast<double>(sigs) / static_cast<double>(rounds),
                   links ? "yes" : "NO <-- BROKEN");
+      bench::row_json("bench_recurrent", "per_round_cost",
+                      {{"family", "cycle"},
+                       {"n", n},
+                       {"rounds", rounds},
+                       {"deals", deals},
+                       {"bytes_per_round", bytes / rounds},
+                       {"sigs_per_round",
+                        static_cast<double>(sigs) / static_cast<double>(rounds)},
+                       {"chain_links_verified", links}});
     }
   }
   bench::rule();

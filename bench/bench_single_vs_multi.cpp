@@ -35,6 +35,18 @@ void compare(const char* label, const graph::Digraph& d, std::uint64_t seed) {
               g.sign_operations, s.sign_operations, ticks(g, ge.spec()),
               ticks(s, se.spec()),
               (g.all_triggered && s.all_triggered) ? "" : " <-- FAILED");
+  bench::row_json("bench_single_vs_multi", "protocol_cost",
+                  {{"digraph", label},
+                   {"arcs", d.arc_count()},
+                   {"storage_general", g.total_storage_bytes},
+                   {"storage_single", s.total_storage_bytes},
+                   {"unlock_bytes_general", g.hashkey_bytes_submitted},
+                   {"unlock_bytes_single", s.hashkey_bytes_submitted},
+                   {"sigs_general", g.sign_operations},
+                   {"sigs_single", s.sign_operations},
+                   {"ticks_general", ticks(g, ge.spec())},
+                   {"ticks_single", ticks(s, se.spec())},
+                   {"all_triggered", g.all_triggered && s.all_triggered}});
 }
 
 }  // namespace

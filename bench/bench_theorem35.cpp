@@ -44,6 +44,12 @@ int main() {
     std::printf("  %-12s %3zu %4zu | %14.0f | %s\n", c.name,
                 c.d.vertex_count(), c.d.arc_count(), combos,
                 witness ? "FOUND <-- contradicts Lemma 3.3" : "none (as proved)");
+    bench::row_json("bench_theorem35", "lemma33_search",
+                    {{"digraph", c.name},
+                     {"n", c.d.vertex_count()},
+                     {"arcs", c.d.arc_count()},
+                     {"outcomes_tried", combos},
+                     {"counterexample_found", witness.has_value()}});
   }
 
   std::printf("\nnon-strongly-connected digraphs (Lemma 3.4):\n");
@@ -91,13 +97,17 @@ int main() {
     for (const auto v : witness->coalition) {
       members += static_cast<char>('A' + v);
     }
+    const bool prefer = swap::members_prefer_to_full_trigger(
+        c.d, witness->coalition, witness->triggered);
     std::printf("  %-14s | {%s}%*s %-22s %s\n", c.name, members.c_str(),
                 static_cast<int>(8 - members.size()), "",
-                to_string(witness->coalition_outcome),
-                swap::members_prefer_to_full_trigger(c.d, witness->coalition,
-                                                     witness->triggered)
-                    ? "yes"
-                    : "NO <-- BUG");
+                to_string(witness->coalition_outcome), prefer ? "yes"
+                                                             : "NO <-- BUG");
+    bench::row_json("bench_theorem35", "lemma34_freeride",
+                    {{"digraph", c.name},
+                     {"coalition", members},
+                     {"coalition_outcome", to_string(witness->coalition_outcome)},
+                     {"members_prefer", prefer}});
   }
   bench::rule();
   std::printf("expected shape: zero profitable-safe deviations on every SC "

@@ -1,0 +1,60 @@
+#include "swap/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace xswap::swap {
+
+void SerialExecutor::run(std::size_t count,
+                         const std::function<void(std::size_t)>& task) {
+  for (std::size_t i = 0; i < count; ++i) task(i);
+}
+
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t n_threads)
+    : n_threads_(n_threads) {
+  if (n_threads == 0) {
+    throw std::invalid_argument("ThreadPoolExecutor: need at least 1 thread");
+  }
+}
+
+void ThreadPoolExecutor::run(std::size_t count,
+                             const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(n_threads_, count);
+  if (workers == 1) {  // no point paying thread start-up for one lane
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread is the last lane
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace xswap::swap

@@ -1,6 +1,9 @@
 #include "swap/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -27,13 +30,68 @@ void Scenario::set_strategy(const std::string& party, Strategy strategy) {
 }
 
 BatchReport Scenario::run() {
+  if (default_jobs_ > 1) {
+    ThreadPoolExecutor pool(default_jobs_);
+    return run(pool);
+  }
+  return run(RunOptions{});
+}
+
+BatchReport Scenario::run(Executor& executor) {
+  RunOptions options;
+  options.executor = &executor;
+  return run(options);
+}
+
+BatchReport Scenario::run(const RunOptions& options) {
   if (ran_) throw std::logic_error("Scenario::run: already ran");
+  if (options.max_components && *options.max_components == 0) {
+    throw std::invalid_argument("Scenario::run: max_components must be >= 1");
+  }
   ran_ = true;
+
+  std::size_t count = engines_.size();
+  std::size_t skipped = 0;
+  if (options.max_components && *options.max_components < count) {
+    skipped = count - *options.max_components;
+    count = *options.max_components;
+    std::fprintf(stderr,
+                 "Scenario::run: max_components=%zu truncates the batch, "
+                 "skipping %zu of %zu component swap(s)\n",
+                 count, skipped, engines_.size());
+  }
+
+  SerialExecutor serial;
+  Executor& executor = options.executor ? *options.executor : serial;
+
+  // Engines are share-nothing (each owns its Simulator, ledgers, and
+  // seed-derived randomness), so the executor may run them in any order
+  // or concurrently; results land in a by-index slot and everything
+  // order-sensitive (aggregation, outcome counting) happens serially
+  // below, in component order. Progress callbacks are serialized here so
+  // user code needs no locking of its own.
+  std::vector<SwapReport> reports(count);
+  std::mutex progress_mutex;
+  const auto started = std::chrono::steady_clock::now();
+  executor.run(count, [&](std::size_t i) {
+    SwapReport report = engines_[i]->run();
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(i, report);
+    }
+    reports[i] = std::move(report);
+  });
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
 
   BatchReport batch;
   batch.unmatched = unmatched_;
-  for (auto& engine : engines_) {
-    SwapReport report = engine->run();
+  batch.components_skipped = skipped;
+  batch.wall_ms = wall_ms;
+  batch.components_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(count) / (wall_ms / 1000.0) : 0.0;
+  for (SwapReport& report : reports) {
     if (report.all_triggered) batch.swaps_fully_triggered += 1;
     batch.all_triggered = batch.all_triggered && report.all_triggered;
     batch.no_conforming_underwater =
@@ -100,9 +158,17 @@ ScenarioBuilder& ScenarioBuilder::strategy(std::string party, Strategy s) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::jobs(std::size_t n) {
+  jobs_ = n;
+  return *this;
+}
+
 Scenario ScenarioBuilder::build() const {
   if (offers_.empty()) {
     throw std::invalid_argument("ScenarioBuilder: no offers in the book");
+  }
+  if (jobs_ == 0) {
+    throw std::invalid_argument("ScenarioBuilder: jobs must be >= 1");
   }
   std::set<std::string> offered;
   for (const Offer& o : offers_) {
@@ -120,6 +186,7 @@ Scenario ScenarioBuilder::build() const {
   Decomposition decomposition = decompose_offers(offers_);
 
   Scenario scenario;
+  scenario.default_jobs_ = jobs_;
   scenario.unmatched_ = std::move(decomposition.unmatched);
   for (std::size_t i = 0; i < decomposition.swaps.size(); ++i) {
     EngineOptions per_swap = options_;

@@ -24,6 +24,11 @@
 // (components are ordered deterministically by decompose_offers), so a
 // single-component scenario reproduces a direct
 // SwapEngine(cleared, options) run bit-for-bit.
+//
+// Execution policy is pluggable (swap/executor.hpp): components are
+// share-nothing, so `.jobs(n)` / run(Executor&) / run(RunOptions) can
+// fan them out over a thread pool; the aggregated report stays
+// field-identical to the serial run modulo the wall-clock fields.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +40,7 @@
 
 #include "swap/clearing.hpp"
 #include "swap/engine.hpp"
+#include "swap/executor.hpp"
 #include "swap/strategy.hpp"
 
 namespace xswap::swap {
@@ -67,6 +73,18 @@ struct BatchReport {
   std::size_t sign_operations = 0;
   std::size_t total_transactions = 0;
   std::size_t failed_transactions = 0;
+
+  // Components not run because of RunOptions::max_components (0 unless
+  // the cap truncated the batch). Deterministic, unlike the wall-clock
+  // fields below.
+  std::size_t components_skipped = 0;
+
+  // Wall-clock timing of the run (real time, not simulated ticks) —
+  // the ONLY fields that legitimately differ between executors; every
+  // other field is executor-independent because component i always runs
+  // with seed `options.seed + i` and aggregation is in component order.
+  double wall_ms = 0.0;
+  double components_per_sec = 0.0;
 };
 
 /// A cleared, ready-to-run offer batch: one SwapEngine per component
@@ -96,9 +114,22 @@ class Scenario {
   void set_strategy(const std::string& party, Strategy strategy);
 
   /// Run every component swap to quiescence (each in its own simulated
-  /// timeline) and aggregate. Callable once; throws std::logic_error on
-  /// a second call.
+  /// timeline) and aggregate. Callable once across ALL overloads; throws
+  /// std::logic_error on a second call. This overload uses the
+  /// scenario's default execution policy: ScenarioBuilder::jobs(n) > 1
+  /// selects a ThreadPoolExecutor(n), otherwise components run serially.
   BatchReport run();
+
+  /// Run with an explicit execution policy (see swap/executor.hpp).
+  /// Component engines are share-nothing, and aggregation happens in
+  /// component order after every engine finishes, so the report is
+  /// field-identical across executors modulo the wall-clock fields.
+  BatchReport run(Executor& executor);
+
+  /// Full-control overload: executor choice, per-component progress
+  /// callback, max_components cap. Throws std::invalid_argument on
+  /// invalid options (e.g. max_components == 0).
+  BatchReport run(const RunOptions& options);
 
  private:
   friend class ScenarioBuilder;
@@ -107,6 +138,7 @@ class Scenario {
   std::vector<ClearedSwap> cleared_;
   std::vector<std::unique_ptr<SwapEngine>> engines_;  // parallel to cleared_
   std::vector<Offer> unmatched_;
+  std::size_t default_jobs_ = 1;  // ScenarioBuilder::jobs
   bool ran_ = false;
 };
 
@@ -132,6 +164,12 @@ class ScenarioBuilder {
   ScenarioBuilder& broadcast(bool on = true);
   ScenarioBuilder& mode(ProtocolMode m);
 
+  /// Default execution policy for Scenario::run(): n > 1 runs component
+  /// swaps on a ThreadPoolExecutor(n), n == 1 (the default) keeps the
+  /// serial loop. The report is identical either way modulo wall-clock
+  /// fields. build() throws std::invalid_argument on n == 0.
+  ScenarioBuilder& jobs(std::size_t n);
+
   /// Override the named party's behaviour (default: honest). Applied to
   /// whichever component swap the party clears into; the latest
   /// override for a name wins. build() throws if the name appears in no
@@ -146,6 +184,7 @@ class ScenarioBuilder {
   std::vector<Offer> offers_;
   EngineOptions options_;
   std::vector<std::pair<std::string, Strategy>> strategies_;
+  std::size_t jobs_ = 1;
 };
 
 }  // namespace xswap::swap

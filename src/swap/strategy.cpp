@@ -1,0 +1,81 @@
+#include "swap/strategy.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace xswap::swap {
+
+namespace {
+
+sim::Time parse_ticks(const std::string& kind, const std::string& arg) {
+  if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("strategy_from_spec: '" + kind +
+                                "' needs a non-negative tick count, got '" +
+                                arg + "'");
+  }
+  try {
+    return static_cast<sim::Time>(std::stoull(arg));
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("strategy_from_spec: '" + kind +
+                                "' tick count out of range: '" + arg + "'");
+  }
+}
+
+void reject_arg(const std::string& kind, const std::string& arg) {
+  if (!arg.empty()) {
+    throw std::invalid_argument("strategy_from_spec: '" + kind +
+                                "' takes no argument, got '" + arg + "'");
+  }
+}
+
+}  // namespace
+
+Strategy strategy_from_spec(const std::string& spec, sim::Time start_time) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+  Strategy s;
+  if (kind == "crash") {
+    s.crash_at = start_time + parse_ticks(kind, arg);
+  } else if (kind == "withhold") {
+    reject_arg(kind, arg);
+    s.withhold_unlocks = true;
+    s.withhold_claims = true;
+  } else if (kind == "silent") {
+    reject_arg(kind, arg);
+    s.withhold_contracts = true;
+  } else if (kind == "corrupt") {
+    reject_arg(kind, arg);
+    s.publish_corrupt_contracts = true;
+  } else if (kind == "late") {
+    s.delay_unlocks_until = start_time + parse_ticks(kind, arg);
+  } else if (kind == "reveal") {
+    reject_arg(kind, arg);
+    s.premature_reveal = true;
+  } else {
+    throw std::invalid_argument("strategy_from_spec: unknown kind '" + kind +
+                                "'");
+  }
+  return s;
+}
+
+std::pair<std::string, Strategy> parse_adversary(const std::string& spec,
+                                                 sim::Time start_time) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument("parse_adversary: expected WHO:KIND[:ARG], "
+                                "got '" + spec + "'");
+  }
+  return {spec.substr(0, colon),
+          strategy_from_spec(spec.substr(colon + 1), start_time)};
+}
+
+const std::vector<std::string>& strategy_spec_kinds() {
+  static const std::vector<std::string> kKinds = {
+      "crash:T", "withhold", "silent", "corrupt", "late:T", "reveal"};
+  return kKinds;
+}
+
+}  // namespace xswap::swap

@@ -10,6 +10,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 
@@ -58,5 +61,30 @@ struct Strategy {
 
   static Strategy honest() { return {}; }
 };
+
+/// Parse a deviation spec `KIND[:ARG]` into a Strategy — the one
+/// name→Strategy table for the CLI, benches, examples, and tests:
+///
+///   crash:T    halt at start_time + T
+///   withhold   withhold unlocks and claims (Phase Two defection)
+///   silent     withhold contracts (Phase One defection)
+///   corrupt    publish corrupt contracts
+///   late:T     delay every unlock until start_time + T
+///   reveal     leader reveals the secret prematurely
+///
+/// Times are ticks relative to `start_time` (pass the spec's
+/// start_time so deadlines line up; 0 keeps them absolute). Throws
+/// std::invalid_argument on unknown kinds, missing or non-numeric T,
+/// and stray arguments on argument-free kinds.
+Strategy strategy_from_spec(const std::string& spec, sim::Time start_time = 0);
+
+/// Parse a full adversary spec `WHO:KIND[:ARG]` (WHO is a party name or
+/// id, uninterpreted here) into (WHO, strategy). Same errors as
+/// strategy_from_spec, plus a missing `WHO:` prefix.
+std::pair<std::string, Strategy> parse_adversary(const std::string& spec,
+                                                 sim::Time start_time = 0);
+
+/// The KIND names strategy_from_spec accepts, for usage/help text.
+const std::vector<std::string>& strategy_spec_kinds();
 
 }  // namespace xswap::swap

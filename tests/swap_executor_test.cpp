@@ -1,0 +1,239 @@
+// The Executor layer: pluggable execution policy for component swaps
+// (swap/executor.hpp) and its Scenario::run overloads. The load-bearing
+// claim: component engines are share-nothing and aggregation happens in
+// component order, so ThreadPoolExecutor(n) must produce a BatchReport
+// field-identical to SerialExecutor's — only the wall-clock fields
+// (wall_ms, components_per_sec) may differ.
+#include "swap/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "swap/scenario.hpp"
+
+namespace xswap::swap {
+namespace {
+
+/// A multi-SCC book: `rings3` 3-party rings then `rings2` 2-party
+/// rings, every component independent.
+ScenarioBuilder multi_ring_builder(std::size_t rings3, std::size_t rings2) {
+  ScenarioBuilder builder;
+  for (std::size_t r = 0; r < rings3; ++r) {
+    const std::string a = "A" + std::to_string(r);
+    const std::string b = "B" + std::to_string(r);
+    const std::string c = "C" + std::to_string(r);
+    const std::string chain = "r" + std::to_string(r) + "-";
+    builder.offer(a, b, chain + "0", chain::Asset::coins("X", 1))
+        .offer(b, c, chain + "1", chain::Asset::coins("Y", 1))
+        .offer(c, a, chain + "2", chain::Asset::coins("Z", 1));
+  }
+  for (std::size_t r = 0; r < rings2; ++r) {
+    const std::string m = "M" + std::to_string(r);
+    const std::string t = "T" + std::to_string(r);
+    const std::string chain = "p" + std::to_string(r) + "-";
+    builder.offer(m, t, chain + "0", chain::Asset::coins("U", 3))
+        .offer(t, m, chain + "1", chain::Asset::coins("V", 5));
+  }
+  return builder.seed(2018);
+}
+
+/// Every BatchReport field except the wall-clock pair.
+void expect_identical_modulo_wall_clock(const BatchReport& a,
+                                        const BatchReport& b) {
+  ASSERT_EQ(a.swaps.size(), b.swaps.size());
+  for (std::size_t i = 0; i < a.swaps.size(); ++i) {
+    EXPECT_EQ(a.swaps[i].contract_published, b.swaps[i].contract_published);
+    EXPECT_EQ(a.swaps[i].triggered, b.swaps[i].triggered);
+    EXPECT_EQ(a.swaps[i].refunded, b.swaps[i].refunded);
+    EXPECT_EQ(a.swaps[i].settled_at, b.swaps[i].settled_at);
+    EXPECT_EQ(a.swaps[i].outcomes, b.swaps[i].outcomes);
+    EXPECT_EQ(a.swaps[i].all_triggered, b.swaps[i].all_triggered);
+    EXPECT_EQ(a.swaps[i].last_trigger_time, b.swaps[i].last_trigger_time);
+    EXPECT_EQ(a.swaps[i].finished_at, b.swaps[i].finished_at);
+    EXPECT_EQ(a.swaps[i].total_storage_bytes, b.swaps[i].total_storage_bytes);
+    EXPECT_EQ(a.swaps[i].sign_operations, b.swaps[i].sign_operations);
+    EXPECT_EQ(a.swaps[i].no_conforming_underwater,
+              b.swaps[i].no_conforming_underwater);
+  }
+  EXPECT_EQ(a.unmatched.size(), b.unmatched.size());
+  EXPECT_EQ(a.swaps_fully_triggered, b.swaps_fully_triggered);
+  EXPECT_EQ(a.all_triggered, b.all_triggered);
+  EXPECT_EQ(a.no_conforming_underwater, b.no_conforming_underwater);
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+  EXPECT_EQ(a.last_trigger_time, b.last_trigger_time);
+  EXPECT_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.total_storage_bytes, b.total_storage_bytes);
+  EXPECT_EQ(a.total_call_payload_bytes, b.total_call_payload_bytes);
+  EXPECT_EQ(a.hashkey_bytes_submitted, b.hashkey_bytes_submitted);
+  EXPECT_EQ(a.sign_operations, b.sign_operations);
+  EXPECT_EQ(a.total_transactions, b.total_transactions);
+  EXPECT_EQ(a.failed_transactions, b.failed_transactions);
+  EXPECT_EQ(a.components_skipped, b.components_skipped);
+}
+
+// --------------------------------------------------------------- executors
+
+TEST(Executor, SerialRunsEveryTaskInOrder) {
+  SerialExecutor serial;
+  std::vector<std::size_t> order;
+  serial.run(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, ThreadPoolRunsEveryTaskExactlyOnce) {
+  ThreadPoolExecutor pool(4);
+  constexpr std::size_t kTasks = 100;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Executor, ThreadPoolZeroThreadsRejected) {
+  EXPECT_THROW(ThreadPoolExecutor(0), std::invalid_argument);
+}
+
+TEST(Executor, ThreadPoolZeroTasksIsANoop) {
+  ThreadPoolExecutor pool(4);
+  pool.run(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(Executor, ThreadPoolPropagatesTaskException) {
+  ThreadPoolExecutor pool(2);
+  EXPECT_THROW(pool.run(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("task 3 died");
+                        }),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(Executor, ThreadPoolReportIdenticalToSerialOnWideBook) {
+  // A ≥ 32-component book (20 3-rings + 12 pair rings) with adversaries
+  // sprinkled across components: crash one 3-ring party, silence one
+  // pair-ring maker. Every field except wall clock must agree.
+  const auto build = [] {
+    Strategy crash;
+    crash.crash_at = 1;
+    Strategy silent;
+    silent.withhold_contracts = true;
+    return multi_ring_builder(20, 12)
+        .strategy("B3", crash)
+        .strategy("M7", silent)
+        .build();
+  };
+
+  Scenario serial_scenario = build();
+  SerialExecutor serial;
+  const BatchReport serial_report = serial_scenario.run(serial);
+
+  Scenario pool_scenario = build();
+  ThreadPoolExecutor pool(4);
+  const BatchReport pool_report = pool_scenario.run(pool);
+
+  ASSERT_EQ(serial_report.swaps.size(), 32u);
+  EXPECT_FALSE(serial_report.all_triggered);  // the adversaries bit
+  EXPECT_TRUE(serial_report.no_conforming_underwater);
+  expect_identical_modulo_wall_clock(serial_report, pool_report);
+}
+
+TEST(Executor, BuilderJobsMatchesSerialRun) {
+  const BatchReport serial = multi_ring_builder(2, 6).build().run();
+  const BatchReport parallel = multi_ring_builder(2, 6).jobs(4).build().run();
+  expect_identical_modulo_wall_clock(serial, parallel);
+}
+
+TEST(Executor, MoreThreadsThanComponentsIsFine) {
+  Scenario scenario = multi_ring_builder(1, 1).build();
+  ThreadPoolExecutor pool(16);
+  const BatchReport report = scenario.run(pool);
+  EXPECT_EQ(report.swaps.size(), 2u);
+  EXPECT_TRUE(report.all_triggered);
+}
+
+// -------------------------------------------------------------- run options
+
+TEST(RunOptions, ZeroMaxComponentsRejected) {
+  Scenario scenario = multi_ring_builder(1, 2).build();
+  RunOptions options;
+  options.max_components = 0;
+  EXPECT_THROW(scenario.run(options), std::invalid_argument);
+  // Rejected before the run was consumed: a valid run still works.
+  EXPECT_EQ(scenario.run().swaps.size(), 3u);
+}
+
+TEST(RunOptions, MaxComponentsTruncatesAndCounts) {
+  Scenario scenario = multi_ring_builder(1, 2).build();
+  ASSERT_EQ(scenario.swap_count(), 3u);
+  RunOptions options;
+  options.max_components = 2;
+  const BatchReport report = scenario.run(options);
+  EXPECT_EQ(report.swaps.size(), 2u);
+  EXPECT_EQ(report.components_skipped, 1u);
+  EXPECT_EQ(report.swaps_fully_triggered, 2u);
+}
+
+TEST(RunOptions, MaxComponentsAboveCountIsANoop) {
+  Scenario scenario = multi_ring_builder(1, 1).build();
+  RunOptions options;
+  options.max_components = 99;
+  const BatchReport report = scenario.run(options);
+  EXPECT_EQ(report.swaps.size(), 2u);
+  EXPECT_EQ(report.components_skipped, 0u);
+}
+
+TEST(RunOptions, ProgressFiresOncePerComponentUnderThreadPool) {
+  Scenario scenario = multi_ring_builder(2, 6).build();
+  ThreadPoolExecutor pool(4);
+  RunOptions options;
+  options.executor = &pool;
+  std::set<std::size_t> seen;  // progress calls are serialized
+  options.progress = [&](std::size_t i, const SwapReport& r) {
+    EXPECT_TRUE(seen.insert(i).second) << "component " << i << " reported twice";
+    EXPECT_TRUE(r.all_triggered);
+  };
+  const BatchReport report = scenario.run(options);
+  EXPECT_EQ(seen.size(), report.swaps.size());
+  EXPECT_EQ(*seen.rbegin(), report.swaps.size() - 1);
+}
+
+// -------------------------------------------------------------- one-shot
+
+TEST(Scenario, DoubleRunRejectedAcrossAllOverloads) {
+  {
+    Scenario scenario = multi_ring_builder(1, 0).build();
+    scenario.run();
+    SerialExecutor serial;
+    EXPECT_THROW(scenario.run(serial), std::logic_error);
+  }
+  {
+    Scenario scenario = multi_ring_builder(1, 0).build();
+    ThreadPoolExecutor pool(2);
+    scenario.run(pool);
+    EXPECT_THROW(scenario.run(RunOptions{}), std::logic_error);
+  }
+  {
+    Scenario scenario = multi_ring_builder(1, 0).build();
+    scenario.run(RunOptions{});
+    EXPECT_THROW(scenario.run(), std::logic_error);
+  }
+}
+
+TEST(ScenarioBuilder, ZeroJobsRejectedAtBuild) {
+  EXPECT_THROW(multi_ring_builder(1, 0).jobs(0).build(), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- timing
+
+TEST(Executor, WallClockFieldsPopulated) {
+  const BatchReport report = multi_ring_builder(1, 3).build().run();
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_GT(report.components_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace xswap::swap

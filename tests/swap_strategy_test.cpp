@@ -1,0 +1,84 @@
+// The strategy spec table (swap/strategy.{hpp,cpp}): the single
+// name→Strategy parser shared by the CLI's --adversary flag, examples,
+// and tests.
+#include "swap/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xswap::swap {
+namespace {
+
+TEST(StrategyFromSpec, CrashWithRelativeTime) {
+  const Strategy s = strategy_from_spec("crash:10", 100);
+  ASSERT_TRUE(s.crash_at.has_value());
+  EXPECT_EQ(*s.crash_at, 110u);
+  EXPECT_FALSE(s.conforming());
+}
+
+TEST(StrategyFromSpec, EveryArgFreeKind) {
+  EXPECT_TRUE(strategy_from_spec("withhold").withhold_unlocks);
+  EXPECT_TRUE(strategy_from_spec("withhold").withhold_claims);
+  EXPECT_TRUE(strategy_from_spec("silent").withhold_contracts);
+  EXPECT_TRUE(strategy_from_spec("corrupt").publish_corrupt_contracts);
+  EXPECT_TRUE(strategy_from_spec("reveal").premature_reveal);
+}
+
+TEST(StrategyFromSpec, LateWithRelativeTime) {
+  const Strategy s = strategy_from_spec("late:7", 50);
+  ASSERT_TRUE(s.delay_unlocks_until.has_value());
+  EXPECT_EQ(*s.delay_unlocks_until, 57u);
+}
+
+TEST(StrategyFromSpec, UnknownKindRejected) {
+  EXPECT_THROW(strategy_from_spec("ddos"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec(""), std::invalid_argument);
+}
+
+TEST(StrategyFromSpec, TimedKindsNeedNumericArg) {
+  EXPECT_THROW(strategy_from_spec("crash"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crash:"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crash:soon"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("late:-1"), std::invalid_argument);
+  // Out-of-range ticks surface as the documented std::invalid_argument,
+  // not std::out_of_range.
+  EXPECT_THROW(strategy_from_spec("crash:99999999999999999999999"),
+               std::invalid_argument);
+}
+
+TEST(StrategyFromSpec, ArgFreeKindsRejectStrayArg) {
+  EXPECT_THROW(strategy_from_spec("withhold:3"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("reveal:now"), std::invalid_argument);
+}
+
+TEST(ParseAdversary, SplitsNameFromKind) {
+  const auto [who, s] = parse_adversary("Carol:crash:10", 5);
+  EXPECT_EQ(who, "Carol");
+  ASSERT_TRUE(s.crash_at.has_value());
+  EXPECT_EQ(*s.crash_at, 15u);
+}
+
+TEST(ParseAdversary, NumericIdsStayUninterpreted) {
+  const auto [who, s] = parse_adversary("2:withhold");
+  EXPECT_EQ(who, "2");
+  EXPECT_TRUE(s.withhold_unlocks);
+}
+
+TEST(ParseAdversary, MissingWhoRejected) {
+  EXPECT_THROW(parse_adversary("withhold"), std::invalid_argument);
+  EXPECT_THROW(parse_adversary(":withhold"), std::invalid_argument);
+}
+
+TEST(StrategySpecKinds, ListsEveryKindOnce) {
+  const auto& kinds = strategy_spec_kinds();
+  EXPECT_EQ(kinds.size(), 6u);
+  // Each listed kind (sans the :T argument hint) parses.
+  for (const std::string& kind : kinds) {
+    const auto colon = kind.find(':');
+    const std::string bare = kind.substr(0, colon);
+    const std::string spec = colon == std::string::npos ? bare : bare + ":1";
+    EXPECT_FALSE(strategy_from_spec(spec).conforming()) << kind;
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

@@ -18,6 +18,9 @@
 //     --mode/--delta/--seed/--timeline/--forensics as above, applied
 //     per component swap (adversaries address batch parties by name:
 //     --adversary NAME:KIND[:ARG]; --digraph is run-mode only)
+//     --jobs N           run the independent component swaps on N
+//                        threads (default 1; the report is identical
+//                        modulo wall-clock, components are share-nothing)
 //     Offers file: one offer per line, `FROM TO CHAIN ASSET`, where
 //     ASSET is `coin:SYM:AMOUNT` or `unique:SYM:ID`; '#' starts a
 //     comment. Offers that clear into strongly connected components run
@@ -53,7 +56,7 @@ namespace {
                "             [--seed N] [--adversary V:KIND[:ARG]]...\n"
                "             [--timeline] [--forensics]\n"
                "       xswap batch <offers-file> [--mode MODE] [--delta N]\n"
-               "             [--seed N] [--adversary NAME:KIND[:ARG]]...\n"
+               "             [--seed N] [--jobs N] [--adversary NAME:KIND[:ARG]]...\n"
                "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
                "MODE: general | single | broadcast\n"
                "adversary KIND: crash:T | withhold | silent | corrupt | "
@@ -91,39 +94,16 @@ graph::Digraph parse_digraph(const std::string& spec) {
   usage("unknown digraph kind");
 }
 
-/// `NAME:KIND[:ARG]` → (party name, strategy). Times are relative to the
-/// spec's protocol start.
-std::pair<std::string, swap::Strategy> parse_adversary(
+/// `NAME:KIND[:ARG]` → (party name, strategy) via the library's one
+/// name→Strategy table (swap::parse_adversary). Times are relative to
+/// the spec's protocol start.
+std::pair<std::string, swap::Strategy> parse_adversary_flag(
     const std::string& spec, const swap::SwapSpec& swap_spec) {
-  const auto c1 = spec.find(':');
-  if (c1 == std::string::npos) usage("adversary needs V:KIND");
-  const std::string victim = spec.substr(0, c1);
-  const auto c2 = spec.find(':', c1 + 1);
-  const std::string kind = spec.substr(c1 + 1, c2 == std::string::npos
-                                                   ? std::string::npos
-                                                   : c2 - c1 - 1);
-  const std::string arg = c2 == std::string::npos ? "" : spec.substr(c2 + 1);
-  swap::Strategy s;
-  if (kind == "crash") {
-    s.crash_at = swap_spec.start_time +
-                 static_cast<sim::Time>(std::strtoul(arg.c_str(), nullptr, 10));
-  } else if (kind == "withhold") {
-    s.withhold_unlocks = true;
-    s.withhold_claims = true;
-  } else if (kind == "silent") {
-    s.withhold_contracts = true;
-  } else if (kind == "corrupt") {
-    s.publish_corrupt_contracts = true;
-  } else if (kind == "late") {
-    s.delay_unlocks_until =
-        swap_spec.start_time +
-        static_cast<sim::Time>(std::strtoul(arg.c_str(), nullptr, 10));
-  } else if (kind == "reveal") {
-    s.premature_reveal = true;
-  } else {
-    usage("unknown adversary kind");
+  try {
+    return swap::parse_adversary(spec, swap_spec.start_time);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
   }
-  return {victim, s};
 }
 
 std::vector<swap::Offer> parse_offers_file(const std::string& path) {
@@ -186,6 +166,7 @@ struct CommonFlags {
   std::string mode = "general";
   swap::EngineOptions options;
   std::vector<std::string> adversaries;
+  std::size_t jobs = 1;
   bool show_timeline = false;
   bool show_forensics = false;
 };
@@ -234,7 +215,7 @@ int run_single(const std::string& digraph_spec, CommonFlags flags) {
   swap::SwapEngine& engine = scenario.engine(0);
   const swap::SwapSpec& spec = engine.spec();
   for (const std::string& a : flags.adversaries) {
-    auto [victim, s] = parse_adversary(a, spec);
+    auto [victim, s] = parse_adversary_flag(a, spec);
     // run-mode adversaries address synthetic parties by id: V -> "PV".
     try {
       scenario.set_strategy("P" + victim, s);
@@ -288,6 +269,7 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
       return swap::ScenarioBuilder()
           .offers(offers)
           .options(flags.options)
+          .jobs(flags.jobs)
           .build();
     } catch (const std::invalid_argument& e) {
       usage(e.what());
@@ -295,8 +277,11 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
   }();
 
   std::printf("offer book: %zu offers -> %zu independent swap(s), "
-              "%zu unmatched\n",
-              offers.size(), scenario.swap_count(), scenario.unmatched().size());
+              "%zu unmatched%s\n",
+              offers.size(), scenario.swap_count(), scenario.unmatched().size(),
+              flags.jobs > 1 ? (" (" + std::to_string(flags.jobs) +
+                                " threads)").c_str()
+                             : "");
 
   for (const std::string& a : flags.adversaries) {
     if (scenario.swap_count() == 0) {
@@ -305,7 +290,7 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
     // batch-mode adversaries address parties by their book name. Every
     // component shares the engine options, so component 0's spec gives
     // the common start time for relative deadlines.
-    auto [victim, s] = parse_adversary(a, scenario.engine(0).spec());
+    auto [victim, s] = parse_adversary_flag(a, scenario.engine(0).spec());
     try {
       scenario.set_strategy(victim, s);
     } catch (const std::invalid_argument& e) {
@@ -361,6 +346,9 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
               batch.total_storage_bytes,
               batch.no_conforming_underwater ? "yes" : "NO",
               audits_ok ? "ok" : "FAILED");
+  std::printf("wall clock: %.1f ms (%zu thread%s, %.1f swaps/s)\n",
+              batch.wall_ms, flags.jobs, flags.jobs == 1 ? "" : "s",
+              batch.components_per_sec);
   return batch.no_conforming_underwater && audits_ok ? 0 : 1;
 }
 
@@ -392,6 +380,11 @@ int main(int argc, char** argv) {
     if (arg == "--digraph") {
       if (subcommand == "batch") usage("--digraph applies to run mode only");
       digraph_spec = next();
+    }
+    else if (arg == "--jobs") {
+      if (subcommand != "batch") usage("--jobs applies to batch mode only");
+      flags.jobs = std::strtoul(next().c_str(), nullptr, 10);
+      if (flags.jobs == 0) usage("--jobs must be >= 1");
     }
     else if (arg == "--mode") flags.mode = next();
     else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
