@@ -4,7 +4,6 @@
 // Compare the exact exponential search against the polynomial greedy
 // heuristic: solution size and wall-clock time on random strongly-
 // connected digraphs of growing size.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -13,18 +12,6 @@
 #include "util/rng.hpp"
 
 using namespace xswap;
-
-namespace {
-
-template <typename F>
-double time_ms(F&& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-}  // namespace
 
 int main() {
   bench::title("bench_fvs",
@@ -39,9 +26,9 @@ int main() {
     const graph::Digraph d = graph::random_strongly_connected(n, n, rng);
     std::vector<graph::VertexId> exact, greedy;
     const double exact_ms =
-        time_ms([&] { exact = graph::minimum_feedback_vertex_set(d, 16); });
+        bench::time_ms([&] { exact = graph::minimum_feedback_vertex_set(d, 16); });
     const double greedy_ms =
-        time_ms([&] { greedy = graph::greedy_feedback_vertex_set(d); });
+        bench::time_ms([&] { greedy = graph::greedy_feedback_vertex_set(d); });
     std::printf("%-4zu %4zu | %6zu %10.3f | %6zu %10.3f | %s\n", n,
                 d.arc_count(), exact.size(), exact_ms, greedy.size(), greedy_ms,
                 graph::is_feedback_vertex_set(d, greedy) ? "yes" : "NO");

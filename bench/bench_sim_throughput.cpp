@@ -6,7 +6,10 @@
 // Scenario API end to end (offers → clearing → engine → run), so the
 // measured cost is what a batch-runner user would see per component
 // swap.
-#include <chrono>
+//
+// Every table row is also teed into BENCH_sim_throughput.json (JSON
+// lines, one row per digraph-size/jobs point) so CI can upload the perf
+// trajectory as an artifact and diff it across commits.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -34,23 +37,23 @@ Timed run_ms(const graph::Digraph& d, swap::ProtocolMode mode,
                                 .build();
   Timed out;
   out.leaders = scenario.cleared(0).leaders.size();
-  const auto start = std::chrono::steady_clock::now();
-  const swap::BatchReport report = scenario.run();
-  const auto end = std::chrono::steady_clock::now();
+  swap::BatchReport report;
+  const double ms = bench::time_ms([&] { report = scenario.run(); });
   if (!report.all_triggered) return out;
-  out.ms = std::chrono::duration<double, std::milli>(end - start).count();
+  out.ms = ms;
   return out;
 }
 
-void emit_row(const char* family, std::size_t n, const graph::Digraph& d,
-              double general_ms, double single_ms, std::size_t leaders) {
-  bench::row_json("bench_sim_throughput", "run_ms",
-                  {{"family", family},
-                   {"n", n},
-                   {"arcs", d.arc_count()},
-                   {"leaders", leaders},
-                   {"general_ms", general_ms},
-                   {"single_leader_ms", single_ms}});
+void emit_row(bench::JsonlFile& out, const char* family, std::size_t n,
+              const graph::Digraph& d, double general_ms, double single_ms,
+              std::size_t leaders) {
+  out.row("bench_sim_throughput", "run_ms",
+          {{"family", family},
+           {"n", n},
+           {"arcs", d.arc_count()},
+           {"leaders", leaders},
+           {"general_ms", general_ms},
+           {"single_leader_ms", single_ms}});
 }
 
 /// A wide multi-SCC book: `rings` independent 3-party rings, each a
@@ -76,6 +79,7 @@ int main() {
   bench::title("bench_sim_throughput",
                "wall-clock cost of one full swap simulation (capacity data, "
                "not a paper claim)");
+  bench::JsonlFile out("BENCH_sim_throughput.json");
   std::printf("%-10s %4s %5s | %12s %12s\n", "digraph", "|A|", "|L|",
               "general ms", "1-leader ms");
   bench::rule();
@@ -85,14 +89,14 @@ int main() {
     const Timed s = run_ms(d, swap::ProtocolMode::kSingleLeader, n);
     std::printf("cycle%-5zu %4zu %5zu | %12.2f %12.2f\n", n, d.arc_count(),
                 g.leaders, g.ms, s.ms);
-    emit_row("cycle", n, d, g.ms, s.ms, g.leaders);
+    emit_row(out, "cycle", n, d, g.ms, s.ms, g.leaders);
   }
   for (const std::size_t n : {4u, 5u, 6u}) {
     const graph::Digraph d = graph::complete(n);
     const Timed g = run_ms(d, swap::ProtocolMode::kGeneral, 50 + n);
     std::printf("complete%-2zu %4zu %5zu | %12.2f %12s\n", n, d.arc_count(),
                 g.leaders, g.ms, "n/a");
-    emit_row("complete", n, d, g.ms, -1.0, g.leaders);
+    emit_row(out, "complete", n, d, g.ms, -1.0, g.leaders);
   }
   bench::rule();
   std::printf("expected shape: cost is dominated by Ed25519 signature "
@@ -102,7 +106,8 @@ int main() {
   // Executor jobs sweep: the same 32-component book under a growing
   // thread pool. Every report must be field-identical to the serial one
   // (checked via all_triggered + sign totals here; the full assertion
-  // lives in tests/swap_executor_test.cpp) — only wall clock may move.
+  // lives in tests/swap_executor_test.cpp and the golden gate in
+  // tests/sim_determinism_test.cpp) — only wall clock may move.
   const std::size_t kRings = 32;
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("\njobs sweep: %zu independent 3-party rings per run "
@@ -133,20 +138,21 @@ int main() {
     std::printf("%-6zu %10.1f %14.1f %9.2fx%s\n", jobs, report.wall_ms,
                 report.components_per_sec, speedup,
                 identical ? "" : "  <-- REPORT DIVERGED");
-    bench::row_json("bench_sim_throughput", "jobs_sweep",
-                    {{"jobs", jobs},
-                     {"components", kRings},
-                     {"hardware_threads", cores},
-                     {"wall_ms", report.wall_ms},
-                     {"components_per_sec", report.components_per_sec},
-                     {"speedup_vs_serial", speedup},
-                     {"report_identical", identical}});
+    out.row("bench_sim_throughput", "jobs_sweep",
+            {{"jobs", jobs},
+             {"components", kRings},
+             {"hardware_threads", cores},
+             {"wall_ms", report.wall_ms},
+             {"components_per_sec", report.components_per_sec},
+             {"speedup_vs_serial", speedup},
+             {"report_identical", identical}});
   }
   bench::rule();
   std::printf("expected shape: near-linear scaling until the pool exceeds "
               "the machine's cores\n(components are share-nothing; only "
               "aggregation is serial). On a single-core\nmachine the sweep "
               "degenerates to ~1.0x across the board — the reports must\n"
-              "still be identical.\n");
+              "still be identical.\nmachine-readable trajectory: "
+              "BENCH_sim_throughput.json (one row per point)\n");
   return 0;
 }

@@ -15,14 +15,21 @@ using namespace xswap;
 
 namespace {
 
-swap::BatchReport run(const graph::Digraph& d, swap::ProtocolMode mode,
-                      std::uint64_t seed) {
-  return swap::ScenarioBuilder()
-      .offers(swap::offers_for_digraph(d))
-      .mode(mode)
-      .seed(seed)
-      .build()
-      .run();
+struct TimedReport {
+  swap::BatchReport report;
+  double wall_ms = 0.0;
+};
+
+TimedReport run(const graph::Digraph& d, swap::ProtocolMode mode,
+                std::uint64_t seed) {
+  swap::Scenario scenario = swap::ScenarioBuilder()
+                                .offers(swap::offers_for_digraph(d))
+                                .mode(mode)
+                                .seed(seed)
+                                .build();
+  TimedReport out;
+  out.wall_ms = bench::time_ms([&] { out.report = scenario.run(); });
+  return out;
 }
 
 }  // namespace
@@ -37,8 +44,10 @@ int main() {
 
   for (std::size_t n = 3; n <= 12; ++n) {
     const graph::Digraph d = graph::cycle(n);
-    const swap::BatchReport gr = run(d, swap::ProtocolMode::kGeneral, n);
-    const swap::BatchReport sr = run(d, swap::ProtocolMode::kSingleLeader, n);
+    const TimedReport gt = run(d, swap::ProtocolMode::kGeneral, n);
+    const TimedReport st = run(d, swap::ProtocolMode::kSingleLeader, n);
+    const swap::BatchReport& gr = gt.report;
+    const swap::BatchReport& sr = st.report;
 
     const double a = static_cast<double>(d.arc_count());
     std::printf("cycle%-3zu %5zu %12zu %14.1f %14zu %12.1f%s\n", n,
@@ -57,7 +66,9 @@ int main() {
                      {"single_leader_bytes", sr.total_storage_bytes},
                      {"single_leader_bytes_per_arc",
                       static_cast<double>(sr.total_storage_bytes) / a},
-                     {"all_triggered", gr.all_triggered && sr.all_triggered}});
+                     {"all_triggered", gr.all_triggered && sr.all_triggered},
+                     {"general_wall_ms", gt.wall_ms},
+                     {"single_leader_wall_ms", st.wall_ms}});
   }
   bench::rule();
   std::printf("expected shape: bytes/|A|^2 flattens to a constant for the "

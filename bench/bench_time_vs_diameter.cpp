@@ -24,7 +24,8 @@ void run_case(const char* family, const graph::Digraph& d, std::uint64_t seed) {
                                 .build();
   const swap::SwapSpec& spec = scenario.engine(0).spec();
   const std::size_t leaders = spec.leaders.size();
-  const swap::BatchReport batch = scenario.run();
+  swap::BatchReport batch;
+  const double wall_ms = bench::time_ms([&] { batch = scenario.run(); });
   const double measured =
       static_cast<double>(batch.last_trigger_time - spec.start_time) /
       static_cast<double>(spec.delta);
@@ -42,7 +43,8 @@ void run_case(const char* family, const graph::Digraph& d, std::uint64_t seed) {
                    {"measured_deltas", measured},
                    {"bound_deltas", bound},
                    {"ratio", measured / bound},
-                   {"all_triggered", batch.all_triggered}});
+                   {"all_triggered", batch.all_triggered},
+                   {"wall_ms", wall_ms}});
 }
 
 }  // namespace

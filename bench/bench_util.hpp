@@ -12,13 +12,62 @@
 // uniform across benches.
 #pragma once
 
+#include <chrono>
 #include <concepts>
 #include <cstdarg>
 #include <cstdio>
 #include <initializer_list>
 #include <string>
+#include <utility>
 
 namespace xswap::bench {
+
+/// Wall-clock milliseconds of one `f()` call — the one steady_clock
+/// idiom shared by every driver (don't hand-roll another).
+template <class F>
+double time_ms(F&& f) {
+  const auto start = std::chrono::steady_clock::now();
+  std::forward<F>(f)();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Keep `value` observable so the optimizer cannot delete the measured
+/// work (the hand-rolled analogue of benchmark::DoNotOptimize).
+template <class T>
+inline void keep(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(&value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+/// Timing of a fixed-iteration microbench loop.
+struct LoopTiming {
+  std::size_t iters = 0;
+  double total_ms = 0.0;
+  double ns_per_op() const {
+    return iters == 0 ? 0.0 : total_ms * 1e6 / static_cast<double>(iters);
+  }
+  double ops_per_sec() const {
+    return total_ms <= 0.0 ? 0.0
+                           : static_cast<double>(iters) / (total_ms / 1000.0);
+  }
+};
+
+/// Run `f()` `iters` times under one timer.
+template <class F>
+LoopTiming time_iters(std::size_t iters, F&& f) {
+  LoopTiming t;
+  t.iters = iters;
+  t.total_ms = time_ms([&] {
+    for (std::size_t i = 0; i < iters; ++i) f();
+  });
+  return t;
+}
 
 inline void title(const std::string& name, const std::string& claim) {
   std::printf("==============================================================\n");
@@ -74,18 +123,55 @@ struct JsonField {
   }
 };
 
-/// Emit one machine-parseable line per table row:
+/// Render one machine-parseable row:
 ///   {"bench":"<bench>","metric":"<metric>", <fields...>}
-/// `metric` names the measured quantity so rows from different benches
-/// can share one downstream schema.
+inline std::string render_row_json(const std::string& bench,
+                                   const std::string& metric,
+                                   std::initializer_list<JsonField> fields) {
+  std::string out = "{\"bench\":\"" + json_escape(bench) + "\",\"metric\":\"" +
+                    json_escape(metric) + "\"";
+  for (const JsonField& f : fields) {
+    out += ",\"" + json_escape(f.key) + "\":" + f.rendered;
+  }
+  out += "}";
+  return out;
+}
+
+/// Emit one machine-parseable line per table row on stdout. `metric`
+/// names the measured quantity so rows from different benches can share
+/// one downstream schema.
 inline void row_json(const std::string& bench, const std::string& metric,
                      std::initializer_list<JsonField> fields) {
-  std::printf("{\"bench\":\"%s\",\"metric\":\"%s\"", json_escape(bench).c_str(),
-              json_escape(metric).c_str());
-  for (const JsonField& f : fields) {
-    std::printf(",\"%s\":%s", json_escape(f.key).c_str(), f.rendered.c_str());
-  }
-  std::printf("}\n");
+  std::printf("%s\n", render_row_json(bench, metric, fields).c_str());
 }
+
+/// Tees row_json lines into a JSON-lines file as well as stdout, for CI
+/// jobs that upload a bench's trajectory as an artifact. The file is
+/// truncated on open; a failed open degrades to stdout-only with a
+/// notice (benches must keep working in read-only checkouts).
+class JsonlFile {
+ public:
+  explicit JsonlFile(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s; rows go to stdout only\n",
+                   path.c_str());
+    }
+  }
+  JsonlFile(const JsonlFile&) = delete;
+  JsonlFile& operator=(const JsonlFile&) = delete;
+  ~JsonlFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void row(const std::string& bench, const std::string& metric,
+           std::initializer_list<JsonField> fields) {
+    const std::string line = render_row_json(bench, metric, fields);
+    std::printf("%s\n", line.c_str());
+    if (file_ != nullptr) std::fprintf(file_, "%s\n", line.c_str());
+  }
+
+ private:
+  std::FILE* file_;
+};
 
 }  // namespace xswap::bench

@@ -32,48 +32,118 @@ void Ledger::start() {
   });
 }
 
+void Ledger::enable_trace() {
+  if (!owned_trace_) owned_trace_ = std::make_unique<StringTraceSink>();
+  trace_sink_ = owned_trace_.get();
+}
+
+const std::vector<std::string>& Ledger::trace() const {
+  static const std::vector<std::string> kEmpty;
+  return owned_trace_ ? owned_trace_->lines() : kEmpty;
+}
+
+Ledger::AccountId Ledger::intern_account(const Address& name) {
+  const auto [it, inserted] =
+      account_ids_.try_emplace(name, static_cast<AccountId>(account_names_.size()));
+  if (inserted) {
+    account_names_.push_back(name);
+    balances_tab_.emplace_back();
+  }
+  return it->second;
+}
+
+Ledger::AccountId Ledger::find_account(const Address& name) const {
+  const auto it = account_ids_.find(name);
+  return it == account_ids_.end() ? kNoId : it->second;
+}
+
+Ledger::SymbolId Ledger::intern_symbol(const std::string& symbol) {
+  const auto [it, inserted] =
+      symbol_ids_.try_emplace(symbol, static_cast<SymbolId>(symbol_names_.size()));
+  if (inserted) {
+    symbol_names_.push_back(symbol);
+    supply_.push_back(0);
+  }
+  return it->second;
+}
+
+Ledger::SymbolId Ledger::find_symbol(const std::string& symbol) const {
+  const auto it = symbol_ids_.find(symbol);
+  return it == symbol_ids_.end() ? kNoId : it->second;
+}
+
+std::uint64_t& Ledger::balance_slot(AccountId account, SymbolId symbol) {
+  std::vector<std::uint64_t>& row = balances_tab_[account];
+  if (row.size() <= symbol) row.resize(symbol + 1, 0);
+  return row[symbol];
+}
+
 void Ledger::mint(const Address& owner, const Asset& asset) {
   if (asset.fungible) {
-    balances_[owner][asset.symbol] += asset.amount;
+    const AccountId acc = intern_account(owner);
+    const SymbolId sym = intern_symbol(asset.symbol);
+    balance_slot(acc, sym) += asset.amount;
+    supply_[sym] += asset.amount;
   } else {
     const auto key = std::make_pair(asset.symbol, asset.unique_id);
-    if (unique_owners_.count(key)) {
+    if (unique_owner_ids_.count(key)) {
       throw std::invalid_argument("Ledger::mint: unique asset already exists");
     }
-    unique_owners_[key] = owner;
+    unique_owner_ids_.emplace(key, intern_account(owner));
   }
-  record("[" + std::to_string(sim_.now()) + "] genesis: " + asset.to_string() +
-         " -> " + owner);
+  if (trace_sink_) {
+    record("[" + std::to_string(sim_.now()) + "] genesis: " + asset.to_string() +
+           " -> " + owner);
+  }
 }
 
 std::uint64_t Ledger::balance(const Address& owner,
                               const std::string& symbol) const {
-  const auto it = balances_.find(owner);
-  if (it == balances_.end()) return 0;
-  const auto jt = it->second.find(symbol);
-  return jt == it->second.end() ? 0 : jt->second;
+  const AccountId acc = find_account(owner);
+  if (acc == kNoId) return 0;
+  const SymbolId sym = find_symbol(symbol);
+  const std::vector<std::uint64_t>& row = balances_tab_[acc];
+  return sym == kNoId || sym >= row.size() ? 0 : row[sym];
 }
 
 std::optional<Address> Ledger::owner_of(const std::string& symbol,
                                         const std::string& unique_id) const {
-  const auto it = unique_owners_.find({symbol, unique_id});
-  if (it == unique_owners_.end()) return std::nullopt;
-  return it->second;
+  const auto it = unique_owner_ids_.find({symbol, unique_id});
+  if (it == unique_owner_ids_.end()) return std::nullopt;
+  return account_names_[it->second];
 }
 
 std::uint64_t Ledger::total_supply(const std::string& symbol) const {
-  std::uint64_t total = 0;
-  for (const auto& [owner, per_symbol] : balances_) {
-    const auto it = per_symbol.find(symbol);
-    if (it != per_symbol.end()) total += it->second;
-  }
-  return total;
+  const SymbolId sym = find_symbol(symbol);
+  return sym == kNoId ? 0 : supply_[sym];
 }
 
 bool Ledger::owns(const Address& owner, const Asset& asset) const {
   if (asset.fungible) return balance(owner, asset.symbol) >= asset.amount;
-  const auto current = owner_of(asset.symbol, asset.unique_id);
-  return current.has_value() && *current == owner;
+  const auto it = unique_owner_ids_.find({asset.symbol, asset.unique_id});
+  if (it == unique_owner_ids_.end()) return false;
+  const AccountId acc = find_account(owner);
+  return acc != kNoId && acc == it->second;
+}
+
+std::map<Address, std::map<std::string, std::uint64_t>> Ledger::balances() const {
+  std::map<Address, std::map<std::string, std::uint64_t>> view;
+  for (AccountId acc = 0; acc < balances_tab_.size(); ++acc) {
+    const std::vector<std::uint64_t>& row = balances_tab_[acc];
+    for (SymbolId sym = 0; sym < row.size(); ++sym) {
+      if (row[sym] != 0) view[account_names_[acc]][symbol_names_[sym]] = row[sym];
+    }
+  }
+  return view;
+}
+
+std::map<std::pair<std::string, std::string>, Address> Ledger::unique_owners()
+    const {
+  std::map<std::pair<std::string, std::string>, Address> view;
+  for (const auto& [key, acc] : unique_owner_ids_) {
+    view[key] = account_names_[acc];
+  }
+  return view;
 }
 
 void Ledger::transfer(const Address& from, const Address& to, const Asset& asset) {
@@ -82,10 +152,17 @@ void Ledger::transfer(const Address& from, const Address& to, const Asset& asset
                              asset.to_string());
   }
   if (asset.fungible) {
-    balances_[from][asset.symbol] -= asset.amount;
-    balances_[to][asset.symbol] += asset.amount;
+    // Zero-amount lots pass the owns() check even for unknown accounts
+    // or symbols (0 >= 0); there is nothing to move, so stop before the
+    // id lookups below would index with kNoId.
+    if (asset.amount == 0) return;
+    // `from` passed the owns() check with a positive amount, so its ids
+    // exist and its row covers the symbol; only `to` may be new.
+    const SymbolId sym = find_symbol(asset.symbol);
+    balances_tab_[find_account(from)][sym] -= asset.amount;
+    balance_slot(intern_account(to), sym) += asset.amount;
   } else {
-    unique_owners_[{asset.symbol, asset.unique_id}] = to;
+    unique_owner_ids_[{asset.symbol, asset.unique_id}] = intern_account(to);
   }
 }
 
@@ -132,29 +209,29 @@ void Ledger::submit_call(const Address& sender, ContractId id, std::string metho
   enqueue(std::move(p));
 }
 
-const Contract* Ledger::get_contract(ContractId id) const {
-  const auto it = contracts_.find(id);
-  return it == contracts_.end() ? nullptr : it->second.get();
-}
-
 void Ledger::execute(PendingTx& p, Transaction& tx) {
   const CallContext ctx{tx.sender, sim_.now(), this, p.target};
   if (tx.kind == TxKind::kPublishContract) {
     // Publication: run the escrow hook, then make the contract visible.
     p.to_publish->on_publish(ctx);
     published_order_.push_back(p.target);
-    contracts_[p.target] = std::move(p.to_publish);
+    if (contracts_.size() < p.target) contracts_.resize(p.target);
+    contracts_[p.target - 1] = std::move(p.to_publish);
   } else if (tx.kind == TxKind::kContractCall) {
-    const auto it = contracts_.find(p.target);
-    if (it == contracts_.end()) {
+    Contract* target = p.target >= 1 && p.target <= contracts_.size()
+                           ? contracts_[p.target - 1].get()
+                           : nullptr;
+    if (target == nullptr) {
       throw std::runtime_error("call to unpublished contract " +
                                contract_address(p.target));
     }
-    p.call(*it->second, ctx);
+    p.call(*target, ctx);
   }
 }
 
 void Ledger::seal() {
+  if (mempool_.empty()) return;  // skip empty blocks, keep the chain compact
+
   Block block;
   block.height = blocks_.size();
   block.sealed_at = sim_.now();
@@ -162,6 +239,7 @@ void Ledger::seal() {
 
   std::vector<PendingTx> batch;
   batch.swap(mempool_);
+  block.txs.reserve(batch.size());
   for (PendingTx& p : batch) {
     Transaction tx = std::move(p.tx);
     tx.executed_at = sim_.now();
@@ -178,12 +256,13 @@ void Ledger::seal() {
     if (tx.kind == TxKind::kContractCall) {
       call_payload_bytes_ += tx.payload_bytes;
     }
-    record("[" + std::to_string(sim_.now()) + "] " +
-           std::string(to_string(tx.kind)) + " by " + tx.sender + ": " +
-           tx.summary + (tx.succeeded ? "" : " FAILED (" + tx.error + ")"));
+    if (trace_sink_) {
+      record("[" + std::to_string(sim_.now()) + "] " +
+             std::string(to_string(tx.kind)) + " by " + tx.sender + ": " +
+             tx.summary + (tx.succeeded ? "" : " FAILED (" + tx.error + ")"));
+    }
     block.txs.push_back(std::move(tx));
   }
-  if (block.txs.empty()) return;  // skip empty blocks, keep the chain compact
   block.tx_root = block.compute_tx_root();
   blocks_.push_back(std::move(block));
 }
@@ -199,12 +278,10 @@ bool Ledger::verify_integrity() const {
 
 std::size_t Ledger::storage_bytes() const {
   std::size_t total = payload_storage_bytes_;
-  for (const auto& [id, contract] : contracts_) {
-    total += contract->storage_bytes();
+  for (const auto& contract : contracts_) {
+    if (contract) total += contract->storage_bytes();
   }
   return total;
 }
-
-void Ledger::record(std::string line) { trace_.push_back(std::move(line)); }
 
 }  // namespace xswap::chain

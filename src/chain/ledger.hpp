@@ -8,9 +8,18 @@
 // confirm" round trip costs up to one seal period, and the paper's Δ must
 // be at least that (the protocol engine enforces the margin).
 //
+// State layout is built for the per-transaction hot path: addresses and
+// asset symbols are interned into dense ids at first use (an
+// unordered_map at the intern boundary only), and balances, supplies,
+// and contracts live in id-indexed flat vectors. The classic nested-map
+// views (balances(), unique_owners()) are compatibility shims that
+// materialize on demand for audits and tests.
+//
 // The ledger also keeps the bookkeeping the benchmarks need: per-chain
-// storage bytes (Theorem 4.10), transaction and call counts, and an event
-// trace for the figure-reproduction harnesses.
+// storage bytes (Theorem 4.10), transaction and call counts, and — when a
+// TraceSink is attached (chain/trace.hpp) — an event trace for the
+// figure-reproduction harnesses. With no sink (the default) the hot path
+// does zero trace formatting.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +28,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/asset.hpp"
 #include "chain/block.hpp"
 #include "chain/contract.hpp"
+#include "chain/trace.hpp"
 #include "chain/transaction.hpp"
 #include "sim/simulator.hpp"
 
@@ -33,6 +45,12 @@ namespace xswap::chain {
 /// (plus optionally one shared broadcast chain, §4.5).
 class Ledger {
  public:
+  /// Dense id of an interned account address (assigned at first use).
+  using AccountId = std::uint32_t;
+  /// Dense id of an interned fungible-asset symbol.
+  using SymbolId = std::uint32_t;
+  static constexpr std::uint32_t kNoId = 0xffffffffu;
+
   /// `seal_period`: ticks between blocks. The genesis block is sealed
   /// immediately; subsequent seals happen every `seal_period` ticks once
   /// start() is called.
@@ -71,19 +89,18 @@ class Ledger {
   bool owns(const Address& owner, const Asset& asset) const;
 
   /// Sum of `symbol` across all accounts (conservation audits: transfers
-  /// never change total supply; only mint() does).
+  /// never change total supply; only mint() does). O(1): supplies are
+  /// tracked per interned symbol at mint time.
   std::uint64_t total_supply(const std::string& symbol) const;
 
-  /// All fungible balances (owner → symbol → amount), for audits.
-  const std::map<Address, std::map<std::string, std::uint64_t>>& balances() const {
-    return balances_;
-  }
+  /// All nonzero fungible balances (owner → symbol → amount), for
+  /// audits. Compatibility shim over the id-indexed tables: materialized
+  /// on demand, so call it for inspection, not in a hot loop.
+  std::map<Address, std::map<std::string, std::uint64_t>> balances() const;
 
   /// All unique-token owners ((symbol, id) → owner), for audits.
-  const std::map<std::pair<std::string, std::string>, Address>& unique_owners()
-      const {
-    return unique_owners_;
-  }
+  /// Materialized on demand like balances().
+  std::map<std::pair<std::string, std::string>, Address> unique_owners() const;
 
   /// Move `asset` from `from` to `to`; throws std::runtime_error when
   /// `from` cannot pay. Contracts use this to take escrow and to pay out.
@@ -111,7 +128,10 @@ class Ledger {
 
   /// Read-only view of a *published* contract (nullptr before the sealing
   /// block, or for unknown ids). Observers may inspect but never mutate.
-  const Contract* get_contract(ContractId id) const;
+  const Contract* get_contract(ContractId id) const {
+    return id >= 1 && id <= contracts_.size() ? contracts_[id - 1].get()
+                                              : nullptr;
+  }
 
   /// Ids of all published contracts, in publication order.
   const std::vector<ContractId>& published_contracts() const {
@@ -133,8 +153,23 @@ class Ledger {
   std::size_t failed_transaction_count() const { return failed_tx_count_; }
   std::size_t call_payload_bytes() const { return call_payload_bytes_; }
 
-  /// Human-readable event trace ("[12] publish swap ...").
-  const std::vector<std::string>& trace() const { return trace_; }
+  // ---- Tracing ----
+
+  /// Attach a sink receiving one formatted line per ledger action
+  /// (non-owning; pass nullptr to detach). No sink — the default — means
+  /// the hot path skips all trace formatting.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Convenience: own a StringTraceSink and route tracing to it, making
+  /// trace() return its lines (idempotent).
+  void enable_trace();
+
+  bool tracing() const { return trace_sink_ != nullptr; }
+
+  /// Human-readable event trace ("[12] publish swap ...") collected by
+  /// the owned sink of enable_trace(); empty when tracing was never
+  /// enabled (or routed to an external sink).
+  const std::vector<std::string>& trace() const;
 
  private:
   struct PendingTx {
@@ -145,9 +180,26 @@ class Ledger {
     CallFn call;
   };
 
+  struct UniqueKeyHash {
+    std::size_t operator()(const std::pair<std::string, std::string>& k) const {
+      const std::size_t h1 = std::hash<std::string>{}(k.first);
+      const std::size_t h2 = std::hash<std::string>{}(k.second);
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+    }
+  };
+
+  // Interning: dense ids assigned at first use; const lookups never
+  // intern (absent names mean zero balance / no owner).
+  AccountId intern_account(const Address& name);
+  AccountId find_account(const Address& name) const;
+  SymbolId intern_symbol(const std::string& symbol);
+  SymbolId find_symbol(const std::string& symbol) const;
+  /// Mutable balance cell, growing the account's row on demand.
+  std::uint64_t& balance_slot(AccountId account, SymbolId symbol);
+
   void seal();
   void execute(PendingTx& p, Transaction& tx);
-  void record(std::string line);
+  void record(std::string line) { trace_sink_->record(std::move(line)); }
   void enqueue(PendingTx p);
 
   std::string name_;
@@ -157,13 +209,24 @@ class Ledger {
   bool running_ = false;
   bool started_ = false;
 
-  std::map<Address, std::map<std::string, std::uint64_t>> balances_;
-  std::map<std::pair<std::string, std::string>, Address> unique_owners_;
+  // Id-indexed asset state. balances_tab_ rows are ragged (grown to the
+  // highest symbol a given account ever touched); supply_ is per symbol.
+  std::unordered_map<std::string, AccountId> account_ids_;
+  std::vector<Address> account_names_;
+  std::vector<std::vector<std::uint64_t>> balances_tab_;
+  std::unordered_map<std::string, SymbolId> symbol_ids_;
+  std::vector<std::string> symbol_names_;
+  std::vector<std::uint64_t> supply_;
+  std::unordered_map<std::pair<std::string, std::string>, AccountId,
+                     UniqueKeyHash>
+      unique_owner_ids_;
 
   std::vector<PendingTx> mempool_;
   std::vector<Block> blocks_;
 
-  std::map<ContractId, std::unique_ptr<Contract>> contracts_;
+  // Contract ids are dense (assigned sequentially from 1), so the live
+  // table is a vector indexed by id-1; unpublished slots hold nullptr.
+  std::vector<std::unique_ptr<Contract>> contracts_;
   std::vector<ContractId> published_order_;
   ContractId next_contract_id_ = 1;
 
@@ -171,7 +234,9 @@ class Ledger {
   std::size_t failed_tx_count_ = 0;
   std::size_t payload_storage_bytes_ = 0;
   std::size_t call_payload_bytes_ = 0;
-  std::vector<std::string> trace_;
+
+  TraceSink* trace_sink_ = nullptr;
+  std::unique_ptr<StringTraceSink> owned_trace_;
 };
 
 }  // namespace xswap::chain

@@ -1,0 +1,37 @@
+// Opt-in ledger tracing.
+//
+// The ledger's hot path (seal, mint) used to format a human-readable
+// line for every action into an always-on string vector, whether or not
+// anyone read it. Tracing is now a sink interface: the default is no
+// sink at all — call sites skip the formatting entirely — and consumers
+// that want the classic string trace (figure harnesses, forensics,
+// tests, the CLI's --trace flag) attach a StringTraceSink.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xswap::chain {
+
+/// Receives one formatted line per ledger action ("[12] publish swap
+/// ..."). Implementations may stream, store, or count; record() is only
+/// invoked when a sink is attached, so an absent sink costs nothing.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(std::string line) = 0;
+};
+
+/// The classic in-memory trace: every line, in order.
+class StringTraceSink final : public TraceSink {
+ public:
+  void record(std::string line) override { lines_.push_back(std::move(line)); }
+  const std::vector<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace xswap::chain

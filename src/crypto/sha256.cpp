@@ -66,6 +66,7 @@ void Sha256::compress(const std::uint8_t block[64]) {
 
 void Sha256::update(util::BytesView data) {
   if (finalized_) throw std::logic_error("Sha256::update after finalize");
+  if (data.empty()) return;  // empty views may carry a null data()
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

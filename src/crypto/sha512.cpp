@@ -82,6 +82,7 @@ void Sha512::compress(const std::uint8_t block[128]) {
 
 void Sha512::update(util::BytesView data) {
   if (finalized_) throw std::logic_error("Sha512::update after finalize");
+  if (data.empty()) return;  // empty views may carry a null data()
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

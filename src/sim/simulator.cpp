@@ -1,13 +1,81 @@
 #include "sim/simulator.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace xswap::sim {
 
+Simulator::Simulator()
+    : bucket_head_(kCalendarSpan, kNil), bucket_tail_(kCalendarSpan, kNil) {}
+
+std::uint32_t Simulator::allocate_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = nodes_[idx].next;
+    nodes_[idx].next = kNil;
+    return idx;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Simulator::release_node(std::uint32_t idx) {
+  Node& node = nodes_[idx];
+  node.fn = nullptr;  // drop captured state now, not at slab reuse
+  node.periodic = kNil;
+  node.next = free_head_;
+  free_head_ = idx;
+}
+
+void Simulator::bucket_append(std::uint32_t idx) {
+  // One bucket holds exactly one tick's events (all pending bucketed
+  // times lie in [now, now + span), so time % span is injective), and
+  // appending keeps them in seq order: direct inserts carry ever-growing
+  // seqs, and migrated events are appended before any direct insert for
+  // the same tick can land (see insert_node / migrate_until).
+  const std::size_t b = static_cast<std::size_t>(nodes_[idx].time % kCalendarSpan);
+  nodes_[idx].next = kNil;
+  if (bucket_tail_[b] == kNil) {
+    bucket_head_[b] = idx;
+  } else {
+    nodes_[bucket_tail_[b]].next = idx;
+  }
+  bucket_tail_[b] = idx;
+  ++calendar_size_;
+}
+
+void Simulator::migrate_until(Time horizon) {
+  while (!far_.empty() && far_.top().time < horizon + kCalendarSpan) {
+    const std::uint32_t idx = far_.top().node;
+    far_.pop();
+    bucket_append(idx);
+  }
+}
+
+void Simulator::insert_node(std::uint32_t idx) {
+  const Time t = nodes_[idx].time;
+  if (t - now_ < kCalendarSpan) {
+    // Drain any far-future events that have entered the window first:
+    // they were scheduled earlier (smaller seq), so they must precede
+    // this event in its bucket if the times collide.
+    migrate_until(now_);
+    bucket_append(idx);
+  } else {
+    far_.push(FarRef{t, nodes_[idx].seq, idx});
+  }
+  ++pending_;
+}
+
 void Simulator::at(Time t, Callback fn) {
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  const std::uint32_t idx = allocate_node();
+  Node& node = nodes_[idx];
+  node.time = t;
+  node.seq = next_seq_++;
+  node.periodic = kNil;
+  node.fn = std::move(fn);
+  insert_node(idx);
 }
 
 void Simulator::after(Duration delay, Callback fn) {
@@ -16,20 +84,100 @@ void Simulator::after(Duration delay, Callback fn) {
 
 void Simulator::every(Time first, Duration period, std::function<bool()> fn) {
   if (period == 0) throw std::invalid_argument("Simulator::every: zero period");
-  // Each firing reschedules the next one while fn keeps returning true.
-  at(first, [this, period, fn = std::move(fn)]() {
-    if (fn()) every(now_ + period, period, fn);
-  });
+  if (first < now_) {
+    throw std::invalid_argument("Simulator::every: time in the past");
+  }
+  std::uint32_t task;
+  if (task_free_head_ != kNil) {
+    task = task_free_head_;
+    task_free_head_ = tasks_[task].next_free;
+  } else {
+    tasks_.emplace_back();
+    task = static_cast<std::uint32_t>(tasks_.size() - 1);
+  }
+  tasks_[task].period = period;
+  tasks_[task].fn = std::move(fn);
+  tasks_[task].next_free = kNil;
+
+  const std::uint32_t idx = allocate_node();
+  Node& node = nodes_[idx];
+  node.time = first;
+  node.seq = next_seq_++;
+  node.periodic = task;
+  insert_node(idx);
+}
+
+std::uint32_t Simulator::take_next(Time limit) {
+  if (pending_ == 0) return kNil;
+  Time scan = now_;
+  if (calendar_size_ == 0) {
+    // Everything lives in the far heap; jump straight to its front.
+    const Time t = far_.top().time;
+    if (t > limit) return kNil;
+    scan = t;
+    migrate_until(t);
+  } else {
+    migrate_until(now_);
+  }
+  // After migration the next event is bucketed within [scan, scan+span).
+  for (;; ++scan) {
+    const std::size_t b = static_cast<std::size_t>(scan % kCalendarSpan);
+    const std::uint32_t idx = bucket_head_[b];
+    if (idx == kNil || nodes_[idx].time != scan) continue;
+    if (scan > limit) return kNil;
+    bucket_head_[b] = nodes_[idx].next;
+    if (bucket_head_[b] == kNil) bucket_tail_[b] = kNil;
+    --calendar_size_;
+    --pending_;
+    now_ = scan;
+    return idx;
+  }
+}
+
+void Simulator::execute(std::uint32_t idx) {
+  const std::uint32_t task = nodes_[idx].periodic;
+  if (task == kNil) {
+    // Move the callback out first: it may schedule events (growing the
+    // slab) and must survive its own node's reuse.
+    Callback fn = std::move(nodes_[idx].fn);
+    release_node(idx);
+    fn();
+    return;
+  }
+  // Periodic firing: run the stored callback, then reuse the same node
+  // and task slot for the next occurrence — no allocation per firing.
+  // The callback is moved out around the call because it may itself call
+  // every()/at() and grow the slabs under us.
+  std::function<bool()> fn = std::move(tasks_[task].fn);
+  bool again = false;
+  try {
+    again = fn();
+  } catch (...) {
+    // A throwing periodic callback stops its own schedule; free the
+    // task slot and node before propagating so nothing leaks.
+    tasks_[task].fn = nullptr;
+    tasks_[task].next_free = task_free_head_;
+    task_free_head_ = task;
+    release_node(idx);
+    throw;
+  }
+  tasks_[task].fn = std::move(fn);
+  if (again) {
+    nodes_[idx].time = now_ + tasks_[task].period;
+    nodes_[idx].seq = next_seq_++;  // reschedules order after fn's inserts
+    insert_node(idx);
+  } else {
+    tasks_[task].fn = nullptr;
+    tasks_[task].next_free = task_free_head_;
+    task_free_head_ = task;
+    release_node(idx);
+  }
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; moving the callback requires a copy
-  // here — acceptable for a simulator driven by small closures.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
-  ev.fn();
+  const std::uint32_t idx = take_next(std::numeric_limits<Time>::max());
+  if (idx == kNil) return false;
+  execute(idx);
   return true;
 }
 
@@ -40,8 +188,37 @@ std::size_t Simulator::run(std::size_t max_events) {
 }
 
 void Simulator::run_until(Time t_end) {
-  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  for (;;) {
+    const std::uint32_t idx = take_next(t_end);
+    if (idx == kNil) break;
+    execute(idx);
+  }
   if (now_ < t_end) now_ = t_end;
+}
+
+void Simulator::reset() {
+  // Rebuild the free lists instead of clearing the vectors so the slab
+  // capacity (and therefore the zero-allocation steady state) carries
+  // over to the next simulation.
+  for (std::size_t b = 0; b < kCalendarSpan; ++b) {
+    bucket_head_[b] = kNil;
+    bucket_tail_[b] = kNil;
+  }
+  while (!far_.empty()) far_.pop();
+  free_head_ = kNil;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    release_node(static_cast<std::uint32_t>(i));
+  }
+  task_free_head_ = kNil;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    tasks_[i].fn = nullptr;
+    tasks_[i].next_free = task_free_head_;
+    task_free_head_ = static_cast<std::uint32_t>(i);
+  }
+  calendar_size_ = 0;
+  pending_ = 0;
+  now_ = 0;
+  next_seq_ = 0;
 }
 
 }  // namespace xswap::sim

@@ -5,6 +5,23 @@
 // party to confirm the change. The simulator advances an integer tick
 // clock; blockchains seal blocks and parties poll on scheduled events.
 // Event ordering is fully deterministic: (time, insertion sequence).
+//
+// Scheduling is a two-level calendar queue built for the protocol's
+// event mix (dense near-future polling, sparse far-future deadlines):
+//
+//   * events within kCalendarSpan ticks of now() live in per-tick FIFO
+//     buckets (a bucket holds one tick's events in insertion order, so
+//     (time, seq) order falls out of appending);
+//   * events further out wait in a small binary heap of (time, seq,
+//     node) references and migrate into the calendar as the window
+//     reaches them — always before any same-tick direct insert can land,
+//     so migration preserves the global (time, seq) order;
+//   * event records themselves live in a slab with an intrusive free
+//     list, and every() keeps its callback in a reusable periodic-task
+//     slot, so steady-state at()/after()/step() perform no per-event
+//     heap allocation (std::function's small-buffer optimisation covers
+//     the protocol's closures; large closures only allocate where the
+//     caller constructs them).
 #pragma once
 
 #include <cstdint>
@@ -24,7 +41,7 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -38,7 +55,9 @@ class Simulator {
   void after(Duration delay, Callback fn);
 
   /// Schedule `fn` every `period` ticks starting at `first`, until it
-  /// returns false or the simulation stops.
+  /// returns false or the simulation stops. The callback is stored once
+  /// and its event record is reused across firings — the simulator's
+  /// steady state (chains sealing, parties polling) allocates nothing.
   void every(Time first, Duration period, std::function<bool()> fn);
 
   /// Run a single event; returns false when the queue is empty.
@@ -53,23 +72,68 @@ class Simulator {
   void run_until(Time t_end);
 
   /// Number of pending events.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return pending_; }
+
+  /// Return to the initial state (t=0, empty queue, seq 0) while keeping
+  /// the slab and bucket capacity, so one core can be reused across
+  /// simulations (e.g. recurrent rounds) without reallocating.
+  void reset();
 
   static constexpr std::size_t kDefaultMaxEvents = 10'000'000;
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Calendar width in ticks (power of two; bucket = time % span). The
+  /// protocol schedules almost everything within a few Δ of now, so a
+  /// small window keeps the scan cheap and the heap nearly empty.
+  static constexpr Time kCalendarSpan = 256;
+
+  struct Node {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;      // intrusive per-bucket FIFO link
+    std::uint32_t periodic = kNil;  // tasks_ slot; kNil = one-shot
+    Callback fn;                    // one-shot payload (empty for periodic)
+  };
+
+  struct PeriodicTask {
+    Duration period = 0;
+    std::function<bool()> fn;
+    std::uint32_t next_free = kNil;
+  };
+
+  /// Far-future reference; heap-ordered by (time, seq) ascending.
+  struct FarRef {
     Time time;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t node;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  struct FarLater {
+    bool operator()(const FarRef& a, const FarRef& b) const {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint32_t allocate_node();
+  void release_node(std::uint32_t idx);
+  void insert_node(std::uint32_t idx);
+  void bucket_append(std::uint32_t idx);
+  /// Move every far-future event with time < horizon + span into its
+  /// bucket (callers guarantee those times fit the calendar window).
+  void migrate_until(Time horizon);
+  /// Pop the next event with time <= limit (advancing now_), or kNil.
+  std::uint32_t take_next(Time limit);
+  void execute(std::uint32_t idx);
+
+  std::vector<Node> nodes_;                  // slab; indexes are stable
+  std::uint32_t free_head_ = kNil;           // node free list
+  std::vector<std::uint32_t> bucket_head_;   // per-tick FIFO heads
+  std::vector<std::uint32_t> bucket_tail_;
+  std::size_t calendar_size_ = 0;            // events currently in buckets
+  std::priority_queue<FarRef, std::vector<FarRef>, FarLater> far_;
+  std::vector<PeriodicTask> tasks_;          // periodic callbacks, slotted
+  std::uint32_t task_free_head_ = kNil;
+  std::size_t pending_ = 0;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

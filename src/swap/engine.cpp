@@ -87,6 +87,7 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
       ledgers_[terms.chain] = std::make_unique<chain::Ledger>(
           terms.chain, sim_, options_.seal_period);
       ledgers_[terms.chain]->set_submit_delay(options_.chain_submit_delay);
+      if (options_.trace) ledgers_[terms.chain]->enable_trace();
     }
     const PartyId head = spec_.digraph.arc(a).head;
     ledgers_[terms.chain]->mint(spec_.party_names.at(head), terms.asset);
@@ -95,6 +96,7 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
     ledgers_[kBroadcastChain] =
         std::make_unique<chain::Ledger>(kBroadcastChain, sim_, options_.seal_period);
     ledgers_[kBroadcastChain]->set_submit_delay(options_.chain_submit_delay);
+    if (options_.trace) ledgers_[kBroadcastChain]->enable_trace();
   }
 }
 

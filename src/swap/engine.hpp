@@ -42,6 +42,11 @@ struct EngineOptions {
   /// timing assumption so the ablation benches can show what breaks
   /// (liveness first, then safety). Never set this in real use.
   bool allow_unsafe_timing = false;
+
+  /// Collect a human-readable event trace on every chain (see
+  /// chain/trace.hpp; read back via ledger(name).trace()). Off by
+  /// default: the sealing hot path then does zero trace formatting.
+  bool trace = false;
 };
 
 /// Result of one protocol run.

@@ -29,10 +29,15 @@ Party::Party(const SwapSpec& spec, PartyId self, crypto::KeyPair keys,
   if (self_ >= spec.digraph.vertex_count()) {
     throw std::out_of_range("Party: id out of range");
   }
+  // Resolve each arc's chain once: tick() polls ledgers every simulated
+  // tick, and a by-name map lookup per poll is measurable at batch scale.
+  arc_ledgers_.reserve(spec.arcs.size());
   for (const ArcTerms& terms : spec.arcs) {
-    if (!ledgers_.count(terms.chain)) {
+    const auto it = ledgers_.find(terms.chain);
+    if (it == ledgers_.end()) {
       throw std::invalid_argument("Party: missing ledger for chain " + terms.chain);
     }
+    arc_ledgers_.push_back(it->second);
   }
   if (spec.broadcast && !ledgers_.count(kBroadcastChain)) {
     throw std::invalid_argument("Party: broadcast spec without broadcast chain");
@@ -51,7 +56,7 @@ bool Party::crashed(sim::Time now) const {
 }
 
 chain::Ledger& Party::ledger_for_arc(graph::ArcId arc) const {
-  return *ledgers_.at(spec_.arcs[arc].chain);
+  return *arc_ledgers_[arc];
 }
 
 void Party::tick(sim::Time now) {

@@ -108,6 +108,7 @@ class Party {
   ProtocolMode mode_;
   Strategy strategy_;
   std::map<std::string, chain::Ledger*> ledgers_;
+  std::vector<chain::Ledger*> arc_ledgers_;  // per ArcId; polling hot path
   ProtocolCounters* counters_;
   CoalitionPool* coalition_pool_;
 

@@ -153,6 +153,11 @@ ScenarioBuilder& ScenarioBuilder::mode(ProtocolMode m) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::trace(bool on) {
+  options_.trace = on;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::strategy(std::string party, Strategy s) {
   strategies_.emplace_back(std::move(party), s);
   return *this;

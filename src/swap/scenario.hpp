@@ -164,6 +164,11 @@ class ScenarioBuilder {
   ScenarioBuilder& broadcast(bool on = true);
   ScenarioBuilder& mode(ProtocolMode m);
 
+  /// Collect per-chain event traces on every component's ledgers
+  /// (EngineOptions::trace; read back via engine(i).ledger(name).trace()).
+  /// Off by default — the sealing hot path then formats nothing.
+  ScenarioBuilder& trace(bool on = true);
+
   /// Default execution policy for Scenario::run(): n > 1 runs component
   /// swaps on a ThreadPoolExecutor(n), n == 1 (the default) keeps the
   /// serial loop. The report is identical either way modulo wall-clock

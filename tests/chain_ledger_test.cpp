@@ -39,6 +39,7 @@ class EscrowContract : public Contract {
 class LedgerTest : public ::testing::Test {
  protected:
   LedgerTest() : ledger_("testchain", sim_, /*seal_period=*/2) {
+    ledger_.enable_trace();  // tracing is opt-in; tests read it back
     ledger_.mint("alice", Asset::coins("BTC", 100));
     ledger_.mint("carol", Asset::unique("TITLE", "cadillac"));
     ledger_.start();
@@ -182,6 +183,67 @@ TEST_F(LedgerTest, TraceRecordsEvents) {
     if (line.find("publish") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Ledger, TraceOffByDefault) {
+  // The null-sink path: no sink attached means no lines and no
+  // formatting on the hot path (the acceptance gate for opt-in tracing).
+  sim::Simulator sim;
+  Ledger ledger("quiet", sim, 1);
+  EXPECT_FALSE(ledger.tracing());
+  ledger.mint("alice", Asset::coins("BTC", 5));
+  ledger.start();
+  ledger.submit_contract(
+      "alice", std::make_unique<EscrowContract>("alice", Asset::coins("BTC", 1)),
+      10);
+  sim.run_until(3);
+  EXPECT_EQ(ledger.transaction_count(), 1u);
+  EXPECT_TRUE(ledger.trace().empty());
+}
+
+TEST(Ledger, ExternalTraceSink) {
+  sim::Simulator sim;
+  Ledger ledger("sunk", sim, 1);
+  StringTraceSink sink;
+  ledger.set_trace_sink(&sink);
+  EXPECT_TRUE(ledger.tracing());
+  ledger.mint("alice", Asset::coins("BTC", 5));
+  EXPECT_EQ(sink.lines().size(), 1u);
+  EXPECT_TRUE(ledger.trace().empty());  // owned trace never enabled
+  ledger.set_trace_sink(nullptr);
+  ledger.mint("bob", Asset::coins("BTC", 5));
+  EXPECT_EQ(sink.lines().size(), 1u);  // detached: no further lines
+}
+
+TEST_F(LedgerTest, BalancesViewMaterializes) {
+  ledger_.transfer("alice", "bob", Asset::coins("BTC", 30));
+  const auto view = ledger_.balances();
+  EXPECT_EQ(view.at("alice").at("BTC"), 70u);
+  EXPECT_EQ(view.at("bob").at("BTC"), 30u);
+  const auto uniques = ledger_.unique_owners();
+  EXPECT_EQ(uniques.at({"TITLE", "cadillac"}), "carol");
+}
+
+TEST_F(LedgerTest, ZeroAmountTransferIsANoOp) {
+  // owns() accepts a zero lot from anyone (0 >= 0), including accounts
+  // and symbols the ledger has never seen — the transfer must be a
+  // harmless no-op, not an out-of-bounds id lookup.
+  Asset zero;  // aggregate: fungible, amount 0, empty symbol
+  zero.symbol = "BTC";
+  ledger_.transfer("ghost", "bob", zero);
+  EXPECT_EQ(ledger_.balance("bob", "BTC"), 0u);
+  zero.symbol = "NEVER_MINTED";
+  ledger_.transfer("alice", "bob", zero);
+  EXPECT_EQ(ledger_.total_supply("NEVER_MINTED"), 0u);
+}
+
+TEST_F(LedgerTest, TotalSupplyTracksMintsNotTransfers) {
+  EXPECT_EQ(ledger_.total_supply("BTC"), 100u);
+  ledger_.transfer("alice", "bob", Asset::coins("BTC", 60));
+  EXPECT_EQ(ledger_.total_supply("BTC"), 100u);
+  ledger_.mint("dave", Asset::coins("BTC", 11));
+  EXPECT_EQ(ledger_.total_supply("BTC"), 111u);
+  EXPECT_EQ(ledger_.total_supply("UNKNOWN"), 0u);
 }
 
 TEST(Ledger, RejectsZeroSealPeriod) {

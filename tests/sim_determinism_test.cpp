@@ -1,0 +1,175 @@
+// Event-order regression gate for the simulator/ledger hot-path
+// refactor.
+//
+// The golden values below were captured on the pre-refactor build
+// (priority_queue-of-std::function simulator, nested-map ledger,
+// always-on tracing) over a 16-component adversarial offer book. The
+// ledger trace records every executed transaction with its timestamp in
+// execution order, so its SHA-256 is a dense witness of the entire
+// event schedule: any reordering of (time, seq)-equal events, any
+// change in seal timing, and any change to a report-visible quantity
+// breaks the hash. The refactored engine must reproduce all of it
+// bit-for-bit — and must do so on every executor, since components are
+// share-nothing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "swap/executor.hpp"
+#include "swap/scenario.hpp"
+#include "util/bytes.hpp"
+
+namespace xswap::swap {
+namespace {
+
+// ---- Goldens (pre-refactor build, do not regenerate casually) ----
+constexpr char kGoldenTraceSha256[] =
+    "250830b80726156c07a6ef84faf2cccfabc4566b680db2891fd31ba630062cd1";
+constexpr std::size_t kGoldenTraceLines = 183;
+constexpr char kGoldenFirstLine[] = "[0] genesis: 5 S0 -> R0A";
+constexpr char kGoldenLastLine[] = "[12] call by R15A: claim on contract:1";
+
+/// The 16-component adversarial book: twelve 3-party rings and four
+/// 4-party rings (every fourth), one deviation flavour per afflicted
+/// ring. Times in the strategy specs are relative to the protocol start
+/// (delta = 6).
+ScenarioBuilder adversarial_book(bool tracing) {
+  ScenarioBuilder builder;
+  for (std::size_t r = 0; r < 16; ++r) {
+    const std::string tag = "R" + std::to_string(r);
+    const std::string chain = "ring" + std::to_string(r) + "-";
+    const std::string a = tag + "A", b = tag + "B", c = tag + "C";
+    const std::string sr = std::to_string(r);
+    if (r % 4 == 3) {
+      const std::string d4 = tag + "D";
+      builder.offer(a, b, chain + "0", chain::Asset::coins("S" + sr, 5))
+          .offer(b, c, chain + "1", chain::Asset::coins("T" + sr, 7))
+          .offer(c, d4, chain + "2", chain::Asset::unique("NFT" + sr, "id" + sr))
+          .offer(d4, a, chain + "3", chain::Asset::coins("U" + sr, 2));
+    } else {
+      builder.offer(a, b, chain + "0", chain::Asset::coins("S" + sr, 5))
+          .offer(b, c, chain + "1", chain::Asset::coins("T" + sr, 7))
+          .offer(c, a, chain + "2", chain::Asset::coins("U" + sr, 2));
+    }
+  }
+  builder.seed(987).delta(6).trace(tracing);
+  builder.strategy("R1B", strategy_from_spec("crash:10", 6));
+  builder.strategy("R3C", strategy_from_spec("withhold", 6));
+  builder.strategy("R5A", strategy_from_spec("silent", 6));
+  builder.strategy("R7B", strategy_from_spec("corrupt", 6));
+  builder.strategy("R9C", strategy_from_spec("late:20", 6));
+  builder.strategy("R11A", strategy_from_spec("crash:4", 6));
+  return builder;
+}
+
+struct TraceDigest {
+  std::string sha256_hex;
+  std::size_t lines = 0;
+  std::string first, last;
+};
+
+TraceDigest digest_traces(const Scenario& scenario) {
+  std::string text;
+  TraceDigest out;
+  for (std::size_t i = 0; i < scenario.swap_count(); ++i) {
+    const SwapEngine& engine = scenario.engine(i);
+    for (const std::string& name : engine.chain_names()) {
+      text += "== swap" + std::to_string(i) + " chain " + name + " ==\n";
+      for (const std::string& line : engine.ledger(name).trace()) {
+        if (out.first.empty()) out.first = line;
+        out.last = line;
+        ++out.lines;
+        text += line;
+        text += '\n';
+      }
+    }
+  }
+  out.sha256_hex =
+      util::to_hex(crypto::sha256(util::Bytes(text.begin(), text.end())));
+  return out;
+}
+
+void check_golden_report(const BatchReport& batch) {
+  EXPECT_EQ(batch.swaps.size(), 16u);
+  EXPECT_EQ(batch.swaps_fully_triggered, 12u);
+  EXPECT_FALSE(batch.all_triggered);
+  EXPECT_TRUE(batch.no_conforming_underwater);
+  EXPECT_EQ(batch.last_trigger_time, 28u);
+  EXPECT_EQ(batch.finished_at, 72u);
+  EXPECT_EQ(batch.total_storage_bytes, 34590u);
+  EXPECT_EQ(batch.total_call_payload_bytes, 6899u);
+  EXPECT_EQ(batch.hashkey_bytes_submitted, 6539u);
+  EXPECT_EQ(batch.sign_operations, 40u);
+  EXPECT_EQ(batch.total_transactions, 131u);
+  EXPECT_EQ(batch.failed_transactions, 0u);
+  EXPECT_EQ(batch.unmatched.size(), 0u);
+  EXPECT_EQ(batch.outcome_counts.at(Outcome::kDeal), 38u);
+  EXPECT_EQ(batch.outcome_counts.at(Outcome::kNoDeal), 12u);
+  EXPECT_EQ(batch.outcome_counts.at(Outcome::kFreeRide), 1u);
+  EXPECT_EQ(batch.outcome_counts.at(Outcome::kUnderwater), 1u);
+  EXPECT_EQ(batch.outcome_counts.count(Outcome::kDiscount), 0u);
+
+  // Per-component spot checks: the crash:10 ring still clears (the
+  // crash lands after its last action), the silent ring never starts,
+  // the corrupt ring publishes-but-never-triggers, the late ring
+  // triggers at the delayed instant, and the 4-party ring with the
+  // withholder strands its counterparties.
+  EXPECT_TRUE(batch.swaps[1].all_triggered);
+  EXPECT_EQ(batch.swaps[5].total_transactions, 0u);
+  EXPECT_FALSE(batch.swaps[7].all_triggered);
+  EXPECT_EQ(batch.swaps[7].total_transactions, 3u);
+  EXPECT_TRUE(batch.swaps[9].all_triggered);
+  EXPECT_EQ(batch.swaps[9].last_trigger_time, 28u);
+  EXPECT_FALSE(batch.swaps[3].all_triggered);
+  EXPECT_EQ(batch.swaps[11].total_transactions, 7u);
+  for (const std::size_t i : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 13u, 14u}) {
+    EXPECT_TRUE(batch.swaps[i].all_triggered) << "swap " << i;
+    EXPECT_EQ(batch.swaps[i].last_trigger_time, 12u) << "swap " << i;
+    EXPECT_EQ(batch.swaps[i].total_transactions, 9u) << "swap " << i;
+  }
+  EXPECT_TRUE(batch.swaps[15].all_triggered);
+  EXPECT_EQ(batch.swaps[15].last_trigger_time, 14u);
+  EXPECT_EQ(batch.swaps[15].total_transactions, 12u);
+}
+
+TEST(SimDeterminism, GoldenTraceAndReportSerial) {
+  Scenario scenario = adversarial_book(/*tracing=*/true).build();
+  const BatchReport batch = scenario.run();
+  check_golden_report(batch);
+
+  const TraceDigest digest = digest_traces(scenario);
+  EXPECT_EQ(digest.lines, kGoldenTraceLines);
+  EXPECT_EQ(digest.first, kGoldenFirstLine);
+  EXPECT_EQ(digest.last, kGoldenLastLine);
+  EXPECT_EQ(digest.sha256_hex, kGoldenTraceSha256);
+}
+
+TEST(SimDeterminism, GoldenTraceAndReportThreadPool) {
+  // Same book fanned out over a pool: every field and every trace line
+  // must match the serial goldens (components are share-nothing and
+  // seeded per index).
+  Scenario scenario = adversarial_book(/*tracing=*/true).build();
+  ThreadPoolExecutor pool(4);
+  const BatchReport batch = scenario.run(pool);
+  check_golden_report(batch);
+  EXPECT_EQ(digest_traces(scenario).sha256_hex, kGoldenTraceSha256);
+}
+
+TEST(SimDeterminism, NullSinkKeepsReportAndCollectsNothing) {
+  // Default build: no sink anywhere, identical report. This is the
+  // null-sink acceptance gate — the run must not depend on tracing.
+  Scenario scenario = adversarial_book(/*tracing=*/false).build();
+  const BatchReport batch = scenario.run();
+  check_golden_report(batch);
+  for (std::size_t i = 0; i < scenario.swap_count(); ++i) {
+    const SwapEngine& engine = scenario.engine(i);
+    for (const std::string& name : engine.chain_names()) {
+      EXPECT_FALSE(engine.ledger(name).tracing());
+      EXPECT_TRUE(engine.ledger(name).trace().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

@@ -13,10 +13,13 @@
 //                        V:late:T | V:reveal   (repeatable; V = party id)
 //     --timeline         print the merged cross-chain event timeline
 //     --forensics        print the fault-attribution report
+//     --trace            collect and print each chain's ledger trace
+//                        (tracing is off by default — the sealing hot
+//                        path formats nothing unless asked)
 //
 //   xswap batch <offers-file> [options]   clear and run a whole offer book
-//     --mode/--delta/--seed/--timeline/--forensics as above, applied
-//     per component swap (adversaries address batch parties by name:
+//     --mode/--delta/--seed/--timeline/--forensics/--trace as above,
+//     applied per component swap (adversaries address batch parties by name:
 //     --adversary NAME:KIND[:ARG]; --digraph is run-mode only)
 //     --jobs N           run the independent component swaps on N
 //                        threads (default 1; the report is identical
@@ -54,9 +57,10 @@ namespace {
   std::fprintf(stderr,
                "usage: xswap [run] [--digraph KIND] [--mode MODE] [--delta N]\n"
                "             [--seed N] [--adversary V:KIND[:ARG]]...\n"
-               "             [--timeline] [--forensics]\n"
+               "             [--timeline] [--forensics] [--trace]\n"
                "       xswap batch <offers-file> [--mode MODE] [--delta N]\n"
                "             [--seed N] [--jobs N] [--adversary NAME:KIND[:ARG]]...\n"
+               "             [--timeline] [--forensics] [--trace]\n"
                "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
                "MODE: general | single | broadcast\n"
                "adversary KIND: crash:T | withhold | silent | corrupt | "
@@ -169,7 +173,18 @@ struct CommonFlags {
   std::size_t jobs = 1;
   bool show_timeline = false;
   bool show_forensics = false;
+  bool show_trace = false;
 };
+
+/// Print every chain's collected ledger trace for one engine.
+void print_traces(const swap::SwapEngine& engine, const char* indent) {
+  for (const std::string& chain_name : engine.chain_names()) {
+    std::printf("%strace of %s:\n", indent, chain_name.c_str());
+    for (const std::string& line : engine.ledger(chain_name).trace()) {
+      std::printf("%s  %s\n", indent, line.c_str());
+    }
+  }
+}
 
 void apply_mode(CommonFlags* flags) {
   if (flags->mode == "single") {
@@ -205,6 +220,7 @@ int run_single(const std::string& digraph_spec, CommonFlags flags) {
       return swap::ScenarioBuilder()
           .offers(swap::offers_for_digraph(d))
           .options(flags.options)
+          .trace(flags.show_trace)
           .build();
     } catch (const std::invalid_argument& e) {
       usage(e.what());
@@ -236,6 +252,10 @@ int run_single(const std::string& digraph_spec, CommonFlags flags) {
   if (flags.show_timeline) {
     std::printf("\ntimeline (t in delta units after start):\n%s",
                 swap::render_timeline(spec, swap::collect_timeline(engine)).c_str());
+  }
+  if (flags.show_trace) {
+    std::printf("\n");
+    print_traces(engine, "");
   }
 
   std::printf("\noutcomes:\n");
@@ -270,6 +290,7 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
           .offers(offers)
           .options(flags.options)
           .jobs(flags.jobs)
+          .trace(flags.show_trace)
           .build();
     } catch (const std::invalid_argument& e) {
       usage(e.what());
@@ -314,6 +335,7 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
                   swap::render_timeline(engine.spec(),
                                         swap::collect_timeline(engine)).c_str());
     }
+    if (flags.show_trace) print_traces(engine, "  ");
     if (flags.show_forensics) {
       const swap::FaultReport faults = swap::analyze_faults(engine);
       std::printf("  forensics:\n");
@@ -392,6 +414,7 @@ int main(int argc, char** argv) {
     else if (arg == "--adversary") flags.adversaries.push_back(next());
     else if (arg == "--timeline") flags.show_timeline = true;
     else if (arg == "--forensics") flags.show_forensics = true;
+    else if (arg == "--trace") flags.show_trace = true;
     else if (arg == "--help") usage();
     else usage(("unknown option " + arg).c_str());
   }
