@@ -12,6 +12,7 @@
 // report is field-identical to the serial run modulo wall clock.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "swap/executor.hpp"
 #include "swap/scenario.hpp"
@@ -87,8 +88,70 @@ int main() {
   std::printf("  reports identical modulo wall clock: %s\n",
               identical ? "yes" : "NO (bug!)");
 
+  // Part three: a FLEET of books through the cross-batch scheduler.
+  // One straggler book (a 6-party ring) plus three small pair books;
+  // under FleetSchedule::kStealing the small books' components backfill
+  // idle lanes while the ring finishes, and the persistent pool from the
+  // ExecutorRegistry is reused across the whole queue (and any later
+  // run in this process) instead of spawning threads per book.
+  const auto make_fleet = [] {
+    std::vector<swap::Scenario> fleet;
+    swap::ScenarioBuilder straggler;
+    for (std::size_t v = 0; v < 6; ++v) {
+      straggler.offer("Ring" + std::to_string(v),
+                      "Ring" + std::to_string((v + 1) % 6),
+                      "rc" + std::to_string(v), chain::Asset::coins("RING", 9));
+    }
+    fleet.push_back(straggler.seed(7).build());
+    for (std::size_t b = 0; b < 3; ++b) {
+      swap::ScenarioBuilder book;
+      for (std::size_t r = 0; r < 4; ++r) {
+        const std::string m = "F" + std::to_string(b) + "M" + std::to_string(r);
+        const std::string t = "F" + std::to_string(b) + "T" + std::to_string(r);
+        const std::string chain =
+            "f" + std::to_string(b) + "-" + std::to_string(r);
+        book.offer(m, t, chain + "a", chain::Asset::coins("BTC", 1))
+            .offer(t, m, chain + "b", chain::Asset::coins("ETH", 10));
+      }
+      fleet.push_back(book.seed(70 + b).build());
+    }
+    return fleet;
+  };
+
+  std::printf("\nfleet: 4 books (one 6-ring straggler + 3 pair books), "
+              "fifo vs stealing on a persistent pool\n");
+  swap::FleetOptions fifo;
+  fifo.pool = swap::ExecutorRegistry::instance().shared_pool(4);
+  fifo.schedule = swap::FleetSchedule::kFifo;
+  std::vector<swap::Scenario> fifo_fleet = make_fleet();
+  const swap::FleetReport fifo_report = swap::run_fleet(fifo_fleet, fifo);
+
+  swap::FleetOptions stealing = fifo;  // same pool, overlapped tails
+  stealing.schedule = swap::FleetSchedule::kStealing;
+  std::vector<swap::Scenario> ws_fleet = make_fleet();
+  const swap::FleetReport ws_report = swap::run_fleet(ws_fleet, stealing);
+
+  std::printf("  fifo:     %5.1f ms  (%.0f swaps/s)\n", fifo_report.wall_ms,
+              fifo_report.components_per_sec);
+  std::printf("  stealing: %5.1f ms  (%.0f swaps/s)\n", ws_report.wall_ms,
+              ws_report.components_per_sec);
+  bool fleet_identical = fifo_report.batches.size() == ws_report.batches.size();
+  bool fleet_safe = true;
+  for (std::size_t b = 0; fleet_identical && b < ws_report.batches.size(); ++b) {
+    const swap::BatchReport& f = fifo_report.batches[b];
+    const swap::BatchReport& w = ws_report.batches[b];
+    fleet_identical = f.swaps_fully_triggered == w.swaps_fully_triggered &&
+                      f.last_trigger_time == w.last_trigger_time &&
+                      f.total_storage_bytes == w.total_storage_bytes &&
+                      f.sign_operations == w.sign_operations;
+    fleet_safe = fleet_safe && w.all_triggered && w.no_conforming_underwater;
+  }
+  std::printf("  per-book reports identical across schedules: %s\n",
+              fleet_identical ? "yes" : "NO (bug!)");
+
   return batch.all_triggered && batch.no_conforming_underwater &&
-                 serial.all_triggered && parallel.all_triggered && identical
+                 serial.all_triggered && parallel.all_triggered && identical &&
+                 fleet_identical && fleet_safe
              ? 0
              : 1;
 }

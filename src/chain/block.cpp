@@ -12,9 +12,15 @@ crypto::Digest256 Block::hash() const {
 
 crypto::Digest256 Block::compute_tx_root() const {
   std::vector<crypto::Digest256> leaves;
-  leaves.reserve(txs.size());
-  for (const Transaction& tx : txs) leaves.push_back(tx.digest());
-  return merkle_root(leaves);
+  return compute_tx_root(leaves);
+}
+
+crypto::Digest256 Block::compute_tx_root(
+    std::vector<crypto::Digest256>& leaf_scratch) const {
+  leaf_scratch.clear();
+  leaf_scratch.reserve(txs.size());
+  for (const Transaction& tx : txs) leaf_scratch.push_back(tx.digest());
+  return merkle_root_inplace(leaf_scratch);
 }
 
 }  // namespace xswap::chain

@@ -23,6 +23,13 @@ struct Block {
 
   /// Recompute the Merkle root from `txs` (for integrity checks).
   crypto::Digest256 compute_tx_root() const;
+
+  /// Merkle root from `txs` using `leaf_scratch` for the whole tree
+  /// (cleared and clobbered). Batched sealing reuses one scratch buffer
+  /// across every queued block, so N blocks cost one allocation-free
+  /// Merkle pass instead of N allocating ones.
+  crypto::Digest256 compute_tx_root(
+      std::vector<crypto::Digest256>& leaf_scratch) const;
 };
 
 }  // namespace xswap::chain

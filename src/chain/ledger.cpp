@@ -1,11 +1,29 @@
 #include "chain/ledger.hpp"
 
+#include <functional>
 #include <stdexcept>
 
 namespace xswap::chain {
 
 Address contract_address(ContractId id) {
   return "contract:" + std::to_string(id);
+}
+
+ChainLockRegistry::ChainLockRegistry(std::size_t stripes)
+    : stripe_count_(stripes) {
+  if (stripes == 0) {
+    throw std::invalid_argument("ChainLockRegistry: need at least 1 stripe");
+  }
+  stripes_ = std::make_unique<std::mutex[]>(stripe_count_);
+}
+
+std::mutex& ChainLockRegistry::stripe_for(const std::string& chain_name) {
+  return stripes_[std::hash<std::string>{}(chain_name) % stripe_count_];
+}
+
+ChainLockRegistry& ChainLockRegistry::global() {
+  static ChainLockRegistry registry;
+  return registry;
 }
 
 Ledger::Ledger(std::string name, sim::Simulator& sim, sim::Duration seal_period)
@@ -30,6 +48,10 @@ void Ledger::start() {
     seal();
     return true;
   });
+}
+
+void Ledger::set_chain_locks(ChainLockRegistry* registry) {
+  seal_stripe_ = registry == nullptr ? nullptr : &registry->stripe_for(name_);
 }
 
 void Ledger::enable_trace() {
@@ -231,11 +253,23 @@ void Ledger::execute(PendingTx& p, Transaction& tx) {
 
 void Ledger::seal() {
   if (mempool_.empty()) return;  // skip empty blocks, keep the chain compact
+  if (seal_stripe_ == nullptr) {
+    seal_locked();
+    return;
+  }
+  // Same-chain seals across concurrently running components serialize
+  // on the name's stripe; disjoint chains hash to other stripes and
+  // proceed in parallel (see ChainLockRegistry).
+  const std::lock_guard<std::mutex> guard(*seal_stripe_);
+  seal_locked();
+}
 
+void Ledger::seal_locked() {
+  // Header hashing (tx Merkle root + chain link) is deferred to
+  // seal_batch(): the seal tick pays for transaction execution only.
   Block block;
   block.height = blocks_.size();
   block.sealed_at = sim_.now();
-  block.prev_hash = blocks_.back().hash();
 
   std::vector<PendingTx> batch;
   batch.swap(mempool_);
@@ -263,11 +297,30 @@ void Ledger::seal() {
     }
     block.txs.push_back(std::move(tx));
   }
-  block.tx_root = block.compute_tx_root();
   blocks_.push_back(std::move(block));
 }
 
+void Ledger::seal_batch() const {
+  // One pass over every queued block: leaf digests land in one shared
+  // scratch buffer that merkle_root_inplace consumes level by level, so
+  // N queued mempools cost N roots but zero per-block allocation churn.
+  // Earlier headers complete before later ones read them for the chain
+  // link. The instance-level flush mutex (never the cross-component
+  // stripe) makes concurrent const observers of a finished ledger safe
+  // and keeps this callable from contract callbacks while seal() holds
+  // the stripe — only seal() itself, which callbacks cannot reach, ever
+  // takes a stripe lock.
+  const std::lock_guard<std::mutex> guard(flush_mutex_);
+  for (std::size_t i = hashed_blocks_; i < blocks_.size(); ++i) {
+    Block& block = blocks_[i];
+    block.prev_hash = blocks_[i - 1].hash();
+    block.tx_root = block.compute_tx_root(leaf_scratch_);
+  }
+  hashed_blocks_ = blocks_.size();
+}
+
 bool Ledger::verify_integrity() const {
+  seal_batch();
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     const Block& b = blocks_[i];
     if (b.compute_tx_root() != b.tx_root) return false;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -40,6 +41,44 @@
 #include "sim/simulator.hpp"
 
 namespace xswap::chain {
+
+/// Striped per-chain-name locks for concurrent component execution.
+///
+/// Component swaps are share-nothing (each SwapEngine builds its own
+/// Ledger instances), but two components — or two books in a fleet —
+/// may model the *same underlying chain* (equal chain names). The
+/// paper's §2.2 ledger abstraction serializes each chain's seals; the
+/// registry preserves that below component granularity: every ledger
+/// with the same name maps onto the same lock stripe, so same-chain
+/// seal critical sections serialize across concurrently running
+/// components while disjoint chains (different stripes) proceed in
+/// parallel. Which component wins a stripe first is immaterial to
+/// results — each Ledger instance still applies its own transactions in
+/// deterministic simulated (time, seq) order, and batch aggregation is
+/// index-ordered — so trace hashes and reports stay bit-identical to
+/// the serial schedule (the golden determinism gate asserts this).
+class ChainLockRegistry {
+ public:
+  static constexpr std::size_t kDefaultStripes = 64;
+
+  explicit ChainLockRegistry(std::size_t stripes = kDefaultStripes);
+
+  ChainLockRegistry(const ChainLockRegistry&) = delete;
+  ChainLockRegistry& operator=(const ChainLockRegistry&) = delete;
+
+  /// The stripe serializing `chain_name`'s seals (stable for the
+  /// registry's lifetime; distinct names may share a stripe).
+  std::mutex& stripe_for(const std::string& chain_name);
+
+  std::size_t stripe_count() const { return stripe_count_; }
+
+  /// Process-wide registry, the default home for fleet runs.
+  static ChainLockRegistry& global();
+
+ private:
+  std::unique_ptr<std::mutex[]> stripes_;
+  std::size_t stripe_count_;
+};
 
 /// A single blockchain. Each arc of a swap digraph runs on its own Ledger
 /// (plus optionally one shared broadcast chain, §4.5).
@@ -72,6 +111,12 @@ class Ledger {
   /// analysis to apply; the ablation benches deliberately violate this.
   void set_submit_delay(sim::Duration delay) { submit_delay_ = delay; }
   sim::Duration submit_delay() const { return submit_delay_; }
+
+  /// Serialize this chain's seal critical sections through `registry`'s
+  /// stripe for the chain name (nullptr — the default — means no
+  /// cross-component lock). Enables running components that model the
+  /// same chain concurrently while keeping per-ledger serialization.
+  void set_chain_locks(ChainLockRegistry* registry);
 
   // ---- Assets ----
 
@@ -140,7 +185,22 @@ class Ledger {
 
   // ---- Chain data ----
 
-  const std::vector<Block>& blocks() const { return blocks_; }
+  /// Sealed blocks, oldest first. Forces any deferred seal hashing
+  /// first (see seal_batch), so observers always see complete headers.
+  const std::vector<Block>& blocks() const {
+    seal_batch();
+    return blocks_;
+  }
+
+  /// Batched sealing: seal() executes transactions at the seal tick but
+  /// defers the block's Merkle root and hash-chain link; this flushes
+  /// every queued block's header in ONE pass (shared leaf scratch, zero
+  /// per-block allocation) instead of one Merkle pass per seal. Called
+  /// automatically by blocks()/verify_integrity(); idempotent and cheap
+  /// when nothing is queued. Deferral is invisible to the protocol —
+  /// contract visibility and balances change at the seal tick as before;
+  /// only tamper-evidence bookkeeping moves out of the hot loop.
+  void seal_batch() const;
 
   /// Verify hash-chain links and Merkle roots of every sealed block.
   bool verify_integrity() const;
@@ -198,6 +258,7 @@ class Ledger {
   std::uint64_t& balance_slot(AccountId account, SymbolId symbol);
 
   void seal();
+  void seal_locked();
   void execute(PendingTx& p, Transaction& tx);
   void record(std::string line) { trace_sink_->record(std::move(line)); }
   void enqueue(PendingTx p);
@@ -222,7 +283,21 @@ class Ledger {
       unique_owner_ids_;
 
   std::vector<PendingTx> mempool_;
-  std::vector<Block> blocks_;
+  // Deferred-header state: blocks_[hashed_blocks_..] have executed their
+  // transactions but carry zero tx_root/prev_hash until seal_batch()
+  // fills them (lazily, from const observers — hence mutable, with the
+  // flush mutex keeping concurrent const readers of a finished ledger
+  // as safe as the pure getter they used to call).
+  mutable std::vector<Block> blocks_;
+  mutable std::size_t hashed_blocks_ = 1;  // genesis header is eager
+  mutable std::vector<crypto::Digest256> leaf_scratch_;
+  mutable std::mutex flush_mutex_;
+
+  // Cross-component seal serialization (nullptr = not shared). Held by
+  // seal() across transaction execution — the §2.2 critical section —
+  // and never by any public entry point, so contract callbacks may call
+  // blocks()/verify_integrity()/seal_batch() without self-deadlock.
+  std::mutex* seal_stripe_ = nullptr;
 
   // Contract ids are dense (assigned sequentially from 1), so the live
   // table is a vector indexed by id-1; unpublished slots hold nullptr.

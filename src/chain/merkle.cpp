@@ -18,19 +18,23 @@ crypto::Digest256 hash_pair(const crypto::Digest256& l, const crypto::Digest256&
 }  // namespace
 
 crypto::Digest256 merkle_root(const std::vector<crypto::Digest256>& leaves) {
+  std::vector<crypto::Digest256> scratch = leaves;
+  return merkle_root_inplace(scratch);
+}
+
+crypto::Digest256 merkle_root_inplace(std::vector<crypto::Digest256>& leaves) {
   if (leaves.empty()) return crypto::Digest256{};
-  std::vector<crypto::Digest256> level = leaves;
-  while (level.size() > 1) {
-    std::vector<crypto::Digest256> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i < level.size(); i += 2) {
-      const crypto::Digest256& left = level[i];
-      const crypto::Digest256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-      next.push_back(hash_pair(left, right));
+  std::size_t n = leaves.size();
+  while (n > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < n; i += 2) {
+      const crypto::Digest256& left = leaves[i];
+      const crypto::Digest256& right = (i + 1 < n) ? leaves[i + 1] : leaves[i];
+      leaves[out++] = hash_pair(left, right);
     }
-    level = std::move(next);
+    n = out;
   }
-  return level[0];
+  return leaves[0];
 }
 
 MerkleProof merkle_prove(const std::vector<crypto::Digest256>& leaves,

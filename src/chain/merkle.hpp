@@ -16,6 +16,14 @@ namespace xswap::chain {
 /// itself; the empty list has the all-zero root.
 crypto::Digest256 merkle_root(const std::vector<crypto::Digest256>& leaves);
 
+/// merkle_root that consumes `leaves` as its own scratch space: each
+/// level is halved in place, so the whole tree costs zero allocations
+/// beyond the buffer the caller already holds. Batched sealing
+/// (Ledger::seal_batch) reuses one such buffer across every queued
+/// block — one Merkle pass instead of one allocation storm per block.
+/// `leaves` is clobbered (left holding only the root).
+crypto::Digest256 merkle_root_inplace(std::vector<crypto::Digest256>& leaves);
+
 /// Inclusion proof for a leaf: sibling digests from leaf level to the
 /// root, plus the leaf's index (whose bits give left/right orientation).
 struct MerkleProof {

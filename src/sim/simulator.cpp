@@ -196,6 +196,11 @@ void Simulator::run_until(Time t_end) {
   if (now_ < t_end) now_ = t_end;
 }
 
+void Simulator::reserve(std::size_t nodes) {
+  nodes_.reserve(nodes);
+  tasks_.reserve(nodes);
+}
+
 void Simulator::reset() {
   // Rebuild the free lists instead of clearing the vectors so the slab
   // capacity (and therefore the zero-allocation steady state) carries

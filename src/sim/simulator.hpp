@@ -76,8 +76,15 @@ class Simulator {
 
   /// Return to the initial state (t=0, empty queue, seq 0) while keeping
   /// the slab and bucket capacity, so one core can be reused across
-  /// simulations (e.g. recurrent rounds) without reallocating.
+  /// simulations — recurrent rounds, or engines run back-to-back on a
+  /// persistent pool's worker lanes — without reallocating.
   void reset();
+
+  /// Pre-size the event slab for an expected concurrent event
+  /// population (capacity only; pending events and behaviour are
+  /// untouched). Engines call this with their party/chain census so the
+  /// slab never grows mid-run.
+  void reserve(std::size_t nodes);
 
   static constexpr std::size_t kDefaultMaxEvents = 10'000'000;
 

@@ -80,6 +80,11 @@ SwapEngine::SwapEngine(ClearedSwap cleared, EngineOptions options)
 
 void SwapEngine::build(std::vector<ArcTerms> arcs) {
   spec_.arcs = std::move(arcs);
+  // Steady-state event population: one periodic poll per party, one
+  // seal per chain, plus in-flight submissions. Pre-sizing the slab
+  // keeps pooled workers from growing it mid-run.
+  sim_.reserve(2 * (spec_.digraph.vertex_count() + spec_.digraph.arc_count()) +
+               16);
   // One ledger per distinct chain name; genesis-fund each arc's party.
   for (graph::ArcId a = 0; a < spec_.digraph.arc_count(); ++a) {
     const ArcTerms& terms = spec_.arcs.at(a);
@@ -87,6 +92,7 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
       ledgers_[terms.chain] = std::make_unique<chain::Ledger>(
           terms.chain, sim_, options_.seal_period);
       ledgers_[terms.chain]->set_submit_delay(options_.chain_submit_delay);
+      ledgers_[terms.chain]->set_chain_locks(options_.chain_locks);
       if (options_.trace) ledgers_[terms.chain]->enable_trace();
     }
     const PartyId head = spec_.digraph.arc(a).head;
@@ -96,6 +102,7 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
     ledgers_[kBroadcastChain] =
         std::make_unique<chain::Ledger>(kBroadcastChain, sim_, options_.seal_period);
     ledgers_[kBroadcastChain]->set_submit_delay(options_.chain_submit_delay);
+    ledgers_[kBroadcastChain]->set_chain_locks(options_.chain_locks);
     if (options_.trace) ledgers_[kBroadcastChain]->enable_trace();
   }
 }

@@ -47,6 +47,14 @@ struct EngineOptions {
   /// chain/trace.hpp; read back via ledger(name).trace()). Off by
   /// default: the sealing hot path then does zero trace formatting.
   bool trace = false;
+
+  /// Striped per-chain-name locks shared across concurrently running
+  /// components (see chain::ChainLockRegistry). nullptr — the default —
+  /// means chains are private to this engine and seals take no lock.
+  /// Fleet runs set this (typically to ChainLockRegistry::global()) so
+  /// components modeling the same chain keep per-ledger serialization
+  /// while disjoint chains proceed in parallel.
+  chain::ChainLockRegistry* chain_locks = nullptr;
 };
 
 /// Result of one protocol run.

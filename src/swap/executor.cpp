@@ -1,12 +1,7 @@
 #include "swap/executor.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
-#include <vector>
 
 namespace xswap::swap {
 
@@ -55,6 +50,204 @@ void ThreadPoolExecutor::run(std::size_t count,
   for (std::thread& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealingPool
+
+WorkStealingPool::WorkStealingPool(std::size_t n_threads) : lanes_(n_threads) {
+  if (n_threads == 0) {
+    throw std::invalid_argument("WorkStealingPool: need at least 1 lane");
+  }
+  deques_.reserve(lanes_);
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(lanes_ > 0 ? lanes_ - 1 : 0);
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  batch_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkStealingPool::run_task(std::size_t index) {
+  try {
+    (*task_)(index);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool WorkStealingPool::pop_bottom(Deque& d, std::size_t* out) {
+  // Owner-side Chase–Lev pop: reserve the bottom slot, then re-check the
+  // top; on the last element race with thieves via CAS on top.
+  const std::int64_t b = d.bottom.load(std::memory_order_seq_cst) - 1;
+  d.bottom.store(b, std::memory_order_seq_cst);
+  std::int64_t t = d.top.load(std::memory_order_seq_cst);
+  if (t <= b) {
+    *out = d.slots[static_cast<std::size_t>(b)];
+    if (t == b) {
+      const bool won = d.top.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      d.bottom.store(b + 1, std::memory_order_seq_cst);
+      return won;
+    }
+    return true;
+  }
+  d.bottom.store(b + 1, std::memory_order_seq_cst);
+  return false;
+}
+
+bool WorkStealingPool::steal_top(Deque& d, std::size_t* out) {
+  // Thief-side Chase–Lev steal: claim the oldest slot by CAS on top. The
+  // slot array is immutable during a batch, so reading it before the CAS
+  // is safe — a lost CAS just discards the read.
+  std::int64_t t = d.top.load(std::memory_order_seq_cst);
+  const std::int64_t b = d.bottom.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  const std::size_t task = d.slots[static_cast<std::size_t>(t)];
+  if (!d.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_seq_cst)) {
+    return false;
+  }
+  *out = task;
+  return true;
+}
+
+void WorkStealingPool::work_batch(std::size_t lane) {
+  Deque& mine = *deques_[lane];
+  for (;;) {
+    std::size_t index;
+    if (pop_bottom(mine, &index)) {
+      run_task(index);
+      continue;
+    }
+    // Own deque drained: sweep the other lanes for stealable work. Tasks
+    // never spawn tasks (Executor contract), so one clean sweep finding
+    // nothing means this lane is done — in-flight tasks on other lanes
+    // need no help.
+    bool stole = false;
+    for (std::size_t k = 1; k < lanes_; ++k) {
+      Deque& victim = *deques_[(lane + k) % lanes_];
+      if (steal_top(victim, &index)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        run_task(index);
+        stole = true;
+        break;
+      }
+    }
+    if (!stole) return;
+  }
+}
+
+void WorkStealingPool::worker_main(std::size_t lane) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      batch_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++joined_;
+      ++active_;
+    }
+    work_batch(lane);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkStealingPool::run(std::size_t count,
+                           const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  // One batch at a time; concurrent callers queue here, which is what
+  // makes the pool safely shareable across scenarios and fleet runners.
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+  if (lanes_ == 1) {  // persistent but serial: no handoff, no wakeups
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Pre-fill each lane's deque with a contiguous slice (front lanes take
+  // the remainder). Safe without the deque atomics' protection: every
+  // worker is parked (run() never returns mid-batch, and workers park
+  // before joined_ reaches lanes_ - 1 ... see the completion wait).
+  const std::size_t base = count / lanes_;
+  const std::size_t extra = count % lanes_;
+  std::size_t next = 0;
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    Deque& d = *deques_[lane];
+    const std::size_t share = base + (lane < extra ? 1 : 0);
+    d.slots.resize(share);
+    for (std::size_t j = 0; j < share; ++j) d.slots[j] = next++;
+    d.top.store(0, std::memory_order_relaxed);
+    d.bottom.store(static_cast<std::int64_t>(share), std::memory_order_relaxed);
+  }
+
+  task_ = &task;
+  first_error_ = nullptr;
+  remaining_.store(count, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++epoch_;
+    joined_ = 0;
+  }
+  batch_cv_.notify_all();
+
+  work_batch(0);  // the caller is lane 0
+
+  // Wait until every worker acknowledged this batch AND left it AND all
+  // tasks finished. Requiring the full join means no worker can arrive
+  // late (after run() returned) and race a subsequent batch's refill.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return joined_ == lanes_ - 1 && active_ == 0 &&
+             remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  task_ = nullptr;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorRegistry
+
+ExecutorRegistry& ExecutorRegistry::instance() {
+  static ExecutorRegistry registry;
+  return registry;
+}
+
+std::shared_ptr<WorkStealingPool> ExecutorRegistry::shared_pool(
+    std::size_t n_threads) {
+  if (n_threads == 0) {
+    throw std::invalid_argument("ExecutorRegistry: need at least 1 lane");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<WorkStealingPool>& slot = pools_[n_threads];
+  if (!slot) slot = std::make_shared<WorkStealingPool>(n_threads);
+  return slot;
+}
+
+std::size_t ExecutorRegistry::pool_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pools_.size();
 }
 
 }  // namespace xswap::swap

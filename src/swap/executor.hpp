@@ -4,17 +4,38 @@
 // non-trivial SCC; each component's SwapEngine owns its own Simulator,
 // ledgers, and seed-derived randomness, so components are share-nothing
 // by construction and may run in any order — or concurrently. An
-// Executor decides that schedule: SerialExecutor reproduces the classic
-// in-order loop bit-for-bit, ThreadPoolExecutor(n) fans the components
-// out over n worker threads. Scenario::run() aggregates the per-index
-// results in component order afterwards, so every BatchReport field
-// except the wall-clock ones (wall_ms, components_per_sec) is identical
-// across executors.
+// Executor decides that schedule:
+//
+//   * SerialExecutor reproduces the classic in-order loop bit-for-bit;
+//   * ThreadPoolExecutor(n) spawns n workers per run() call (cheap to
+//     reason about, pays thread start/join per batch);
+//   * WorkStealingPool(n) keeps n lanes alive across run() calls — a
+//     persistent pool with one Chase–Lev-style deque per lane plus a
+//     batch injector, so batch-of-batches workloads (fleets of offer
+//     books) stop paying thread start-up per book and idle lanes steal
+//     the tail of a straggling lane's work.
+//
+// Scenario::run() aggregates the per-index results in component order
+// afterwards, so every BatchReport field except the wall-clock ones
+// (wall_ms, components_per_sec) is identical across executors.
+//
+// Persistent pools are typically obtained from the process-wide
+// ExecutorRegistry and handed to Scenario::run via RunOptions::pool (an
+// owning handle, safe to share across scenarios and threads of control).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <vector>
 
 namespace xswap::swap {
 
@@ -32,7 +53,8 @@ class Executor {
   virtual void run(std::size_t count,
                    const std::function<void(std::size_t)>& task) = 0;
 
-  /// Short policy name for reports and logs ("serial", "thread-pool").
+  /// Short policy name for reports and logs ("serial", "thread-pool",
+  /// "work-stealing").
   virtual const char* name() const = 0;
 };
 
@@ -45,11 +67,11 @@ class SerialExecutor final : public Executor {
   const char* name() const override { return "serial"; }
 };
 
-/// Fan the tasks out over a pool of worker threads. Workers pull the
-/// next unclaimed index from a shared atomic counter, so the assignment
-/// of tasks to threads is load-balanced (and non-deterministic) — which
-/// is safe precisely because component engines share no state and the
-/// caller aggregates by index afterwards.
+/// Fan the tasks out over a pool of worker threads spawned per run()
+/// call. Workers pull the next unclaimed index from a shared atomic
+/// counter, so the assignment of tasks to threads is load-balanced (and
+/// non-deterministic) — which is safe precisely because component
+/// engines share no state and the caller aggregates by index afterwards.
 class ThreadPoolExecutor final : public Executor {
  public:
   /// Throws std::invalid_argument when `n_threads` is 0.
@@ -64,6 +86,112 @@ class ThreadPoolExecutor final : public Executor {
   std::size_t n_threads_;
 };
 
+/// A persistent pool of `n_threads` execution lanes reused across run()
+/// calls: lane 0 is the calling thread, lanes 1..n-1 are worker threads
+/// started once in the constructor and parked on a condition variable
+/// between batches (the "injector": run() publishes a batch, wakes every
+/// worker, and waits for completion — no thread start/join per batch).
+///
+/// Within a batch each lane owns a Chase–Lev-style deque pre-filled with
+/// a contiguous slice of the index space: the owner pops from the bottom
+/// (LIFO, cache-warm), idle lanes steal from other deques' top (FIFO, the
+/// oldest — largest remaining — work), so a straggling lane's tail is
+/// backfilled by whoever drains first. Task-to-lane assignment is
+/// non-deterministic; correctness relies on the Executor contract (tasks
+/// independent, caller aggregates by index).
+///
+/// run() calls are serialized internally: the pool is safe to share
+/// between scenarios and between controlling threads (batches queue up
+/// on an internal mutex). With n_threads == 1 the pool degenerates to
+/// the serial loop on the caller — still persistent, never spawning.
+class WorkStealingPool final : public Executor {
+ public:
+  /// Throws std::invalid_argument when `n_threads` is 0.
+  explicit WorkStealingPool(std::size_t n_threads);
+  ~WorkStealingPool() override;
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& task) override;
+  const char* name() const override { return "work-stealing"; }
+
+  std::size_t thread_count() const { return lanes_; }
+  /// Batches executed so far (pool-reuse observability for tests/benches).
+  std::size_t batches_run() const { return batches_.load(std::memory_order_relaxed); }
+  /// Tasks executed by a lane other than the one whose deque held them.
+  std::size_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One lane's deque over the current batch's index space. The slot
+  /// array is written only between batches (while every worker is
+  /// parked), so in-batch readers race only on the atomic ends: the
+  /// owner pops `bottom`, thieves CAS `top`. All end accesses are
+  /// seq_cst — the classic Chase–Lev fence placement collapsed into the
+  /// total order, which is plenty at component-swap granularity (tasks
+  /// are milliseconds, not nanoseconds).
+  struct Deque {
+    std::atomic<std::int64_t> top{0};
+    std::atomic<std::int64_t> bottom{0};
+    std::vector<std::size_t> slots;
+  };
+
+  void worker_main(std::size_t lane);
+  /// Drain the batch from lane's own deque, then steal; returns when no
+  /// task is claimable anywhere (running tasks may still be in flight).
+  void work_batch(std::size_t lane);
+  bool pop_bottom(Deque& d, std::size_t* out);
+  bool steal_top(Deque& d, std::size_t* out);
+  void run_task(std::size_t index);
+
+  const std::size_t lanes_;
+  std::vector<std::unique_ptr<Deque>> deques_;  // one per lane
+  std::vector<std::thread> workers_;            // lanes 1..n-1
+
+  std::mutex run_mutex_;  // serializes run() calls (one batch at a time)
+
+  // Batch state, published under mutex_ before workers wake.
+  std::mutex mutex_;
+  std::condition_variable batch_cv_;  // workers park here between batches
+  std::condition_variable done_cv_;   // run() waits for the batch to drain
+  std::uint64_t epoch_ = 0;           // bumped per batch
+  std::size_t joined_ = 0;            // workers that acknowledged this epoch
+  std::size_t active_ = 0;            // workers currently inside work_batch
+  bool stop_ = false;
+
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::atomic<std::size_t> remaining_{0};  // tasks not yet finished
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> steals_{0};
+};
+
+/// Process-wide home for persistent pools, so every Scenario::run(),
+/// fleet run, CLI invocation, and bench in the process reuses the same
+/// warmed-up lanes instead of spawning per batch. Pools are cached by
+/// lane count and live until process exit (their destructors join the
+/// parked workers).
+class ExecutorRegistry {
+ public:
+  static ExecutorRegistry& instance();
+
+  /// The shared persistent pool with `n_threads` lanes, created on first
+  /// use. Thread-safe; the returned handle keeps the pool alive even if
+  /// the registry were torn down first.
+  std::shared_ptr<WorkStealingPool> shared_pool(std::size_t n_threads);
+
+  /// Number of distinct pool sizes created so far.
+  std::size_t pool_count() const;
+
+ private:
+  ExecutorRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::shared_ptr<WorkStealingPool>> pools_;
+};
+
 /// Per-run knobs for Scenario::run(RunOptions). Validation happens at
 /// run(): a zero max_components cap is rejected with
 /// std::invalid_argument (capping a batch to nothing is always a bug).
@@ -72,10 +200,16 @@ struct RunOptions {
   /// borrowed for the duration of the call, not owned.
   Executor* executor = nullptr;
 
+  /// Owning alternative to `executor` — typically a persistent pool from
+  /// ExecutorRegistry::shared_pool. Takes precedence over `executor`
+  /// when set; shared across scenarios (the pool serializes its batches
+  /// internally).
+  std::shared_ptr<Executor> pool;
+
   /// Invoked once per component as soon as that component's engine
   /// finishes, with the component index and its report. Calls are
   /// serialized (never concurrent with each other), but under a
-  /// ThreadPoolExecutor they arrive in completion order, not index
+  /// concurrent executor they arrive in completion order, not index
   /// order, and from worker threads.
   std::function<void(std::size_t, const SwapReport&)> progress;
 

@@ -30,11 +30,16 @@ void Scenario::set_strategy(const std::string& party, Strategy strategy) {
 }
 
 BatchReport Scenario::run() {
+  RunOptions options;
+  if (default_pool_) {
+    options.pool = default_pool_;
+    return run(options);
+  }
   if (default_jobs_ > 1) {
     ThreadPoolExecutor pool(default_jobs_);
     return run(pool);
   }
-  return run(RunOptions{});
+  return run(options);
 }
 
 BatchReport Scenario::run(Executor& executor) {
@@ -43,54 +48,33 @@ BatchReport Scenario::run(Executor& executor) {
   return run(options);
 }
 
-BatchReport Scenario::run(const RunOptions& options) {
+std::size_t Scenario::begin_run(
+    const std::optional<std::size_t>& max_components, std::size_t* skipped) {
   if (ran_) throw std::logic_error("Scenario::run: already ran");
-  if (options.max_components && *options.max_components == 0) {
-    throw std::invalid_argument("Scenario::run: max_components must be >= 1");
-  }
   ran_ = true;
-
   std::size_t count = engines_.size();
-  std::size_t skipped = 0;
-  if (options.max_components && *options.max_components < count) {
-    skipped = count - *options.max_components;
-    count = *options.max_components;
+  *skipped = 0;
+  if (max_components && *max_components < count) {
+    *skipped = count - *max_components;
+    count = *max_components;
     std::fprintf(stderr,
                  "Scenario::run: max_components=%zu truncates the batch, "
                  "skipping %zu of %zu component swap(s)\n",
-                 count, skipped, engines_.size());
+                 count, *skipped, engines_.size());
   }
+  return count;
+}
 
-  SerialExecutor serial;
-  Executor& executor = options.executor ? *options.executor : serial;
-
-  // Engines are share-nothing (each owns its Simulator, ledgers, and
-  // seed-derived randomness), so the executor may run them in any order
-  // or concurrently; results land in a by-index slot and everything
-  // order-sensitive (aggregation, outcome counting) happens serially
-  // below, in component order. Progress callbacks are serialized here so
-  // user code needs no locking of its own.
-  std::vector<SwapReport> reports(count);
-  std::mutex progress_mutex;
-  const auto started = std::chrono::steady_clock::now();
-  executor.run(count, [&](std::size_t i) {
-    SwapReport report = engines_[i]->run();
-    if (options.progress) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      options.progress(i, report);
-    }
-    reports[i] = std::move(report);
-  });
-  const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - started)
-                             .count();
-
+BatchReport Scenario::aggregate(std::vector<SwapReport> reports,
+                                std::size_t skipped, double wall_ms) const {
   BatchReport batch;
   batch.unmatched = unmatched_;
   batch.components_skipped = skipped;
   batch.wall_ms = wall_ms;
   batch.components_per_sec =
-      wall_ms > 0.0 ? static_cast<double>(count) / (wall_ms / 1000.0) : 0.0;
+      wall_ms > 0.0
+          ? static_cast<double>(reports.size()) / (wall_ms / 1000.0)
+          : 0.0;
   for (SwapReport& report : reports) {
     if (report.all_triggered) batch.swaps_fully_triggered += 1;
     batch.all_triggered = batch.all_triggered && report.all_triggered;
@@ -109,6 +93,142 @@ BatchReport Scenario::run(const RunOptions& options) {
     batch.swaps.push_back(std::move(report));
   }
   return batch;
+}
+
+BatchReport Scenario::run(const RunOptions& options) {
+  // Validation first: an invalid-options throw must leave the run token
+  // unconsumed (the scenario stays runnable).
+  if (options.max_components && *options.max_components == 0) {
+    throw std::invalid_argument("Scenario::run: max_components must be >= 1");
+  }
+  std::size_t skipped = 0;
+  const std::size_t count = begin_run(options.max_components, &skipped);
+
+  SerialExecutor serial;
+  Executor& executor = options.pool
+                           ? *options.pool
+                           : (options.executor ? *options.executor : serial);
+
+  // Engines are share-nothing (each owns its Simulator, ledgers, and
+  // seed-derived randomness), so the executor may run them in any order
+  // or concurrently; results land in a by-index slot and everything
+  // order-sensitive (aggregation, outcome counting) happens serially
+  // below, in component order. Progress callbacks are serialized here so
+  // user code needs no locking of its own.
+  std::vector<SwapReport> reports(count);
+  std::mutex progress_mutex;
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    executor.run(count, [&](std::size_t i) {
+      SwapReport report = engines_[i]->run();
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(i, report);
+      }
+      reports[i] = std::move(report);
+    });
+  } catch (...) {
+    // The run is spent either way; don't let the engines that DID
+    // finish (ledgers, blocks, simulator slabs) linger until the
+    // Scenario dies. See the header's exception-safety contract.
+    release_engines();
+    throw;
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  return aggregate(std::move(reports), skipped, wall_ms);
+}
+
+FleetReport run_fleet(std::vector<Scenario>& fleet,
+                      const FleetOptions& options) {
+  // Consume every run token up front so a spent scenario is caught
+  // before any work starts (and so kStealing may interleave freely).
+  for (const Scenario& scenario : fleet) {
+    if (scenario.ran_) {
+      throw std::logic_error("run_fleet: a scenario already ran");
+    }
+  }
+
+  SerialExecutor serial;
+  Executor& executor = options.pool
+                           ? *options.pool
+                           : (options.executor ? *options.executor : serial);
+
+  FleetReport report;
+  report.batches.reserve(fleet.size());
+
+  const auto started = std::chrono::steady_clock::now();
+  if (options.schedule == FleetSchedule::kFifo) {
+    // Strict book order; each book still fans its components out on the
+    // shared executor, but book k+1 waits for book k's straggler.
+    try {
+      for (Scenario& scenario : fleet) {
+        RunOptions per_book;
+        per_book.executor = &executor;
+        report.batches.push_back(scenario.run(per_book));
+        report.total_components += report.batches.back().swaps.size();
+      }
+    } catch (...) {
+      // Abort the whole fleet: spend and release the not-yet-run books
+      // too, matching the kStealing failure contract.
+      for (Scenario& scenario : fleet) {
+        scenario.ran_ = true;
+        scenario.release_engines();
+      }
+      throw;
+    }
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+  } else {
+    // kStealing: flatten every (scenario, component) pair into one index
+    // space. Idle lanes drain whatever remains anywhere in the fleet, so
+    // small components backfill while a straggler ring finishes.
+    struct Slot {
+      std::size_t scenario;
+      std::size_t component;
+    };
+    std::vector<Slot> slots;
+    std::vector<std::vector<SwapReport>> results(fleet.size());
+    for (std::size_t s = 0; s < fleet.size(); ++s) {
+      std::size_t skipped = 0;
+      const std::size_t count = fleet[s].begin_run(std::nullopt, &skipped);
+      results[s].resize(count);
+      for (std::size_t c = 0; c < count; ++c) slots.push_back(Slot{s, c});
+      report.total_components += count;
+    }
+    try {
+      executor.run(slots.size(), [&](std::size_t i) {
+        const Slot slot = slots[i];
+        results[slot.scenario][slot.component] =
+            fleet[slot.scenario].engines_[slot.component]->run();
+      });
+    } catch (...) {
+      for (Scenario& scenario : fleet) scenario.release_engines();
+      throw;
+    }
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    // Aggregation is per scenario, in queue and component order, so the
+    // deterministic fields match standalone runs bit-for-bit. Wall-clock
+    // fields carry the fleet-level value (tails overlap).
+    for (std::size_t s = 0; s < fleet.size(); ++s) {
+      report.batches.push_back(
+          fleet[s].aggregate(std::move(results[s]), 0, report.wall_ms));
+    }
+  }
+  report.components_per_sec =
+      report.wall_ms > 0.0
+          ? static_cast<double>(report.total_components) /
+                (report.wall_ms / 1000.0)
+          : 0.0;
+  return report;
+}
+
+FleetReport run_fleet(std::vector<Scenario>& fleet) {
+  return run_fleet(fleet, FleetOptions{});
 }
 
 ScenarioBuilder& ScenarioBuilder::offer(std::string from, std::string to,
@@ -168,6 +288,17 @@ ScenarioBuilder& ScenarioBuilder::jobs(std::size_t n) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::pool(std::shared_ptr<Executor> pool) {
+  pool_ = std::move(pool);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::chain_locks(
+    chain::ChainLockRegistry* registry) {
+  options_.chain_locks = registry;
+  return *this;
+}
+
 Scenario ScenarioBuilder::build() const {
   if (offers_.empty()) {
     throw std::invalid_argument("ScenarioBuilder: no offers in the book");
@@ -192,6 +323,7 @@ Scenario ScenarioBuilder::build() const {
 
   Scenario scenario;
   scenario.default_jobs_ = jobs_;
+  scenario.default_pool_ = pool_;
   scenario.unmatched_ = std::move(decomposition.unmatched);
   for (std::size_t i = 0; i < decomposition.swaps.size(); ++i) {
     EngineOptions per_swap = options_;

@@ -27,8 +27,18 @@
 //
 // Execution policy is pluggable (swap/executor.hpp): components are
 // share-nothing, so `.jobs(n)` / run(Executor&) / run(RunOptions) can
-// fan them out over a thread pool; the aggregated report stays
-// field-identical to the serial run modulo the wall-clock fields.
+// fan them out over a thread pool — or a persistent WorkStealingPool
+// shared across scenarios (RunOptions::pool / ScenarioBuilder::pool).
+// The aggregated report stays field-identical to the serial run modulo
+// the wall-clock fields.
+//
+// Fleets: run_fleet() takes a QUEUE of scenarios and schedules every
+// (scenario, component) pair on one executor. Under FleetSchedule::
+// kStealing the index spaces are flattened, so a straggling book's tail
+// overlaps the next book's components (idle lanes backfill); kFifo runs
+// the books strictly one after another on the same executor. Either
+// way each book's BatchReport keeps its deterministic fields exactly as
+// a standalone run would produce them.
 #pragma once
 
 #include <cstdint>
@@ -87,6 +97,52 @@ struct BatchReport {
   double components_per_sec = 0.0;
 };
 
+/// How run_fleet schedules the component swaps of several books on one
+/// executor.
+enum class FleetSchedule {
+  /// Books run strictly one after another (each book's components may
+  /// still fan out); a straggler in book k delays book k+1 entirely.
+  kFifo,
+  /// All (scenario, component) pairs are flattened into one index space
+  /// so idle lanes backfill with the next book's components while a
+  /// straggler ring finishes. Requires a concurrent executor to pay
+  /// off; deterministic fields are unaffected either way.
+  kStealing,
+};
+
+/// Knobs for run_fleet.
+struct FleetOptions {
+  /// Borrowed execution policy; nullptr means SerialExecutor.
+  Executor* executor = nullptr;
+  /// Owning alternative (typically ExecutorRegistry::shared_pool);
+  /// takes precedence over `executor` when set.
+  std::shared_ptr<Executor> pool;
+  FleetSchedule schedule = FleetSchedule::kStealing;
+};
+
+/// Result of running a scenario queue: one BatchReport per scenario (in
+/// queue order, deterministic fields identical to standalone runs) plus
+/// fleet-level wall clock. Under kStealing the per-batch wall-clock
+/// fields are fleet-level too (tails overlap, so "this book's wall
+/// time" has no standalone meaning).
+struct FleetReport {
+  std::vector<BatchReport> batches;
+  std::size_t total_components = 0;
+  double wall_ms = 0.0;
+  double components_per_sec = 0.0;
+};
+
+class Scenario;
+
+/// Run every scenario in `fleet` (consuming their run tokens) and
+/// aggregate each into its BatchReport. See FleetSchedule for the two
+/// schedules. Throws std::logic_error if any scenario already ran
+/// (before running anything); a component exception releases every
+/// fleet scenario's engines and rethrows the first error.
+FleetReport run_fleet(std::vector<Scenario>& fleet,
+                      const FleetOptions& options);
+FleetReport run_fleet(std::vector<Scenario>& fleet);
+
 /// A cleared, ready-to-run offer batch: one SwapEngine per component
 /// swap (constructed eagerly, so spec problems surface at build()), the
 /// unmatched offers, and accessors for pre-run tweaks (set_strategy on
@@ -116,8 +172,9 @@ class Scenario {
   /// Run every component swap to quiescence (each in its own simulated
   /// timeline) and aggregate. Callable once across ALL overloads; throws
   /// std::logic_error on a second call. This overload uses the
-  /// scenario's default execution policy: ScenarioBuilder::jobs(n) > 1
-  /// selects a ThreadPoolExecutor(n), otherwise components run serially.
+  /// scenario's default execution policy: ScenarioBuilder::pool if set,
+  /// else ScenarioBuilder::jobs(n) > 1 selects a per-run
+  /// ThreadPoolExecutor(n), otherwise components run serially.
   BatchReport run();
 
   /// Run with an explicit execution policy (see swap/executor.hpp).
@@ -129,16 +186,39 @@ class Scenario {
   /// Full-control overload: executor choice, per-component progress
   /// callback, max_components cap. Throws std::invalid_argument on
   /// invalid options (e.g. max_components == 0).
+  ///
+  /// Exception safety: option validation happens before the run is
+  /// consumed (an invalid-options throw leaves the scenario runnable).
+  /// Once execution starts, a throwing component or progress callback
+  /// propagates the FIRST exception after every started engine
+  /// finished; the scenario is then spent (a second run() still throws
+  /// std::logic_error) and every per-component engine — including
+  /// partially accumulated ledgers and simulators of components that
+  /// did finish — is released immediately instead of lingering until
+  /// the Scenario dies (engine() then throws std::out_of_range).
   BatchReport run(const RunOptions& options);
 
  private:
   friend class ScenarioBuilder;
+  friend FleetReport run_fleet(std::vector<Scenario>& fleet,
+                               const FleetOptions& options);
   Scenario() = default;
+
+  /// Consume the run token (throws std::logic_error when spent) and
+  /// resolve the effective component count against `max_components`.
+  std::size_t begin_run(const std::optional<std::size_t>& max_components,
+                        std::size_t* skipped);
+  /// Fold per-component reports (in component order) into batch totals.
+  BatchReport aggregate(std::vector<SwapReport> reports, std::size_t skipped,
+                        double wall_ms) const;
+  /// Drop every engine (failed-run cleanup: release partial results).
+  void release_engines() { engines_.clear(); }
 
   std::vector<ClearedSwap> cleared_;
   std::vector<std::unique_ptr<SwapEngine>> engines_;  // parallel to cleared_
   std::vector<Offer> unmatched_;
-  std::size_t default_jobs_ = 1;  // ScenarioBuilder::jobs
+  std::size_t default_jobs_ = 1;           // ScenarioBuilder::jobs
+  std::shared_ptr<Executor> default_pool_;  // ScenarioBuilder::pool
   bool ran_ = false;
 };
 
@@ -175,6 +255,18 @@ class ScenarioBuilder {
   /// fields. build() throws std::invalid_argument on n == 0.
   ScenarioBuilder& jobs(std::size_t n);
 
+  /// Default OWNED execution policy for Scenario::run() — typically a
+  /// persistent pool from ExecutorRegistry::shared_pool(n), reused
+  /// across scenarios so batch-of-batches workloads stop paying thread
+  /// start/join per book. Takes precedence over jobs(); nullptr (the
+  /// default) falls back to the jobs() policy.
+  ScenarioBuilder& pool(std::shared_ptr<Executor> pool);
+
+  /// Striped cross-component chain locks (see chain::ChainLockRegistry
+  /// and EngineOptions::chain_locks); nullptr (the default) keeps every
+  /// component's chains lock-free and private.
+  ScenarioBuilder& chain_locks(chain::ChainLockRegistry* registry);
+
   /// Override the named party's behaviour (default: honest). Applied to
   /// whichever component swap the party clears into; the latest
   /// override for a name wins. build() throws if the name appears in no
@@ -190,6 +282,7 @@ class ScenarioBuilder {
   EngineOptions options_;
   std::vector<std::pair<std::string, Strategy>> strategies_;
   std::size_t jobs_ = 1;
+  std::shared_ptr<Executor> pool_;
 };
 
 }  // namespace xswap::swap

@@ -251,5 +251,52 @@ TEST(Ledger, RejectsZeroSealPeriod) {
   EXPECT_THROW(Ledger("x", sim, 0), std::invalid_argument);
 }
 
+// ----------------------------------------------------- batched sealing
+
+TEST_F(LedgerTest, SealBatchFlushesDeferredHeadersInOnePass) {
+  // Three seals' worth of transactions: seal() defers each block's
+  // Merkle root and chain link; seal_batch() (here via blocks() and
+  // verify_integrity()) must complete every header exactly as eager
+  // sealing would have.
+  for (int round = 0; round < 3; ++round) {
+    ledger_.transfer("alice", "bob", Asset::coins("BTC", 1));
+    ledger_.submit_call("alice", 9999, "noop", 8, [](Contract&,
+                                                     const CallContext&) {});
+    sim_.run_until(sim_.now() + 2);
+  }
+  const std::vector<Block>& blocks = ledger_.blocks();  // flushes
+  ASSERT_EQ(blocks.size(), 4u);  // genesis + 3 sealed
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].tx_root, blocks[i].compute_tx_root()) << "block " << i;
+    EXPECT_EQ(blocks[i].prev_hash, blocks[i - 1].hash()) << "block " << i;
+  }
+  EXPECT_TRUE(ledger_.verify_integrity());
+  ledger_.seal_batch();  // idempotent on a flushed chain
+  EXPECT_TRUE(ledger_.verify_integrity());
+}
+
+TEST(Ledger, ChainLocksSerializeSameNameSeals) {
+  // Two Ledger instances modeling the same chain name share a lock
+  // stripe; with the registry attached both still seal exactly the
+  // blocks they would have sealed privately (locks change nothing
+  // observable — they only order cross-instance critical sections).
+  ChainLockRegistry registry(4);
+  sim::Simulator sim_a, sim_b;
+  Ledger a("shared-chain", sim_a, 1), b("shared-chain", sim_b, 1);
+  a.set_chain_locks(&registry);
+  b.set_chain_locks(&registry);
+  a.mint("alice", Asset::coins("BTC", 5));
+  b.mint("bob", Asset::coins("BTC", 7));
+  a.start();
+  b.start();
+  a.transfer("alice", "bob", Asset::coins("BTC", 2));
+  sim_a.run_until(2);
+  sim_b.run_until(2);
+  EXPECT_TRUE(a.verify_integrity());
+  EXPECT_TRUE(b.verify_integrity());
+  EXPECT_EQ(a.balance("bob", "BTC"), 2u);
+  EXPECT_EQ(b.balance("bob", "BTC"), 7u);
+}
+
 }  // namespace
 }  // namespace xswap::chain

@@ -156,6 +156,36 @@ TEST(SimDeterminism, GoldenTraceAndReportThreadPool) {
   EXPECT_EQ(digest_traces(scenario).sha256_hex, kGoldenTraceSha256);
 }
 
+TEST(SimDeterminism, GoldenTraceAndReportWorkStealing) {
+  // Work-stealing schedules tasks to lanes non-deterministically; the
+  // goldens must not care. Striped chain locks are on too (the rings
+  // use distinct chain names, so stripes only add lock traffic — the
+  // trace hash proves they change nothing observable).
+  Scenario scenario = adversarial_book(/*tracing=*/true)
+                          .chain_locks(&chain::ChainLockRegistry::global())
+                          .build();
+  WorkStealingPool pool(4);
+  const BatchReport batch = scenario.run(pool);
+  check_golden_report(batch);
+  EXPECT_EQ(digest_traces(scenario).sha256_hex, kGoldenTraceSha256);
+}
+
+TEST(SimDeterminism, GoldenTraceAndReportPersistentRegistryPool) {
+  // The registry's persistent pool, reused across TWO consecutive
+  // golden runs: lane reuse (warm slabs, parked workers) must leave the
+  // goldens bit-for-bit intact both times.
+  const auto pool = ExecutorRegistry::instance().shared_pool(4);
+  for (int round = 0; round < 2; ++round) {
+    Scenario scenario = adversarial_book(/*tracing=*/true).build();
+    RunOptions options;
+    options.pool = pool;
+    const BatchReport batch = scenario.run(options);
+    check_golden_report(batch);
+    EXPECT_EQ(digest_traces(scenario).sha256_hex, kGoldenTraceSha256)
+        << "round " << round;
+  }
+}
+
 TEST(SimDeterminism, NullSinkKeepsReportAndCollectsNothing) {
   // Default build: no sink anywhere, identical report. This is the
   // null-sink acceptance gate — the run must not depend on tracing.

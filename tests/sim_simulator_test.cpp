@@ -220,5 +220,28 @@ TEST(Simulator, SteadyStateStepDoesNotAllocate) {
   EXPECT_GT(fires, 1000);
 }
 
+TEST(Simulator, ReservePreSizesTheSlabWithoutSideEffects) {
+  // reserve() is capacity-only: scheduling and execution behave exactly
+  // as before, and a reserved population schedules with zero slab-growth
+  // allocations from a cold start (engines call this with their
+  // party/chain census so pooled workers never grow the slab mid-run).
+  Simulator s;
+  s.reserve(64);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.now(), 0u);
+
+  const unsigned long long before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  int fires = 0;
+  for (int i = 0; i < 32; ++i) {
+    s.at(static_cast<Time>(1 + i % 4), [&fires] { ++fires; });
+  }
+  const unsigned long long after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "reserved slab still grew";
+  s.run_until(10);
+  EXPECT_EQ(fires, 32);
+}
+
 }  // namespace
 }  // namespace xswap::sim

@@ -41,6 +41,19 @@ ScenarioBuilder multi_ring_builder(std::size_t rings3, std::size_t rings2) {
   return builder.seed(2018);
 }
 
+/// The ISSUE-5 mixed book: one straggler 18-cycle buried among 32
+/// 3-rings and 50 two-party pairs — the shape where work-stealing's
+/// backfill matters (the big ring pins one lane, everyone else drains
+/// the small components).
+ScenarioBuilder mixed_book_builder() {
+  ScenarioBuilder builder = multi_ring_builder(32, 50);
+  for (std::size_t v = 0; v < 18; ++v) {
+    builder.offer("G" + std::to_string(v), "G" + std::to_string((v + 1) % 18),
+                  "g" + std::to_string(v), chain::Asset::coins("W", 2));
+  }
+  return builder;
+}
+
 /// Every BatchReport field except the wall-clock pair.
 void expect_identical_modulo_wall_clock(const BatchReport& a,
                                         const BatchReport& b) {
@@ -233,6 +246,245 @@ TEST(Executor, WallClockFieldsPopulated) {
   const BatchReport report = multi_ring_builder(1, 3).build().run();
   EXPECT_GT(report.wall_ms, 0.0);
   EXPECT_GT(report.components_per_sec, 0.0);
+}
+
+// -------------------------------------------------------- work stealing
+
+TEST(WorkStealingPool, ZeroLanesRejected) {
+  EXPECT_THROW(WorkStealingPool(0), std::invalid_argument);
+}
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkStealingPool, ZeroTasksIsANoop) {
+  WorkStealingPool pool(4);
+  pool.run(0, [](std::size_t) { FAIL() << "no task should run"; });
+  EXPECT_EQ(pool.batches_run(), 0u);
+}
+
+TEST(WorkStealingPool, SingleLaneDegeneratesToSerialLoop) {
+  WorkStealingPool pool(1);
+  std::vector<std::size_t> order;
+  pool.run(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.batches_run(), 1u);
+  EXPECT_EQ(pool.steal_count(), 0u);
+}
+
+TEST(WorkStealingPool, PropagatesFirstTaskException) {
+  WorkStealingPool pool(2);
+  EXPECT_THROW(pool.run(16,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("task 5 died");
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing batch and keeps scheduling.
+  std::atomic<std::size_t> ran{0};
+  pool.run(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8u);
+  EXPECT_EQ(pool.batches_run(), 2u);
+}
+
+TEST(WorkStealingPool, ReportIdenticalToSerialOnMixedBook) {
+  // The ISSUE-5 acceptance book: 32 3-rings + an 18-cycle + 50 pairs,
+  // every deterministic field equal between serial and work-stealing.
+  Scenario serial_scenario = mixed_book_builder().build();
+  ASSERT_EQ(serial_scenario.swap_count(), 83u);
+  SerialExecutor serial;
+  const BatchReport serial_report = serial_scenario.run(serial);
+
+  Scenario ws_scenario = mixed_book_builder().build();
+  WorkStealingPool pool(4);
+  const BatchReport ws_report = ws_scenario.run(pool);
+
+  EXPECT_TRUE(serial_report.all_triggered);
+  expect_identical_modulo_wall_clock(serial_report, ws_report);
+}
+
+TEST(WorkStealingPool, ReusedAcrossThreeConsecutiveScenarios) {
+  // Persistent reuse: ONE pool, three scenarios back to back, each
+  // report identical to a fresh serial run. batches_run proves the same
+  // lanes served all three (no per-run spawn).
+  WorkStealingPool pool(4);
+  for (std::size_t round = 0; round < 3; ++round) {
+    const BatchReport serial =
+        multi_ring_builder(3 + round, 4).build().run();
+    Scenario scenario = multi_ring_builder(3 + round, 4).build();
+    const BatchReport pooled = scenario.run(pool);
+    expect_identical_modulo_wall_clock(serial, pooled);
+  }
+  EXPECT_EQ(pool.batches_run(), 3u);
+}
+
+TEST(WorkStealingPool, RunOptionsPoolTakesPrecedenceOverExecutor) {
+  const auto pool = std::make_shared<WorkStealingPool>(2);
+  SerialExecutor decoy;
+  RunOptions options;
+  options.executor = &decoy;
+  options.pool = pool;
+  Scenario scenario = multi_ring_builder(2, 2).build();
+  const BatchReport report = scenario.run(options);
+  EXPECT_EQ(report.swaps.size(), 4u);
+  EXPECT_EQ(pool->batches_run(), 1u);  // the pool, not the decoy, ran it
+}
+
+TEST(WorkStealingPool, BuilderPoolIsDefaultPolicy) {
+  const auto pool = std::make_shared<WorkStealingPool>(2);
+  const BatchReport serial = multi_ring_builder(2, 3).build().run();
+  const BatchReport pooled =
+      multi_ring_builder(2, 3).pool(pool).build().run();
+  expect_identical_modulo_wall_clock(serial, pooled);
+  EXPECT_EQ(pool->batches_run(), 1u);
+}
+
+TEST(ExecutorRegistry, SharedPoolCachedBySize) {
+  const auto a = ExecutorRegistry::instance().shared_pool(3);
+  const auto b = ExecutorRegistry::instance().shared_pool(3);
+  const auto c = ExecutorRegistry::instance().shared_pool(2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->thread_count(), 3u);
+  EXPECT_THROW(ExecutorRegistry::instance().shared_pool(0),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------- striped chain locks
+
+TEST(ChainLocks, RegistryStripesAreStableAndBounded) {
+  chain::ChainLockRegistry registry(8);
+  EXPECT_EQ(registry.stripe_count(), 8u);
+  EXPECT_EQ(&registry.stripe_for("bitcoin"), &registry.stripe_for("bitcoin"));
+  EXPECT_THROW(chain::ChainLockRegistry(0), std::invalid_argument);
+}
+
+/// Two 3-rings deliberately modeling the SAME chain names ("btc",
+/// "eth", "sol") — distinct Ledger instances per component, but with a
+/// shared ChainLockRegistry their seal critical sections serialize per
+/// name while the pairs' chains (different stripes) stay concurrent.
+ScenarioBuilder shared_chain_builder() {
+  ScenarioBuilder builder;
+  for (std::size_t r = 0; r < 2; ++r) {
+    const std::string a = "SA" + std::to_string(r);
+    const std::string b = "SB" + std::to_string(r);
+    const std::string c = "SC" + std::to_string(r);
+    builder.offer(a, b, "btc", chain::Asset::coins("X", 1))
+        .offer(b, c, "eth", chain::Asset::coins("Y", 1))
+        .offer(c, a, "sol", chain::Asset::coins("Z", 1));
+  }
+  for (std::size_t r = 0; r < 6; ++r) {
+    const std::string m = "SM" + std::to_string(r);
+    const std::string t = "ST" + std::to_string(r);
+    const std::string chain = "q" + std::to_string(r) + "-";
+    builder.offer(m, t, chain + "0", chain::Asset::coins("U", 3))
+        .offer(t, m, chain + "1", chain::Asset::coins("V", 5));
+  }
+  return builder.seed(77);
+}
+
+TEST(ChainLocks, ConcurrentComponentsOnSharedChainNamesStaySafe) {
+  // The TSan acceptance case: components whose ledgers share chain
+  // names run concurrently under the striped locks; disjoint-chain
+  // pairs proceed in parallel. The report must equal the unlocked
+  // serial run bit-for-bit (locks affect wall-clock interleaving only).
+  const BatchReport serial = shared_chain_builder().build().run();
+
+  Scenario locked = shared_chain_builder()
+                        .chain_locks(&chain::ChainLockRegistry::global())
+                        .build();
+  WorkStealingPool pool(4);
+  const BatchReport concurrent = locked.run(pool);
+  expect_identical_modulo_wall_clock(serial, concurrent);
+}
+
+// ------------------------------------------------------ fleet scheduler
+
+std::vector<Scenario> small_fleet() {
+  std::vector<Scenario> fleet;
+  fleet.push_back(multi_ring_builder(4, 2).build());   // straggler-ish book
+  fleet.push_back(multi_ring_builder(0, 5).build());   // small backfill book
+  fleet.push_back(multi_ring_builder(2, 0).seed(99).build());
+  return fleet;
+}
+
+TEST(Fleet, StealingMatchesFifoMatchesStandalone) {
+  std::vector<BatchReport> standalone;
+  for (Scenario& s : small_fleet()) standalone.push_back(s.run());
+
+  std::vector<Scenario> fifo_fleet = small_fleet();
+  FleetOptions fifo;
+  fifo.schedule = FleetSchedule::kFifo;
+  const FleetReport fifo_report = run_fleet(fifo_fleet, fifo);
+
+  std::vector<Scenario> ws_fleet = small_fleet();
+  FleetOptions stealing;
+  stealing.pool = std::make_shared<WorkStealingPool>(4);
+  stealing.schedule = FleetSchedule::kStealing;
+  const FleetReport ws_report = run_fleet(ws_fleet, stealing);
+
+  ASSERT_EQ(fifo_report.batches.size(), standalone.size());
+  ASSERT_EQ(ws_report.batches.size(), standalone.size());
+  EXPECT_EQ(ws_report.total_components, 13u);
+  for (std::size_t s = 0; s < standalone.size(); ++s) {
+    expect_identical_modulo_wall_clock(standalone[s], fifo_report.batches[s]);
+    expect_identical_modulo_wall_clock(standalone[s], ws_report.batches[s]);
+  }
+}
+
+TEST(Fleet, SpentScenarioRejectedBeforeAnyWork) {
+  std::vector<Scenario> fleet = small_fleet();
+  fleet[1].run();  // spend one book up front
+  EXPECT_THROW(run_fleet(fleet), std::logic_error);
+  // Book 0 was not consumed by the failed fleet launch.
+  EXPECT_EQ(fleet[0].run().swaps.size(), 6u);
+}
+
+// ------------------------------------------------- exception safety
+
+TEST(Scenario, ThrowingProgressReleasesPartialResultsAndStaysSpent) {
+  // Regression for the ISSUE-5 bugfix: a throw mid-run used to leave
+  // every finished component's engine (ledgers, blocks, simulator
+  // slabs) allocated inside the spent scenario. Now the first exception
+  // propagates, the partial results are released immediately, and the
+  // scenario still rejects a second run.
+  Scenario scenario = multi_ring_builder(2, 2).build();
+  RunOptions options;
+  options.progress = [](std::size_t i, const SwapReport&) {
+    if (i == 1) throw std::runtime_error("observer died");
+  };
+  EXPECT_THROW(scenario.run(options), std::runtime_error);
+  EXPECT_THROW(scenario.run(), std::logic_error);       // still spent
+  EXPECT_THROW(scenario.engine(0), std::out_of_range);  // engines released
+  EXPECT_EQ(scenario.swap_count(), 0u);
+  // The cleared decomposition survives for post-mortem inspection.
+  EXPECT_EQ(scenario.cleared(0).party_names.size(), 3u);
+}
+
+TEST(Scenario, ThrowingProgressUnderPoolReleasesToo) {
+  Scenario scenario = multi_ring_builder(1, 3).build();
+  RunOptions options;
+  options.pool = std::make_shared<WorkStealingPool>(2);
+  options.progress = [](std::size_t, const SwapReport&) {
+    throw std::runtime_error("observer died");
+  };
+  EXPECT_THROW(scenario.run(options), std::runtime_error);
+  EXPECT_THROW(scenario.engine(0), std::out_of_range);
+}
+
+TEST(Scenario, InvalidOptionsStillLeaveScenarioRunnable) {
+  // Validation failures must NOT consume or release anything (contrast
+  // with execution failures above).
+  Scenario scenario = multi_ring_builder(1, 1).build();
+  RunOptions options;
+  options.max_components = 0;
+  EXPECT_THROW(scenario.run(options), std::invalid_argument);
+  EXPECT_EQ(scenario.swap_count(), 2u);
+  EXPECT_EQ(scenario.run().swaps.size(), 2u);
 }
 
 }  // namespace

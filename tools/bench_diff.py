@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf-trajectory files and gate regressions.
+
+Each input is a JSON-lines file as produced by the bench harnesses
+(bench/bench_util.hpp JsonlFile): one self-contained JSON object per
+line, keyed by "bench" and "metric" plus row-identifying fields.
+
+The CI gate: the serial 32-ring row of bench_sim_throughput (metric
+"jobs_sweep", jobs == 1 — the single-thread hot-path anchor every PR
+since the calendar-queue refactor has tracked) must not regress by more
+than --threshold (default 20%) in wall_ms. Every other row shared by
+both files is diffed and printed for the log, but only the anchor row
+fails the build: the fleet/jobs rows measure scheduling on whatever
+core count the runner has and are too noisy to gate on.
+
+Exit codes: 0 ok (or no baseline to compare), 1 anchor regression,
+2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as err:
+                    print(f"{path}:{lineno}: bad JSON line: {err}", file=sys.stderr)
+                    sys.exit(2)
+                if isinstance(row, dict):
+                    rows.append(row)
+    except OSError as err:
+        print(f"cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def row_key(row):
+    """Identity of a row = every field that is not a measurement."""
+    measurements = {
+        "wall_ms", "components_per_sec", "speedup_vs_serial",
+        "speedup_vs_perrun", "general_ms", "single_leader_ms",
+        "report_identical", "hardware_threads",
+    }
+    return tuple(sorted((k, str(v)) for k, v in row.items()
+                        if k not in measurements))
+
+
+def find_anchor(rows):
+    for row in rows:
+        if (row.get("bench") == "bench_sim_throughput"
+                and row.get("metric") == "jobs_sweep"
+                and row.get("jobs") == 1):
+            return row
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two bench JSON-lines files; fail on anchor regression")
+    parser.add_argument("old", help="baseline BENCH json (previous run)")
+    parser.add_argument("new", help="fresh BENCH json (this run)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional wall_ms regression of the "
+                             "serial 32-ring anchor row (default 0.20)")
+    args = parser.parse_args()
+
+    old_rows = load_rows(args.old)
+    new_rows = load_rows(args.new)
+
+    # Informational diff over every shared row with a wall-clock field.
+    old_by_key = {row_key(r): r for r in old_rows}
+    shared = 0
+    for row in new_rows:
+        base = old_by_key.get(row_key(row))
+        if base is None:
+            continue
+        for field in ("wall_ms", "general_ms", "single_leader_ms"):
+            old_v, new_v = base.get(field), row.get(field)
+            if not isinstance(old_v, (int, float)) or old_v <= 0:
+                continue
+            if not isinstance(new_v, (int, float)) or new_v <= 0:
+                continue
+            shared += 1
+            delta = (new_v - old_v) / old_v
+            tag = "" if abs(delta) < args.threshold else "  <-- moved"
+            ident = {k: v for k, v in dict(row_key(row)).items()
+                     if k not in ("bench", "metric")}
+            print(f"{row.get('bench')}/{row.get('metric')} {ident} "
+                  f"{field}: {old_v:.2f} -> {new_v:.2f} ({delta:+.1%}){tag}")
+    print(f"compared {shared} shared measurement(s)")
+
+    old_anchor = find_anchor(old_rows)
+    new_anchor = find_anchor(new_rows)
+    if new_anchor is None or not isinstance(new_anchor.get("wall_ms"), (int, float)):
+        print("FAIL: the fresh file has no serial 32-ring anchor row "
+              "(metric=jobs_sweep, jobs=1)", file=sys.stderr)
+        sys.exit(2)
+    if old_anchor is None or not isinstance(old_anchor.get("wall_ms"), (int, float)):
+        print("no anchor row in the baseline; nothing to gate against "
+              "(first run?) — passing")
+        sys.exit(0)
+
+    old_ms, new_ms = old_anchor["wall_ms"], new_anchor["wall_ms"]
+    if old_ms <= 0:
+        print("baseline anchor wall_ms is non-positive; skipping the gate")
+        sys.exit(0)
+    delta = (new_ms - old_ms) / old_ms
+    verdict = "OK" if delta <= args.threshold else "REGRESSION"
+    print(f"anchor serial 32-ring wall_ms: {old_ms:.2f} -> {new_ms:.2f} "
+          f"({delta:+.1%}, threshold +{args.threshold:.0%}) {verdict}")
+    sys.exit(0 if delta <= args.threshold else 1)
+
+
+if __name__ == "__main__":
+    main()

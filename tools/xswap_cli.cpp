@@ -18,12 +18,30 @@
 //                        path formats nothing unless asked)
 //
 //   xswap batch <offers-file> [options]   clear and run a whole offer book
+//   xswap batch --fleet <dir> [options]   clear and run EVERY book in a dir
 //     --mode/--delta/--seed/--timeline/--forensics/--trace as above,
 //     applied per component swap (adversaries address batch parties by name:
 //     --adversary NAME:KIND[:ARG]; --digraph is run-mode only)
 //     --jobs N           run the independent component swaps on N
 //                        threads (default 1; the report is identical
 //                        modulo wall-clock, components are share-nothing)
+//     --pool POLICY      persistent | perrun (default perrun). persistent
+//                        reuses the process-wide work-stealing pool
+//                        (ExecutorRegistry) across books — no thread
+//                        start/join per batch; perrun spawns a fresh
+//                        thread pool for this run only
+//     --sched POLICY     fifo | stealing (default stealing; --fleet only).
+//                        stealing flattens every book's components into
+//                        one index space so idle lanes backfill a
+//                        straggler's tail; fifo runs books one by one
+//     --fleet DIR        multi-book mode: every regular file in DIR is an
+//                        offers file, run as one fleet through the
+//                        cross-batch scheduler (adversary flags and the
+//                        per-swap views --trace/--timeline/--forensics
+//                        are rejected — inspect a book alone). Books
+//                        share striped per-chain locks, so two books
+//                        naming the same chain keep per-ledger
+//                        serialization while disjoint chains overlap
 //     Offers file: one offer per line, `FROM TO CHAIN ASSET`, where
 //     ASSET is `coin:SYM:AMOUNT` or `unique:SYM:ID`; '#' starts a
 //     comment. Offers that clear into strongly connected components run
@@ -33,10 +51,13 @@
 //   xswap --digraph cycle:5 --timeline
 //   xswap --digraph fig8 --adversary 2:withhold --forensics
 //   xswap batch book.txt --adversary Carol:crash:10
+//   xswap batch --fleet books/ --jobs 8 --pool persistent --sched stealing
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -59,8 +80,12 @@ namespace {
                "             [--seed N] [--adversary V:KIND[:ARG]]...\n"
                "             [--timeline] [--forensics] [--trace]\n"
                "       xswap batch <offers-file> [--mode MODE] [--delta N]\n"
-               "             [--seed N] [--jobs N] [--adversary NAME:KIND[:ARG]]...\n"
+               "             [--seed N] [--jobs N] [--pool persistent|perrun]\n"
+               "             [--adversary NAME:KIND[:ARG]]...\n"
                "             [--timeline] [--forensics] [--trace]\n"
+               "       xswap batch --fleet <dir> [--jobs N]\n"
+               "             [--pool persistent|perrun] [--sched fifo|stealing]\n"
+               "             [--mode MODE] [--delta N] [--seed N]\n"
                "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
                "MODE: general | single | broadcast\n"
                "adversary KIND: crash:T | withhold | silent | corrupt | "
@@ -171,10 +196,26 @@ struct CommonFlags {
   swap::EngineOptions options;
   std::vector<std::string> adversaries;
   std::size_t jobs = 1;
+  std::string pool = "perrun";     // persistent | perrun
+  std::string sched = "stealing";  // fifo | stealing (fleet mode)
+  bool sched_set = false;          // --sched given explicitly
   bool show_timeline = false;
   bool show_forensics = false;
   bool show_trace = false;
 };
+
+/// The execution policy the --jobs/--pool pair selects: an owning
+/// handle for `persistent` (the registry's shared work-stealing pool)
+/// or a fresh per-run thread pool for `perrun`; empty at jobs == 1
+/// (serial — no pool needed).
+std::shared_ptr<swap::Executor> make_pool(const CommonFlags& flags) {
+  // The parser already constrained --pool to persistent|perrun.
+  if (flags.pool == "persistent") {
+    return swap::ExecutorRegistry::instance().shared_pool(flags.jobs);
+  }
+  if (flags.jobs == 1) return nullptr;
+  return std::make_shared<swap::ThreadPoolExecutor>(flags.jobs);
+}
 
 /// Print every chain's collected ledger trace for one engine.
 void print_traces(const swap::SwapEngine& engine, const char* indent) {
@@ -283,15 +324,23 @@ int run_single(const std::string& digraph_spec, CommonFlags flags) {
 int run_batch(const std::string& offers_path, CommonFlags flags) {
   apply_mode(&flags);
   const std::vector<swap::Offer> offers = parse_offers_file(offers_path);
+  const std::shared_ptr<swap::Executor> pool = make_pool(flags);
 
   swap::Scenario scenario = [&] {
     try {
-      return swap::ScenarioBuilder()
-          .offers(offers)
+      swap::ScenarioBuilder builder;
+      builder.offers(offers)
           .options(flags.options)
           .jobs(flags.jobs)
-          .trace(flags.show_trace)
-          .build();
+          .pool(pool)
+          .trace(flags.show_trace);
+      // A single book's components can model the same chain name too;
+      // once they may run concurrently, same-name seals must serialize
+      // through the stripes exactly as in fleet mode.
+      if (flags.jobs > 1) {
+        builder.chain_locks(&chain::ChainLockRegistry::global());
+      }
+      return builder.build();
     } catch (const std::invalid_argument& e) {
       usage(e.what());
     }
@@ -300,8 +349,8 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
   std::printf("offer book: %zu offers -> %zu independent swap(s), "
               "%zu unmatched%s\n",
               offers.size(), scenario.swap_count(), scenario.unmatched().size(),
-              flags.jobs > 1 ? (" (" + std::to_string(flags.jobs) +
-                                " threads)").c_str()
+              flags.jobs > 1 ? (" (" + std::to_string(flags.jobs) + " threads, " +
+                                flags.pool + " pool)").c_str()
                              : "");
 
   for (const std::string& a : flags.adversaries) {
@@ -374,11 +423,87 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
   return batch.no_conforming_underwater && audits_ok ? 0 : 1;
 }
 
+int run_fleet_dir(const std::string& dir, CommonFlags flags) {
+  apply_mode(&flags);
+  if (!flags.adversaries.empty()) {
+    usage("--adversary is not supported with --fleet (party names are "
+          "per book)");
+  }
+  if (flags.show_trace || flags.show_timeline || flags.show_forensics) {
+    usage("--trace/--timeline/--forensics are per-swap views; run the "
+          "book alone with `xswap batch FILE` to inspect it");
+  }
+
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path().string());
+  }
+  if (ec) usage(("cannot read fleet dir " + dir + ": " + ec.message()).c_str());
+  if (paths.empty()) usage(("no offer files in " + dir).c_str());
+  std::sort(paths.begin(), paths.end());  // deterministic book order
+
+  // Books in one fleet may model the same underlying chain, so they
+  // share the striped per-chain locks: same-name seals serialize,
+  // disjoint chains overlap.
+  std::vector<swap::Scenario> fleet;
+  fleet.reserve(paths.size());
+  for (const std::string& path : paths) {
+    try {
+      fleet.push_back(swap::ScenarioBuilder()
+                          .offers(parse_offers_file(path))
+                          .options(flags.options)
+                          .chain_locks(&chain::ChainLockRegistry::global())
+                          .build());
+    } catch (const std::invalid_argument& e) {
+      usage((path + ": " + e.what()).c_str());
+    }
+  }
+
+  swap::FleetOptions fleet_options;
+  fleet_options.pool = make_pool(flags);
+  fleet_options.schedule = flags.sched == "fifo"
+                               ? swap::FleetSchedule::kFifo
+                               : swap::FleetSchedule::kStealing;
+
+  std::printf("fleet: %zu book(s) from %s (%zu thread%s, %s pool, %s "
+              "schedule)\n",
+              fleet.size(), dir.c_str(), flags.jobs,
+              flags.jobs == 1 ? "" : "s", flags.pool.c_str(),
+              flags.sched.c_str());
+
+  const swap::FleetReport report = swap::run_fleet(fleet, fleet_options);
+
+  bool all_safe = true;
+  std::size_t fully_triggered = 0, swaps_total = 0, tx_total = 0;
+  for (std::size_t b = 0; b < report.batches.size(); ++b) {
+    const swap::BatchReport& batch = report.batches[b];
+    all_safe = all_safe && batch.no_conforming_underwater;
+    fully_triggered += batch.swaps_fully_triggered;
+    swaps_total += batch.swaps.size();
+    tx_total += batch.total_transactions;
+    std::printf("  book %-2zu %-28s %zu/%zu swaps fully triggered, "
+                "%zu tx, %zu unmatched, safety %s\n",
+                b + 1, std::filesystem::path(paths[b]).filename().c_str(),
+                batch.swaps_fully_triggered, batch.swaps.size(),
+                batch.total_transactions, batch.unmatched.size(),
+                batch.no_conforming_underwater ? "ok" : "VIOLATED");
+  }
+  std::printf("fleet totals: %zu/%zu swaps fully triggered, %zu tx; "
+              "no conforming party underwater: %s\n",
+              fully_triggered, swaps_total, tx_total, all_safe ? "yes" : "NO");
+  std::printf("wall clock: %.1f ms (%.1f swaps/s across %zu components)\n",
+              report.wall_ms, report.components_per_sec,
+              report.total_components);
+  return all_safe ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string subcommand = "run";
   std::string offers_path;
+  std::string fleet_dir;
   std::string digraph_spec = "cycle:3";
   CommonFlags flags;
 
@@ -386,8 +511,9 @@ int main(int argc, char** argv) {
   if (i < argc && argv[i][0] != '-') {
     subcommand = argv[i++];
     if (subcommand == "batch") {
-      if (i >= argc || argv[i][0] == '-') usage("batch needs an offers file");
-      offers_path = argv[i++];
+      // The book source is either a positional offers file or --fleet
+      // DIR later in the flags.
+      if (i < argc && argv[i][0] != '-') offers_path = argv[i++];
     } else if (subcommand != "run") {
       usage(("unknown subcommand " + subcommand).c_str());
     }
@@ -399,14 +525,38 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
+    const auto batch_only = [&] {
+      if (subcommand != "batch") {
+        usage((arg + " applies to batch mode only").c_str());
+      }
+    };
     if (arg == "--digraph") {
       if (subcommand == "batch") usage("--digraph applies to run mode only");
       digraph_spec = next();
     }
     else if (arg == "--jobs") {
-      if (subcommand != "batch") usage("--jobs applies to batch mode only");
+      batch_only();
       flags.jobs = std::strtoul(next().c_str(), nullptr, 10);
       if (flags.jobs == 0) usage("--jobs must be >= 1");
+    }
+    else if (arg == "--pool") {
+      batch_only();
+      flags.pool = next();
+      if (flags.pool != "persistent" && flags.pool != "perrun") {
+        usage("--pool must be persistent or perrun");
+      }
+    }
+    else if (arg == "--sched") {
+      batch_only();
+      flags.sched = next();
+      flags.sched_set = true;
+      if (flags.sched != "fifo" && flags.sched != "stealing") {
+        usage("--sched must be fifo or stealing");
+      }
+    }
+    else if (arg == "--fleet") {
+      batch_only();
+      fleet_dir = next();
     }
     else if (arg == "--mode") flags.mode = next();
     else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
@@ -419,6 +569,17 @@ int main(int argc, char** argv) {
     else usage(("unknown option " + arg).c_str());
   }
 
-  if (subcommand == "batch") return run_batch(offers_path, flags);
+  if (subcommand == "batch") {
+    if (!fleet_dir.empty() && !offers_path.empty()) {
+      usage("batch takes EITHER an offers file or --fleet DIR");
+    }
+    if (!fleet_dir.empty()) return run_fleet_dir(fleet_dir, flags);
+    if (offers_path.empty()) usage("batch needs an offers file or --fleet DIR");
+    if (flags.sched_set) {
+      usage("--sched applies to --fleet mode only (a single book has no "
+            "cross-batch schedule)");
+    }
+    return run_batch(offers_path, flags);
+  }
   return run_single(digraph_spec, flags);
 }
