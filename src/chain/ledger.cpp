@@ -208,14 +208,20 @@ ContractId Ledger::submit_contract(const Address& sender,
 }
 
 void Ledger::enqueue(PendingTx p) {
-  if (submit_delay_ == 0) {
+  sim::Duration delay = submit_delay_;
+  if (submit_fault_) {
+    const sim::Duration extra = submit_fault_(sim_.now());
+    if (extra > 0) ++perturbed_submissions_;
+    delay += extra;
+  }
+  if (delay == 0) {
     mempool_.push_back(std::move(p));
     return;
   }
   // Delayed entry to the mempool; shared_ptr keeps the closure copyable
   // for std::function.
   auto held = std::make_shared<PendingTx>(std::move(p));
-  sim_.after(submit_delay_, [this, held] { mempool_.push_back(std::move(*held)); });
+  sim_.after(delay, [this, held] { mempool_.push_back(std::move(*held)); });
 }
 
 void Ledger::submit_call(const Address& sender, ContractId id, std::string method,

@@ -112,6 +112,21 @@ class Ledger {
   void set_submit_delay(sim::Duration delay) { submit_delay_ = delay; }
   sim::Duration submit_delay() const { return submit_delay_; }
 
+  /// Per-submission network-fault hook: called once per submitted
+  /// transaction with the submission time; the returned ticks are added
+  /// on top of submit_delay before the transaction enters the mempool.
+  /// Seeded fault models (swap/netmodel.hpp) use this to inject latency
+  /// jitter, client-retried drops, and timed partitions without
+  /// touching the sealing path. Null (the default) costs nothing. The Δ
+  /// timing contract extends to the hook's worst case — the engine
+  /// validates Δ against NetworkModel::max_extra_delay().
+  using SubmitFault = std::function<sim::Duration(sim::Time)>;
+  void set_submit_fault(SubmitFault fault) { submit_fault_ = std::move(fault); }
+
+  /// Submissions the fault hook has delayed so far (fault-injection
+  /// observability for tests and the fuzz report).
+  std::size_t perturbed_submissions() const { return perturbed_submissions_; }
+
   /// Serialize this chain's seal critical sections through `registry`'s
   /// stripe for the chain name (nullptr — the default — means no
   /// cross-component lock). Enables running components that model the
@@ -267,6 +282,8 @@ class Ledger {
   sim::Simulator& sim_;
   sim::Duration seal_period_;
   sim::Duration submit_delay_ = 0;
+  SubmitFault submit_fault_;
+  std::size_t perturbed_submissions_ = 0;
   bool running_ = false;
   bool started_ = false;
 

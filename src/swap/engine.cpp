@@ -24,11 +24,22 @@ SwapEngine::SwapEngine(graph::Digraph digraph,
 
 SwapEngine::SwapEngine(ClearedSwap cleared, EngineOptions options)
     : options_(options) {
-  const sim::Duration hop = options_.seal_period + options_.chain_submit_delay;
+  const auto net_problems = options_.net.validate();
+  if (!net_problems.empty()) {
+    std::string msg = "SwapEngine: invalid network model:";
+    for (const auto& p : net_problems) msg += "\n  - " + p;
+    throw std::invalid_argument(msg);
+  }
+  // One protocol hop is publish + confirm on a chain; with a network
+  // model attached, its worst-case extra delay joins the hop so the
+  // §2.2 timing assumption keeps holding on every perturbed run.
+  const sim::Duration hop = options_.seal_period + options_.chain_submit_delay +
+                            options_.net.max_extra_delay();
   if (options_.delta < 2 * hop && !options_.allow_unsafe_timing) {
     throw std::invalid_argument(
         "SwapEngine: delta must cover two chain hops "
-        "(publish + confirm, each seal_period + submit_delay)");
+        "(publish + confirm, each seal_period + submit_delay + worst-case "
+        "network-fault delay)");
   }
   if (options_.mode == ProtocolMode::kSingleLeader &&
       cleared.leaders.size() != 1) {
@@ -93,6 +104,8 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
           terms.chain, sim_, options_.seal_period);
       ledgers_[terms.chain]->set_submit_delay(options_.chain_submit_delay);
       ledgers_[terms.chain]->set_chain_locks(options_.chain_locks);
+      ledgers_[terms.chain]->set_submit_fault(
+          options_.net.make_fault(terms.chain, options_.seed));
       if (options_.trace) ledgers_[terms.chain]->enable_trace();
     }
     const PartyId head = spec_.digraph.arc(a).head;
@@ -103,6 +116,8 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
         std::make_unique<chain::Ledger>(kBroadcastChain, sim_, options_.seal_period);
     ledgers_[kBroadcastChain]->set_submit_delay(options_.chain_submit_delay);
     ledgers_[kBroadcastChain]->set_chain_locks(options_.chain_locks);
+    ledgers_[kBroadcastChain]->set_submit_fault(
+        options_.net.make_fault(kBroadcastChain, options_.seed));
     if (options_.trace) ledgers_[kBroadcastChain]->enable_trace();
   }
 }
@@ -195,9 +210,11 @@ SwapReport SwapEngine::run() {
 
 sim::Time SwapEngine::end_time() const {
   // Everything settles by the final hashkey deadline plus the refund
-  // round-trip; add margin for sealing and submission latency.
+  // round-trip; add margin for sealing and submission latency (and the
+  // network model's worst case, so fault-delayed refunds still land).
   return spec_.final_deadline() + 2 * spec_.delta +
-         4 * (options_.seal_period + options_.chain_submit_delay);
+         4 * (options_.seal_period + options_.chain_submit_delay +
+              options_.net.max_extra_delay());
 }
 
 SwapReport SwapEngine::harvest() {

@@ -18,6 +18,7 @@
 #include "chain/ledger.hpp"
 #include "sim/simulator.hpp"
 #include "swap/clearing.hpp"
+#include "swap/netmodel.hpp"
 #include "swap/outcome.hpp"
 #include "swap/party.hpp"
 #include "swap/spec.hpp"
@@ -55,6 +56,16 @@ struct EngineOptions {
   /// components modeling the same chain keep per-ledger serialization
   /// while disjoint chains proceed in parallel.
   chain::ChainLockRegistry* chain_locks = nullptr;
+
+  /// Seeded network faults (latency jitter, client-retried drops, timed
+  /// partitions — see swap/netmodel.hpp) injected into every chain's
+  /// submission path. Inactive by default. When active, Δ must cover
+  /// the model's worst case on top of the seal/submit hop:
+  ///   delta ≥ 2·(seal_period + chain_submit_delay + max_extra_delay())
+  /// (rejected otherwise, unless allow_unsafe_timing) — so perturbed
+  /// runs stay inside the paper's §2.2 timing assumption and Theorems
+  /// 4.7/4.9 remain in force.
+  NetworkModel net;
 };
 
 /// Result of one protocol run.

@@ -1,0 +1,798 @@
+#include "swap/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "swap/invariants.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-index streams so that
+// consecutive case indexes share no draw prefix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kCaseStreamSalt = 0x636173652d67656eull;   // "case-gen"
+constexpr std::uint64_t kStrategyStreamSalt = 0x73747261742d7367ull;
+
+/// Digraph for a case; throws std::invalid_argument on unknown topology
+/// or sizes the generators reject.
+graph::Digraph digraph_for_case(const FuzzCase& c) {
+  if (c.topology == "cycle") return graph::cycle(c.parties);
+  if (c.topology == "complete") return graph::complete(c.parties);
+  if (c.topology == "hub") return graph::hub_and_spokes(c.parties);
+  if (c.topology == "twocycles") {
+    return graph::two_cycles_sharing_vertex(c.parties, c.cycle_b);
+  }
+  if (c.topology == "random") {
+    // Seeded by the case so the arc set replays with the case.
+    util::Rng rng(mix64(c.seed ^ 0x746f706f2d726e64ull));
+    return graph::random_strongly_connected(c.parties, c.extra_arcs, rng);
+  }
+  throw std::invalid_argument("fuzz: unknown topology '" + c.topology + "'");
+}
+
+/// KIND token of a `WHO:KIND[:ARG]` adversary spec ("?" if malformed —
+/// counting must not throw on a spec the builder will reject anyway).
+std::string kind_of(const std::string& spec) {
+  const std::size_t who_end = spec.find(':');
+  if (who_end == std::string::npos) return "?";
+  const std::size_t kind_end = spec.find(':', who_end + 1);
+  return spec.substr(who_end + 1, kind_end == std::string::npos
+                                      ? std::string::npos
+                                      : kind_end - who_end - 1);
+}
+
+/// Party index of a `P<k>:...` spec, or npos when not of that shape.
+std::size_t party_index_of(const std::string& spec) {
+  if (spec.size() < 2 || spec[0] != 'P') return static_cast<std::size_t>(-1);
+  std::size_t i = 1, value = 0;
+  bool any = false;
+  for (; i < spec.size() && spec[i] != ':'; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(spec[i]))) {
+      return static_cast<std::size_t>(-1);
+    }
+    value = value * 10 + static_cast<std::size_t>(spec[i] - '0');
+    any = true;
+  }
+  return any ? value : static_cast<std::size_t>(-1);
+}
+
+/// Build the ready-to-run scenario for one case. Strategies are applied
+/// post-build (stochastic kinds draw from a case-seeded rng, and timed
+/// deviations anchor at the protocol start time, which equals Δ).
+Scenario build_scenario(const FuzzCase& c, bool cross_run_locks) {
+  const graph::Digraph digraph = digraph_for_case(c);
+  EngineOptions options;
+  options.delta = c.effective_delta();
+  options.seed = c.seed;
+  options.net = c.net;
+  if (cross_run_locks) {
+    options.chain_locks = &chain::ChainLockRegistry::global();
+  }
+
+  Scenario scenario = ScenarioBuilder()
+                          .offers(offers_for_digraph(digraph))
+                          .options(options)
+                          .build();
+
+  // Every generator topology is strongly connected, so the book clears
+  // into exactly one component and the component seed equals c.seed.
+  util::Rng strategy_rng(mix64(c.seed ^ kStrategyStreamSalt));
+  const sim::Time start_time = options.delta;  // engine start convention
+  for (const std::string& spec : c.adversaries) {
+    auto [who, strategy] = parse_adversary(spec, start_time, &strategy_rng);
+    scenario.set_strategy(who, strategy);
+  }
+  return scenario;
+}
+
+/// Audit one finished run: invariants per component swap, the planted
+/// hook, trigger Δ units, perturbed-submission count.
+FuzzCaseResult evaluate_run(const FuzzCase& c, const Scenario& scenario,
+                            const BatchReport& report,
+                            const FuzzOptions& options) {
+  FuzzCaseResult result;
+  result.fuzz_case = c;
+  result.all_triggered = report.all_triggered;
+  const sim::Duration delta = c.effective_delta();
+  for (std::size_t i = 0; i < report.swaps.size(); ++i) {
+    const SwapEngine& engine = scenario.engine(i);
+    const InvariantReport audit = check_all(engine, report.swaps[i]);
+    for (const std::string& v : audit.violations) {
+      result.violations.push_back("swap " + std::to_string(i) + ": " + v);
+    }
+    if (report.swaps[i].all_triggered) {
+      const sim::Time start = engine.spec().start_time;
+      const sim::Time t = report.swaps[i].last_trigger_time;
+      result.trigger_delta_units.push_back(
+          t <= start ? 0 : (t - start + delta - 1) / delta);
+    }
+    for (const std::string& name : engine.chain_names()) {
+      result.perturbed_submissions +=
+          engine.ledger(name).perturbed_submissions();
+    }
+  }
+  if (options.planted_violation) {
+    if (auto v = options.planted_violation(c, report)) {
+      result.violations.push_back("planted: " + *v);
+    }
+  }
+  return result;
+}
+
+/// Arc count of each topology (for partition chain-name draws).
+std::uint64_t arc_count_of(const FuzzCase& c) {
+  const std::uint64_t n = c.vertex_count();
+  if (c.topology == "complete") return n * (n - 1);
+  if (c.topology == "hub") return 2 * (n - 1);
+  if (c.topology == "twocycles") return c.parties + c.cycle_b;
+  if (c.topology == "random") return c.parties + c.extra_arcs;
+  return n;  // cycle
+}
+
+/// Drop adversaries that name parties a shrunk topology no longer has,
+/// and clamp random-topology extras to what the generator can place.
+void normalize_case(FuzzCase& c) {
+  const std::size_t vertexes = c.vertex_count();
+  c.adversaries.erase(
+      std::remove_if(c.adversaries.begin(), c.adversaries.end(),
+                     [&](const std::string& spec) {
+                       return party_index_of(spec) >= vertexes;
+                     }),
+      c.adversaries.end());
+  if (c.topology == "random") {
+    const std::uint64_t max_extra =
+        static_cast<std::uint64_t>(c.parties) * (c.parties - 1) - c.parties;
+    c.extra_arcs = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(c.extra_arcs, max_extra));
+  }
+}
+
+/// One round of shrink candidates, ordered biggest-win first. Each is a
+/// strictly "smaller" case: fewer parties, fewer arcs, fewer
+/// adversaries, weaker network faults, tighter Δ.
+std::vector<FuzzCase> shrink_candidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  const auto push = [&](FuzzCase cand) {
+    normalize_case(cand);
+    out.push_back(std::move(cand));
+  };
+
+  if (c.parties > 2) {
+    FuzzCase cand = c;
+    cand.parties -= 1;
+    push(std::move(cand));
+  }
+  if (c.topology == "twocycles" && c.cycle_b > 2) {
+    FuzzCase cand = c;
+    cand.cycle_b -= 1;
+    push(std::move(cand));
+  }
+  if (c.extra_arcs > 0) {
+    FuzzCase cand = c;
+    cand.extra_arcs = 0;
+    push(std::move(cand));
+    if (c.extra_arcs > 1) {
+      cand = c;
+      cand.extra_arcs /= 2;
+      push(std::move(cand));
+    }
+  }
+  for (std::size_t i = 0; i < c.adversaries.size(); ++i) {
+    FuzzCase cand = c;
+    cand.adversaries.erase(cand.adversaries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    push(std::move(cand));
+  }
+  if (!c.net.partitions.empty()) {
+    FuzzCase cand = c;
+    cand.net.partitions.clear();
+    cand.delta = 0;  // stored Δ was sized for the stronger faults
+    push(std::move(cand));
+  }
+  if (c.net.drop_num > 0 && c.net.max_retries > 0) {
+    FuzzCase cand = c;
+    cand.net.drop_num = 0;
+    cand.net.max_retries = 0;
+    cand.delta = 0;
+    push(std::move(cand));
+  }
+  if (c.net.jitter != JitterKind::kNone && c.net.max_jitter > 0) {
+    FuzzCase cand = c;
+    cand.net.jitter = JitterKind::kNone;
+    cand.net.max_jitter = 0;
+    cand.delta = 0;
+    push(std::move(cand));
+    if (c.net.max_jitter > 1) {
+      cand = c;
+      cand.net.max_jitter /= 2;
+      cand.delta = 0;
+      push(std::move(cand));
+    }
+  }
+  if (c.delta > 0) {
+    FuzzCase cand = c;
+    cand.delta = 0;  // fall back to the computed minimal safe Δ
+    if (cand.effective_delta() < c.delta) push(std::move(cand));
+  }
+  return out;
+}
+
+// ---- Minimal JSON reader (seed files only; no external deps) ----
+//
+// Supports exactly what case_to_json emits: objects, arrays, strings
+// with \" \\ escapes, and non-negative integers. Anything else is a
+// parse error. ~100 lines beats an external dependency the container
+// cannot install.
+
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  std::uint64_t number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("fuzz seed file: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    fail("unexpected character");
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        if (e == '"' || e == '\\') {
+          v.string.push_back(e);
+        } else {
+          fail("unsupported string escape");
+        }
+      } else {
+        v.string.push_back(c);
+      }
+    }
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v.number = v.number * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+      any = true;
+    }
+    if (!any) fail("expected a number");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t require_number(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("fuzz seed file: missing numeric field '" +
+                                key + "'");
+  }
+  return v->number;
+}
+
+std::string require_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::kString) {
+    throw std::invalid_argument("fuzz seed file: missing string field '" +
+                                key + "'");
+  }
+  return v->string;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+std::string jitter_name(JitterKind kind) {
+  switch (kind) {
+    case JitterKind::kUniform: return "uniform";
+    case JitterKind::kGeometric: return "geometric";
+    case JitterKind::kNone: break;
+  }
+  return "none";
+}
+
+JitterKind jitter_from_name(const std::string& name) {
+  if (name == "none") return JitterKind::kNone;
+  if (name == "uniform") return JitterKind::kUniform;
+  if (name == "geometric") return JitterKind::kGeometric;
+  throw std::invalid_argument("fuzz seed file: unknown jitter kind '" + name +
+                              "'");
+}
+
+}  // namespace
+
+sim::Duration FuzzCase::effective_delta() const {
+  if (delta > 0) return delta;
+  // Default engine timing: seal_period 1, chain_submit_delay 0; Δ must
+  // cover two perturbed hops and never drops below the engine floor.
+  const sim::Duration hop = 1 + net.max_extra_delay();
+  return std::max<sim::Duration>(4, 2 * hop);
+}
+
+FuzzCase case_from_seed(const FuzzOptions& options, std::uint64_t index) {
+  FuzzCase c;
+  c.master_seed = options.seed;
+  c.index = index;
+  util::Rng rng(mix64(options.seed ^ kCaseStreamSalt) ^
+                mix64(index * 0x9e3779b97f4a7c15ull + 1));
+  c.seed = rng.next_u64() | 1;
+
+  const std::uint32_t lo = std::max<std::uint32_t>(2, options.min_parties);
+  const std::uint32_t hi = std::max(lo, options.max_parties);
+
+  // Topology mix: cycles (the paper's canonical case) get the biggest
+  // share; complete digraphs are clamped small (arc count is n·(n−1)).
+  const std::uint64_t topo = rng.next_below(100);
+  if (topo < 30) {
+    c.topology = "cycle";
+    c.parties = static_cast<std::uint32_t>(rng.next_range(lo, hi));
+  } else if (topo < 55) {
+    c.topology = "random";
+    c.parties = static_cast<std::uint32_t>(rng.next_range(lo, hi));
+    c.extra_arcs = static_cast<std::uint32_t>(rng.next_below(c.parties + 1));
+  } else if (topo < 70) {
+    c.topology = "hub";
+    c.parties = static_cast<std::uint32_t>(rng.next_range(lo, hi));
+  } else if (topo < 85) {
+    c.topology = "twocycles";
+    const std::uint32_t loop_hi = std::max<std::uint32_t>(2, hi - 1);
+    c.parties = static_cast<std::uint32_t>(rng.next_range(2, loop_hi));
+    c.cycle_b = static_cast<std::uint32_t>(rng.next_range(2, loop_hi));
+  } else {
+    c.topology = "complete";
+    c.parties = static_cast<std::uint32_t>(
+        rng.next_range(2, std::min<std::uint32_t>(hi, 5)));
+  }
+
+  // Adversaries: 0–2 parties deviate; stochastic kinds get the same
+  // weight as the deterministic ones. Duplicate WHO draws are fine
+  // (latest override wins, deterministically).
+  const std::uint32_t vertexes = c.vertex_count();
+  const std::uint64_t adversary_count = rng.next_below(3);
+  static const char* const kKinds[] = {"withhold", "silent",   "corrupt",
+                                       "reveal",   "crash",    "late",
+                                       "flip",     "crashrand", "equivocate"};
+  for (std::uint64_t a = 0; a < adversary_count; ++a) {
+    const std::uint64_t who = rng.next_below(vertexes);
+    const std::string kind = kKinds[rng.next_below(9)];
+    std::string spec = "P" + std::to_string(who) + ":" + kind;
+    if (kind == "crash" || kind == "late" || kind == "crashrand") {
+      // Tick offsets relative to start; Δ ≥ 4, so this spans a few Δ.
+      spec += ":" + std::to_string(rng.next_below(6ull * vertexes + 1));
+    } else if (kind == "flip" || kind == "equivocate") {
+      spec += ":" + std::to_string(rng.next_range(25, 75));
+    }
+    c.adversaries.push_back(std::move(spec));
+  }
+
+  // Network profile. Partition windows need Δ, and Δ needs the model's
+  // worst case, so partition DURATIONS are drawn before Δ and the
+  // window PLACEMENTS after.
+  c.net.seed = rng.next_u64();
+  std::vector<sim::Duration> partition_durations;
+  bool partition_all_chains = false;
+  const std::uint64_t profile = rng.next_below(6);
+  switch (profile) {
+    case 0:  // pristine network
+      break;
+    case 1:
+      c.net.jitter = JitterKind::kUniform;
+      c.net.max_jitter = rng.next_range(1, 3);
+      break;
+    case 2:
+      c.net.jitter = JitterKind::kGeometric;
+      c.net.max_jitter = rng.next_range(1, 4);
+      break;
+    case 3:
+      c.net.drop_num = static_cast<std::uint32_t>(rng.next_range(5, 25));
+      c.net.retry_delay = 1;
+      c.net.max_retries = static_cast<std::uint32_t>(rng.next_range(1, 3));
+      break;
+    case 4: {
+      const std::uint64_t windows = rng.next_range(1, 2);
+      for (std::uint64_t w = 0; w < windows; ++w) {
+        partition_durations.push_back(rng.next_range(1, 3));
+      }
+      partition_all_chains = rng.next_chance(1, 2);
+      break;
+    }
+    default:  // mixed: mild jitter + mild drops
+      c.net.jitter = JitterKind::kUniform;
+      c.net.max_jitter = rng.next_range(1, 2);
+      c.net.drop_num = static_cast<std::uint32_t>(rng.next_range(5, 15));
+      c.net.retry_delay = 1;
+      c.net.max_retries = static_cast<std::uint32_t>(rng.next_range(1, 2));
+      break;
+  }
+
+  sim::Duration worst = c.net.max_jitter +
+                        static_cast<sim::Duration>(c.net.max_retries) *
+                            c.net.retry_delay;
+  for (const sim::Duration d : partition_durations) worst += d;
+  c.delta = std::max<sim::Duration>(4, 2 * (1 + worst));
+
+  // Place the partition windows inside the protocol's active span
+  // [Δ, (2·n + 1)·Δ] — n upper-bounds diam, so deadlines land in there.
+  for (const sim::Duration duration : partition_durations) {
+    Partition p;
+    if (!partition_all_chains) {
+      p.chain = "chain-" + std::to_string(rng.next_below(arc_count_of(c)));
+    }
+    p.from = rng.next_range(c.delta, c.delta * (2ull * vertexes + 1));
+    p.until = p.from + duration;
+    c.net.partitions.push_back(std::move(p));
+  }
+  return c;
+}
+
+FuzzCaseResult run_case(const FuzzCase& fuzz_case, const FuzzOptions& options) {
+  Scenario scenario = build_scenario(fuzz_case, /*cross_run_locks=*/false);
+  const BatchReport report = scenario.run();
+  return evaluate_run(fuzz_case, scenario, report, options);
+}
+
+FuzzFailure shrink_case(const FuzzCaseResult& failing,
+                        const FuzzOptions& options) {
+  FuzzFailure out;
+  out.original = failing;
+  out.minimal = failing.fuzz_case;
+  out.minimal_violations = failing.violations;
+
+  // Greedy fixpoint: take the first smaller candidate that still
+  // violates, restart from it, stop when a full round yields nothing
+  // (or the attempt budget runs out).
+  bool progress = true;
+  while (progress && out.shrink_attempts < options.max_shrink_attempts) {
+    progress = false;
+    for (FuzzCase& cand : shrink_candidates(out.minimal)) {
+      if (out.shrink_attempts >= options.max_shrink_attempts) break;
+      ++out.shrink_attempts;
+      std::vector<std::string> violations;
+      try {
+        violations = run_case(cand, options).violations;
+      } catch (const std::exception&) {
+        continue;  // unbuildable candidate — not a valid reproducer
+      }
+      if (violations.empty()) continue;
+      out.minimal = std::move(cand);
+      out.minimal_violations = std::move(violations);
+      progress = true;
+      break;
+    }
+  }
+  return out;
+}
+
+FuzzSummary fuzz_sweep(const FuzzOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+  FuzzSummary summary;
+
+  std::vector<FuzzCase> cases;
+  cases.reserve(options.runs);
+  for (std::uint64_t i = 0; i < options.runs; ++i) {
+    cases.push_back(case_from_seed(options, i));
+    for (const std::string& spec : cases.back().adversaries) {
+      summary.strategy_counts[kind_of(spec)] += 1;
+    }
+  }
+
+  std::shared_ptr<Executor> pool;
+  if (options.jobs > 1) {
+    pool = ExecutorRegistry::instance().shared_pool(options.jobs);
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk);
+  for (std::size_t begin = 0; begin < cases.size(); begin += chunk) {
+    const std::size_t end = std::min(cases.size(), begin + chunk);
+
+    // Build the chunk's scenarios up front, run them as one fleet (work
+    // stealing overlaps straggler tails), then audit in case order so
+    // the violation list and histogram are executor-independent.
+    std::vector<Scenario> fleet;
+    fleet.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      fleet.push_back(build_scenario(cases[i], /*cross_run_locks=*/
+                                     options.jobs > 1));
+    }
+    std::vector<BatchReport> batches;
+    if (pool) {
+      FleetOptions fleet_options;
+      fleet_options.pool = pool;
+      fleet_options.schedule = FleetSchedule::kStealing;
+      FleetReport fleet_report = run_fleet(fleet, fleet_options);
+      batches = std::move(fleet_report.batches);
+    } else {
+      batches.reserve(fleet.size());
+      for (Scenario& scenario : fleet) batches.push_back(scenario.run());
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const FuzzCaseResult result =
+          evaluate_run(cases[i], fleet[i - begin], batches[i - begin], options);
+      summary.runs += 1;
+      summary.swaps += batches[i - begin].swaps.size();
+      summary.swaps_fully_triggered += batches[i - begin].swaps_fully_triggered;
+      summary.perturbed_submissions += result.perturbed_submissions;
+      for (const std::uint64_t units : result.trigger_delta_units) {
+        summary.trigger_histogram[units] += 1;
+      }
+      if (!result.violations.empty()) {
+        if (options.shrink) {
+          summary.failures.push_back(shrink_case(result, options));
+        } else {
+          FuzzFailure failure;
+          failure.original = result;
+          failure.minimal = result.fuzz_case;
+          failure.minimal_violations = result.violations;
+          summary.failures.push_back(std::move(failure));
+        }
+      }
+    }
+  }
+
+  summary.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+  return summary;
+}
+
+std::string case_to_json(const FuzzCase& c) {
+  std::string out = "{\n";
+  out += "  \"schema\": " + std::to_string(kFuzzSeedSchemaVersion) + ",\n";
+  out += "  \"master_seed\": " + std::to_string(c.master_seed) + ",\n";
+  out += "  \"index\": " + std::to_string(c.index) + ",\n";
+  out += "  \"seed\": " + std::to_string(c.seed) + ",\n";
+  out += "  \"topology\": ";
+  append_json_string(out, c.topology);
+  out += ",\n";
+  out += "  \"parties\": " + std::to_string(c.parties) + ",\n";
+  out += "  \"cycle_b\": " + std::to_string(c.cycle_b) + ",\n";
+  out += "  \"extra_arcs\": " + std::to_string(c.extra_arcs) + ",\n";
+  out += "  \"delta\": " + std::to_string(c.delta) + ",\n";
+  out += "  \"adversaries\": [";
+  for (std::size_t i = 0; i < c.adversaries.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, c.adversaries[i]);
+  }
+  out += "],\n";
+  out += "  \"net\": {\n";
+  out += "    \"seed\": " + std::to_string(c.net.seed) + ",\n";
+  out += "    \"jitter\": ";
+  append_json_string(out, jitter_name(c.net.jitter));
+  out += ",\n";
+  out += "    \"max_jitter\": " + std::to_string(c.net.max_jitter) + ",\n";
+  out += "    \"geo_num\": " + std::to_string(c.net.geo_num) + ",\n";
+  out += "    \"geo_den\": " + std::to_string(c.net.geo_den) + ",\n";
+  out += "    \"drop_num\": " + std::to_string(c.net.drop_num) + ",\n";
+  out += "    \"drop_den\": " + std::to_string(c.net.drop_den) + ",\n";
+  out += "    \"retry_delay\": " + std::to_string(c.net.retry_delay) + ",\n";
+  out += "    \"max_retries\": " + std::to_string(c.net.max_retries) + ",\n";
+  out += "    \"partitions\": [";
+  for (std::size_t i = 0; i < c.net.partitions.size(); ++i) {
+    const Partition& p = c.net.partitions[i];
+    if (i > 0) out += ", ";
+    out += "{\"chain\": ";
+    append_json_string(out, p.chain);
+    out += ", \"from\": " + std::to_string(p.from);
+    out += ", \"until\": " + std::to_string(p.until) + "}";
+  }
+  out += "]\n  }\n}\n";
+  return out;
+}
+
+FuzzCase case_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("fuzz seed file: top level must be an object");
+  }
+
+  // Schema gate FIRST: never interpret a foreign file's fields.
+  const JsonValue* schema = root.find("schema");
+  if (!schema || schema->kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument(
+        "fuzz seed file: missing \"schema\" version field (expected " +
+        std::to_string(kFuzzSeedSchemaVersion) + ")");
+  }
+  if (schema->number != kFuzzSeedSchemaVersion) {
+    throw std::invalid_argument(
+        "fuzz seed file: schema version " + std::to_string(schema->number) +
+        " does not match supported version " +
+        std::to_string(kFuzzSeedSchemaVersion));
+  }
+
+  FuzzCase c;
+  c.master_seed = require_number(root, "master_seed");
+  c.index = require_number(root, "index");
+  c.seed = require_number(root, "seed");
+  c.topology = require_string(root, "topology");
+  c.parties = static_cast<std::uint32_t>(require_number(root, "parties"));
+  c.cycle_b = static_cast<std::uint32_t>(require_number(root, "cycle_b"));
+  c.extra_arcs = static_cast<std::uint32_t>(require_number(root, "extra_arcs"));
+  c.delta = require_number(root, "delta");
+
+  const JsonValue* adversaries = root.find("adversaries");
+  if (!adversaries || adversaries->kind != JsonValue::Kind::kArray) {
+    throw std::invalid_argument("fuzz seed file: missing \"adversaries\" list");
+  }
+  for (const JsonValue& v : adversaries->array) {
+    if (v.kind != JsonValue::Kind::kString) {
+      throw std::invalid_argument(
+          "fuzz seed file: adversaries must be strings");
+    }
+    c.adversaries.push_back(v.string);
+  }
+
+  const JsonValue* net = root.find("net");
+  if (!net || net->kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("fuzz seed file: missing \"net\" object");
+  }
+  c.net.seed = require_number(*net, "seed");
+  c.net.jitter = jitter_from_name(require_string(*net, "jitter"));
+  c.net.max_jitter = require_number(*net, "max_jitter");
+  c.net.geo_num = static_cast<std::uint32_t>(require_number(*net, "geo_num"));
+  c.net.geo_den = static_cast<std::uint32_t>(require_number(*net, "geo_den"));
+  c.net.drop_num = static_cast<std::uint32_t>(require_number(*net, "drop_num"));
+  c.net.drop_den = static_cast<std::uint32_t>(require_number(*net, "drop_den"));
+  c.net.retry_delay = require_number(*net, "retry_delay");
+  c.net.max_retries =
+      static_cast<std::uint32_t>(require_number(*net, "max_retries"));
+  const JsonValue* partitions = net->find("partitions");
+  if (!partitions || partitions->kind != JsonValue::Kind::kArray) {
+    throw std::invalid_argument(
+        "fuzz seed file: missing \"partitions\" list in \"net\"");
+  }
+  for (const JsonValue& v : partitions->array) {
+    if (v.kind != JsonValue::Kind::kObject) {
+      throw std::invalid_argument(
+          "fuzz seed file: partitions must be objects");
+    }
+    Partition p;
+    p.chain = require_string(v, "chain");
+    p.from = require_number(v, "from");
+    p.until = require_number(v, "until");
+    c.net.partitions.push_back(std::move(p));
+  }
+  return c;
+}
+
+void write_case_file(const FuzzCase& fuzz_case, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("fuzz: cannot open '" + path + "' for writing");
+  }
+  out << case_to_json(fuzz_case);
+  if (!out.flush()) {
+    throw std::runtime_error("fuzz: write to '" + path + "' failed");
+  }
+}
+
+FuzzCase read_case_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("fuzz: cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return case_from_json(buffer.str());
+}
+
+}  // namespace xswap::swap

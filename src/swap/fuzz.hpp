@@ -1,0 +1,187 @@
+// Seeded invariant fuzzer (ROADMAP item 5b): stochastic adversaries ×
+// topology × network timing, with every run audited by check_all.
+//
+// The paper proves Theorems 4.7 (liveness: every trigger lands by
+// start + 2·diam·Δ) and 4.9 (safety: no conforming party ends
+// Underwater) for EVERY digraph, EVERY deviation, and EVERY Δ-bounded
+// message schedule. Hand-picked books and deterministic adversaries
+// only sample that space; the fuzzer sweeps it: a master seed expands
+// into N fully-determined cases (FuzzCase), each case builds a random
+// offer book (graph::generators), assigns seeded stochastic strategies
+// (swap/strategy.hpp `flip`/`crashrand`/`equivocate` plus the classic
+// kinds), perturbs every chain with a seeded NetworkModel
+// (swap/netmodel.hpp), runs through the fleet executor for throughput,
+// and audits the paper's guarantees with swap/invariants.hpp.
+//
+// Everything derives from (master seed, index): the same seed replays
+// the same cases bit-for-bit on any executor, the violation list and
+// the trigger-time histogram included. On a violation the sweep shrinks
+// the failing case — fewer parties, fewer arcs, fewer adversaries,
+// weaker faults — to a minimal reproducer and emits it as a replayable
+// JSON seed file (schema-versioned; see case_to_json).
+//
+// Expected-trigger-time reporting follows the Herman-protocol analysis
+// style (PAPERS.md): the histogram buckets each swap's last trigger in
+// Δ units after protocol start, so distributions are comparable across
+// cases with different absolute Δ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "swap/netmodel.hpp"
+#include "swap/scenario.hpp"
+
+namespace xswap::swap {
+
+/// Version of the JSON seed-file schema. Bump on any incompatible
+/// change; case_from_json rejects files whose "schema" field does not
+/// match (a clear error instead of misinterpreting foreign fields).
+inline constexpr std::uint64_t kFuzzSeedSchemaVersion = 1;
+
+/// One fully-determined fuzz case. Every field is plain data, so a case
+/// round-trips through JSON and replays bit-for-bit; run_case() derives
+/// everything else (digraph, offers, strategies, fault streams) from
+/// these fields alone.
+struct FuzzCase {
+  // Provenance (informational; replay does not depend on them).
+  std::uint64_t master_seed = 0;
+  std::uint64_t index = 0;
+
+  /// Engine seed: keys, secrets, strategy draws, fault streams.
+  std::uint64_t seed = 1;
+
+  /// Topology family: "cycle" | "complete" | "hub" | "twocycles" |
+  /// "random" (graph::generators). For "twocycles", `parties` is the
+  /// first loop's length and `cycle_b` the second's (they share one
+  /// vertex); for everything else `cycle_b` is 0 and `parties` is the
+  /// vertex count. `extra_arcs` applies to "random" only.
+  std::string topology = "cycle";
+  std::uint32_t parties = 3;
+  std::uint32_t cycle_b = 0;
+  std::uint32_t extra_arcs = 0;
+
+  /// Δ in ticks; 0 means the safe bound 2·(seal + worst-case fault
+  /// delay) is computed at run time (generated cases store it
+  /// explicitly so seed files are self-describing).
+  sim::Duration delta = 0;
+
+  /// Adversary assignments as `WHO:KIND[:ARG]` specs (the
+  /// strategy_from_spec registry, stochastic kinds included). Parsed in
+  /// order against one case-seeded rng, so draws replay exactly.
+  std::vector<std::string> adversaries;
+
+  /// Network faults for every chain of the run.
+  NetworkModel net;
+
+  /// Total vertex count (accounts for the twocycles shared vertex).
+  std::uint32_t vertex_count() const {
+    return topology == "twocycles" ? parties + cycle_b - 1 : parties;
+  }
+
+  /// Δ actually used: the stored value, or the computed safe bound.
+  sim::Duration effective_delta() const;
+};
+
+/// Sweep configuration.
+struct FuzzOptions {
+  std::uint64_t seed = 20180842;  // master seed
+  std::size_t runs = 100;
+  std::size_t jobs = 1;      // >1 runs chunks through the fleet executor
+  std::size_t chunk = 32;    // scenarios per fleet batch (memory bound)
+  std::uint32_t min_parties = 3;
+  std::uint32_t max_parties = 8;
+  bool shrink = true;        // shrink failing cases in the sweep result
+  std::size_t max_shrink_attempts = 200;
+
+  /// Test-only synthetic violation hook: evaluated after every run; a
+  /// returned string joins that case's violation list exactly like a
+  /// real invariant failure, so the shrinking and seed-file paths can
+  /// be exercised without a protocol bug. Production sweeps leave it
+  /// unset.
+  std::function<std::optional<std::string>(const FuzzCase&,
+                                           const BatchReport&)>
+      planted_violation;
+};
+
+/// Outcome of one case.
+struct FuzzCaseResult {
+  FuzzCase fuzz_case;
+  std::vector<std::string> violations;  // empty = all invariants hold
+  bool all_triggered = false;
+  /// Last trigger of each fully-triggered component swap, in Δ units
+  /// after protocol start (rounded up) — the histogram contribution.
+  std::vector<std::uint64_t> trigger_delta_units;
+  std::size_t perturbed_submissions = 0;
+};
+
+/// A failing case together with its shrunk minimal reproducer.
+struct FuzzFailure {
+  FuzzCaseResult original;
+  FuzzCase minimal;                           // == original case if !shrink
+  std::vector<std::string> minimal_violations;
+  std::size_t shrink_attempts = 0;
+};
+
+/// Aggregated sweep result. All fields except wall_ms are functions of
+/// (options.seed, options.runs, generation knobs) only — identical
+/// across jobs counts and executors.
+struct FuzzSummary {
+  std::size_t runs = 0;
+  std::size_t swaps = 0;
+  std::size_t swaps_fully_triggered = 0;
+  std::size_t perturbed_submissions = 0;
+  std::vector<FuzzFailure> failures;
+  /// last-trigger time (Δ units after start, rounded up) → swap count.
+  std::map<std::uint64_t, std::size_t> trigger_histogram;
+  /// adversary KIND → number of assignments across all cases.
+  std::map<std::string, std::size_t> strategy_counts;
+  double wall_ms = 0.0;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Expand (master seed, index) into a fully-determined case. Pure:
+/// depends only on its arguments and the generation knobs in `options`
+/// (min/max parties).
+FuzzCase case_from_seed(const FuzzOptions& options, std::uint64_t index);
+
+/// Build and run one case serially; audit with check_all (plus the
+/// planted hook, if any). Throws std::invalid_argument on a case that
+/// cannot build (unknown topology, bad adversary spec, too-small Δ).
+FuzzCaseResult run_case(const FuzzCase& fuzz_case,
+                        const FuzzOptions& options = {});
+
+/// The full sweep: generate options.runs cases, run them (through the
+/// fleet executor when options.jobs > 1), audit every run, shrink any
+/// failures. Deterministic modulo wall_ms.
+FuzzSummary fuzz_sweep(const FuzzOptions& options);
+
+/// Greedy shrink: repeatedly try smaller variants (fewer parties,
+/// fewer arcs, fewer adversaries, weaker network faults) and keep any
+/// that still violates, until a fixpoint or the attempt cap. Returns
+/// the minimal case, its violations, and the attempts spent.
+FuzzFailure shrink_case(const FuzzCaseResult& failing,
+                        const FuzzOptions& options);
+
+// ---- Replayable JSON seed files ----
+
+/// Serialize a case (schema-versioned, one JSON object).
+std::string case_to_json(const FuzzCase& fuzz_case);
+
+/// Parse a seed file's JSON. Throws std::invalid_argument on malformed
+/// JSON, a missing "schema" field, or a schema version mismatch (the
+/// error names both versions — never silently misread a foreign file).
+FuzzCase case_from_json(const std::string& json);
+
+/// Write/read a seed file; both throw std::runtime_error on I/O errors
+/// (read_case_file rethrows case_from_json's validation errors).
+void write_case_file(const FuzzCase& fuzz_case, const std::string& path);
+FuzzCase read_case_file(const std::string& path);
+
+}  // namespace xswap::swap

@@ -1,0 +1,142 @@
+#include "swap/netmodel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace xswap::swap {
+
+namespace {
+
+/// FNV-1a 64 over a byte string — a stable cross-platform name hash
+/// (std::hash<std::string> differs between standard libraries, and the
+/// pinned fuzz corpus must replay identically everywhere).
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates the combined seed words.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool NetworkModel::active() const {
+  const bool has_jitter = jitter != JitterKind::kNone && max_jitter > 0;
+  const bool has_drops = drop_num > 0 && max_retries > 0;
+  return has_jitter || has_drops || !partitions.empty();
+}
+
+sim::Duration NetworkModel::max_extra_delay() const {
+  sim::Duration worst = 0;
+  if (jitter != JitterKind::kNone) worst += max_jitter;
+  if (drop_num > 0) {
+    worst += static_cast<sim::Duration>(max_retries) * retry_delay;
+  }
+  // A submission can be pushed from one partition window into the next,
+  // so the worst case sums every window it could straddle.
+  for (const Partition& p : partitions) {
+    worst += p.until > p.from ? p.until - p.from : 0;
+  }
+  return worst;
+}
+
+std::vector<std::string> NetworkModel::validate() const {
+  std::vector<std::string> problems;
+  if (jitter == JitterKind::kGeometric) {
+    if (geo_den == 0) {
+      problems.push_back("geometric jitter: geo_den must be positive");
+    } else if (geo_num >= geo_den) {
+      problems.push_back(
+          "geometric jitter: continue-probability geo_num/geo_den must be "
+          "< 1 or the capped walk degenerates to max_jitter every draw");
+    }
+  }
+  if (drop_num > 0) {
+    if (drop_den == 0) {
+      problems.push_back("drops: drop_den must be positive");
+    } else if (drop_num > drop_den) {
+      problems.push_back("drops: drop_num must be <= drop_den");
+    }
+    if (max_retries > 0 && retry_delay == 0) {
+      problems.push_back("drops: retry_delay must be positive");
+    }
+  }
+  for (const Partition& p : partitions) {
+    if (p.until <= p.from) {
+      problems.push_back("partition on '" + p.chain +
+                         "': window [from, until) is empty or inverted");
+    }
+  }
+  return problems;
+}
+
+std::function<sim::Duration(sim::Time)> NetworkModel::make_fault(
+    const std::string& chain_name, std::uint64_t engine_seed) const {
+  if (!active()) return nullptr;
+
+  struct ChainFaults {
+    util::Rng rng;
+    NetworkModel model;  // by value: the engine's options may be a copy
+    explicit ChainFaults(std::uint64_t s, const NetworkModel& m)
+        : rng(s), model(m) {}
+  };
+  auto state = std::make_shared<ChainFaults>(
+      mix64(engine_seed ^ mix64(seed) ^ fnv1a64(chain_name)), *this);
+
+  // All three fault sources reduce to one extra-delay draw: a dropped
+  // message is its client's retransmission landing later, a partitioned
+  // chain is a client queueing until the window heals. The draw order
+  // (drops, jitter, partitions) is fixed so the stream replays exactly.
+  return [state](sim::Time now) -> sim::Duration {
+    const NetworkModel& m = state->model;
+    util::Rng& rng = state->rng;
+    sim::Duration extra = 0;
+
+    if (m.drop_num > 0 && m.max_retries > 0) {
+      for (std::uint32_t attempt = 0; attempt < m.max_retries; ++attempt) {
+        if (!rng.next_chance(m.drop_num, m.drop_den)) break;
+        extra += m.retry_delay;
+      }
+    }
+
+    if (m.max_jitter > 0) {
+      if (m.jitter == JitterKind::kUniform) {
+        extra += rng.next_below(m.max_jitter + 1);
+      } else if (m.jitter == JitterKind::kGeometric) {
+        sim::Duration walk = 0;
+        while (walk < m.max_jitter && rng.next_chance(m.geo_num, m.geo_den)) {
+          ++walk;
+        }
+        extra += walk;
+      }
+    }
+
+    // Partitions act on the already-perturbed landing time; loop until
+    // no window contains it (a heal can land inside the next window).
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Partition& p : m.partitions) {
+        const sim::Time t = now + extra;
+        if (t >= p.from && t < p.until) {
+          extra += p.until - t;
+          moved = true;
+        }
+      }
+    }
+    return extra;
+  };
+}
+
+}  // namespace xswap::swap

@@ -1,0 +1,97 @@
+// Seeded network-fault models for protocol runs (ROADMAP item 5b).
+//
+// The paper's timing model (§2.2) assumes a known Δ that covers one
+// publish + confirm round trip; it does NOT assume the network is
+// well-behaved below that bound. A NetworkModel makes that slack
+// concrete: it perturbs every chain submission with seeded latency
+// jitter (uniform or geometric), client-retried message drops, and
+// timed chain partitions — all folded into one extra-delay draw per
+// submission, so the simulation stays fully deterministic in (seed,
+// event order).
+//
+// Staying inside the paper's model: every fault source is bounded, and
+// max_extra_delay() reports the worst case. As long as
+//   Δ ≥ 2 · (seal_period + submit_delay + max_extra_delay())
+// holds (SwapEngine enforces it), a perturbed run still satisfies the
+// §2.2 assumption, so Theorems 4.7 and 4.9 must hold on every run —
+// which is exactly what the fuzz sweep (swap/fuzz.hpp) asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace xswap::swap {
+
+/// Latency-jitter distribution applied to each chain submission.
+enum class JitterKind : std::uint8_t {
+  kNone,       // no jitter
+  kUniform,    // uniform on [0, max_jitter]
+  kGeometric,  // geometric (continue-probability geo_num/geo_den), capped
+               // at max_jitter
+};
+
+/// One timed chain partition: submissions to `chain` during [from,
+/// until) are queued by the client and land when the partition heals
+/// (plus any retry jitter the other knobs add). An empty chain name
+/// partitions every chain.
+struct Partition {
+  std::string chain;
+  sim::Time from = 0;
+  sim::Time until = 0;
+};
+
+/// Seeded fault configuration for every chain of one engine run.
+/// Value-semantic and cheap to copy; inactive by default (a
+/// default-constructed model injects nothing and costs nothing).
+struct NetworkModel {
+  /// Mixed with the engine seed and the chain name so every chain draws
+  /// from an independent, reproducible stream.
+  std::uint64_t seed = 0;
+
+  // ---- Latency jitter ----
+  JitterKind jitter = JitterKind::kNone;
+  sim::Duration max_jitter = 0;  // hard cap, both distributions
+  std::uint32_t geo_num = 1;     // geometric continue-probability
+  std::uint32_t geo_den = 2;     //   geo_num / geo_den per extra tick
+
+  // ---- Message drops with client retry ----
+  /// Per-submission drop probability drop_num/drop_den. A dropped
+  /// message is retried by the client after retry_delay ticks, at most
+  /// max_retries times; the final retry always goes through (the §2.2
+  /// ledger never loses an accepted transaction — drops model the last
+  /// mile, and a bounded retry loop keeps them within Δ).
+  std::uint32_t drop_num = 0;
+  std::uint32_t drop_den = 100;
+  sim::Duration retry_delay = 1;
+  std::uint32_t max_retries = 0;
+
+  // ---- Timed partitions ----
+  std::vector<Partition> partitions;
+
+  /// True iff this model perturbs anything.
+  bool active() const;
+
+  /// Worst-case extra delay any single submission can suffer (jitter +
+  /// full retry ladder + every partition window it could straddle).
+  /// SwapEngine demands Δ ≥ 2·(seal_period + submit_delay + this) so
+  /// perturbed runs stay inside the paper's timing assumption.
+  sim::Duration max_extra_delay() const;
+
+  /// The per-submission extra-delay hook for one chain, seeded by
+  /// (engine_seed, this->seed, chain name) — deterministic across
+  /// platforms and executors. Returns the closure chain::Ledger
+  /// consumes via set_submit_fault(); null when !active().
+  std::function<sim::Duration(sim::Time)> make_fault(
+      const std::string& chain_name, std::uint64_t engine_seed) const;
+
+  /// Validation problems (zero denominators, inverted windows, num >
+  /// den, retry/jitter inconsistencies); empty means usable. SwapEngine
+  /// rejects options whose model does not validate.
+  std::vector<std::string> validate() const;
+};
+
+}  // namespace xswap::swap

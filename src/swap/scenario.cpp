@@ -278,6 +278,11 @@ ScenarioBuilder& ScenarioBuilder::trace(bool on) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::net(NetworkModel model) {
+  options_.net = std::move(model);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::strategy(std::string party, Strategy s) {
   strategies_.emplace_back(std::move(party), s);
   return *this;

@@ -244,6 +244,11 @@ class ScenarioBuilder {
   ScenarioBuilder& broadcast(bool on = true);
   ScenarioBuilder& mode(ProtocolMode m);
 
+  /// Seeded network faults injected into every component's chains
+  /// (EngineOptions::net; see swap/netmodel.hpp). build() rejects a
+  /// model the engine's Δ validation cannot accept.
+  ScenarioBuilder& net(NetworkModel model);
+
   /// Collect per-chain event traces on every component's ledgers
   /// (EngineOptions::trace; read back via engine(i).ledger(name).trace()).
   /// Off by default — the sealing hot path then formats nothing.

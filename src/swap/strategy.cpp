@@ -3,9 +3,16 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace xswap::swap {
 
 namespace {
+
+/// Tick window the `flip` kind draws timed deviations from (documented
+/// in the header; bounded so flipped crash/late schedules stay near the
+/// protocol window for any reasonable Δ).
+constexpr sim::Time kFlipTickWindow = 64;
 
 sim::Time parse_ticks(const std::string& kind, const std::string& arg) {
   if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
@@ -28,16 +35,77 @@ void reject_arg(const std::string& kind, const std::string& arg) {
   }
 }
 
+/// Percentage argument for the probabilistic kinds: 0..100 inclusive.
+std::uint64_t parse_percent(const std::string& kind, const std::string& arg) {
+  const std::uint64_t p = parse_ticks(kind, arg);
+  if (p > 100) {
+    throw std::invalid_argument("strategy_from_spec: '" + kind +
+                                "' probability must be 0..100, got '" + arg +
+                                "'");
+  }
+  return p;
+}
+
+util::Rng& require_rng(const std::string& kind, util::Rng* rng) {
+  if (rng == nullptr) {
+    throw std::invalid_argument("strategy_from_spec: stochastic kind '" + kind +
+                                "' needs a seeded rng");
+  }
+  return *rng;
+}
+
+/// The concrete deviation a `flip` draw resolves to.
+Strategy flip_deviation(sim::Time start_time, util::Rng& rng) {
+  Strategy s;
+  switch (rng.next_below(6)) {
+    case 0:
+      s.withhold_unlocks = true;
+      s.withhold_claims = true;
+      break;
+    case 1:
+      s.withhold_contracts = true;
+      break;
+    case 2:
+      s.publish_corrupt_contracts = true;
+      break;
+    case 3:
+      s.premature_reveal = true;
+      break;
+    case 4:
+      s.crash_at = start_time + rng.next_range(1, kFlipTickWindow);
+      break;
+    default:
+      s.delay_unlocks_until = start_time + rng.next_range(1, kFlipTickWindow);
+      break;
+  }
+  return s;
+}
+
 }  // namespace
 
-Strategy strategy_from_spec(const std::string& spec, sim::Time start_time) {
+Strategy strategy_from_spec(const std::string& spec, sim::Time start_time,
+                            util::Rng* rng) {
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
   const std::string arg =
       colon == std::string::npos ? "" : spec.substr(colon + 1);
 
   Strategy s;
-  if (kind == "crash") {
+  if (kind == "flip") {
+    const std::uint64_t p = parse_percent(kind, arg);
+    util::Rng& r = require_rng(kind, rng);
+    // Draw the coin first, the deviation second, so the stream is the
+    // same whether or not the coin lands on deviate.
+    if (r.next_chance(p, 100)) s = flip_deviation(start_time, r);
+  } else if (kind == "crashrand") {
+    const sim::Time window = parse_ticks(kind, arg);
+    util::Rng& r = require_rng(kind, rng);
+    s.crash_at = start_time + r.next_range(0, window);
+  } else if (kind == "equivocate") {
+    const std::uint64_t p = parse_percent(kind, arg);
+    util::Rng& r = require_rng(kind, rng);
+    s.publish_corrupt_contracts = r.next_chance(p, 100);
+  } else if (kind == "crash") {
     s.crash_at = start_time + parse_ticks(kind, arg);
   } else if (kind == "withhold") {
     reject_arg(kind, arg);
@@ -62,19 +130,22 @@ Strategy strategy_from_spec(const std::string& spec, sim::Time start_time) {
 }
 
 std::pair<std::string, Strategy> parse_adversary(const std::string& spec,
-                                                 sim::Time start_time) {
+                                                 sim::Time start_time,
+                                                 util::Rng* rng) {
   const auto colon = spec.find(':');
   if (colon == std::string::npos || colon == 0) {
     throw std::invalid_argument("parse_adversary: expected WHO:KIND[:ARG], "
                                 "got '" + spec + "'");
   }
   return {spec.substr(0, colon),
-          strategy_from_spec(spec.substr(colon + 1), start_time)};
+          strategy_from_spec(spec.substr(colon + 1), start_time, rng)};
 }
 
 const std::vector<std::string>& strategy_spec_kinds() {
   static const std::vector<std::string> kKinds = {
-      "crash:T", "withhold", "silent", "corrupt", "late:T", "reveal"};
+      "crash:T", "withhold",    "silent",      "corrupt",
+      "late:T",  "reveal",      "flip:P",      "crashrand:T",
+      "equivocate:P"};
   return kKinds;
 }
 

@@ -16,6 +16,10 @@
 
 #include "sim/simulator.hpp"
 
+namespace xswap::util {
+class Rng;
+}
+
 namespace xswap::swap {
 
 struct Strategy {
@@ -63,26 +67,43 @@ struct Strategy {
 };
 
 /// Parse a deviation spec `KIND[:ARG]` into a Strategy — the one
-/// name→Strategy table for the CLI, benches, examples, and tests:
+/// name→Strategy table for the CLI, benches, examples, tests, and the
+/// fuzz sweep:
 ///
-///   crash:T    halt at start_time + T
-///   withhold   withhold unlocks and claims (Phase Two defection)
-///   silent     withhold contracts (Phase One defection)
-///   corrupt    publish corrupt contracts
-///   late:T     delay every unlock until start_time + T
-///   reveal     leader reveals the secret prematurely
+///   crash:T        halt at start_time + T
+///   withhold       withhold unlocks and claims (Phase Two defection)
+///   silent         withhold contracts (Phase One defection)
+///   corrupt        publish corrupt contracts
+///   late:T         delay every unlock until start_time + T
+///   reveal         leader reveals the secret prematurely
+///
+/// Stochastic kinds (the fuzzer's adversary families; they resolve to a
+/// concrete Strategy at parse time from `rng`, so a seeded rng replays
+/// the same deviation and the simulation stays deterministic):
+///
+///   flip:P         coin-flip deviation: with probability P% pick one of
+///                  the concrete deviations above uniformly (timed ones
+///                  draw their tick from [1, 64]); otherwise honest
+///   crashrand:T    crash at a uniform random tick in [start_time,
+///                  start_time + T]
+///   equivocate:P   with probability P% publish corrupt contracts
+///                  (advertise contracts that do not match the agreed
+///                  spec); otherwise honest
 ///
 /// Times are ticks relative to `start_time` (pass the spec's
 /// start_time so deadlines line up; 0 keeps them absolute). Throws
-/// std::invalid_argument on unknown kinds, missing or non-numeric T,
-/// and stray arguments on argument-free kinds.
-Strategy strategy_from_spec(const std::string& spec, sim::Time start_time = 0);
+/// std::invalid_argument on unknown kinds, missing or non-numeric
+/// arguments, stray arguments on argument-free kinds, P > 100, and
+/// stochastic kinds with no rng.
+Strategy strategy_from_spec(const std::string& spec, sim::Time start_time = 0,
+                            util::Rng* rng = nullptr);
 
 /// Parse a full adversary spec `WHO:KIND[:ARG]` (WHO is a party name or
 /// id, uninterpreted here) into (WHO, strategy). Same errors as
 /// strategy_from_spec, plus a missing `WHO:` prefix.
 std::pair<std::string, Strategy> parse_adversary(const std::string& spec,
-                                                 sim::Time start_time = 0);
+                                                 sim::Time start_time = 0,
+                                                 util::Rng* rng = nullptr);
 
 /// The KIND names strategy_from_spec accepts, for usage/help text.
 const std::vector<std::string>& strategy_spec_kinds();

@@ -83,12 +83,19 @@ TEST_P(PebbleBoundTest, LazyWithinDiameterOnCycles) {
 }
 
 TEST_P(PebbleBoundTest, LazyWithinDiameterOnComplete) {
-  if (GetParam().n > 7) GTEST_SKIP() << "exact diameter too slow";
-  const Digraph d = complete(GetParam().n);
+  const std::size_t n = GetParam().n;
+  const Digraph d = complete(n);
   const auto fvs = minimum_feedback_vertex_set(d);
   const PebbleResult r = lazy_pebble_game(d, fvs);
   EXPECT_TRUE(r.complete);
-  EXPECT_LE(r.rounds, diameter(d));
+  // diam(complete(n)) = n exactly: §2.1 paths may close into cycles, so
+  // the longest path in a complete digraph is a closed Hamiltonian
+  // cycle — n arcs. Exact enumeration (diameter()) is exponential in n,
+  // so it cross-checks the closed form on the small sizes and the bound
+  // itself is asserted analytically for every size (n8/n10 included,
+  // which used to skip here).
+  if (n <= 7) EXPECT_EQ(diameter(d), n);
+  EXPECT_LE(r.rounds, n);
 }
 
 TEST_P(PebbleBoundTest, EagerWithinDiameter) {

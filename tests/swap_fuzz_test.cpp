@@ -1,0 +1,270 @@
+// The seeded invariant fuzzer (swap/fuzz.hpp): sweep determinism across
+// executors, seed-file round trips, schema-version gating, shrinking of
+// planted violations, and replay of the pinned regression corpus.
+//
+// XSWAP_FUZZ_CORPUS_DIR (a compile definition from tests/CMakeLists.txt)
+// points at tests/fuzz_corpus/, the committed regression seeds: every
+// case that ever mattered replays here with zero violations.
+#include "swap/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xswap::swap {
+namespace {
+
+FuzzOptions small_sweep_options() {
+  FuzzOptions options;
+  options.seed = 42;
+  options.runs = 200;
+  options.min_parties = 3;
+  options.max_parties = 6;
+  return options;
+}
+
+// ---- The sweep: clean, deterministic, executor-independent ----
+
+TEST(FuzzSweep, TwoHundredSeededCasesHoldEveryInvariant) {
+  const FuzzSummary summary = fuzz_sweep(small_sweep_options());
+  EXPECT_EQ(summary.runs, 200u);
+  EXPECT_EQ(summary.swaps, 200u);  // every topology clears to one SCC
+  EXPECT_TRUE(summary.ok()) << summary.failures.size() << " failing case(s); "
+                            << "first: "
+                            << (summary.failures.empty()
+                                    ? ""
+                                    : summary.failures[0]
+                                          .original.violations[0]);
+  // The generator must actually exercise the adversarial and perturbed
+  // parts of the space, not just honest pristine runs.
+  EXPECT_FALSE(summary.strategy_counts.empty());
+  EXPECT_GT(summary.perturbed_submissions, 0u);
+  EXPECT_FALSE(summary.trigger_histogram.empty());
+}
+
+TEST(FuzzSweep, SerialAndWorkStealingSweepsMatchExactly) {
+  FuzzOptions serial = small_sweep_options();
+  FuzzOptions stealing = small_sweep_options();
+  stealing.jobs = 4;  // chunks run through the shared work-stealing pool
+
+  const FuzzSummary a = fuzz_sweep(serial);
+  const FuzzSummary b = fuzz_sweep(stealing);
+
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.swaps_fully_triggered, b.swaps_fully_triggered);
+  EXPECT_EQ(a.perturbed_submissions, b.perturbed_submissions);
+  EXPECT_EQ(a.trigger_histogram, b.trigger_histogram);
+  EXPECT_EQ(a.strategy_counts, b.strategy_counts);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].original.violations,
+              b.failures[i].original.violations);
+    EXPECT_EQ(case_to_json(a.failures[i].minimal),
+              case_to_json(b.failures[i].minimal));
+  }
+}
+
+TEST(FuzzCaseGeneration, IsAPureFunctionOfSeedAndIndex) {
+  const FuzzOptions options = small_sweep_options();
+  for (const std::uint64_t index : {0u, 7u, 199u}) {
+    EXPECT_EQ(case_to_json(case_from_seed(options, index)),
+              case_to_json(case_from_seed(options, index)));
+  }
+  // Distinct indexes must not replay the same case.
+  EXPECT_NE(case_to_json(case_from_seed(options, 0)),
+            case_to_json(case_from_seed(options, 1)));
+}
+
+TEST(FuzzCaseGeneration, StoredDeltaCoversTheNetworkWorstCase) {
+  const FuzzOptions options = small_sweep_options();
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    const FuzzCase c = case_from_seed(options, index);
+    // Engine floor: Δ ≥ 2·(seal + submit + worst-case fault delay).
+    EXPECT_GE(c.effective_delta(), 2 * (1 + c.net.max_extra_delay()))
+        << "case " << index;
+  }
+}
+
+TEST(FuzzRunCase, ReplaysBitForBit) {
+  const FuzzCase c = case_from_seed(small_sweep_options(), 11);
+  const FuzzCaseResult a = run_case(c);
+  const FuzzCaseResult b = run_case(c);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.all_triggered, b.all_triggered);
+  EXPECT_EQ(a.trigger_delta_units, b.trigger_delta_units);
+  EXPECT_EQ(a.perturbed_submissions, b.perturbed_submissions);
+}
+
+// ---- Seed files: round trip, schema gate, malformed input ----
+
+TEST(FuzzSeedFile, JsonRoundTripIsExact) {
+  const FuzzCase c = case_from_seed(small_sweep_options(), 3);
+  const std::string json = case_to_json(c);
+  EXPECT_EQ(json, case_to_json(case_from_json(json)));
+}
+
+TEST(FuzzSeedFile, FileRoundTripIsExact) {
+  const FuzzCase c = case_from_seed(small_sweep_options(), 5);
+  const std::string path =
+      testing::TempDir() + "/xswap_fuzz_roundtrip.json";
+  write_case_file(c, path);
+  EXPECT_EQ(case_to_json(c), case_to_json(read_case_file(path)));
+  std::filesystem::remove(path);
+}
+
+TEST(FuzzSeedFile, MismatchedSchemaVersionIsRejected) {
+  const FuzzCase c = case_from_seed(small_sweep_options(), 0);
+  std::string json = case_to_json(c);
+  const std::string want = "\"schema\": " +
+                           std::to_string(kFuzzSeedSchemaVersion);
+  const std::size_t at = json.find(want);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, want.size(), "\"schema\": 999");
+  try {
+    case_from_json(json);
+    FAIL() << "schema 999 must be rejected";
+  } catch (const std::invalid_argument& e) {
+    // The error names BOTH versions, so a user sees what the file has
+    // and what this build supports.
+    EXPECT_NE(std::string(e.what()).find("999"), std::string::npos);
+    EXPECT_NE(std::string(e.what())
+                  .find(std::to_string(kFuzzSeedSchemaVersion)),
+              std::string::npos);
+  }
+}
+
+TEST(FuzzSeedFile, MissingSchemaFieldIsRejected) {
+  EXPECT_THROW(case_from_json("{\"seed\": 1}"), std::invalid_argument);
+}
+
+TEST(FuzzSeedFile, MalformedJsonIsRejected) {
+  EXPECT_THROW(case_from_json(""), std::invalid_argument);
+  EXPECT_THROW(case_from_json("{"), std::invalid_argument);
+  EXPECT_THROW(case_from_json("{\"schema\": 1,}"), std::invalid_argument);
+  EXPECT_THROW(case_from_json("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW(case_from_json("{\"schema\": true}"), std::invalid_argument);
+}
+
+TEST(FuzzSeedFile, MissingFileSurfacesAsRuntimeError) {
+  EXPECT_THROW(read_case_file(testing::TempDir() + "/definitely-absent.json"),
+               std::runtime_error);
+}
+
+// ---- Shrinking: planted violations reduce to minimal reproducers ----
+
+/// A planted "bug" that fires whenever the case has at least one
+/// adversary: lets the shrinker run without a real protocol defect. The
+/// expected minimal reproducer is the smallest case that still has one.
+FuzzOptions planted_adversary_options() {
+  FuzzOptions options;
+  options.planted_violation = [](const FuzzCase& c, const BatchReport&)
+      -> std::optional<std::string> {
+    if (c.adversaries.empty()) return std::nullopt;
+    return "synthetic: adversary present";
+  };
+  return options;
+}
+
+TEST(FuzzShrink, PlantedViolationShrinksToMinimalReproducer) {
+  FuzzCase big;
+  big.seed = 99;
+  big.topology = "cycle";
+  big.parties = 6;
+  big.adversaries = {"P1:withhold", "P4:silent"};
+  big.net.jitter = JitterKind::kUniform;
+  big.net.max_jitter = 2;
+  big.net.seed = 7;
+
+  const FuzzOptions options = planted_adversary_options();
+  const FuzzCaseResult failing = run_case(big, options);
+  ASSERT_FALSE(failing.violations.empty());
+
+  const FuzzFailure shrunk = shrink_case(failing, options);
+  EXPECT_GT(shrunk.shrink_attempts, 0u);
+  ASSERT_FALSE(shrunk.minimal_violations.empty());
+  // Minimal = smallest topology, exactly one adversary, faults gone.
+  EXPECT_EQ(shrunk.minimal.parties, 2u);
+  EXPECT_EQ(shrunk.minimal.adversaries.size(), 1u);
+  EXPECT_EQ(shrunk.minimal.net.jitter, JitterKind::kNone);
+  EXPECT_FALSE(shrunk.minimal.net.active());
+
+  // The emitted seed file replays to the SAME violation.
+  const std::string path = testing::TempDir() + "/xswap_fuzz_minimal.json";
+  write_case_file(shrunk.minimal, path);
+  const FuzzCaseResult replayed = run_case(read_case_file(path), options);
+  EXPECT_EQ(replayed.violations, shrunk.minimal_violations);
+  std::filesystem::remove(path);
+}
+
+TEST(FuzzShrink, DropsAdversariesOrphanedByPartyRemoval) {
+  // The adversary names the highest party; shrinking parties must not
+  // produce unbuildable candidates that reference a removed vertex.
+  FuzzCase c;
+  c.seed = 5;
+  c.topology = "cycle";
+  c.parties = 4;
+  c.adversaries = {"P3:withhold"};
+
+  FuzzOptions options;
+  options.planted_violation = [](const FuzzCase&, const BatchReport&) {
+    return std::optional<std::string>("synthetic: always");
+  };
+  const FuzzFailure shrunk = shrink_case(run_case(c, options), options);
+  EXPECT_EQ(shrunk.minimal.parties, 2u);
+  EXPECT_TRUE(shrunk.minimal.adversaries.empty());
+  ASSERT_FALSE(shrunk.minimal_violations.empty());
+}
+
+TEST(FuzzSweep, ShrinksPlantedFailureAndStaysDeterministic) {
+  FuzzOptions options = small_sweep_options();
+  options.runs = 6;
+  options.planted_violation = [](const FuzzCase& c, const BatchReport&)
+      -> std::optional<std::string> {
+    if (c.index != 3) return std::nullopt;
+    return "synthetic: case 3";
+  };
+  const FuzzSummary summary = fuzz_sweep(options);
+  ASSERT_EQ(summary.failures.size(), 1u);
+  EXPECT_EQ(summary.failures[0].original.fuzz_case.index, 3u);
+  EXPECT_FALSE(summary.failures[0].minimal_violations.empty());
+  // Shrinking preserves the index, so the hook keeps firing and the
+  // minimal case bottoms out at the smallest buildable topology.
+  EXPECT_EQ(summary.failures[0].minimal.index, 3u);
+  EXPECT_LE(summary.failures[0].minimal.vertex_count(),
+            summary.failures[0].original.fuzz_case.vertex_count());
+
+  // The identical sweep finds the identical failure.
+  const FuzzSummary again = fuzz_sweep(options);
+  ASSERT_EQ(again.failures.size(), 1u);
+  EXPECT_EQ(case_to_json(again.failures[0].minimal),
+            case_to_json(summary.failures[0].minimal));
+}
+
+// ---- Pinned regression corpus ----
+
+TEST(FuzzCorpus, EveryPinnedSeedReplaysClean) {
+  const std::filesystem::path dir = XSWAP_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "corpus dir missing: " << dir;
+  std::vector<std::filesystem::path> seeds;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") seeds.push_back(entry.path());
+  }
+  ASSERT_FALSE(seeds.empty()) << "no pinned seeds in " << dir;
+  for (const auto& path : seeds) {
+    SCOPED_TRACE(path.filename().string());
+    FuzzCase c;
+    ASSERT_NO_THROW(c = read_case_file(path.string()));
+    const FuzzCaseResult result = run_case(c);
+    EXPECT_TRUE(result.violations.empty())
+        << path << ": " << result.violations[0];
+  }
+}
+
+}  // namespace
+}  // namespace xswap::swap

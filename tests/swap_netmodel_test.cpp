@@ -1,0 +1,153 @@
+// NetworkModel (swap/netmodel.hpp): the seeded fault layer the fuzzer
+// injects into every chain's submission path. These unit tests pin the
+// properties the Δ-safety argument leans on: inactivity by default,
+// worst-case bounding by max_extra_delay(), per-(seed, chain)
+// determinism, and the engine's rejection of models Δ cannot cover.
+#include "swap/netmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "swap/engine.hpp"
+
+namespace xswap::swap {
+namespace {
+
+TEST(NetworkModel, InactiveByDefaultAndCostsNothing) {
+  const NetworkModel model;
+  EXPECT_FALSE(model.active());
+  EXPECT_EQ(model.max_extra_delay(), 0u);
+  EXPECT_TRUE(model.validate().empty());
+  // An inactive model yields no fault hook at all — the ledger's
+  // submission path stays exactly as fast as without the feature.
+  EXPECT_EQ(model.make_fault("chain-0", 1), nullptr);
+}
+
+TEST(NetworkModel, ValidateCatchesInconsistentKnobs) {
+  NetworkModel geo;
+  geo.jitter = JitterKind::kGeometric;
+  geo.max_jitter = 2;
+  geo.geo_den = 0;
+  EXPECT_FALSE(geo.validate().empty());
+  geo.geo_den = 2;
+  geo.geo_num = 2;  // continue-probability must be < 1
+  EXPECT_FALSE(geo.validate().empty());
+
+  NetworkModel drops;
+  drops.drop_num = 150;
+  drops.drop_den = 100;
+  drops.max_retries = 1;
+  EXPECT_FALSE(drops.validate().empty());
+  drops.drop_num = 10;
+  drops.retry_delay = 0;  // a retry that costs nothing models nothing
+  EXPECT_FALSE(drops.validate().empty());
+
+  NetworkModel part;
+  part.partitions.push_back(Partition{"", 10, 10});  // empty window
+  EXPECT_FALSE(part.validate().empty());
+}
+
+TEST(NetworkModel, MaxExtraDelayCoversEveryFaultSource) {
+  NetworkModel model;
+  model.jitter = JitterKind::kUniform;
+  model.max_jitter = 3;
+  model.drop_num = 10;
+  model.retry_delay = 2;
+  model.max_retries = 2;
+  model.partitions.push_back(Partition{"chain-0", 8, 11});   // 3 ticks
+  model.partitions.push_back(Partition{"", 20, 22});         // 2 ticks
+  // jitter (3) + full retry ladder (2·2) + both windows (3 + 2).
+  EXPECT_EQ(model.max_extra_delay(), 3u + 4u + 5u);
+  EXPECT_TRUE(model.active());
+  EXPECT_TRUE(model.validate().empty());
+}
+
+TEST(NetworkModel, FaultStreamsReplayPerSeedAndDivergePerChain) {
+  NetworkModel model;
+  model.seed = 99;
+  model.jitter = JitterKind::kUniform;
+  model.max_jitter = 3;
+
+  const auto a = model.make_fault("chain-0", 7);
+  const auto b = model.make_fault("chain-0", 7);
+  const auto other = model.make_fault("chain-1", 7);
+  ASSERT_NE(a, nullptr);
+
+  std::vector<sim::Duration> draws_a, draws_b, draws_other;
+  for (sim::Time t = 0; t < 64; ++t) {
+    draws_a.push_back(a(t));
+    draws_b.push_back(b(t));
+    draws_other.push_back(other(t));
+  }
+  EXPECT_EQ(draws_a, draws_b);       // same (seed, chain): same stream
+  EXPECT_NE(draws_a, draws_other);   // the chain name salts the stream
+}
+
+TEST(NetworkModel, JitterNeverExceedsTheCap) {
+  for (const JitterKind kind :
+       {JitterKind::kUniform, JitterKind::kGeometric}) {
+    NetworkModel model;
+    model.seed = 5;
+    model.jitter = kind;
+    model.max_jitter = 4;
+    const auto fault = model.make_fault("chain-0", 3);
+    ASSERT_NE(fault, nullptr);
+    for (sim::Time t = 0; t < 256; ++t) {
+      EXPECT_LE(fault(t), 4u);
+    }
+  }
+}
+
+TEST(NetworkModel, PartitionHoldsSubmissionsUntilTheWindowHeals) {
+  NetworkModel model;
+  model.seed = 1;
+  model.partitions.push_back(Partition{"", 10, 20});
+  const auto fault = model.make_fault("chain-0", 2);
+  ASSERT_NE(fault, nullptr);
+  // Inside [10, 20): the submission lands exactly when the partition
+  // heals (no other fault source configured).
+  EXPECT_EQ(fault(10), 10u);
+  EXPECT_EQ(fault(15), 5u);
+  EXPECT_EQ(fault(19), 1u);
+  // Outside the window: untouched.
+  EXPECT_EQ(fault(9), 0u);
+  EXPECT_EQ(fault(20), 0u);
+}
+
+TEST(NetworkModel, EngineRejectsDeltaBelowThePerturbedHop) {
+  NetworkModel model;
+  model.jitter = JitterKind::kUniform;
+  model.max_jitter = 3;  // hop = seal 1 + jitter 3 = 4; Δ must be ≥ 8
+
+  EngineOptions too_small;
+  too_small.delta = 6;
+  too_small.net = model;
+  EXPECT_THROW(SwapEngine(graph::cycle(3), {0}, too_small),
+               std::invalid_argument);
+
+  EngineOptions safe;
+  safe.delta = 8;
+  safe.net = model;
+  SwapEngine engine(graph::cycle(3), {0}, safe);
+  const SwapReport report = engine.run();
+  // Inside the contract the theorems hold as usual.
+  EXPECT_TRUE(report.all_triggered);
+  EXPECT_TRUE(report.no_conforming_underwater);
+}
+
+TEST(NetworkModel, EngineRejectsAModelThatFailsValidation) {
+  NetworkModel model;
+  model.drop_num = 10;
+  model.drop_den = 0;
+  model.max_retries = 1;
+  EngineOptions options;
+  options.delta = 64;
+  options.net = model;
+  EXPECT_THROW(SwapEngine(graph::cycle(3), {0}, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xswap::swap

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.hpp"
+
 namespace xswap::swap {
 namespace {
 
@@ -70,14 +72,90 @@ TEST(ParseAdversary, MissingWhoRejected) {
 
 TEST(StrategySpecKinds, ListsEveryKindOnce) {
   const auto& kinds = strategy_spec_kinds();
-  EXPECT_EQ(kinds.size(), 6u);
-  // Each listed kind (sans the :T argument hint) parses.
+  EXPECT_EQ(kinds.size(), 9u);
+  // Each listed kind (sans the argument hint) parses; the stochastic
+  // ones draw from a seeded rng and get full-probability arguments so
+  // the parsed strategy always deviates.
+  util::Rng rng(1);
   for (const std::string& kind : kinds) {
     const auto colon = kind.find(':');
     const std::string bare = kind.substr(0, colon);
-    const std::string spec = colon == std::string::npos ? bare : bare + ":1";
-    EXPECT_FALSE(strategy_from_spec(spec).conforming()) << kind;
+    std::string spec = bare;
+    if (colon != std::string::npos) {
+      spec += (bare == "flip" || bare == "equivocate") ? ":100" : ":1";
+    }
+    EXPECT_FALSE(strategy_from_spec(spec, 0, &rng).conforming()) << kind;
   }
+}
+
+// ---- Stochastic kinds (the fuzzer's adversary families) ----
+
+TEST(StochasticStrategy, KindsRequireASeededRng) {
+  EXPECT_THROW(strategy_from_spec("flip:50"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crashrand:8"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("equivocate:50"), std::invalid_argument);
+}
+
+TEST(StochasticStrategy, ProbabilityIsAPercentage) {
+  util::Rng rng(7);
+  EXPECT_THROW(strategy_from_spec("flip:101", 0, &rng),
+               std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("equivocate:200", 0, &rng),
+               std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("flip:", 0, &rng), std::invalid_argument);
+}
+
+TEST(StochasticStrategy, FlipAtTheExtremes) {
+  util::Rng rng(7);
+  // 0%: always honest; 100%: always one of the concrete deviations.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(strategy_from_spec("flip:0", 0, &rng).conforming());
+    EXPECT_FALSE(strategy_from_spec("flip:100", 0, &rng).conforming());
+  }
+}
+
+TEST(StochasticStrategy, FlipReplaysWithTheSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 32; ++i) {
+    const Strategy x = strategy_from_spec("flip:50", 10, &a);
+    const Strategy y = strategy_from_spec("flip:50", 10, &b);
+    EXPECT_EQ(x.crash_at, y.crash_at);
+    EXPECT_EQ(x.withhold_contracts, y.withhold_contracts);
+    EXPECT_EQ(x.publish_corrupt_contracts, y.publish_corrupt_contracts);
+    EXPECT_EQ(x.withhold_unlocks, y.withhold_unlocks);
+    EXPECT_EQ(x.withhold_claims, y.withhold_claims);
+    EXPECT_EQ(x.premature_reveal, y.premature_reveal);
+    EXPECT_EQ(x.delay_unlocks_until, y.delay_unlocks_until);
+  }
+}
+
+TEST(StochasticStrategy, CrashrandLandsInsideTheWindow) {
+  util::Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const Strategy s = strategy_from_spec("crashrand:12", 100, &rng);
+    ASSERT_TRUE(s.crash_at.has_value());
+    EXPECT_GE(*s.crash_at, 100u);
+    EXPECT_LE(*s.crash_at, 112u);
+  }
+}
+
+TEST(StochasticStrategy, EquivocateOnlyEverCorruptsContracts) {
+  util::Rng rng(9);
+  bool corrupted = false, honest = false;
+  for (int i = 0; i < 64; ++i) {
+    const Strategy s = strategy_from_spec("equivocate:50", 0, &rng);
+    if (s.publish_corrupt_contracts) {
+      corrupted = true;
+      EXPECT_FALSE(s.crash_at.has_value());
+      EXPECT_FALSE(s.withhold_unlocks);
+    } else {
+      honest = true;
+      EXPECT_TRUE(s.conforming());
+    }
+  }
+  // At 50% both sides of the coin must show in 64 draws.
+  EXPECT_TRUE(corrupted);
+  EXPECT_TRUE(honest);
 }
 
 }  // namespace

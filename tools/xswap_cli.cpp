@@ -17,6 +17,19 @@
 //                        (tracing is off by default — the sealing hot
 //                        path formats nothing unless asked)
 //
+//   xswap fuzz [options]           seeded invariant sweep (swap/fuzz.hpp)
+//     --seed S           master seed (default 20180842); every case,
+//                        strategy draw, and fault stream derives from it
+//     --runs N           cases to generate and audit (default 100)
+//     --jobs J           run case chunks through the fleet executor on J
+//                        threads (default 1; results are identical)
+//     --min-parties A / --max-parties B   topology size band (3..8)
+//     --no-shrink        keep failing cases as generated (skip shrinking)
+//     --out FILE         where to write the shrunk minimal reproducer of
+//                        the first failure (default fuzz-repro.json)
+//     --replay FILE      instead of sweeping, replay one JSON seed file
+//                        (schema-checked) and audit that single case
+//
 //   xswap batch <offers-file> [options]   clear and run a whole offer book
 //   xswap batch --fleet <dir> [options]   clear and run EVERY book in a dir
 //     --mode/--delta/--seed/--timeline/--forensics/--trace as above,
@@ -65,6 +78,7 @@
 
 #include "graph/generators.hpp"
 #include "swap/forensics.hpp"
+#include "swap/fuzz.hpp"
 #include "swap/invariants.hpp"
 #include "swap/scenario.hpp"
 #include "swap/timeline.hpp"
@@ -86,6 +100,9 @@ namespace {
                "       xswap batch --fleet <dir> [--jobs N]\n"
                "             [--pool persistent|perrun] [--sched fifo|stealing]\n"
                "             [--mode MODE] [--delta N] [--seed N]\n"
+               "       xswap fuzz [--seed S] [--runs N] [--jobs J]\n"
+               "             [--min-parties A] [--max-parties B] [--no-shrink]\n"
+               "             [--out FILE] [--replay FILE]\n"
                "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
                "MODE: general | single | broadcast\n"
                "adversary KIND: crash:T | withhold | silent | corrupt | "
@@ -498,6 +515,126 @@ int run_fleet_dir(const std::string& dir, CommonFlags flags) {
   return all_safe ? 0 : 1;
 }
 
+/// Print one case's violation list (indented).
+void print_violations(const std::vector<std::string>& violations) {
+  for (const std::string& v : violations) std::printf("    %s\n", v.c_str());
+}
+
+int run_fuzz(int argc, char** argv, int i) {
+  swap::FuzzOptions options;
+  std::string out_path = "fuzz-repro.json";
+  std::string replay_path;
+
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--seed") options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--runs") options.runs = std::strtoul(next().c_str(), nullptr, 10);
+    else if (arg == "--jobs") {
+      options.jobs = std::strtoul(next().c_str(), nullptr, 10);
+      if (options.jobs == 0) usage("--jobs must be >= 1");
+    }
+    else if (arg == "--min-parties") options.min_parties = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    else if (arg == "--max-parties") options.max_parties = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    else if (arg == "--no-shrink") options.shrink = false;
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--replay") replay_path = next();
+    else if (arg == "--help") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+  if (options.min_parties < 2) usage("--min-parties must be >= 2");
+  if (options.max_parties < options.min_parties) {
+    usage("--max-parties must be >= --min-parties");
+  }
+
+  if (!replay_path.empty()) {
+    // Single-case replay: the seed file IS the case; audit it exactly as
+    // the sweep would (schema mismatches throw before anything runs).
+    swap::FuzzCase fuzz_case;
+    try {
+      fuzz_case = swap::read_case_file(replay_path);
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
+    std::printf("replay %s: topology=%s parties=%u", replay_path.c_str(),
+                fuzz_case.topology.c_str(), fuzz_case.parties);
+    if (fuzz_case.topology == "twocycles") std::printf("+%u", fuzz_case.cycle_b);
+    std::printf(" delta=%llu adversaries=%zu\n",
+                static_cast<unsigned long long>(fuzz_case.effective_delta()),
+                fuzz_case.adversaries.size());
+    swap::FuzzCaseResult result;
+    try {
+      result = swap::run_case(fuzz_case);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "replay failed to run: %s\n", e.what());
+      return 2;
+    }
+    if (result.violations.empty()) {
+      std::printf("  all invariants hold (all triggered: %s, perturbed "
+                  "submissions: %zu)\n",
+                  result.all_triggered ? "yes" : "no",
+                  result.perturbed_submissions);
+      return 0;
+    }
+    std::printf("  INVARIANT VIOLATIONS:\n");
+    print_violations(result.violations);
+    return 1;
+  }
+
+  std::printf("fuzz: seed=%llu runs=%zu jobs=%zu parties=%u..%u\n",
+              static_cast<unsigned long long>(options.seed), options.runs,
+              options.jobs, options.min_parties, options.max_parties);
+
+  const swap::FuzzSummary summary = swap::fuzz_sweep(options);
+
+  std::printf("cases: %zu run, %zu component swaps, %zu fully triggered, "
+              "%zu perturbed submissions\n",
+              summary.runs, summary.swaps, summary.swaps_fully_triggered,
+              summary.perturbed_submissions);
+  std::printf("adversary mix:");
+  if (summary.strategy_counts.empty()) std::printf(" (none)");
+  for (const auto& [kind, count] : summary.strategy_counts) {
+    std::printf(" %s=%zu", kind.c_str(), count);
+  }
+  std::printf("\ntrigger-time distribution (last trigger, delta units after "
+              "start -> swaps):\n");
+  for (const auto& [units, count] : summary.trigger_histogram) {
+    std::printf("  %3llu delta: %zu\n", static_cast<unsigned long long>(units),
+                count);
+  }
+  std::printf("wall clock: %.1f ms\n", summary.wall_ms);
+
+  if (summary.ok()) {
+    std::printf("invariants: all hold across the sweep\n");
+    return 0;
+  }
+
+  std::printf("\nINVARIANT VIOLATIONS in %zu case(s):\n",
+              summary.failures.size());
+  for (const swap::FuzzFailure& failure : summary.failures) {
+    std::printf("  case %llu (seed %llu):\n",
+                static_cast<unsigned long long>(failure.original.fuzz_case.index),
+                static_cast<unsigned long long>(failure.original.fuzz_case.seed));
+    print_violations(failure.original.violations);
+    std::printf("  shrunk (%zu attempts) to %s parties=%u adversaries=%zu:\n",
+                failure.shrink_attempts, failure.minimal.topology.c_str(),
+                failure.minimal.parties, failure.minimal.adversaries.size());
+    print_violations(failure.minimal_violations);
+  }
+  try {
+    swap::write_case_file(summary.failures.front().minimal, out_path);
+    std::printf("minimal reproducer written to %s (replay with "
+                "`xswap fuzz --replay %s`)\n",
+                out_path.c_str(), out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "could not write reproducer: %s\n", e.what());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -514,6 +651,8 @@ int main(int argc, char** argv) {
       // The book source is either a positional offers file or --fleet
       // DIR later in the flags.
       if (i < argc && argv[i][0] != '-') offers_path = argv[i++];
+    } else if (subcommand == "fuzz") {
+      return run_fuzz(argc, argv, i);
     } else if (subcommand != "run") {
       usage(("unknown subcommand " + subcommand).c_str());
     }
