@@ -1,5 +1,6 @@
 #include "chain/ledger.hpp"
 
+#include <cassert>
 #include <functional>
 #include <stdexcept>
 
@@ -14,10 +15,19 @@ ChainLockRegistry::ChainLockRegistry(std::size_t stripes)
   if (stripes == 0) {
     throw std::invalid_argument("ChainLockRegistry: need at least 1 stripe");
   }
-  stripes_ = std::make_unique<std::mutex[]>(stripe_count_);
+  stripes_ = std::make_unique<util::Mutex[]>(stripe_count_);
 }
 
-std::mutex& ChainLockRegistry::stripe_for(const std::string& chain_name) {
+ChainLockRegistry::~ChainLockRegistry() {
+  // Destroying the registry while a ledger still holds a stripe pointer
+  // leaves that ledger sealing through freed memory. Debug builds catch
+  // the inverted destruction order here; chain_ledger_test covers the
+  // contract in release builds too (via attached_ledgers()).
+  assert(attached_.load(std::memory_order_relaxed) == 0 &&
+         "ChainLockRegistry destroyed before its attached Ledgers");
+}
+
+util::Mutex& ChainLockRegistry::stripe_for(const std::string& chain_name) {
   return stripes_[std::hash<std::string>{}(chain_name) % stripe_count_];
 }
 
@@ -50,8 +60,19 @@ void Ledger::start() {
   });
 }
 
+Ledger::~Ledger() {
+  if (lock_registry_ != nullptr) lock_registry_->detach();
+}
+
 void Ledger::set_chain_locks(ChainLockRegistry* registry) {
-  seal_stripe_ = registry == nullptr ? nullptr : &registry->stripe_for(name_);
+  if (lock_registry_ != nullptr) lock_registry_->detach();
+  lock_registry_ = registry;
+  if (registry == nullptr) {
+    seal_stripe_ = nullptr;
+    return;
+  }
+  registry->attach();
+  seal_stripe_ = &registry->stripe_for(name_);
 }
 
 void Ledger::enable_trace() {
@@ -266,7 +287,7 @@ void Ledger::seal() {
   // Same-chain seals across concurrently running components serialize
   // on the name's stripe; disjoint chains hash to other stripes and
   // proceed in parallel (see ChainLockRegistry).
-  const std::lock_guard<std::mutex> guard(*seal_stripe_);
+  const util::MutexLock guard(*seal_stripe_);
   seal_locked();
 }
 
@@ -316,7 +337,7 @@ void Ledger::seal_batch() const {
   // and keeps this callable from contract callbacks while seal() holds
   // the stripe — only seal() itself, which callbacks cannot reach, ever
   // takes a stripe lock.
-  const std::lock_guard<std::mutex> guard(flush_mutex_);
+  const util::MutexLock guard(flush_mutex_);
   for (std::size_t i = hashed_blocks_; i < blocks_.size(); ++i) {
     Block& block = blocks_[i];
     block.prev_hash = blocks_[i - 1].hash();

@@ -22,11 +22,11 @@
 // does zero trace formatting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -39,6 +39,8 @@
 #include "chain/trace.hpp"
 #include "chain/transaction.hpp"
 #include "sim/simulator.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace xswap::chain {
 
@@ -57,27 +59,45 @@ namespace xswap::chain {
 /// deterministic simulated (time, seq) order, and batch aggregation is
 /// index-ordered — so trace hashes and reports stay bit-identical to
 /// the serial schedule (the golden determinism gate asserts this).
+/// LIFETIME CONTRACT: Ledger::set_chain_locks stores a raw pointer into
+/// this registry's stripe array, so the registry must outlive every
+/// ledger attached to it (detach with set_chain_locks(nullptr) first
+/// otherwise). Attached ledgers are refcounted and the destructor
+/// asserts the count is zero in debug builds; attached_ledgers() exposes
+/// it for tests.
 class ChainLockRegistry {
  public:
   static constexpr std::size_t kDefaultStripes = 64;
 
   explicit ChainLockRegistry(std::size_t stripes = kDefaultStripes);
+  ~ChainLockRegistry();
 
   ChainLockRegistry(const ChainLockRegistry&) = delete;
   ChainLockRegistry& operator=(const ChainLockRegistry&) = delete;
 
   /// The stripe serializing `chain_name`'s seals (stable for the
   /// registry's lifetime; distinct names may share a stripe).
-  std::mutex& stripe_for(const std::string& chain_name);
+  util::Mutex& stripe_for(const std::string& chain_name);
 
   std::size_t stripe_count() const { return stripe_count_; }
+
+  /// Ledgers currently holding a stripe pointer into this registry
+  /// (must be zero at destruction — see the lifetime contract above).
+  std::size_t attached_ledgers() const {
+    return attached_.load(std::memory_order_relaxed);
+  }
 
   /// Process-wide registry, the default home for fleet runs.
   static ChainLockRegistry& global();
 
  private:
-  std::unique_ptr<std::mutex[]> stripes_;
+  friend class Ledger;  // attach/detach bookkeeping from set_chain_locks
+  void attach() { attached_.fetch_add(1, std::memory_order_relaxed); }
+  void detach() { attached_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::unique_ptr<util::Mutex[]> stripes_;
   std::size_t stripe_count_;
+  std::atomic<std::size_t> attached_{0};
 };
 
 /// A single blockchain. Each arc of a swap digraph runs on its own Ledger
@@ -94,6 +114,10 @@ class Ledger {
   /// immediately; subsequent seals happen every `seal_period` ticks once
   /// start() is called.
   Ledger(std::string name, sim::Simulator& sim, sim::Duration seal_period = 1);
+
+  /// Detaches from the chain-lock registry, if any (see set_chain_locks
+  /// and the ChainLockRegistry lifetime contract).
+  ~Ledger();
 
   Ledger(const Ledger&) = delete;
   Ledger& operator=(const Ledger&) = delete;
@@ -131,6 +155,9 @@ class Ledger {
   /// stripe for the chain name (nullptr — the default — means no
   /// cross-component lock). Enables running components that model the
   /// same chain concurrently while keeping per-ledger serialization.
+  /// The registry must outlive this ledger or be detached first by
+  /// calling set_chain_locks(nullptr); attachment is refcounted so the
+  /// registry can assert the contract at destruction.
   void set_chain_locks(ChainLockRegistry* registry);
 
   // ---- Assets ----
@@ -305,16 +332,26 @@ class Ledger {
   // fills them (lazily, from const observers — hence mutable, with the
   // flush mutex keeping concurrent const readers of a finished ledger
   // as safe as the pure getter they used to call).
+  // blocks_ itself is synchronized by the run protocol, not a mutex:
+  // seal_locked() appends on the simulation thread while the run is in
+  // flight, and concurrent const observers are only allowed on a
+  // finished ledger (the documented BatchReport aggregation contract),
+  // where the flush mutex below makes header completion safe.
   mutable std::vector<Block> blocks_;
-  mutable std::size_t hashed_blocks_ = 1;  // genesis header is eager
-  mutable std::vector<crypto::Digest256> leaf_scratch_;
-  mutable std::mutex flush_mutex_;
+  mutable util::Mutex flush_mutex_;
+  mutable std::size_t hashed_blocks_
+      XSWAP_GUARDED_BY(flush_mutex_) = 1;  // genesis header is eager
+  mutable std::vector<crypto::Digest256> leaf_scratch_
+      XSWAP_GUARDED_BY(flush_mutex_);
 
   // Cross-component seal serialization (nullptr = not shared). Held by
   // seal() across transaction execution — the §2.2 critical section —
   // and never by any public entry point, so contract callbacks may call
   // blocks()/verify_integrity()/seal_batch() without self-deadlock.
-  std::mutex* seal_stripe_ = nullptr;
+  // Points into lock_registry_'s stripe array; the registry must
+  // outlive this ledger (refcounted, asserted by the registry's dtor).
+  util::Mutex* seal_stripe_ = nullptr;
+  ChainLockRegistry* lock_registry_ = nullptr;
 
   // Contract ids are dense (assigned sequentially from 1), so the live
   // table is a vector indexed by id-1; unpublished slots hold nullptr.

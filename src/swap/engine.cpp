@@ -32,10 +32,12 @@ SwapEngine::SwapEngine(ClearedSwap cleared, EngineOptions options)
   }
   // One protocol hop is publish + confirm on a chain; with a network
   // model attached, its worst-case extra delay joins the hop so the
-  // §2.2 timing assumption keeps holding on every perturbed run.
-  const sim::Duration hop = options_.seal_period + options_.chain_submit_delay +
-                            options_.net.max_extra_delay();
-  if (options_.delta < 2 * hop && !options_.allow_unsafe_timing) {
+  // §2.2 timing assumption keeps holding on every perturbed run. The
+  // bound comes from the single min_safe_delta() helper — the Δ
+  // discipline tools/xswap_lint.py enforces tree-wide.
+  const sim::Duration hop = options_.seal_period + options_.chain_submit_delay;
+  if (options_.delta < options_.net.min_safe_delta(hop) &&
+      !options_.allow_unsafe_timing) {
     throw std::invalid_argument(
         "SwapEngine: delta must cover two chain hops "
         "(publish + confirm, each seal_period + submit_delay + worst-case "
@@ -213,8 +215,8 @@ sim::Time SwapEngine::end_time() const {
   // round-trip; add margin for sealing and submission latency (and the
   // network model's worst case, so fault-delayed refunds still land).
   return spec_.final_deadline() + 2 * spec_.delta +
-         4 * (options_.seal_period + options_.chain_submit_delay +
-              options_.net.max_extra_delay());
+         2 * options_.net.min_safe_delta(options_.seal_period +
+                                         options_.chain_submit_delay);
 }
 
 SwapReport SwapEngine::harvest() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace xswap::swap {
 
@@ -28,7 +29,7 @@ void ThreadPoolExecutor::run(std::size_t count,
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
 
   const auto worker = [&] {
     for (;;) {
@@ -37,7 +38,7 @@ void ThreadPoolExecutor::run(std::size_t count,
       try {
         task(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const util::MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -71,7 +72,7 @@ WorkStealingPool::WorkStealingPool(std::size_t n_threads) : lanes_(n_threads) {
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   batch_cv_.notify_all();
@@ -82,7 +83,7 @@ void WorkStealingPool::run_task(std::size_t index) {
   try {
     (*task_)(index);
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(error_mutex_);
+    const util::MutexLock lock(error_mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
   remaining_.fetch_sub(1, std::memory_order_acq_rel);
@@ -127,7 +128,7 @@ bool WorkStealingPool::steal_top(Deque& d, std::size_t* out) {
 void WorkStealingPool::work_batch(std::size_t lane) {
   Deque& mine = *deques_[lane];
   for (;;) {
-    std::size_t index;
+    std::size_t index = 0;
     if (pop_bottom(mine, &index)) {
       run_task(index);
       continue;
@@ -154,8 +155,11 @@ void WorkStealingPool::worker_main(std::size_t lane) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      batch_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      util::MutexLock lock(mutex_);
+      // condition_variable_any waits on the annotated Mutex itself; the
+      // analysis treats mutex_ as held across the wait, matching the
+      // predicate re-check under the reacquired lock.
+      while (!stop_ && epoch_ == seen_epoch) batch_cv_.wait(mutex_);
       if (stop_) return;
       seen_epoch = epoch_;
       ++joined_;
@@ -163,7 +167,7 @@ void WorkStealingPool::worker_main(std::size_t lane) {
     }
     work_batch(lane);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       --active_;
     }
     done_cv_.notify_one();
@@ -175,7 +179,7 @@ void WorkStealingPool::run(std::size_t count,
   if (count == 0) return;
   // One batch at a time; concurrent callers queue here, which is what
   // makes the pool safely shareable across scenarios and fleet runners.
-  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const util::MutexLock run_lock(run_mutex_);
 
   if (lanes_ == 1) {  // persistent but serial: no handoff, no wakeups
     for (std::size_t i = 0; i < count; ++i) task(i);
@@ -200,10 +204,13 @@ void WorkStealingPool::run(std::size_t count,
   }
 
   task_ = &task;
-  first_error_ = nullptr;
+  {
+    const util::MutexLock lock(error_mutex_);
+    first_error_ = nullptr;
+  }
   remaining_.store(count, std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++epoch_;
     joined_ = 0;
   }
@@ -215,15 +222,21 @@ void WorkStealingPool::run(std::size_t count,
   // tasks finished. Requiring the full join means no worker can arrive
   // late (after run() returned) and race a subsequent batch's refill.
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
-      return joined_ == lanes_ - 1 && active_ == 0 &&
-             remaining_.load(std::memory_order_acquire) == 0;
-    });
+    util::MutexLock lock(mutex_);
+    while (!(joined_ == lanes_ - 1 && active_ == 0 &&
+             remaining_.load(std::memory_order_acquire) == 0)) {
+      done_cv_.wait(mutex_);
+    }
   }
   task_ = nullptr;
   batches_.fetch_add(1, std::memory_order_relaxed);
-  if (first_error_) std::rethrow_exception(first_error_);
+
+  std::exception_ptr error;
+  {
+    const util::MutexLock lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 // ---------------------------------------------------------------------------
@@ -239,14 +252,14 @@ std::shared_ptr<WorkStealingPool> ExecutorRegistry::shared_pool(
   if (n_threads == 0) {
     throw std::invalid_argument("ExecutorRegistry: need at least 1 lane");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::shared_ptr<WorkStealingPool>& slot = pools_[n_threads];
   if (!slot) slot = std::make_shared<WorkStealingPool>(n_threads);
   return slot;
 }
 
 std::size_t ExecutorRegistry::pool_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return pools_.size();
 }
 

@@ -22,6 +22,13 @@
 // Persistent pools are typically obtained from the process-wide
 // ExecutorRegistry and handed to Scenario::run via RunOptions::pool (an
 // owning handle, safe to share across scenarios and threads of control).
+//
+// Lock discipline is stated with the Clang Thread Safety annotations
+// (util/thread_annotations.hpp): members tagged XSWAP_GUARDED_BY may
+// only be touched under their mutex, and -Wthread-safety (CMake
+// -DXSWAP_THREAD_SAFETY=ON) proves it at compile time. State that is
+// synchronized by a protocol rather than a mutex (the deque atomics,
+// the epoch-published task pointer) is documented inline instead.
 #pragma once
 
 #include <atomic>
@@ -32,10 +39,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace xswap::swap {
 
@@ -113,8 +122,11 @@ class WorkStealingPool final : public Executor {
   WorkStealingPool(const WorkStealingPool&) = delete;
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
-  void run(std::size_t count,
-           const std::function<void(std::size_t)>& task) override;
+  /// Tasks must not re-enter run() on the same pool (run_mutex_ is not
+  /// recursive) and must not touch the batch-handoff state — which is
+  /// exactly what XSWAP_EXCLUDES states to the analysis.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task)
+      override XSWAP_EXCLUDES(run_mutex_, mutex_, error_mutex_);
   const char* name() const override { return "work-stealing"; }
 
   std::size_t thread_count() const { return lanes_; }
@@ -137,33 +149,39 @@ class WorkStealingPool final : public Executor {
     std::vector<std::size_t> slots;
   };
 
-  void worker_main(std::size_t lane);
+  void worker_main(std::size_t lane) XSWAP_EXCLUDES(mutex_);
   /// Drain the batch from lane's own deque, then steal; returns when no
   /// task is claimable anywhere (running tasks may still be in flight).
-  void work_batch(std::size_t lane);
+  void work_batch(std::size_t lane) XSWAP_EXCLUDES(mutex_, error_mutex_);
   bool pop_bottom(Deque& d, std::size_t* out);
   bool steal_top(Deque& d, std::size_t* out);
-  void run_task(std::size_t index);
+  void run_task(std::size_t index) XSWAP_EXCLUDES(error_mutex_);
 
   const std::size_t lanes_;
   std::vector<std::unique_ptr<Deque>> deques_;  // one per lane
   std::vector<std::thread> workers_;            // lanes 1..n-1
 
-  std::mutex run_mutex_;  // serializes run() calls (one batch at a time)
+  util::Mutex run_mutex_;  // serializes run() calls (one batch at a time)
 
-  // Batch state, published under mutex_ before workers wake.
-  std::mutex mutex_;
-  std::condition_variable batch_cv_;  // workers park here between batches
-  std::condition_variable done_cv_;   // run() waits for the batch to drain
-  std::uint64_t epoch_ = 0;           // bumped per batch
-  std::size_t joined_ = 0;            // workers that acknowledged this epoch
-  std::size_t active_ = 0;            // workers currently inside work_batch
-  bool stop_ = false;
+  // Batch state, published under mutex_ before workers wake. The
+  // condvars are _any so they can wait on the annotated Mutex directly.
+  util::Mutex mutex_;
+  std::condition_variable_any batch_cv_;  // workers park between batches
+  std::condition_variable_any done_cv_;   // run() waits for batch drain
+  std::uint64_t epoch_ XSWAP_GUARDED_BY(mutex_) = 0;  // bumped per batch
+  std::size_t joined_ XSWAP_GUARDED_BY(mutex_) = 0;   // acks this epoch
+  std::size_t active_ XSWAP_GUARDED_BY(mutex_) = 0;   // inside work_batch
+  bool stop_ XSWAP_GUARDED_BY(mutex_) = false;
 
+  // Written by run() while every worker is parked, read by workers
+  // after they observe the new epoch under mutex_ — the epoch handoff
+  // (release of mutex_ in run(), acquire in worker_main) is the
+  // synchronization, not a lock held at the read. Not annotatable; the
+  // TSan CI job covers this protocol dynamically.
   const std::function<void(std::size_t)>* task_ = nullptr;
   std::atomic<std::size_t> remaining_{0};  // tasks not yet finished
-  std::exception_ptr first_error_;
-  std::mutex error_mutex_;
+  std::exception_ptr first_error_ XSWAP_GUARDED_BY(error_mutex_);
+  util::Mutex error_mutex_;
 
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> steals_{0};
@@ -181,15 +199,17 @@ class ExecutorRegistry {
   /// The shared persistent pool with `n_threads` lanes, created on first
   /// use. Thread-safe; the returned handle keeps the pool alive even if
   /// the registry were torn down first.
-  std::shared_ptr<WorkStealingPool> shared_pool(std::size_t n_threads);
+  std::shared_ptr<WorkStealingPool> shared_pool(std::size_t n_threads)
+      XSWAP_EXCLUDES(mutex_);
 
   /// Number of distinct pool sizes created so far.
-  std::size_t pool_count() const;
+  std::size_t pool_count() const XSWAP_EXCLUDES(mutex_);
 
  private:
   ExecutorRegistry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::size_t, std::shared_ptr<WorkStealingPool>> pools_;
+  mutable util::Mutex mutex_;
+  std::map<std::size_t, std::shared_ptr<WorkStealingPool>> pools_
+      XSWAP_GUARDED_BY(mutex_);
 };
 
 /// Per-run knobs for Scenario::run(RunOptions). Validation happens at

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <chrono>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -362,7 +364,13 @@ class JsonParser {
     bool any = false;
     while (pos_ < text_.size() &&
            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      v.number = v.number * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      const auto digit = static_cast<std::uint64_t>(text_[pos_] - '0');
+      // Seed files are hand- or tool-written; a value past 2^64-1 must
+      // be a diagnosable mistake, not a silent wrap to a different case.
+      if (v.number > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        fail("number does not fit in 64 bits");
+      }
+      v.number = v.number * 10 + digit;
       ++pos_;
       any = true;
     }
@@ -422,10 +430,10 @@ JitterKind jitter_from_name(const std::string& name) {
 
 sim::Duration FuzzCase::effective_delta() const {
   if (delta > 0) return delta;
-  // Default engine timing: seal_period 1, chain_submit_delay 0; Δ must
-  // cover two perturbed hops and never drops below the engine floor.
-  const sim::Duration hop = 1 + net.max_extra_delay();
-  return std::max<sim::Duration>(4, 2 * hop);
+  // Default engine timing: seal_period 1, chain_submit_delay 0; Δ comes
+  // from the same min_safe_delta bound the engine enforces and never
+  // drops below the engine floor of 4.
+  return std::max<sim::Duration>(4, net.min_safe_delta(1));
 }
 
 FuzzCase case_from_seed(const FuzzOptions& options, std::uint64_t index) {
@@ -473,7 +481,7 @@ FuzzCase case_from_seed(const FuzzOptions& options, std::uint64_t index) {
                                        "flip",     "crashrand", "equivocate"};
   for (std::uint64_t a = 0; a < adversary_count; ++a) {
     const std::uint64_t who = rng.next_below(vertexes);
-    const std::string kind = kKinds[rng.next_below(9)];
+    const std::string kind = kKinds[rng.next_below(std::size(kKinds))];
     std::string spec = "P" + std::to_string(who) + ":" + kind;
     if (kind == "crash" || kind == "late" || kind == "crashrand") {
       // Tick offsets relative to start; Δ ≥ 4, so this spans a few Δ.
@@ -524,11 +532,16 @@ FuzzCase case_from_seed(const FuzzOptions& options, std::uint64_t index) {
       break;
   }
 
-  sim::Duration worst = c.net.max_jitter +
-                        static_cast<sim::Duration>(c.net.max_retries) *
-                            c.net.retry_delay;
-  for (const sim::Duration d : partition_durations) worst += d;
-  c.delta = std::max<sim::Duration>(4, 2 * (1 + worst));
+  // Δ via the shared min_safe_delta bound (never re-derived from the
+  // individual fault knobs — xswap_lint's Δ-discipline rule): probe the
+  // drawn profile with the partition durations parked at placeholder
+  // windows, since placement itself needs Δ. The rng draw order below
+  // is unchanged, so pinned corpus seeds replay bit-for-bit.
+  NetworkModel probe = c.net;
+  for (const sim::Duration d : partition_durations) {
+    probe.partitions.push_back(Partition{"", 0, d});
+  }
+  c.delta = std::max<sim::Duration>(4, probe.min_safe_delta(1));
 
   // Place the partition windows inside the protocol's active span
   // [Δ, (2·n + 1)·Δ] — n upper-bounds diam, so deadlines land in there.

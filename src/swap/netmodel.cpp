@@ -51,6 +51,10 @@ sim::Duration NetworkModel::max_extra_delay() const {
   return worst;
 }
 
+sim::Duration NetworkModel::min_safe_delta(sim::Duration chain_hop) const {
+  return 2 * (chain_hop + max_extra_delay());
+}
+
 std::vector<std::string> NetworkModel::validate() const {
   std::vector<std::string> problems;
   if (jitter == JitterKind::kGeometric) {

@@ -81,6 +81,15 @@ struct NetworkModel {
   /// perturbed runs stay inside the paper's timing assumption.
   sim::Duration max_extra_delay() const;
 
+  /// THE Δ lower bound: 2 · (chain_hop + max_extra_delay()), where
+  /// `chain_hop` is seal_period + submit_delay. Every Δ computation in
+  /// the tree must route through this one function instead of
+  /// re-deriving the worst case from the individual fault knobs —
+  /// tools/xswap_lint.py enforces it (a re-derivation that drifted from
+  /// max_extra_delay would silently void the Thm 4.7/4.9 guarantee on
+  /// perturbed runs).
+  sim::Duration min_safe_delta(sim::Duration chain_hop) const;
+
   /// The per-submission extra-delay hook for one chain, seeded by
   /// (engine_seed, this->seed, chain name) — deterministic across
   /// platforms and executors. Returns the closure chain::Ledger

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <set>
 #include <stdexcept>
+
+#include "util/mutex.hpp"
 
 namespace xswap::swap {
 
@@ -116,13 +117,13 @@ BatchReport Scenario::run(const RunOptions& options) {
   // below, in component order. Progress callbacks are serialized here so
   // user code needs no locking of its own.
   std::vector<SwapReport> reports(count);
-  std::mutex progress_mutex;
+  util::Mutex progress_mutex;
   const auto started = std::chrono::steady_clock::now();
   try {
     executor.run(count, [&](std::size_t i) {
       SwapReport report = engines_[i]->run();
       if (options.progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
+        const util::MutexLock lock(progress_mutex);
         options.progress(i, report);
       }
       reports[i] = std::move(report);

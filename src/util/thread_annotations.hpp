@@ -1,0 +1,71 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// The concurrency surface (swap/executor.hpp, chain/ledger.hpp,
+// swap/scenario.cpp) states its lock discipline with these macros so a
+// Clang build with -Wthread-safety (CMake: -DXSWAP_THREAD_SAFETY=ON)
+// proves at compile time that every access to a guarded member holds
+// the right mutex — the static counterpart of the TSan CI job, which
+// only checks the interleavings that actually execute. On compilers
+// without the attributes (GCC, MSVC) every macro expands to nothing.
+//
+// The annotations attach to util::Mutex (util/mutex.hpp), not to
+// std::mutex directly: the analysis only follows types that carry a
+// capability attribute, which standard-library mutexes do not.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define XSWAP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef XSWAP_THREAD_ANNOTATION
+#define XSWAP_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define XSWAP_CAPABILITY(x) XSWAP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define XSWAP_SCOPED_CAPABILITY XSWAP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while holding `x`.
+#define XSWAP_GUARDED_BY(x) XSWAP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* may only be accessed while holding
+/// `x` (the pointer itself is unguarded).
+#define XSWAP_PT_GUARDED_BY(x) XSWAP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held by the caller.
+#define XSWAP_REQUIRES(...) \
+  XSWAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities to NOT be held by the
+/// caller (self-deadlock guard).
+#define XSWAP_EXCLUDES(...) \
+  XSWAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define XSWAP_ACQUIRE(...) \
+  XSWAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define XSWAP_RELEASE(...) \
+  XSWAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; `b` is the success return
+/// value. (__VA_OPT__ so an empty capability list — meaning `this` —
+/// leaves no trailing comma behind.)
+#define XSWAP_TRY_ACQUIRE(b, ...) \
+  XSWAP_THREAD_ANNOTATION(try_acquire_capability(b __VA_OPT__(, ) __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define XSWAP_RETURN_CAPABILITY(x) XSWAP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for a reason the
+/// analysis cannot see. Every use must carry a comment saying why.
+#define XSWAP_NO_THREAD_SAFETY_ANALYSIS \
+  XSWAP_THREAD_ANNOTATION(no_thread_safety_analysis)

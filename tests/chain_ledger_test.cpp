@@ -298,5 +298,48 @@ TEST(Ledger, ChainLocksSerializeSameNameSeals) {
   EXPECT_EQ(b.balance("bob", "BTC"), 7u);
 }
 
+TEST(Ledger, ChainLockRegistryTracksAttachedLedgers) {
+  // Lifetime contract: Ledger::seal_stripe_ is a raw pointer into the
+  // registry, so the registry must outlive every attached ledger. The
+  // attach/detach refcount makes the contract observable here and is
+  // what the registry's destructor asserts on in debug builds.
+  ChainLockRegistry registry(4);
+  EXPECT_EQ(registry.attached_ledgers(), 0u);
+  {
+    sim::Simulator sim_a, sim_b;
+    Ledger a("alpha", sim_a, 1), b("beta", sim_b, 1);
+    a.set_chain_locks(&registry);
+    EXPECT_EQ(registry.attached_ledgers(), 1u);
+    b.set_chain_locks(&registry);
+    EXPECT_EQ(registry.attached_ledgers(), 2u);
+
+    // Re-attaching to the same registry must not double-count.
+    a.set_chain_locks(&registry);
+    EXPECT_EQ(registry.attached_ledgers(), 2u);
+
+    // Swapping a ledger to a second registry moves its count over.
+    {
+      ChainLockRegistry other(2);
+      a.set_chain_locks(&other);
+      EXPECT_EQ(registry.attached_ledgers(), 1u);
+      EXPECT_EQ(other.attached_ledgers(), 1u);
+      // Detach before `other` dies (its destructor asserts on this).
+      a.set_chain_locks(nullptr);
+      EXPECT_EQ(other.attached_ledgers(), 0u);
+    }
+
+    // Explicit detach releases the stripe reference immediately...
+    b.set_chain_locks(nullptr);
+    EXPECT_EQ(registry.attached_ledgers(), 0u);
+
+    // ...and both re-attach for the destructor leg of the contract.
+    a.set_chain_locks(&registry);
+    b.set_chain_locks(&registry);
+    EXPECT_EQ(registry.attached_ledgers(), 2u);
+  }
+  // ...and ledger destruction detaches the rest.
+  EXPECT_EQ(registry.attached_ledgers(), 0u);
+}
+
 }  // namespace
 }  // namespace xswap::chain

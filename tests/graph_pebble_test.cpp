@@ -94,7 +94,9 @@ TEST_P(PebbleBoundTest, LazyWithinDiameterOnComplete) {
   // so it cross-checks the closed form on the small sizes and the bound
   // itself is asserted analytically for every size (n8/n10 included,
   // which used to skip here).
-  if (n <= 7) EXPECT_EQ(diameter(d), n);
+  if (n <= 7) {
+    EXPECT_EQ(diameter(d), n);
+  }
   EXPECT_LE(r.rounds, n);
 }
 

@@ -1,0 +1,51 @@
+// Positive control for the thread-safety gate: the same shapes as the
+// two violation fixtures, locked correctly. MUST compile everywhere,
+// including under Clang -Wthread-safety -Werror=thread-safety — if this
+// fixture fails, the gate is broken (over-restrictive annotations),
+// not the code under test.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    const xswap::util::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    const xswap::util::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  xswap::util::Mutex mutex_;
+  int balance_ XSWAP_GUARDED_BY(mutex_) = 0;
+};
+
+class Journal {
+ public:
+  void append_locked(int entry) XSWAP_REQUIRES(mutex_) { last_ = entry; }
+
+  void append(int entry) {
+    const xswap::util::MutexLock lock(mutex_);
+    append_locked(entry);
+  }
+
+  xswap::util::Mutex mutex_;
+
+ private:
+  int last_ XSWAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  Journal journal;
+  journal.append(7);
+  return account.balance();
+}

@@ -1,0 +1,33 @@
+// Seeded violation #1 for the thread-safety gate: writes an
+// XSWAP_GUARDED_BY member without holding its mutex. Under Clang with
+// -Wthread-safety -Werror=thread-safety this MUST NOT compile; with the
+// annotations expanded to nothing (any other compiler) it must be
+// ordinary valid C++. tests/static_analysis/CMakeLists.txt asserts both
+// directions.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // BAD: touches balance_ with mutex_ not held.
+  void deposit_unlocked(int amount) { balance_ += amount; }
+
+  int balance() {
+    const xswap::util::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  xswap::util::Mutex mutex_;
+  int balance_ XSWAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit_unlocked(1);
+  return account.balance();
+}

@@ -1,0 +1,29 @@
+// Seeded violation #2 for the thread-safety gate: calls an
+// XSWAP_REQUIRES function without acquiring the named mutex first.
+// Under Clang with -Wthread-safety -Werror=thread-safety this MUST NOT
+// compile; elsewhere it must be ordinary valid C++.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Journal {
+ public:
+  void append_locked(int entry) XSWAP_REQUIRES(mutex_) { last_ = entry; }
+
+  // BAD: caller contract says mutex_ must already be held.
+  void append(int entry) { append_locked(entry); }
+
+  xswap::util::Mutex mutex_;
+
+ private:
+  int last_ XSWAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Journal journal;
+  journal.append(7);
+  return 0;
+}

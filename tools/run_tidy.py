@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a zero-NEW-findings gate.
+
+Runs clang-tidy (config: the repo-root .clang-tidy) over every first-party
+translation unit in the compilation database and diffs the normalized
+findings against the committed baseline (tools/tidy_baseline.txt):
+
+  * a finding already in the baseline is tolerated (legacy debt, burned
+    down separately);
+  * any finding NOT in the baseline fails the run — new code must be
+    tidy-clean from the start.
+
+Findings are normalized to ``<repo-relative-path> [check-name] <message>``
+with line/column stripped, so unrelated edits that only shift line
+numbers do not churn the baseline. Identical findings are counted as a
+multiset: introducing a *second* instance of an already-baselined defect
+still fails.
+
+The tool degrades gracefully where clang-tidy is not installed (the dev
+container ships GCC only): it prints a notice and exits 0. CI passes
+``--require`` so the gate cannot be skipped silently there.
+
+Usage:
+  tools/run_tidy.py [--build-dir build] [--require] [-j N]
+  tools/run_tidy.py --update-baseline     # rewrite tools/tidy_baseline.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "tidy_baseline.txt"
+
+# First-party TU filter: analysis covers the library and the CLI.
+# tests/bench/examples are covered by -Wall -Wextra -Werror instead
+# (gtest macro expansions drown clang-tidy in third-party noise).
+SOURCE_DIRS = ("src", "tools")
+
+# clang-tidy diagnostic line: /abs/path.cpp:LINE:COL: warning: msg [check]
+FINDING_RE = re.compile(
+    r"^(?P<path>/[^:]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[a-z0-9.,-]+)\]\s*$"
+)
+
+
+def find_clang_tidy() -> str | None:
+    """Newest clang-tidy on PATH, preferring unversioned."""
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(25, 13, -1)]
+    for name in candidates:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def first_party_sources(build_dir: Path) -> list[str]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(
+            f"run_tidy: {db_path} not found — configure first:\n"
+            f"  cmake -B {build_dir} -S {REPO_ROOT}"
+        )
+    entries = json.loads(db_path.read_text())
+    sources: list[str] = []
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # generated / third-party TU outside the repo
+        if rel.parts and rel.parts[0] in SOURCE_DIRS:
+            sources.append(str(path))
+    return sorted(set(sources))
+
+
+def normalize(raw_output: str) -> Counter[str]:
+    """Multiset of location-independent finding keys from tidy output."""
+    findings: Counter[str] = Counter()
+    for line in raw_output.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = Path(m.group("path"))
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # finding in a system / third-party header
+        findings[f"{rel} [{m.group('check')}] {m.group('msg')}"] += 1
+    return findings
+
+
+def run_tidy(tool: str, build_dir: Path, sources: list[str],
+             jobs: int) -> Counter[str]:
+    def one(src: str) -> str:
+        proc = subprocess.run(
+            [tool, "--quiet", "-p", str(build_dir), src],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        # clang-tidy exits non-zero on findings; a crash/config error has
+        # no parsable findings and must not pass silently.
+        if proc.returncode != 0 and not FINDING_RE.search(proc.stdout or ""):
+            sys.stderr.write(proc.stderr)
+            raise RuntimeError(f"clang-tidy failed on {src}")
+        return proc.stdout
+
+    findings: Counter[str] = Counter()
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        for output in pool.map(one, sources):
+            findings += normalize(output)
+    return findings
+
+
+def read_baseline() -> Counter[str]:
+    baseline: Counter[str] = Counter()
+    if not BASELINE.is_file():
+        return baseline
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            baseline[line] += 1
+    return baseline
+
+
+def write_baseline(findings: Counter[str]) -> None:
+    lines = [
+        "# clang-tidy baseline: tolerated legacy findings, one per line,",
+        "# duplicates meaningful (multiset). Regenerate with:",
+        "#   tools/run_tidy.py --update-baseline",
+        "# Policy: this file only ever shrinks; new findings are fixed,",
+        "# not baselined. src/swap/executor.* and src/chain/ledger.*",
+        "# (the concurrency surface) must stay absent from it entirely.",
+    ]
+    for key in sorted(findings.elements()):
+        lines.append(key)
+    BASELINE.write_text("\n".join(lines) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build dir with compile_commands.json")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) if clang-tidy is unavailable")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tools/tidy_baseline.txt from this run")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count(),
+                        help="parallel clang-tidy processes")
+    args = parser.parse_args()
+
+    tool = find_clang_tidy()
+    if tool is None:
+        if args.require:
+            print("run_tidy: clang-tidy not found and --require set",
+                  file=sys.stderr)
+            return 2
+        print("run_tidy: clang-tidy not found; skipping (CI runs the "
+              "real gate with --require)")
+        return 0
+
+    build_dir = (REPO_ROOT / args.build_dir).resolve()
+    sources = first_party_sources(build_dir)
+    print(f"run_tidy: {tool} over {len(sources)} translation units")
+    findings = run_tidy(tool, build_dir, sources, args.jobs)
+
+    if args.update_baseline:
+        write_baseline(findings)
+        print(f"run_tidy: wrote {sum(findings.values())} finding(s) to "
+              f"{BASELINE.relative_to(REPO_ROOT)}")
+        return 0
+
+    baseline = read_baseline()
+    new = findings - baseline
+    fixed = baseline - findings
+    if fixed:
+        print(f"run_tidy: {sum(fixed.values())} baselined finding(s) no "
+              "longer fire — consider --update-baseline to shrink the file")
+    if new:
+        print(f"run_tidy: {sum(new.values())} NEW finding(s) not in "
+              "baseline:", file=sys.stderr)
+        for key in sorted(new.elements()):
+            print(f"  {key}", file=sys.stderr)
+        return 1
+    print(f"run_tidy: OK ({sum(findings.values())} finding(s), all "
+          "baselined; 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Self-test for tools/run_tidy.py's normalize/diff core.
+
+clang-tidy itself is absent from the dev container, so what MUST be
+testable everywhere is the part that gates CI: parsing tidy output into
+location-independent keys and diffing them against the baseline as a
+multiset (runs under ctest as lint.tidy_selftest).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import unittest
+from collections import Counter
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "run_tidy", Path(__file__).resolve().parent / "run_tidy.py")
+run_tidy = importlib.util.module_from_spec(_SPEC)
+sys.modules["run_tidy"] = run_tidy
+_SPEC.loader.exec_module(run_tidy)
+
+ROOT = run_tidy.REPO_ROOT
+
+
+class Normalize(unittest.TestCase):
+    def test_strips_location_keeps_file_check_message(self):
+        out = (f"{ROOT}/src/swap/engine.cpp:42:7: warning: "
+               "variable 'x' is not initialized "
+               "[cppcoreguidelines-init-variables]\n"
+               "  int x;\n"
+               "      ^\n")
+        self.assertEqual(
+            run_tidy.normalize(out),
+            Counter({"src/swap/engine.cpp "
+                     "[cppcoreguidelines-init-variables] "
+                     "variable 'x' is not initialized": 1}))
+
+    def test_line_number_drift_is_invisible(self):
+        a = (f"{ROOT}/src/a.cpp:10:1: warning: msg [bugprone-foo]\n")
+        b = (f"{ROOT}/src/a.cpp:99:5: warning: msg [bugprone-foo]\n")
+        self.assertEqual(run_tidy.normalize(a), run_tidy.normalize(b))
+
+    def test_findings_outside_repo_ignored(self):
+        out = "/usr/include/c++/12/bits/foo.h:1:1: warning: m [bugprone-x]\n"
+        self.assertEqual(run_tidy.normalize(out), Counter())
+
+    def test_duplicate_findings_counted_as_multiset(self):
+        line = f"{ROOT}/src/a.cpp:1:1: warning: msg [bugprone-foo]\n"
+        got = run_tidy.normalize(line + line)
+        self.assertEqual(sum(got.values()), 2)
+
+    def test_non_diagnostic_lines_ignored(self):
+        out = ("Suppressed 12 warnings.\n"
+               "Use -header-filter=.* to display errors.\n")
+        self.assertEqual(run_tidy.normalize(out), Counter())
+
+
+class BaselineDiff(unittest.TestCase):
+    def test_new_finding_detected(self):
+        baseline = Counter({"src/a.cpp [bugprone-foo] msg": 1})
+        current = baseline + Counter({"src/b.cpp [bugprone-bar] other": 1})
+        new = current - baseline
+        self.assertEqual(list(new), ["src/b.cpp [bugprone-bar] other"])
+
+    def test_second_instance_of_baselined_defect_is_new(self):
+        baseline = Counter({"src/a.cpp [bugprone-foo] msg": 1})
+        current = Counter({"src/a.cpp [bugprone-foo] msg": 2})
+        self.assertEqual(sum((current - baseline).values()), 1)
+
+    def test_fixed_finding_not_flagged(self):
+        baseline = Counter({"src/a.cpp [bugprone-foo] msg": 1})
+        self.assertEqual(Counter() - baseline, Counter())
+
+
+class BaselinePolicy(unittest.TestCase):
+    def test_committed_baseline_parses(self):
+        baseline = run_tidy.read_baseline()
+        self.assertIsInstance(baseline, Counter)
+
+    def test_concurrency_surface_not_baselined(self):
+        # PR-7 acceptance criterion: zero suppressions for the annotated
+        # concurrency surface — the baseline may never absorb findings
+        # in the executor or ledger.
+        for key in run_tidy.read_baseline():
+            self.assertNotIn("src/swap/executor.", key)
+            self.assertNotIn("src/chain/ledger.", key)
+
+    def test_first_party_filter_scopes_to_src_and_tools(self):
+        self.assertEqual(run_tidy.SOURCE_DIRS, ("src", "tools"))
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Self-test for tools/xswap_lint.py (runs under ctest as lint.selftest).
+
+Exercises every rule family with a positive (must fire) and negative
+(must stay quiet) fixture, plus the comment/string stripper and the
+suppression escape hatch — the linter guards the determinism and
+locking invariants, so the linter itself needs a regression net.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import unittest
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "xswap_lint", Path(__file__).resolve().parent / "xswap_lint.py")
+xswap_lint = importlib.util.module_from_spec(_SPEC)
+# Register before exec: dataclasses resolves the module's postponed
+# annotations through sys.modules.
+sys.modules["xswap_lint"] = xswap_lint
+_SPEC.loader.exec_module(xswap_lint)
+
+
+def findings(rel_path: str, text: str):
+    got, _ = xswap_lint.lint_text(rel_path, text)
+    return got
+
+
+def rules_fired(rel_path: str, text: str):
+    return sorted({f.rule for f in findings(rel_path, text)})
+
+
+class DeterminismRules(unittest.TestCase):
+    def test_rand_flagged_in_trace_code(self):
+        self.assertEqual(
+            rules_fired("src/sim/foo.cpp", "int x = rand();"),
+            ["determinism"])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "std::srand(42);"),
+            ["determinism"])
+
+    def test_random_device_and_system_clock_flagged(self):
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp", "std::random_device rd;"),
+            ["determinism"])
+        self.assertEqual(
+            rules_fired("src/sim/foo.cpp",
+                        "auto t = std::chrono::system_clock::now();"),
+            ["determinism"])
+
+    def test_steady_clock_allowed(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "auto t = std::chrono::steady_clock::now();"),
+            [])
+
+    def test_pointer_keyed_unordered_flagged(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "std::unordered_map<Party*, int> m;"),
+            ["determinism"])
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp",
+                        "std::unordered_set<const Block*> seen;"),
+            ["determinism"])
+
+    def test_value_keyed_unordered_allowed(self):
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp",
+                        "std::unordered_map<std::string, AccountId> ids;"),
+            [])
+
+    def test_trace_rules_scoped_to_trace_dirs(self):
+        # util/ and tools/ may time things however they like.
+        self.assertEqual(rules_fired("src/util/foo.cpp", "rand();"), [])
+        self.assertEqual(
+            rules_fired("tools/foo.cpp", "std::random_device rd;"), [])
+
+
+class LockingRules(unittest.TestCase):
+    def test_std_mutex_flagged_outside_wrapper(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "std::mutex m;"), ["locking"])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "std::lock_guard<std::mutex> g(m);"), ["locking"])
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp", "std::scoped_lock g(a, b);"),
+            ["locking"])
+
+    def test_wrapper_file_exempt(self):
+        self.assertEqual(
+            rules_fired("src/util/mutex.hpp",
+                        "std::mutex m_; m_.lock(); m_.unlock();"),
+            [])
+
+    def test_raw_lock_calls_flagged(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "mutex_.lock();"), ["locking"])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "mutex_ . unlock ( ) ;"),
+            ["locking"])
+
+    def test_try_lock_and_util_mutex_allowed(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "util::MutexLock lock(mutex_);"), [])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "if (m.try_lock()) {}"), [])
+
+    def test_plain_condition_variable_flagged_any_allowed(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "std::condition_variable cv;"),
+            ["locking"])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "std::condition_variable_any cv;"),
+            [])
+
+
+class DeltaRule(unittest.TestCase):
+    def test_rederivation_flagged(self):
+        self.assertEqual(
+            rules_fired("src/swap/engine.cpp",
+                        "auto d = 2 * (hop + net.max_extra_delay());"),
+            ["delta"])
+        self.assertEqual(
+            rules_fired("tools/driver.cpp",
+                        "check(net.max_extra_delay() < limit);"),
+            ["delta"])
+
+    def test_definition_site_exempt(self):
+        for home in ("src/swap/netmodel.hpp", "src/swap/netmodel.cpp"):
+            self.assertEqual(
+                rules_fired(home,
+                            "return 2 * (chain_hop + max_extra_delay());"),
+                [])
+
+    def test_min_safe_delta_allowed_everywhere(self):
+        self.assertEqual(
+            rules_fired("src/swap/engine.cpp",
+                        "if (delta < net.min_safe_delta(hop)) {}"),
+            [])
+
+
+class CommentAndStringHandling(unittest.TestCase):
+    def test_comments_do_not_fire(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "// never call rand() or std::mutex here\n"
+                        "/* max_extra_delay() is the bound */\n"),
+            [])
+
+    def test_string_literals_do_not_fire(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        'throw std::logic_error("rand() is banned");'),
+            [])
+
+    def test_code_after_comment_still_fires(self):
+        text = "/* docs */ std::mutex m;  // trailing\n"
+        self.assertEqual(rules_fired("src/swap/foo.cpp", text), ["locking"])
+
+    def test_line_numbers_survive_block_comments(self):
+        text = "/* one\n   two\n   three */\nstd::mutex m;\n"
+        got = findings("src/swap/foo.cpp", text)
+        self.assertEqual([f.line for f in got], [4])
+
+
+class Suppression(unittest.TestCase):
+    def test_allow_comment_suppresses_and_is_counted(self):
+        text = "std::mutex m;  // xswap-lint: allow(locking)\n"
+        got, suppressed = xswap_lint.lint_text("src/swap/foo.cpp", text)
+        self.assertEqual(got, [])
+        self.assertEqual(suppressed, 1)
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        text = "std::mutex m;  // xswap-lint: allow(delta)\n"
+        self.assertEqual(rules_fired("src/swap/foo.cpp", text), ["locking"])
+
+
+class WholeTree(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        got, _ = xswap_lint.lint_tree(xswap_lint.REPO_ROOT / "src")
+        self.assertEqual([str(f) for f in got], [])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""xswap-specific lint rules that clang-tidy cannot express.
+
+Three rule families, all protecting repo-level invariants:
+
+determinism  Trace-affecting code (src/chain, src/sim, src/swap) must be
+             bit-for-bit reproducible from (seed, event order): the
+             golden-trace gate and the pinned fuzz corpus depend on it.
+             Banned there: rand()/srand(), std::random_device,
+             std::chrono::system_clock (wall-clock timing of *reports*
+             uses steady_clock, which is allowed), and pointer-keyed
+             unordered containers (iteration order = allocation order).
+
+locking      All locking in src/ goes through util::Mutex/MutexLock so
+             Clang's -Wthread-safety capability analysis sees every
+             acquire/release (std::mutex is invisible to it). Banned
+             outside the src/util/mutex.hpp wrapper: std::mutex,
+             std::lock_guard/unique_lock/scoped_lock,
+             std::condition_variable (use _any, which waits on the
+             annotated Mutex directly), and raw .lock()/.unlock() calls.
+
+delta        Δ safety (Thm 4.7/4.9 under network faults) hangs on ONE
+             bound: NetworkModel::min_safe_delta(). Re-deriving it from
+             the individual fault knobs (arithmetic on max_extra_delay(),
+             or hand-summing jitter/retry/partition terms) drifts
+             silently when a new fault source is added. The token
+             max_extra_delay is therefore code-banned everywhere except
+             its definition site, src/swap/netmodel.{hpp,cpp}.
+
+Suppression: append ``// xswap-lint: allow(<rule>)`` to the offending
+line. Suppressions are themselves counted and reported, so they are
+visible in review.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# Directories whose code affects simulation traces.
+TRACE_DIRS = ("src/chain", "src/sim", "src/swap")
+# Directory tree where the locking discipline applies.
+LOCK_DIRS = ("src",)
+# The one place allowed to wrap std::mutex.
+LOCK_WRAPPER = "src/util/mutex.hpp"
+# The one place allowed to compute with max_extra_delay().
+DELTA_HOME = ("src/swap/netmodel.hpp", "src/swap/netmodel.cpp")
+
+SUPPRESS_RE = re.compile(r"//\s*xswap-lint:\s*allow\(([a-z-]+)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Rule:
+    name: str
+    pattern: re.Pattern[str]
+    message: str
+    applies: object  # Callable[[str], bool] on the repo-relative path
+
+
+def _under(rel: str, dirs: tuple[str, ...]) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+RULES = [
+    # ---- determinism ----
+    Rule(
+        "determinism",
+        re.compile(r"\b(?:std::)?s?rand\s*\("),
+        "rand()/srand() in trace-affecting code; use util::Rng (seeded)",
+        lambda rel: _under(rel, TRACE_DIRS),
+    ),
+    Rule(
+        "determinism",
+        re.compile(r"\bstd::random_device\b"),
+        "std::random_device is nondeterministic; seed util::Rng explicitly",
+        lambda rel: _under(rel, TRACE_DIRS),
+    ),
+    Rule(
+        "determinism",
+        re.compile(r"\bsystem_clock\b"),
+        "system_clock reads the wall clock; sim::Time comes from the "
+        "simulator, wall timing of reports uses steady_clock",
+        lambda rel: _under(rel, TRACE_DIRS),
+    ),
+    Rule(
+        "determinism",
+        re.compile(r"\bunordered_(?:map|set)\s*<[^<>,]*\*"),
+        "pointer-keyed unordered container: iteration order follows "
+        "allocation addresses and differs run to run",
+        lambda rel: _under(rel, TRACE_DIRS),
+    ),
+    # ---- locking ----
+    Rule(
+        "locking",
+        re.compile(
+            r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
+            r"lock_guard|unique_lock|scoped_lock)\b"
+        ),
+        "raw std locking type; use util::Mutex / util::MutexLock so the "
+        "thread-safety analysis sees the acquire/release",
+        lambda rel: _under(rel, LOCK_DIRS) and rel != LOCK_WRAPPER,
+    ),
+    Rule(
+        "locking",
+        re.compile(r"\bstd::condition_variable\b(?!_any)"),
+        "std::condition_variable needs a std::unique_lock<std::mutex>; "
+        "use std::condition_variable_any waiting on util::Mutex",
+        lambda rel: _under(rel, LOCK_DIRS) and rel != LOCK_WRAPPER,
+    ),
+    Rule(
+        "locking",
+        re.compile(r"\.\s*(?:un)?lock\s*\(\s*\)"),
+        "raw .lock()/.unlock() call outside the util::Mutex wrapper; "
+        "use the scoped util::MutexLock",
+        lambda rel: _under(rel, LOCK_DIRS) and rel != LOCK_WRAPPER,
+    ),
+    # ---- delta ----
+    Rule(
+        "delta",
+        re.compile(r"\bmax_extra_delay\b"),
+        "Δ must route through NetworkModel::min_safe_delta(); computing "
+        "with max_extra_delay() re-derives the Thm 4.7/4.9 bound",
+        lambda rel: _under(rel, ("src", "tools")) and rel not in DELTA_HOME,
+    ),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    Line-count-preserving so finding line numbers stay accurate. A
+    character-level scanner (not regex) so ``"//"`` inside a string or a
+    quote inside a comment cannot derail it.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (macro trickery); resync
+                state = "code"
+                out.append(c)
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+def lint_text(rel_path: str, text: str) -> tuple[list[Finding], int]:
+    """Lint one file's contents; returns (findings, suppression_count)."""
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    findings: list[Finding] = []
+    suppressed = 0
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        allowed = set(SUPPRESS_RE.findall(raw))
+        for rule in RULES:
+            if not rule.applies(rel_path):
+                continue
+            if not rule.pattern.search(code):
+                continue
+            if rule.name in allowed:
+                suppressed += 1
+                continue
+            findings.append(Finding(rel_path, lineno, rule.name, rule.message))
+    return findings, suppressed
+
+
+def lint_tree(root: Path) -> tuple[list[Finding], int]:
+    findings: list[Finding] = []
+    suppressed = 0
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        got, skipped = lint_text(rel, path.read_text(encoding="utf-8"))
+        findings.extend(got)
+        suppressed += skipped
+    return findings, suppressed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: all of src/)")
+    args = parser.parse_args()
+
+    findings: list[Finding] = []
+    suppressed = 0
+    if args.paths:
+        for arg in args.paths:
+            path = Path(arg).resolve()
+            if path.is_dir():
+                got, skipped = lint_tree(path)
+            else:
+                rel = path.relative_to(REPO_ROOT).as_posix()
+                got, skipped = lint_text(rel,
+                                         path.read_text(encoding="utf-8"))
+            findings.extend(got)
+            suppressed += skipped
+    else:
+        findings, suppressed = lint_tree(REPO_ROOT / "src")
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    note = f" ({suppressed} suppression(s) via xswap-lint: allow)" \
+        if suppressed else ""
+    if findings:
+        print(f"xswap_lint: {len(findings)} finding(s){note}",
+              file=sys.stderr)
+        return 1
+    print(f"xswap_lint: OK{note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
