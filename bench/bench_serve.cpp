@@ -1,0 +1,168 @@
+// Streaming-service throughput and incremental-clearing economics.
+//
+// Drives a seeded grouped-book event stream (the serve-smoke workload
+// shape: many small components, a trickle of expires, periodic clear
+// barriers) through serve::ClearingService and reports
+//
+//   * end-to-end events/sec at jobs = 1 and jobs = 2 (the component
+//     engines are the dominant cost, so lanes should pay off);
+//   * component-latency p50/p99 from the service's own stats;
+//   * the incremental-vs-full refresh economics (full_recomputes stays
+//     a small fraction, cache reuse dominates re-clears) — the same
+//     numbers the acceptance gate asserts in tests, here on a bigger
+//     stream.
+//
+// Rows land in BENCH_serve.json (JSON lines) for the CI artifact.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/events.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xswap;
+
+/// The grouped universe from tests/serve_incremental_test.cpp, sized up.
+struct StreamGen {
+  static constexpr std::size_t kGroups = 12;
+  static constexpr std::size_t kSize = 4;
+
+  util::Rng rng;
+  std::vector<swap::Offer> live;
+
+  explicit StreamGen(std::uint64_t seed) : rng(seed) {}
+
+  std::string party(std::size_t group, std::size_t member) const {
+    return "G" + std::to_string(group) + "P" + std::to_string(member);
+  }
+
+  bool is_live(const swap::Offer& o) const {
+    const std::string key = swap::offer_key(o);
+    for (const swap::Offer& l : live) {
+      if (swap::offer_key(l) == key) return true;
+    }
+    return false;
+  }
+
+  /// `count` events: ~70% adds (intra-group with occasional forward-only
+  /// bridges), ~25% expires, a clear barrier every 100 events.
+  std::vector<serve::OfferEvent> events(std::size_t count) {
+    std::vector<serve::OfferEvent> out;
+    out.reserve(count);
+    while (out.size() < count) {
+      if (!out.empty() && out.size() % 100 == 0 &&
+          out.back().kind != serve::EventKind::kClear) {
+        out.push_back(serve::clear_event());
+        // The barrier consumes matched offers; drop the mirror book
+        // entirely (a stale expire is merely counted invalid, and a
+        // fresh identical add is valid once consumed).
+        live.clear();
+        continue;
+      }
+      if (!live.empty() && rng.next_chance(25, 100)) {
+        const std::size_t victim = rng.next_below(live.size());
+        out.push_back(serve::expire_event(live[victim]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        continue;
+      }
+      const std::size_t group = rng.next_below(kGroups);
+      std::string from, to;
+      if (rng.next_chance(85, 100) || group + 1 == kGroups) {
+        const std::size_t a = rng.next_below(kSize);
+        std::size_t b = rng.next_below(kSize - 1);
+        if (b >= a) ++b;
+        from = party(group, a);
+        to = party(group, b);
+      } else {
+        from = party(group, rng.next_below(kSize));
+        to = party(group + 1, rng.next_below(kSize));
+      }
+      const char chain = static_cast<char>('x' + rng.next_below(3));
+      swap::Offer o{from, to, std::string(1, chain),
+                    chain::Asset::coins("TOK", 1 + rng.next_below(4))};
+      if (is_live(o)) continue;
+      live.push_back(o);
+      out.push_back(serve::add_event(std::move(o)));
+    }
+    return out;
+  }
+};
+
+serve::ServiceStats run_stream(const std::vector<serve::OfferEvent>& events,
+                               std::size_t jobs, double* wall_ms) {
+  serve::ServiceOptions options;
+  options.engine.seed = 42;
+  options.jobs = jobs;
+  options.queue_cap = events.size();  // ingest is not what we measure
+  serve::ClearingService service(std::move(options));
+  serve::ServiceStats stats;
+  *wall_ms = xswap::bench::time_ms([&] {
+    service.start();
+    for (const serve::OfferEvent& event : events) {
+      service.submit_wait(event);
+    }
+    stats = service.wait();
+  });
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using xswap::bench::JsonlFile;
+  constexpr std::size_t kEvents = 2000;
+
+  xswap::bench::title("bench_serve",
+                      "clearing-as-a-service: streaming throughput and "
+                      "incremental SCC economics (growth PR 8)");
+  JsonlFile out("BENCH_serve.json");
+
+  std::printf("%6s %8s %10s %12s %10s %10s\n", "jobs", "events", "wall_ms",
+              "events/sec", "p50_ms", "p99_ms");
+  xswap::bench::rule();
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}}) {
+    StreamGen gen(20180807);  // identical stream for every jobs value
+    const std::vector<xswap::serve::OfferEvent> events = gen.events(kEvents);
+    double wall_ms = 0.0;
+    const xswap::serve::ServiceStats stats =
+        run_stream(events, jobs, &wall_ms);
+    const double events_per_sec =
+        wall_ms <= 0.0 ? 0.0
+                       : static_cast<double>(kEvents) / (wall_ms / 1000.0);
+    const double p50 = stats.latency_percentile(50.0);
+    const double p99 = stats.latency_percentile(99.0);
+    std::printf("%6zu %8zu %10.1f %12.0f %10.3f %10.3f\n", jobs, kEvents,
+                wall_ms, events_per_sec, p50, p99);
+    out.row("bench_serve", "serve_throughput",
+            {{"jobs", jobs},
+             {"events", kEvents},
+             {"wall_ms", wall_ms},
+             {"events_per_sec", events_per_sec},
+             {"components_cleared", stats.components_cleared},
+             {"violations", stats.violations},
+             {"latency_p50_ms", p50},
+             {"latency_p99_ms", p99}});
+    if (jobs == 1) {
+      const xswap::serve::IncrementalStats& inc = stats.incremental;
+      xswap::bench::rule();
+      std::printf("incremental: %zu updates, %zu full recomputes "
+                  "(ratio %.3f), %zu reused / %zu recleared\n",
+                  inc.incremental_updates, inc.full_recomputes,
+                  inc.full_ratio(), inc.components_reused,
+                  inc.components_recleared);
+      xswap::bench::rule();
+      out.row("bench_serve", "incremental_economics",
+              {{"events", kEvents},
+               {"incremental_updates", inc.incremental_updates},
+               {"full_recomputes", inc.full_recomputes},
+               {"full_ratio", inc.full_ratio()},
+               {"components_reused", inc.components_reused},
+               {"components_recleared", inc.components_recleared}});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "serve/events.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace xswap::serve {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("serve event: " + what);
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAdd:
+      return "add";
+    case EventKind::kExpire:
+      return "expire";
+    case EventKind::kClear:
+      return "clear";
+  }
+  return "?";
+}
+
+OfferEvent add_event(swap::Offer offer) {
+  return OfferEvent{EventKind::kAdd, std::move(offer)};
+}
+
+OfferEvent expire_event(swap::Offer offer) {
+  return OfferEvent{EventKind::kExpire, std::move(offer)};
+}
+
+OfferEvent clear_event() { return OfferEvent{EventKind::kClear, {}}; }
+
+chain::Asset parse_asset_spec(const std::string& spec) {
+  const auto c1 = spec.find(':');
+  const auto c2 = spec.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    malformed("asset must be coin:SYM:AMOUNT or unique:SYM:ID, got '" + spec +
+              "'");
+  }
+  const std::string kind = spec.substr(0, c1);
+  const std::string symbol = spec.substr(c1 + 1, c2 - c1 - 1);
+  const std::string value = spec.substr(c2 + 1);
+  if (kind == "coin") {
+    errno = 0;
+    const unsigned long long amount =
+        value.empty() ||
+                value.find_first_not_of("0123456789") != std::string::npos
+            ? 0
+            : std::strtoull(value.c_str(), nullptr, 10);
+    if (amount == 0 || errno == ERANGE) {
+      malformed("coin amount must be a positive 64-bit integer, got '" + value +
+                "'");
+    }
+    return chain::Asset::coins(symbol, amount);
+  }
+  if (kind == "unique") {
+    if (value.empty()) malformed("unique asset needs a non-empty id");
+    return chain::Asset::unique(symbol, value);
+  }
+  malformed("unknown asset kind '" + kind + "'");
+}
+
+std::string asset_spec(const chain::Asset& asset) {
+  if (asset.fungible) {
+    return "coin:" + asset.symbol + ':' + std::to_string(asset.amount);
+  }
+  return "unique:" + asset.symbol + ':' + asset.unique_id;
+}
+
+std::optional<OfferEvent> parse_event_line(const std::string& line) {
+  std::string body = line;
+  const auto hash = body.find('#');
+  if (hash != std::string::npos) body.resize(hash);
+
+  std::istringstream fields(body);
+  std::string first;
+  if (!(fields >> first)) return std::nullopt;  // blank/comment line
+
+  EventKind kind = EventKind::kAdd;
+  std::string from;
+  if (first == "clear") {
+    std::string extra;
+    if (fields >> extra) malformed("clear takes no arguments, got '" + extra + "'");
+    return clear_event();
+  }
+  if (first == "add" || first == "expire") {
+    kind = first == "add" ? EventKind::kAdd : EventKind::kExpire;
+    if (!(fields >> from)) malformed(first + " needs FROM TO CHAIN ASSET");
+  } else {
+    from = first;  // verbless batch-format line: an add
+  }
+
+  std::string to, chain_name, spec, extra;
+  if (!(fields >> to >> chain_name >> spec)) {
+    malformed("need FROM TO CHAIN ASSET, got '" + body + "'");
+  }
+  if (fields >> extra) malformed("trailing token '" + extra + "'");
+  return OfferEvent{kind, swap::Offer{std::move(from), std::move(to),
+                                      std::move(chain_name),
+                                      parse_asset_spec(spec)}};
+}
+
+std::string event_line(const OfferEvent& event) {
+  if (event.kind == EventKind::kClear) return "clear";
+  return std::string(to_string(event.kind)) + ' ' + event.offer.from + ' ' +
+         event.offer.to + ' ' + event.offer.chain + ' ' +
+         asset_spec(event.offer.asset);
+}
+
+}  // namespace xswap::serve

@@ -1,0 +1,74 @@
+// The streamed-event model of the clearing service (serve/ layer).
+//
+// A long-lived clearing daemon does not receive one finished offer book;
+// it receives a STREAM of events that mutate the live book:
+//
+//   add     a party submits a new offer (duplicate submissions of the
+//           same (from, to, chain, asset) tuple are rejected, exactly as
+//           the batch path rejects duplicate offers);
+//   expire  a previously added offer is withdrawn or times out before it
+//           cleared (matched by the same identity tuple);
+//   clear   a clearing point: every component swap the live book
+//           currently decomposes into is executed and its offers are
+//           consumed; unmatched offers stay live, waiting for
+//           counterparties. End-of-stream implies one final clear (the
+//           graceful drain), so a stream that is just `add` lines is
+//           exactly the one-shot batch path.
+//
+// The wire format is newline-delimited text, a strict superset of the
+// `xswap batch` offers-file format so existing books stream unchanged:
+//
+//   [add] FROM TO CHAIN coin:SYM:AMOUNT|unique:SYM:ID
+//   expire FROM TO CHAIN coin:SYM:AMOUNT|unique:SYM:ID
+//   clear
+//
+// A line whose first token is none of the verbs is an `add` (the batch
+// format); '#' starts a comment; blank lines are skipped.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "swap/clearing.hpp"
+
+namespace xswap::serve {
+
+enum class EventKind {
+  kAdd,     // offer joins the live book
+  kExpire,  // offer leaves the live book (identity-matched)
+  kClear,   // execute and consume every current component swap
+};
+
+const char* to_string(EventKind kind);
+
+/// One streamed event. `offer` is meaningful for kAdd/kExpire only.
+struct OfferEvent {
+  EventKind kind = EventKind::kAdd;
+  swap::Offer offer;
+
+  bool operator==(const OfferEvent&) const = default;
+};
+
+OfferEvent add_event(swap::Offer offer);
+OfferEvent expire_event(swap::Offer offer);
+OfferEvent clear_event();
+
+/// Parse one `coin:SYM:AMOUNT` / `unique:SYM:ID` asset spec (the same
+/// grammar the batch offers file uses). Throws std::invalid_argument on
+/// malformed specs.
+chain::Asset parse_asset_spec(const std::string& spec);
+
+/// Render an asset back into the spec grammar (round-trips through
+/// parse_asset_spec).
+std::string asset_spec(const chain::Asset& asset);
+
+/// Parse one stream line. Returns std::nullopt for blank/comment lines;
+/// throws std::invalid_argument (with the offending detail) on
+/// malformed lines. `#` comments may trail any line.
+std::optional<OfferEvent> parse_event_line(const std::string& line);
+
+/// Render an event back into the one-line wire format (round-trips
+/// through parse_event_line; `add` events carry the explicit verb).
+std::string event_line(const OfferEvent& event);
+
+}  // namespace xswap::serve

@@ -1,0 +1,149 @@
+// Incremental SCC maintenance over a live offer book.
+//
+// The batch path (swap/clearing.hpp) recomputes everything from scratch:
+// decompose_offers builds the offer digraph, runs Tarjan, and re-clears
+// every component — including the feedback-vertex-set search, which is
+// exact (exponential) up to 16 parties. A streaming service applying
+// that after every add/expire would pay the full FVS bill per event even
+// when the event touches one small component.
+//
+// IncrementalClearing keeps a Decomposition continuously equal —
+// operator== equal, field for field — to decompose_offers(live offers).
+// The trick is NOT to maintain Tarjan's numbering incrementally (the
+// component numbering depends on a global DFS; a single arc can renumber
+// components the event never touched), but to split the work by cost:
+//
+//   * the linear part (digraph build + Tarjan + grouping) reruns per
+//     event — it is O(offers) and embarrassingly cheap next to FVS;
+//   * the expensive part (clear_offers per component: FVS search,
+//     validation) is scoped to the *dirty region* via exact reuse: each
+//     cleared component is cached keyed by the sequence of live-offer
+//     ids it was built from. A component whose offer subset sequence is
+//     unchanged — the common case, since adds append and expires
+//     elsewhere preserve relative order — reuses the cached ClearedSwap
+//     verbatim (clear_offers is a pure function of the subset sequence,
+//     so the cached value is byte-identical to a recompute).
+//
+// The dirty region is bounded before refreshing by a union-of-affected-
+// region analysis on the previous condensation: an add u→v can only
+// merge the components on condensation paths comp(v) ⇝ comp(u); an
+// intra-component expire can only split its own component; everything
+// else leaves component structure untouched. When the dirty region
+// exceeds max_dirty × live parties the refresh runs the full
+// decompose_offers-style pass with no cache lookups (counted in
+// IncrementalStats::full_recomputes) — the cache would mostly miss
+// anyway. Either path yields the identical Decomposition; the tests
+// assert equality against decompose_offers after every step.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "swap/clearing.hpp"
+
+namespace xswap::serve {
+
+struct IncrementalOptions {
+  /// Fall back to a full (cache-less) recompute when the dirty region
+  /// holds more than this fraction of the live parties. 0 means always
+  /// full; 1 means never (every refresh goes through the reuse cache).
+  double max_dirty = 0.5;
+};
+
+/// Counters for the incremental-vs-full economics (surfaced by the
+/// service's stats line and BENCH_serve.json).
+struct IncrementalStats {
+  std::size_t adds = 0;
+  std::size_t expires = 0;
+  std::size_t incremental_updates = 0;  // refreshes through the cache
+  std::size_t full_recomputes = 0;      // dirty region too big — no cache
+  std::size_t components_reused = 0;    // cache hits (FVS skipped)
+  std::size_t components_recleared = 0; // cache misses (clear_offers ran)
+
+  /// Fraction of mutating refreshes that went full. 0 when nothing ran.
+  double full_ratio() const {
+    const std::size_t total = incremental_updates + full_recomputes;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(full_recomputes) /
+                     static_cast<double>(total);
+  }
+};
+
+class IncrementalClearing {
+ public:
+  /// Throws std::invalid_argument when max_dirty is negative.
+  explicit IncrementalClearing(IncrementalOptions options = {});
+
+  /// Admit one offer into the live book. Throws std::invalid_argument on
+  /// the same malformed shapes decompose_offers rejects (empty party
+  /// name, empty chain, self-transfer) and on a duplicate of a live
+  /// offer — identity is offer_key(). An expired key may be re-added.
+  void add(swap::Offer offer);
+
+  /// Withdraw a live offer (matched by offer_key). Throws
+  /// std::invalid_argument when no live offer has that identity.
+  void expire(const swap::Offer& offer);
+
+  /// The current decomposition — always equal to
+  /// decompose_offers(live_offers()), including ordering.
+  const swap::Decomposition& decomposition() const { return decomp_; }
+
+  /// Execute a clearing point: return the current decomposition and
+  /// remove every matched offer (offers inside a returned swap) from the
+  /// live book. Unmatched offers STAY live, waiting for counterparties
+  /// in later events.
+  swap::Decomposition consume();
+
+  /// The live offers, in admission order (the order decompose_offers
+  /// equivalence is defined over).
+  std::vector<swap::Offer> live_offers() const;
+  std::size_t live_offer_count() const { return live_.size(); }
+  /// Distinct parties appearing in live offers.
+  std::size_t live_party_count() const { return live_parties_; }
+
+  const IncrementalStats& stats() const { return stats_; }
+
+ private:
+  struct LiveOffer {
+    swap::Offer offer;
+    std::uint64_t id;  // admission-ordered, never reused
+    std::string key;   // offer_key(offer)
+  };
+
+  /// Parties the mutation can structurally affect, measured on the
+  /// partition of the PREVIOUS refresh (see file comment).
+  std::size_t dirty_parties_for_add(const swap::Offer& offer) const;
+  std::size_t dirty_parties_for_expire(const swap::Offer& offer) const;
+
+  /// Recompute decomp_ from live_ (the decompose_offers mirror). With
+  /// `use_cache` the per-component clear_offers calls go through the
+  /// exact-subset cache; without it everything re-clears. Also rebuilds
+  /// the partition metadata the next dirty analysis reads.
+  void refresh(bool use_cache);
+
+  IncrementalOptions options_;
+  IncrementalStats stats_;
+
+  std::vector<LiveOffer> live_;                 // admission order
+  std::map<std::string, std::uint64_t> by_key_; // live identity index
+  std::uint64_t next_id_ = 0;
+
+  swap::Decomposition decomp_;
+  /// Live-offer ids behind decomp_.swaps[i] (what consume() removes).
+  std::vector<std::vector<std::uint64_t>> swap_offer_ids_;
+  /// Exact-reuse cache: offer-id subset sequence → its cleared swap.
+  std::map<std::vector<std::uint64_t>, swap::ClearedSwap> cache_;
+
+  // Partition metadata of the last refresh, for the dirty analysis.
+  std::map<std::string, std::size_t> comp_of_party_;
+  std::vector<std::size_t> comp_parties_;          // party count per comp
+  std::vector<std::vector<std::size_t>> cond_out_; // condensation arcs
+  std::vector<std::vector<std::size_t>> cond_in_;
+  std::size_t live_parties_ = 0;
+};
+
+}  // namespace xswap::serve

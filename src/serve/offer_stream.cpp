@@ -1,0 +1,107 @@
+#include "serve/offer_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace xswap::serve {
+
+const char* to_string(SubmitResult result) {
+  switch (result) {
+    case SubmitResult::kAdmitted:
+      return "admitted";
+    case SubmitResult::kRejectedFull:
+      return "rejected-full";
+    case SubmitResult::kRejectedClosed:
+      return "rejected-closed";
+  }
+  return "?";
+}
+
+OfferStream::OfferStream(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("OfferStream: capacity must be >= 1");
+  }
+}
+
+SubmitResult OfferStream::try_push(OfferEvent event) {
+  {
+    const util::MutexLock lock(mutex_);
+    if (closed_) return SubmitResult::kRejectedClosed;
+    if (queue_.size() >= capacity_) {
+      ++rejected_full_;
+      return SubmitResult::kRejectedFull;
+    }
+    queue_.push_back(std::move(event));
+    ++admitted_;
+    high_water_ = std::max(high_water_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return SubmitResult::kAdmitted;
+}
+
+SubmitResult OfferStream::push_wait(OfferEvent event) {
+  {
+    util::MutexLock lock(mutex_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(mutex_);
+    if (closed_) return SubmitResult::kRejectedClosed;
+    queue_.push_back(std::move(event));
+    ++admitted_;
+    high_water_ = std::max(high_water_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return SubmitResult::kAdmitted;
+}
+
+bool OfferStream::wait_drain(std::vector<OfferEvent>* out) {
+  bool freed = false;
+  bool live = true;
+  {
+    util::MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) not_empty_.wait(mutex_);
+    freed = queue_.size() >= capacity_;  // producers may be parked
+    live = !queue_.empty() || !closed_;
+    for (OfferEvent& event : queue_) out->push_back(std::move(event));
+    queue_.clear();
+  }
+  // The whole queue just emptied: every parked producer can proceed.
+  if (freed) not_full_.notify_all();
+  return live;
+}
+
+void OfferStream::close() {
+  {
+    const util::MutexLock lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool OfferStream::closed() const {
+  const util::MutexLock lock(mutex_);
+  return closed_;
+}
+
+std::size_t OfferStream::depth() const {
+  const util::MutexLock lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t OfferStream::high_water() const {
+  const util::MutexLock lock(mutex_);
+  return high_water_;
+}
+
+std::size_t OfferStream::admitted() const {
+  const util::MutexLock lock(mutex_);
+  return admitted_;
+}
+
+std::size_t OfferStream::rejected_full() const {
+  const util::MutexLock lock(mutex_);
+  return rejected_full_;
+}
+
+}  // namespace xswap::serve

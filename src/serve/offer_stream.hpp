@@ -1,0 +1,92 @@
+// Bounded, thread-safe ingest queue of the clearing service.
+//
+// Producers (network handlers, the CLI's stdin reader, tests) push
+// OfferEvents; the single service thread drains them in FIFO order. The
+// queue is BOUNDED — that bound is the service's backpressure contract:
+//
+//   * try_push rejects deterministically when the queue holds exactly
+//     `capacity` events (kRejectedFull), so an overloaded service sheds
+//     load instead of growing without limit;
+//   * push_wait blocks the producer until space frees up — the
+//     cooperative flavour, used by the CLI so a fast stdin feed throttles
+//     to clearing speed rather than dropping offers;
+//   * close() ends the stream: producers are refused (kRejectedClosed)
+//     while the consumer drains what was already admitted — an admitted
+//     event is never lost (the drain-on-shutdown guarantee, pinned by
+//     tests/serve_service_test.cpp).
+//
+// Lock discipline follows the PR 7 convention: one annotated util::Mutex
+// guards everything, both condvars are _any waiting on the Mutex itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "serve/events.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace xswap::serve {
+
+/// What happened to a submitted event.
+enum class SubmitResult {
+  kAdmitted,        // queued; the service will apply it
+  kRejectedFull,    // queue at capacity (backpressure) — not queued
+  kRejectedClosed,  // stream closed — not queued
+};
+
+const char* to_string(SubmitResult result);
+
+class OfferStream {
+ public:
+  /// Throws std::invalid_argument when `capacity` is 0 (a queue that can
+  /// admit nothing deadlocks every producer).
+  explicit OfferStream(std::size_t capacity);
+
+  OfferStream(const OfferStream&) = delete;
+  OfferStream& operator=(const OfferStream&) = delete;
+
+  /// Non-blocking submit: kRejectedFull at capacity, kRejectedClosed
+  /// after close(). Never waits.
+  SubmitResult try_push(OfferEvent event) XSWAP_EXCLUDES(mutex_);
+
+  /// Blocking submit: waits while the queue is full, returns kAdmitted
+  /// once queued or kRejectedClosed if the stream closes first (events
+  /// already admitted stay queued).
+  SubmitResult push_wait(OfferEvent event) XSWAP_EXCLUDES(mutex_);
+
+  /// Consumer side: block until at least one event is queued or the
+  /// stream is closed; move everything queued into *out (appended).
+  /// Returns false only when the stream is closed AND fully drained —
+  /// the consumer's termination signal.
+  bool wait_drain(std::vector<OfferEvent>* out) XSWAP_EXCLUDES(mutex_);
+
+  /// End the stream. Idempotent. Wakes blocked producers (they return
+  /// kRejectedClosed) and the consumer (it drains the remainder).
+  void close() XSWAP_EXCLUDES(mutex_);
+
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const XSWAP_EXCLUDES(mutex_);
+  /// Events currently queued (admitted, not yet drained).
+  std::size_t depth() const XSWAP_EXCLUDES(mutex_);
+  /// Largest depth ever observed — how close the stream came to shedding.
+  std::size_t high_water() const XSWAP_EXCLUDES(mutex_);
+  std::size_t admitted() const XSWAP_EXCLUDES(mutex_);
+  std::size_t rejected_full() const XSWAP_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t capacity_;
+
+  mutable util::Mutex mutex_;
+  std::condition_variable_any not_full_;   // producers park here
+  std::condition_variable_any not_empty_;  // the consumer parks here
+  std::deque<OfferEvent> queue_ XSWAP_GUARDED_BY(mutex_);
+  bool closed_ XSWAP_GUARDED_BY(mutex_) = false;
+  std::size_t high_water_ XSWAP_GUARDED_BY(mutex_) = 0;
+  std::size_t admitted_ XSWAP_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_full_ XSWAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace xswap::serve

@@ -1,0 +1,220 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "chain/ledger.hpp"
+#include "swap/invariants.hpp"
+
+namespace xswap::serve {
+
+ClearingService::ClearingService(ServiceOptions options)
+    : options_(std::move(options)),
+      stream_(options_.queue_cap),  // throws on queue_cap == 0
+      incremental_(IncrementalOptions{options_.max_dirty}) {
+  if (options_.jobs == 0) {
+    throw std::invalid_argument("ClearingService: jobs must be >= 1");
+  }
+  if (options_.pool) {
+    executor_ = options_.pool;
+    concurrent_ = true;  // unknown width — assume overlap, lock chains
+  } else if (options_.jobs > 1) {
+    executor_ =
+        swap::ExecutorRegistry::instance().shared_pool_at_least(options_.jobs);
+    concurrent_ = true;
+  }
+}
+
+ClearingService::~ClearingService() {
+  stream_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ClearingService::start() {
+  if (started_) throw std::logic_error("ClearingService: already started");
+  started_ = true;
+  thread_ = std::thread([this] { service_main(); });
+}
+
+SubmitResult ClearingService::submit(OfferEvent event) {
+  return stream_.try_push(std::move(event));
+}
+
+SubmitResult ClearingService::submit_wait(OfferEvent event) {
+  return stream_.push_wait(std::move(event));
+}
+
+void ClearingService::close() { stream_.close(); }
+
+ServiceStats ClearingService::wait() {
+  stream_.close();
+  if (thread_.joinable()) thread_.join();
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  return stats();
+}
+
+ServiceStats ClearingService::stats() const {
+  ServiceStats snapshot;
+  {
+    const util::MutexLock lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.events_admitted = stream_.admitted();
+  snapshot.events_rejected_full = stream_.rejected_full();
+  snapshot.queue_depth = stream_.depth();
+  snapshot.queue_high_water = stream_.high_water();
+  return snapshot;
+}
+
+void ClearingService::service_main() {
+  try {
+    std::vector<OfferEvent> batch;
+    while (stream_.wait_drain(&batch)) {
+      for (OfferEvent& event : batch) apply(std::move(event));
+      batch.clear();
+    }
+    // Graceful drain: the stream is closed and empty — one final
+    // clearing point executes whatever the live book decomposes into,
+    // so no admitted offer is silently dropped.
+    clear_components();
+    final_unmatched_ = incremental_.live_offers();
+  } catch (...) {
+    error_ = std::current_exception();
+    stream_.close();  // unblock producers parked in push_wait
+  }
+}
+
+void ClearingService::apply(OfferEvent event) {
+  switch (event.kind) {
+    case EventKind::kAdd:
+      try {
+        incremental_.add(std::move(event.offer));
+      } catch (const std::invalid_argument&) {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.events_rejected_invalid;
+        return;
+      }
+      break;
+    case EventKind::kExpire:
+      try {
+        incremental_.expire(event.offer);
+      } catch (const std::invalid_argument&) {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.events_rejected_invalid;
+        return;
+      }
+      break;
+    case EventKind::kClear:
+      clear_components();
+      return;  // clear_components updated the counters
+  }
+  const util::MutexLock lock(stats_mutex_);
+  if (event.kind == EventKind::kAdd) {
+    ++stats_.adds_applied;
+  } else {
+    ++stats_.expires_applied;
+  }
+  stats_.offers_live = incremental_.live_offer_count();
+  stats_.parties_live = incremental_.live_party_count();
+  stats_.incremental = incremental_.stats();
+}
+
+void ClearingService::clear_components() {
+  swap::Decomposition decomp = incremental_.consume();
+  const std::size_t count = decomp.swaps.size();
+
+  if (count > 0) {
+    // Engines carry decomposition-order seeds (see the determinism
+    // contract in the header): the schedule below may permute lanes,
+    // never seeds.
+    std::vector<std::unique_ptr<swap::SwapEngine>> engines;
+    engines.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      swap::EngineOptions per_swap = options_.engine;
+      per_swap.seed = options_.engine.seed + dispatched_ + i;
+      if (concurrent_) {
+        // Components of one clearing point may model the same chain
+        // name; once they can overlap, same-name seals must serialize
+        // through the striped locks, exactly as fleet/batch --jobs do.
+        per_swap.chain_locks = &chain::ChainLockRegistry::global();
+      }
+      engines.push_back(
+          std::make_unique<swap::SwapEngine>(decomp.swaps[i], per_swap));
+    }
+
+    // Largest-component-first dispatch: task t runs component order[t],
+    // so the most expensive engines (party count, then arc count — the
+    // FVS-size proxies that dominate run time) start first and small
+    // components backfill around the straggler.
+    std::vector<std::size_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const swap::ClearedSwap& sa = decomp.swaps[a];
+                       const swap::ClearedSwap& sb = decomp.swaps[b];
+                       if (sa.party_names.size() != sb.party_names.size()) {
+                         return sa.party_names.size() > sb.party_names.size();
+                       }
+                       if (sa.arcs.size() != sb.arcs.size()) {
+                         return sa.arcs.size() > sb.arcs.size();
+                       }
+                       return a < b;
+                     });
+
+    std::vector<swap::SwapReport> reports(count);
+    std::vector<double> latencies(count, 0.0);
+    swap::SerialExecutor serial;
+    swap::Executor& executor = executor_ ? *executor_ : serial;
+    executor.run(count, [&](std::size_t slot) {
+      const std::size_t i = order[slot];
+      const auto started = std::chrono::steady_clock::now();
+      reports[i] = engines[i]->run();
+      latencies[i] = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    });
+
+    std::size_t point = 0;
+    {
+      const util::MutexLock lock(stats_mutex_);
+      point = stats_.clears;
+    }
+    // Emit in decomposition order, serialized on the service thread, so
+    // downstream consumers (the CLI's JSON lines, tests) see a
+    // deterministic sequence regardless of the lane schedule.
+    for (std::size_t i = 0; i < count; ++i) {
+      ComponentReport component;
+      component.clear_batch = point;
+      component.index = i;
+      component.seed = options_.engine.seed + dispatched_ + i;
+      component.audit_ok =
+          swap::check_all(*engines[i], reports[i]).ok();
+      component.latency_ms = latencies[i];
+      component.report = swap::aggregate_batch({reports[i]}, {}, 0,
+                                               latencies[i]);
+      component.cleared = std::move(decomp.swaps[i]);
+      {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.components_cleared;
+        if (component.report.swaps_fully_triggered > 0) {
+          ++stats_.swaps_fully_triggered;
+        }
+        if (!component.audit_ok) ++stats_.violations;
+        stats_.component_latency_ms.push_back(latencies[i]);
+      }
+      if (options_.on_report) options_.on_report(component);
+    }
+    dispatched_ += count;
+  }
+
+  const util::MutexLock lock(stats_mutex_);
+  ++stats_.clears;
+  stats_.offers_live = incremental_.live_offer_count();
+  stats_.parties_live = incremental_.live_party_count();
+  stats_.incremental = incremental_.stats();
+}
+
+}  // namespace xswap::serve

@@ -1,0 +1,157 @@
+// Clearing-as-a-service: the long-lived daemon behind `xswap serve`.
+//
+// A ClearingService owns the whole streaming pipeline:
+//
+//   producers ──submit()──▶ OfferStream ──▶ service thread
+//                 (bounded: backpressure)      │ apply add/expire
+//                                              │ (IncrementalClearing)
+//                                              ▼ on `clear` / EOF drain
+//                                     consume() → component swaps
+//                                              │ largest-first dispatch
+//                                              ▼ onto the Executor
+//                                     one SwapEngine per component
+//                                              │
+//                                     ComponentReport per component
+//                                     (on_report callback, stats)
+//
+// Determinism contract: component i of clearing point k runs with seed
+//   options.engine.seed + (components dispatched before point k) + i,
+// i in decomposition order. A stream that is only `add` events followed
+// by the shutdown drain therefore reproduces `xswap batch` field for
+// field (seed + i per component, identical decomposition — pinned by
+// tests/serve_service_test.cpp). The largest-component-first schedule
+// only permutes WHICH LANE runs an engine, never its seed or inputs, so
+// every deterministic report field is jobs-independent.
+//
+// Theorems 4.7/4.9 are per-swap statements about one protocol instance
+// under its Δ assumption; the service never touches a running engine —
+// admission, incremental decomposition, and scheduling all happen
+// strictly before an engine starts — so both theorems apply to each
+// cleared component exactly as in the batch path (docs/PAPER_MAP.md).
+//
+// Threading: ONE service thread applies events and dispatches clears;
+// engines fan out on the executor inside clear_components and are
+// joined before the next event is applied. Stats are snapshotted under
+// a dedicated mutex (PR 7 annotated locking throughout).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/incremental.hpp"
+#include "serve/offer_stream.hpp"
+#include "serve/stats.hpp"
+#include "swap/scenario.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace xswap::serve {
+
+/// One cleared component's result, emitted per component at each
+/// clearing point (in decomposition order within the point).
+struct ComponentReport {
+  std::size_t clear_batch = 0;  // which clearing point (0-based)
+  std::size_t index = 0;        // decomposition order within the point
+  std::uint64_t seed = 0;       // the seed this component ran with
+  swap::ClearedSwap cleared;    // parties, digraph, leaders, terms
+  swap::BatchReport report;     // aggregate_batch of this one swap
+  bool audit_ok = true;         // swap::check_all verdict
+  double latency_ms = 0.0;      // wall clock of this engine's run
+};
+
+struct ServiceOptions {
+  /// Per-component engine knobs; seed is the BASE seed (see the
+  /// determinism contract above). chain_locks is overridden by the
+  /// service when components may run concurrently.
+  swap::EngineOptions engine;
+
+  /// Ingest queue bound — the backpressure knob (OfferStream capacity).
+  std::size_t queue_cap = 1024;
+
+  /// Incremental-clearing fallback threshold (IncrementalOptions).
+  double max_dirty = 0.5;
+
+  /// Executor lanes for component dispatch. 1 (default) runs components
+  /// serially on the service thread; n > 1 acquires the registry's
+  /// elastic shared pool (shared_pool_at_least) unless `pool` is set.
+  std::size_t jobs = 1;
+
+  /// Explicit executor, overriding the jobs-based choice (owning; shared
+  /// pools serialize their batches internally).
+  std::shared_ptr<swap::Executor> pool;
+
+  /// Invoked once per cleared component, from the service thread, in
+  /// decomposition order within each clearing point. Never concurrent
+  /// with itself.
+  std::function<void(const ComponentReport&)> on_report;
+};
+
+class ClearingService {
+ public:
+  /// Validates options (throws std::invalid_argument on queue_cap == 0,
+  /// jobs == 0, or a negative max_dirty). Does NOT start the service
+  /// thread — tests exploit this to fill the queue to capacity and
+  /// observe deterministic rejection before anything is consumed.
+  explicit ClearingService(ServiceOptions options);
+
+  /// Closes the stream and joins the service thread (errors are
+  /// swallowed here; call wait() to observe them).
+  ~ClearingService();
+
+  ClearingService(const ClearingService&) = delete;
+  ClearingService& operator=(const ClearingService&) = delete;
+
+  /// Launch the service thread. Throws std::logic_error on a second call.
+  void start();
+
+  /// Non-blocking submit (backpressure: kRejectedFull at capacity).
+  SubmitResult submit(OfferEvent event);
+  /// Blocking submit: throttles the producer to clearing speed.
+  SubmitResult submit_wait(OfferEvent event);
+
+  /// End the stream: already-admitted events are still applied, then one
+  /// final clearing point drains the book (graceful drain). Idempotent.
+  void close();
+
+  /// close(), join the service thread, rethrow the first service error
+  /// if any, and return the final stats. Safe to call once.
+  ServiceStats wait();
+
+  /// Consistent snapshot of the counters (callable any time).
+  ServiceStats stats() const XSWAP_EXCLUDES(stats_mutex_);
+
+  /// Offers still live after the final drain — unmatched at shutdown,
+  /// returned to their makers. Meaningful after wait().
+  const std::vector<swap::Offer>& final_unmatched() const {
+    return final_unmatched_;
+  }
+
+ private:
+  void service_main();
+  void apply(OfferEvent event);
+  /// Execute one clearing point: consume the decomposition, dispatch the
+  /// components largest-first on the executor, emit ComponentReports in
+  /// decomposition order.
+  void clear_components();
+
+  ServiceOptions options_;
+  OfferStream stream_;
+  IncrementalClearing incremental_;  // touched by the service thread only
+  std::shared_ptr<swap::Executor> executor_;  // null → serial dispatch
+  bool concurrent_ = false;  // components may overlap → striped chain locks
+
+  std::thread thread_;
+  bool started_ = false;
+  std::exception_ptr error_;               // set by the service thread
+  std::size_t dispatched_ = 0;             // components before this point
+  std::vector<swap::Offer> final_unmatched_;
+
+  mutable util::Mutex stats_mutex_;
+  ServiceStats stats_ XSWAP_GUARDED_BY(stats_mutex_);
+};
+
+}  // namespace xswap::serve

@@ -1,0 +1,60 @@
+// Observability counters of the clearing service.
+//
+// A ServiceStats value is a consistent SNAPSHOT (ClearingService::stats
+// copies under the service lock), so readers never see half-updated
+// counters; the queue fields are sampled from the ingest stream at
+// snapshot time.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "serve/incremental.hpp"
+
+namespace xswap::serve {
+
+struct ServiceStats {
+  // Ingest (the OfferStream's view).
+  std::size_t events_admitted = 0;
+  std::size_t events_rejected_full = 0;    // backpressure sheds
+  std::size_t events_rejected_invalid = 0; // admitted but failed to apply
+  std::size_t queue_depth = 0;             // at snapshot time
+  std::size_t queue_high_water = 0;
+
+  // Applied events.
+  std::size_t adds_applied = 0;
+  std::size_t expires_applied = 0;
+  std::size_t clears = 0;  // clearing points executed (incl. final drain)
+
+  // The live book at snapshot time.
+  std::size_t offers_live = 0;
+  std::size_t parties_live = 0;
+
+  // Clearing outcomes, accumulated over every clearing point.
+  std::size_t components_cleared = 0;
+  std::size_t swaps_fully_triggered = 0;
+  std::size_t violations = 0;  // components whose invariant audit failed
+
+  // Incremental-vs-full recompute economics (see serve/incremental.hpp).
+  IncrementalStats incremental;
+
+  // Wall-clock latency of each cleared component's engine run, in
+  // completion order across clearing points.
+  std::vector<double> component_latency_ms;
+
+  /// Nearest-rank percentile of the component latencies; p in [0, 100].
+  /// 0 when no component has cleared.
+  double latency_percentile(double p) const {
+    if (component_latency_ms.empty()) return 0.0;
+    std::vector<double> sorted = component_latency_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  }
+};
+
+}  // namespace xswap::serve

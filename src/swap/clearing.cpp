@@ -9,20 +9,34 @@
 
 namespace xswap::swap {
 
+std::string offer_key(const Offer& offer) {
+  const chain::Asset& a = offer.asset;
+  std::string key;
+  key.reserve(offer.from.size() + offer.to.size() + offer.chain.size() +
+              a.symbol.size() + a.unique_id.size() + 32);
+  key += offer.from;
+  key += '\x1f';
+  key += offer.to;
+  key += '\x1f';
+  key += offer.chain;
+  key += '\x1f';
+  key += a.symbol;
+  key += '\x1f';
+  key += std::to_string(a.amount);
+  key += '\x1f';
+  key += a.fungible ? '1' : '0';
+  key += '\x1f';
+  key += a.unique_id;
+  return key;
+}
+
 namespace {
 
-// Reject exact duplicates deterministically (see clearing.hpp). The key
-// joins every field (not rendered summaries) with '\x1f' separators so
-// no concatenation of distinct offers collides.
+// Reject exact duplicates deterministically (see clearing.hpp).
 void check_no_duplicates(const std::vector<Offer>& offers, const char* fn) {
   std::set<std::string> seen;
   for (const Offer& offer : offers) {
-    const chain::Asset& a = offer.asset;
-    const std::string key = offer.from + '\x1f' + offer.to + '\x1f' +
-                            offer.chain + '\x1f' + a.symbol + '\x1f' +
-                            std::to_string(a.amount) + '\x1f' +
-                            (a.fungible ? '1' : '0') + ('\x1f' + a.unique_id);
-    if (!seen.insert(key).second) {
+    if (!seen.insert(offer_key(offer)).second) {
       throw std::invalid_argument(
           std::string(fn) + ": duplicate offer " + offer.from + " -> " +
           offer.to + " on " + offer.chain + " (" + offer.asset.to_string() +
@@ -139,15 +153,27 @@ Decomposition decompose_offers(const std::vector<Offer>& offers) {
   return result;
 }
 
+namespace {
+
+// Append-style concatenation: GCC <= 12's -Wrestrict has known false
+// positives on the optimized `const char* + std::string&&` path (GCC
+// PR 105329), and src/ builds with full -Werror.
+std::string numbered(const char* prefix, std::uint64_t n) {
+  std::string s = prefix;
+  s += std::to_string(n);
+  return s;
+}
+
+}  // namespace
+
 std::vector<Offer> offers_for_digraph(const graph::Digraph& digraph) {
   std::vector<Offer> offers;
   offers.reserve(digraph.arc_count());
   for (graph::ArcId a = 0; a < digraph.arc_count(); ++a) {
     const auto& arc = digraph.arc(a);
-    offers.push_back(Offer{"P" + std::to_string(arc.head),
-                           "P" + std::to_string(arc.tail),
-                           "chain-" + std::to_string(a),
-                           chain::Asset::coins("TOK" + std::to_string(a), 100)});
+    offers.push_back(Offer{numbered("P", arc.head), numbered("P", arc.tail),
+                           numbered("chain-", a),
+                           chain::Asset::coins(numbered("TOK", a), 100)});
   }
   return offers;
 }
@@ -157,13 +183,12 @@ ClearedSwap cleared_for_digraph(graph::Digraph digraph,
   ClearedSwap out;
   out.party_names.reserve(digraph.vertex_count());
   for (PartyId v = 0; v < digraph.vertex_count(); ++v) {
-    out.party_names.push_back("P" + std::to_string(v));
+    out.party_names.push_back(numbered("P", v));
   }
   out.arcs.reserve(digraph.arc_count());
   for (graph::ArcId a = 0; a < digraph.arc_count(); ++a) {
-    out.arcs.push_back(ArcTerms{
-        "chain-" + std::to_string(a),
-        chain::Asset::coins("TOK" + std::to_string(a), 100)});
+    out.arcs.push_back(ArcTerms{numbered("chain-", a),
+                                chain::Asset::coins(numbered("TOK", a), 100)});
   }
   out.digraph = std::move(digraph);
   out.leaders = std::move(leaders);

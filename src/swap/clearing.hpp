@@ -25,7 +25,15 @@ struct Offer {
   std::string to;      // receiving counterparty
   std::string chain;   // blockchain carrying the contract
   chain::Asset asset;  // what moves
+
+  bool operator==(const Offer&) const = default;
 };
+
+/// Canonical identity key of an offer: every field joined with '\x1f'
+/// separators so no concatenation of distinct offers collides. Two
+/// offers are the same offer (for duplicate rejection and streamed
+/// expiry matching, serve/incremental.hpp) iff their keys are equal.
+std::string offer_key(const Offer& offer);
 
 /// The cleared swap: everything SwapEngine needs to run one protocol
 /// instance (its primary constructor takes exactly this).
@@ -34,6 +42,8 @@ struct ClearedSwap {
   std::vector<std::string> party_names;  // index = PartyId
   std::vector<PartyId> leaders;
   std::vector<ArcTerms> arcs;            // parallel to digraph.arcs()
+
+  bool operator==(const ClearedSwap&) const = default;
 };
 
 /// Combine `offers` into a swap. Returns nullopt when the offers do not
@@ -52,6 +62,8 @@ std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers);
 struct Decomposition {
   std::vector<ClearedSwap> swaps;  // one per non-trivial SCC
   std::vector<Offer> unmatched;    // offers no atomic swap can honour
+
+  bool operator==(const Decomposition&) const = default;
 };
 
 /// Real clearing: a batch of offers rarely forms one strongly-connected

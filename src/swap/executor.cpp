@@ -258,6 +258,33 @@ std::shared_ptr<WorkStealingPool> ExecutorRegistry::shared_pool(
   return slot;
 }
 
+std::shared_ptr<WorkStealingPool> ExecutorRegistry::shared_pool_at_least(
+    std::size_t n_threads) {
+  if (n_threads == 0) {
+    throw std::invalid_argument("ExecutorRegistry: need at least 1 lane");
+  }
+  const util::MutexLock lock(mutex_);
+  // pools_ is keyed by lane count, so lower_bound finds the smallest
+  // size that can serve the request.
+  const auto fit = pools_.lower_bound(n_threads);
+  if (fit != pools_.end()) return fit->second;
+
+  auto pool = std::make_shared<WorkStealingPool>(n_threads);
+  // Outgrown sizes nobody else holds are retired now; use_count() == 1
+  // is stable here because every registry handout happens under mutex_
+  // (an external holder can only DROP its copy concurrently, which
+  // merely postpones the prune to the next growth).
+  for (auto it = pools_.begin(); it != pools_.end();) {
+    if (it->first < n_threads && it->second.use_count() == 1) {
+      it = pools_.erase(it);  // joins the pool's parked workers
+    } else {
+      ++it;
+    }
+  }
+  pools_[n_threads] = pool;
+  return pool;
+}
+
 std::size_t ExecutorRegistry::pool_count() const {
   const util::MutexLock lock(mutex_);
   return pools_.size();

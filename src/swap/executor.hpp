@@ -202,7 +202,19 @@ class ExecutorRegistry {
   std::shared_ptr<WorkStealingPool> shared_pool(std::size_t n_threads)
       XSWAP_EXCLUDES(mutex_);
 
-  /// Number of distinct pool sizes created so far.
+  /// Elastic acquire: the smallest cached pool with AT LEAST `n_threads`
+  /// lanes, or a fresh `n_threads`-lane pool when none is big enough.
+  /// Growing this way does not leak the outgrown sizes: after creating a
+  /// bigger pool, cached smaller pools nobody else holds are dropped
+  /// (their destructors join the parked workers). Pools still referenced
+  /// outside the registry are left alone — dropping the cache entry
+  /// would orphan, not kill, them. Long-lived services (serve's
+  /// ClearingService) use this so a --jobs bump reuses or replaces lanes
+  /// instead of accumulating one pool per size ever requested.
+  std::shared_ptr<WorkStealingPool> shared_pool_at_least(
+      std::size_t n_threads) XSWAP_EXCLUDES(mutex_);
+
+  /// Number of distinct pool sizes currently cached.
   std::size_t pool_count() const XSWAP_EXCLUDES(mutex_);
 
  private:

@@ -66,10 +66,11 @@ std::size_t Scenario::begin_run(
   return count;
 }
 
-BatchReport Scenario::aggregate(std::vector<SwapReport> reports,
-                                std::size_t skipped, double wall_ms) const {
+BatchReport aggregate_batch(std::vector<SwapReport> reports,
+                            std::vector<Offer> unmatched, std::size_t skipped,
+                            double wall_ms) {
   BatchReport batch;
-  batch.unmatched = unmatched_;
+  batch.unmatched = std::move(unmatched);
   batch.components_skipped = skipped;
   batch.wall_ms = wall_ms;
   batch.components_per_sec =
@@ -94,6 +95,11 @@ BatchReport Scenario::aggregate(std::vector<SwapReport> reports,
     batch.swaps.push_back(std::move(report));
   }
   return batch;
+}
+
+BatchReport Scenario::aggregate(std::vector<SwapReport> reports,
+                                std::size_t skipped, double wall_ms) const {
+  return aggregate_batch(std::move(reports), unmatched_, skipped, wall_ms);
 }
 
 BatchReport Scenario::run(const RunOptions& options) {

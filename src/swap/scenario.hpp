@@ -134,6 +134,15 @@ struct FleetReport {
 
 class Scenario;
 
+/// Fold per-swap reports (in component order) into a BatchReport: the
+/// one aggregation rule shared by Scenario::run, run_fleet, and the
+/// streaming serve::ClearingService (which aggregates one component at a
+/// time). `skipped` lands in components_skipped; the wall-clock fields
+/// derive from `wall_ms`.
+BatchReport aggregate_batch(std::vector<SwapReport> reports,
+                            std::vector<Offer> unmatched, std::size_t skipped,
+                            double wall_ms);
+
 /// Run every scenario in `fleet` (consuming their run tokens) and
 /// aggregate each into its BatchReport. See FleetSchedule for the two
 /// schedules. Throws std::logic_error if any scenario already ran

@@ -1,0 +1,223 @@
+// IncrementalClearing (serve/incremental.hpp) against its ground truth:
+// after EVERY add/expire, decomposition() must equal
+// decompose_offers(live offers) — operator== equal, field for field,
+// ordering included — because the service's golden gate (streaming ≡
+// batch) rests entirely on this invariant. The economics claims
+// (incremental refreshes dominate, cache reuse happens, max_dirty = 1
+// never goes full) are asserted on the same runs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/incremental.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::serve {
+namespace {
+
+swap::Offer offer(const std::string& from, const std::string& to,
+                  const std::string& chain, std::uint64_t amount = 1) {
+  return swap::Offer{from, to, chain, chain::Asset::coins("TOK", amount)};
+}
+
+/// Apply + assert the ground-truth equivalence in one step.
+void add_checked(IncrementalClearing& inc, std::vector<swap::Offer>& mirror,
+                 swap::Offer o) {
+  mirror.push_back(o);
+  inc.add(std::move(o));
+  ASSERT_EQ(inc.decomposition(), swap::decompose_offers(mirror));
+}
+
+void expire_checked(IncrementalClearing& inc,
+                    std::vector<swap::Offer>& mirror, const swap::Offer& o) {
+  const std::string key = swap::offer_key(o);
+  for (auto it = mirror.begin(); it != mirror.end(); ++it) {
+    if (swap::offer_key(*it) == key) {
+      mirror.erase(it);
+      break;
+    }
+  }
+  inc.expire(o);
+  ASSERT_EQ(inc.decomposition(), swap::decompose_offers(mirror));
+}
+
+TEST(IncrementalClearing, RejectsMalformedOffersAndBadOptions) {
+  EXPECT_THROW(IncrementalClearing(IncrementalOptions{-0.1}),
+               std::invalid_argument);
+  IncrementalClearing inc;
+  EXPECT_THROW(inc.add(offer("A", "A", "ch")), std::invalid_argument);
+  EXPECT_THROW(inc.add(offer("", "B", "ch")), std::invalid_argument);
+  EXPECT_THROW(inc.add(offer("A", "", "ch")), std::invalid_argument);
+  EXPECT_THROW(inc.add(offer("A", "B", "")), std::invalid_argument);
+  inc.add(offer("A", "B", "ch"));
+  EXPECT_THROW(inc.add(offer("A", "B", "ch")), std::invalid_argument);
+  EXPECT_THROW(inc.expire(offer("A", "B", "other")), std::invalid_argument);
+  EXPECT_EQ(inc.live_offer_count(), 1u);
+}
+
+TEST(IncrementalClearing, MergeAndSplitTrackTheBatchDecomposition) {
+  IncrementalClearing inc;
+  std::vector<swap::Offer> mirror;
+
+  // Two independent 2-cycles.
+  add_checked(inc, mirror, offer("A", "B", "c1"));
+  add_checked(inc, mirror, offer("B", "A", "c2"));
+  add_checked(inc, mirror, offer("C", "D", "c3"));
+  add_checked(inc, mirror, offer("D", "C", "c4"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 2u);
+  EXPECT_EQ(inc.live_party_count(), 4u);
+
+  // Bridge B↔C: all four parties merge into ONE component — exactly the
+  // shape a greedy clear-on-cycle streaming rule would get wrong.
+  add_checked(inc, mirror, offer("B", "C", "c5"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 2u);  // B→C alone: cross
+  add_checked(inc, mirror, offer("C", "B", "c6"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 1u);
+  EXPECT_EQ(inc.decomposition().swaps[0].party_names.size(), 4u);
+
+  // Expiring one bridge arc splits the merged component back apart.
+  expire_checked(inc, mirror, offer("C", "B", "c6"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 2u);
+  expire_checked(inc, mirror, offer("B", "C", "c5"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 2u);
+
+  // An expired identity may be re-added.
+  add_checked(inc, mirror, offer("B", "C", "c5"));
+  add_checked(inc, mirror, offer("C", "B", "c6"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 1u);
+}
+
+TEST(IncrementalClearing, ConsumeRemovesMatchedKeepsUnmatchedLive) {
+  IncrementalClearing inc;
+  inc.add(offer("A", "B", "c1"));
+  inc.add(offer("B", "C", "c2"));
+  inc.add(offer("C", "A", "c3"));
+  inc.add(offer("D", "E", "c4"));  // no counterparty — unmatched
+  ASSERT_EQ(inc.decomposition().swaps.size(), 1u);
+
+  const swap::Decomposition cleared = inc.consume();
+  EXPECT_EQ(cleared.swaps.size(), 1u);
+  ASSERT_EQ(cleared.unmatched.size(), 1u);
+  EXPECT_EQ(cleared.unmatched[0].from, "D");
+
+  // The ring's offers are consumed; D→E stays live awaiting E→D.
+  EXPECT_EQ(inc.live_offer_count(), 1u);
+  EXPECT_EQ(inc.decomposition().swaps.size(), 0u);
+  EXPECT_EQ(inc.decomposition(), swap::decompose_offers(inc.live_offers()));
+
+  // The counterparty finally arrives: the leftover clears.
+  inc.add(offer("E", "D", "c5"));
+  EXPECT_EQ(inc.decomposition().swaps.size(), 1u);
+  // And consumed identities may be re-submitted (their keys are free).
+  inc.add(offer("A", "B", "c1"));
+  EXPECT_EQ(inc.live_offer_count(), 3u);
+}
+
+/// Seeded generator over a grouped party universe: GROUPS groups of
+/// SIZE parties, offers mostly intra-group (components stay small
+/// relative to the book — the service's design load), with occasional
+/// forward-only cross-group offers (a DAG between groups: never merges,
+/// always unmatched).
+struct GroupedBook {
+  static constexpr std::size_t kGroups = 8;
+  static constexpr std::size_t kSize = 4;
+
+  util::Rng rng;
+  std::vector<swap::Offer> live;
+
+  explicit GroupedBook(std::uint64_t seed) : rng(seed) {}
+
+  std::string party(std::size_t group, std::size_t member) const {
+    return "G" + std::to_string(group) + "P" + std::to_string(member);
+  }
+
+  bool is_live(const swap::Offer& o) const {
+    const std::string key = swap::offer_key(o);
+    for (const swap::Offer& l : live) {
+      if (swap::offer_key(l) == key) return true;
+    }
+    return false;
+  }
+
+  /// A fresh (non-live) offer, or nullopt if the draw collided.
+  std::optional<swap::Offer> draw_add() {
+    const std::size_t group = rng.next_below(kGroups);
+    std::string from, to;
+    if (rng.next_chance(85, 100) || group + 1 == kGroups) {
+      const std::size_t a = rng.next_below(kSize);
+      std::size_t b = rng.next_below(kSize - 1);
+      if (b >= a) ++b;
+      from = party(group, a);
+      to = party(group, b);
+    } else {
+      // Forward-only bridge: group → group + 1 (a DAG, never a cycle).
+      from = party(group, rng.next_below(kSize));
+      to = party(group + 1, rng.next_below(kSize));
+    }
+    const char chain = static_cast<char>('x' + rng.next_below(3));
+    swap::Offer o = offer(from, to, std::string(1, chain),
+                          1 + rng.next_below(4));
+    if (is_live(o)) return std::nullopt;
+    return o;
+  }
+};
+
+TEST(IncrementalClearing, RandomizedStepsMatchBatchDecomposition) {
+  constexpr std::size_t kSteps = 500;
+  IncrementalClearing inc;  // default max_dirty = 0.5
+  GroupedBook book(20180807);
+
+  std::size_t mutations = 0;
+  while (mutations < kSteps) {
+    const bool do_add =
+        book.live.empty() || book.rng.next_chance(70, 100);
+    if (do_add) {
+      const auto o = book.draw_add();
+      if (!o.has_value()) continue;  // key collision — redraw
+      ASSERT_NO_FATAL_FAILURE(add_checked(inc, book.live, *o));
+    } else {
+      const swap::Offer victim =
+          book.live[book.rng.next_below(book.live.size())];
+      ASSERT_NO_FATAL_FAILURE(expire_checked(inc, book.live, victim));
+    }
+    ++mutations;
+  }
+
+  const IncrementalStats& stats = inc.stats();
+  EXPECT_EQ(stats.adds + stats.expires, kSteps);
+  // The acceptance bar: at the default threshold, fewer than half the
+  // refreshes fall back to a full recompute...
+  EXPECT_LT(stats.full_recomputes, kSteps / 2);
+  EXPECT_LT(stats.full_ratio(), 0.5);
+  // ...and the exact-subset cache is doing real work (untouched
+  // components reuse their cleared swap instead of re-running FVS).
+  EXPECT_GT(stats.components_reused, 0u);
+}
+
+TEST(IncrementalClearing, MaxDirtyOneNeverRecomputesFully) {
+  IncrementalClearing inc(IncrementalOptions{1.0});
+  GroupedBook book(424242);
+  std::size_t mutations = 0;
+  while (mutations < 120) {
+    const bool do_add = book.live.empty() || book.rng.next_chance(70, 100);
+    if (do_add) {
+      const auto o = book.draw_add();
+      if (!o.has_value()) continue;
+      ASSERT_NO_FATAL_FAILURE(add_checked(inc, book.live, *o));
+    } else {
+      const swap::Offer victim =
+          book.live[book.rng.next_below(book.live.size())];
+      ASSERT_NO_FATAL_FAILURE(expire_checked(inc, book.live, victim));
+    }
+    ++mutations;
+  }
+  // The dirty region is a subset of the live parties, so with the
+  // threshold at 1.0 nothing can exceed it.
+  EXPECT_EQ(inc.stats().full_recomputes, 0u);
+  EXPECT_EQ(inc.stats().incremental_updates, 120u);
+}
+
+}  // namespace
+}  // namespace xswap::serve

@@ -1,0 +1,279 @@
+// ClearingService end-to-end. The headline assertion is the GOLDEN
+// GATE: a stream of pure `add` events followed by the shutdown drain
+// must reproduce the batch path (ScenarioBuilder on the same book)
+// field for field in every deterministic report field — same
+// decomposition, same per-component seed (base + i), same outcomes,
+// same resource totals, same unmatched list. The rest pins the service
+// semantics: deterministic backpressure, graceful drain (no admitted
+// offer lost), mid-stream clearing points, jobs-independence, and
+// invalid-event accounting.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/events.hpp"
+#include "serve/service.hpp"
+#include "swap/scenario.hpp"
+
+namespace xswap::serve {
+namespace {
+
+swap::Offer offer(const std::string& from, const std::string& to,
+                  const std::string& chain, std::uint64_t amount = 1) {
+  return swap::Offer{from, to, chain, chain::Asset::coins("TOK", amount)};
+}
+
+/// A book with two non-trivial components and one unmatched offer:
+/// a 3-ring, a disjoint 2-cycle, and a dangling arc.
+std::vector<swap::Offer> two_component_book() {
+  return {
+      offer("Alice", "Bob", "c1"),   offer("Bob", "Carol", "c2"),
+      offer("Carol", "Alice", "c3"), offer("Dave", "Erin", "c4"),
+      offer("Erin", "Dave", "c5"),   offer("Frank", "Grace", "c6"),
+  };
+}
+
+/// Every deterministic SwapReport field (everything except wall clock,
+/// which SwapReport does not even carry).
+void expect_swap_reports_equal(const swap::SwapReport& got,
+                               const swap::SwapReport& want,
+                               const std::string& context) {
+  EXPECT_EQ(got.contract_published, want.contract_published) << context;
+  EXPECT_EQ(got.triggered, want.triggered) << context;
+  EXPECT_EQ(got.refunded, want.refunded) << context;
+  EXPECT_EQ(got.settled_at, want.settled_at) << context;
+  EXPECT_EQ(got.outcomes, want.outcomes) << context;
+  EXPECT_EQ(got.all_triggered, want.all_triggered) << context;
+  EXPECT_EQ(got.last_trigger_time, want.last_trigger_time) << context;
+  EXPECT_EQ(got.finished_at, want.finished_at) << context;
+  EXPECT_EQ(got.total_storage_bytes, want.total_storage_bytes) << context;
+  EXPECT_EQ(got.total_call_payload_bytes, want.total_call_payload_bytes)
+      << context;
+  EXPECT_EQ(got.hashkey_bytes_submitted, want.hashkey_bytes_submitted)
+      << context;
+  EXPECT_EQ(got.sign_operations, want.sign_operations) << context;
+  EXPECT_EQ(got.total_transactions, want.total_transactions) << context;
+  EXPECT_EQ(got.failed_transactions, want.failed_transactions) << context;
+  EXPECT_EQ(got.no_conforming_underwater, want.no_conforming_underwater)
+      << context;
+}
+
+/// Run the book through a started service as pure adds + drain,
+/// collecting per-component reports.
+ServiceStats stream_book(ServiceOptions options,
+                         const std::vector<swap::Offer>& book,
+                         std::vector<ComponentReport>* reports,
+                         std::vector<swap::Offer>* unmatched) {
+  // on_report runs on the service thread; wait() joins it before the
+  // caller reads `reports`, so the plain vector is safe.
+  options.on_report = [reports](const ComponentReport& r) {
+    reports->push_back(r);
+  };
+  ClearingService service(std::move(options));
+  service.start();
+  for (const swap::Offer& o : book) {
+    EXPECT_EQ(service.submit_wait(add_event(o)), SubmitResult::kAdmitted);
+  }
+  const ServiceStats stats = service.wait();
+  *unmatched = service.final_unmatched();
+  return stats;
+}
+
+TEST(ClearingService, ValidatesOptions) {
+  {
+    ServiceOptions bad;
+    bad.queue_cap = 0;
+    EXPECT_THROW(ClearingService{std::move(bad)}, std::invalid_argument);
+  }
+  {
+    ServiceOptions bad;
+    bad.jobs = 0;
+    EXPECT_THROW(ClearingService{std::move(bad)}, std::invalid_argument);
+  }
+  {
+    ServiceOptions bad;
+    bad.max_dirty = -1.0;
+    EXPECT_THROW(ClearingService{std::move(bad)}, std::invalid_argument);
+  }
+  ClearingService service{ServiceOptions{}};
+  service.start();
+  EXPECT_THROW(service.start(), std::logic_error);
+  service.wait();
+}
+
+TEST(ClearingService, GoldenGateStreamingEqualsBatch) {
+  const std::vector<swap::Offer> book = two_component_book();
+  constexpr std::uint64_t kSeed = 42;
+
+  // Ground truth: the batch path on the identical book and knobs.
+  swap::Scenario scenario =
+      swap::ScenarioBuilder().offers(book).seed(kSeed).build();
+  const std::size_t components = scenario.swap_count();
+  ASSERT_EQ(components, 2u);
+  const swap::BatchReport batch = scenario.run();
+
+  ServiceOptions options;
+  options.engine.seed = kSeed;
+  std::vector<ComponentReport> reports;
+  std::vector<swap::Offer> unmatched;
+  const ServiceStats stats = stream_book(options, book, &reports, &unmatched);
+
+  // Same decomposition, in the same order, run under the same seeds.
+  ASSERT_EQ(reports.size(), components);
+  for (std::size_t i = 0; i < components; ++i) {
+    const std::string context = "component " + std::to_string(i);
+    EXPECT_EQ(reports[i].clear_batch, 0u) << context;
+    EXPECT_EQ(reports[i].index, i) << context;
+    EXPECT_EQ(reports[i].seed, kSeed + i) << context;
+    EXPECT_EQ(reports[i].cleared, scenario.cleared(i)) << context;
+    EXPECT_TRUE(reports[i].audit_ok) << context;
+    ASSERT_EQ(reports[i].report.swaps.size(), 1u) << context;
+    expect_swap_reports_equal(reports[i].report.swaps[0], batch.swaps[i],
+                              context);
+  }
+
+  // Same leftover book, returned to the makers in the same order.
+  EXPECT_EQ(unmatched, batch.unmatched);
+
+  // And the aggregate counters agree with the batch totals.
+  EXPECT_EQ(stats.components_cleared, components);
+  EXPECT_EQ(stats.swaps_fully_triggered, batch.swaps_fully_triggered);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(stats.adds_applied, book.size());
+  EXPECT_EQ(stats.clears, 1u);  // the shutdown drain
+  // The unmatched offer stays live (that is where final_unmatched()
+  // reads it from).
+  EXPECT_EQ(stats.offers_live, unmatched.size());
+}
+
+TEST(ClearingService, JobsDoNotChangeDeterministicFields) {
+  const std::vector<swap::Offer> book = {
+      offer("A", "B", "c1"), offer("B", "A", "c2"), offer("C", "D", "c3"),
+      offer("D", "C", "c4"), offer("E", "F", "c5"), offer("F", "E", "c6"),
+  };
+
+  std::vector<ComponentReport> serial_reports, parallel_reports;
+  std::vector<swap::Offer> serial_unmatched, parallel_unmatched;
+  ServiceOptions serial;
+  serial.engine.seed = 7;
+  stream_book(serial, book, &serial_reports, &serial_unmatched);
+  ServiceOptions parallel;
+  parallel.engine.seed = 7;
+  parallel.jobs = 2;
+  stream_book(parallel, book, &parallel_reports, &parallel_unmatched);
+
+  ASSERT_EQ(serial_reports.size(), 3u);
+  ASSERT_EQ(parallel_reports.size(), 3u);
+  for (std::size_t i = 0; i < serial_reports.size(); ++i) {
+    const std::string context = "component " + std::to_string(i);
+    EXPECT_EQ(parallel_reports[i].seed, serial_reports[i].seed) << context;
+    EXPECT_EQ(parallel_reports[i].cleared, serial_reports[i].cleared)
+        << context;
+    expect_swap_reports_equal(parallel_reports[i].report.swaps[0],
+                              serial_reports[i].report.swaps[0], context);
+  }
+  EXPECT_EQ(parallel_unmatched, serial_unmatched);
+}
+
+TEST(ClearingService, BackpressureRejectsDeterministicallyBeforeStart) {
+  ServiceOptions options;
+  options.queue_cap = 2;
+  ClearingService service(std::move(options));
+
+  // The thread has not started: nothing consumes, so rejection at
+  // capacity is exact, not a race.
+  EXPECT_EQ(service.submit(add_event(offer("A", "B", "c1"))),
+            SubmitResult::kAdmitted);
+  EXPECT_EQ(service.submit(add_event(offer("B", "A", "c2"))),
+            SubmitResult::kAdmitted);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(service.submit(add_event(offer("C", "D", "c3"))),
+              SubmitResult::kRejectedFull);
+  }
+
+  service.start();
+  const ServiceStats stats = service.wait();
+  EXPECT_EQ(stats.events_admitted, 2u);
+  EXPECT_EQ(stats.events_rejected_full, 5u);
+  EXPECT_EQ(stats.queue_high_water, 2u);
+  // The two admitted offers form a 2-cycle and clear on the drain.
+  EXPECT_EQ(stats.components_cleared, 1u);
+  EXPECT_EQ(stats.swaps_fully_triggered, 1u);
+}
+
+TEST(ClearingService, GracefulDrainLosesNoAdmittedOffer) {
+  const std::vector<swap::Offer> book = two_component_book();
+  ServiceOptions options;
+  std::vector<ComponentReport> reports;
+  std::vector<swap::Offer> unmatched;
+  const ServiceStats stats = stream_book(options, book, &reports, &unmatched);
+
+  // Every admitted offer is accounted for: it either rode into a
+  // cleared component (one arc each) or came back unmatched.
+  std::size_t arcs = 0;
+  for (const ComponentReport& r : reports) arcs += r.cleared.arcs.size();
+  EXPECT_EQ(arcs + unmatched.size(), book.size());
+  EXPECT_EQ(stats.adds_applied, book.size());
+  EXPECT_EQ(stats.offers_live, unmatched.size());
+  ASSERT_EQ(unmatched.size(), 1u);
+  EXPECT_EQ(unmatched[0].from, "Frank");
+}
+
+TEST(ClearingService, MidStreamClearPointsAdvanceTheSeedBase) {
+  constexpr std::uint64_t kSeed = 11;
+  ServiceOptions options;
+  options.engine.seed = kSeed;
+  std::vector<ComponentReport> reports;
+  options.on_report = [&reports](const ComponentReport& r) {
+    reports.push_back(r);
+  };
+  ClearingService service(std::move(options));
+  service.start();
+
+  const std::vector<swap::Offer> ring = {
+      offer("A", "B", "c1"), offer("B", "C", "c2"), offer("C", "A", "c3")};
+  for (const swap::Offer& o : ring) service.submit_wait(add_event(o));
+  service.submit_wait(clear_event());
+  // The ring was consumed at the clearing point, so the identical
+  // offers may be resubmitted for the next round.
+  for (const swap::Offer& o : ring) service.submit_wait(add_event(o));
+  const ServiceStats stats = service.wait();
+
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].clear_batch, 0u);
+  EXPECT_EQ(reports[0].seed, kSeed);
+  EXPECT_EQ(reports[1].clear_batch, 1u);
+  // One component was dispatched before the second point: base + 1.
+  EXPECT_EQ(reports[1].seed, kSeed + 1);
+  EXPECT_EQ(reports[1].cleared, reports[0].cleared);
+  EXPECT_EQ(stats.clears, 2u);  // explicit point + shutdown drain
+  EXPECT_EQ(stats.components_cleared, 2u);
+}
+
+TEST(ClearingService, InvalidEventsAreCountedNotFatal) {
+  ServiceOptions options;
+  ClearingService service(std::move(options));
+  service.start();
+  service.submit_wait(add_event(offer("A", "B", "c1")));
+  // Duplicate of a live offer: admitted into the queue, rejected at
+  // apply time.
+  service.submit_wait(add_event(offer("A", "B", "c1")));
+  // Expiring an offer that was never added.
+  service.submit_wait(expire_event(offer("X", "Y", "c9")));
+  service.submit_wait(add_event(offer("B", "A", "c2")));
+  const ServiceStats stats = service.wait();
+
+  EXPECT_EQ(stats.events_admitted, 4u);
+  EXPECT_EQ(stats.events_rejected_invalid, 2u);
+  EXPECT_EQ(stats.adds_applied, 2u);
+  EXPECT_EQ(stats.expires_applied, 0u);
+  // The surviving 2-cycle still cleared.
+  EXPECT_EQ(stats.components_cleared, 1u);
+  EXPECT_EQ(stats.swaps_fully_triggered, 1u);
+}
+
+}  // namespace
+}  // namespace xswap::serve

@@ -1,0 +1,191 @@
+// The serve/ ingest surface: the event wire format (serve/events.hpp)
+// and the bounded OfferStream (serve/offer_stream.hpp). The load-bearing
+// claims: the wire format is a strict superset of the batch offers file
+// (verbless lines are adds), and backpressure is DETERMINISTIC — the
+// (capacity + 1)-th push into an undrained queue is rejected, every
+// time, not subject to scheduling.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/events.hpp"
+#include "serve/offer_stream.hpp"
+
+namespace xswap::serve {
+namespace {
+
+swap::Offer coin_offer(const std::string& from, const std::string& to,
+                       const std::string& chain, std::uint64_t amount) {
+  return swap::Offer{from, to, chain, chain::Asset::coins("TOK", amount)};
+}
+
+// ------------------------------------------------------- wire format
+
+TEST(ServeEvents, VerblessLineIsAnAdd) {
+  const auto event = parse_event_line("Alice Bob btc coin:BTC:3");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, EventKind::kAdd);
+  EXPECT_EQ(event->offer.from, "Alice");
+  EXPECT_EQ(event->offer.to, "Bob");
+  EXPECT_EQ(event->offer.chain, "btc");
+  EXPECT_TRUE(event->offer.asset.fungible);
+  EXPECT_EQ(event->offer.asset.symbol, "BTC");
+  EXPECT_EQ(event->offer.asset.amount, 3u);
+}
+
+TEST(ServeEvents, ExplicitVerbsAndUniqueAssets) {
+  const auto add = parse_event_line("add A B ch unique:TITLE:vin-1");
+  ASSERT_TRUE(add.has_value());
+  EXPECT_EQ(add->kind, EventKind::kAdd);
+  EXPECT_FALSE(add->offer.asset.fungible);
+  EXPECT_EQ(add->offer.asset.unique_id, "vin-1");
+
+  const auto expire = parse_event_line("expire A B ch coin:X:7");
+  ASSERT_TRUE(expire.has_value());
+  EXPECT_EQ(expire->kind, EventKind::kExpire);
+
+  const auto clear = parse_event_line("clear");
+  ASSERT_TRUE(clear.has_value());
+  EXPECT_EQ(clear->kind, EventKind::kClear);
+}
+
+TEST(ServeEvents, BlankAndCommentLinesAreSkipped) {
+  EXPECT_FALSE(parse_event_line("").has_value());
+  EXPECT_FALSE(parse_event_line("   ").has_value());
+  EXPECT_FALSE(parse_event_line("# a comment").has_value());
+  // Trailing comments strip, like the batch offers file.
+  const auto event = parse_event_line("A B ch coin:X:1  # inline note");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->offer.asset.amount, 1u);
+}
+
+TEST(ServeEvents, MalformedLinesThrow) {
+  EXPECT_THROW(parse_event_line("A B ch"), std::invalid_argument);
+  EXPECT_THROW(parse_event_line("add A B ch"), std::invalid_argument);
+  EXPECT_THROW(parse_event_line("A B ch coin:X:0"), std::invalid_argument);
+  EXPECT_THROW(parse_event_line("A B ch coin:X:-1"), std::invalid_argument);
+  EXPECT_THROW(parse_event_line("A B ch notanasset"), std::invalid_argument);
+  EXPECT_THROW(parse_event_line("A B ch unique:T:"), std::invalid_argument);
+  EXPECT_THROW(parse_event_line("A B ch coin:X:1 extra"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_event_line("clear now"), std::invalid_argument);
+}
+
+TEST(ServeEvents, EventLineRoundTrips) {
+  const std::vector<std::string> lines = {
+      "add Alice Bob btc coin:BTC:3",
+      "expire Alice Bob btc coin:BTC:3",
+      "add A B ch unique:TITLE:vin-1",
+      "clear",
+  };
+  for (const std::string& line : lines) {
+    const auto event = parse_event_line(line);
+    ASSERT_TRUE(event.has_value()) << line;
+    EXPECT_EQ(event_line(*event), line);
+    // And the rendered form parses back to the same event.
+    EXPECT_EQ(parse_event_line(event_line(*event)), event);
+  }
+}
+
+// ------------------------------------------------------- OfferStream
+
+TEST(OfferStream, RejectsZeroCapacity) {
+  EXPECT_THROW(OfferStream(0), std::invalid_argument);
+}
+
+TEST(OfferStream, BackpressureRejectsDeterministicallyAtCapacity) {
+  OfferStream stream(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(stream.try_push(add_event(coin_offer("A", "B", "ch", i + 1))),
+              SubmitResult::kAdmitted);
+  }
+  // The queue is exactly full and nothing consumes: every further push
+  // is rejected, deterministically, however often we retry.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(stream.try_push(add_event(coin_offer("A", "B", "ch", 99))),
+              SubmitResult::kRejectedFull);
+  }
+  EXPECT_EQ(stream.depth(), 3u);
+  EXPECT_EQ(stream.admitted(), 3u);
+  EXPECT_EQ(stream.rejected_full(), 5u);
+  EXPECT_EQ(stream.high_water(), 3u);
+
+  // Draining frees the whole capacity again.
+  std::vector<OfferEvent> drained;
+  EXPECT_TRUE(stream.wait_drain(&drained));
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(stream.depth(), 0u);
+  EXPECT_EQ(stream.try_push(clear_event()), SubmitResult::kAdmitted);
+}
+
+TEST(OfferStream, DrainPreservesFifoOrder) {
+  OfferStream stream(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_EQ(stream.try_push(add_event(coin_offer("A", "B", "ch", i))),
+              SubmitResult::kAdmitted);
+  }
+  std::vector<OfferEvent> drained;
+  ASSERT_TRUE(stream.wait_drain(&drained));
+  ASSERT_EQ(drained.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(drained[i].offer.asset.amount, i + 1);
+  }
+}
+
+TEST(OfferStream, CloseRefusesProducersButDrainsRemainder) {
+  OfferStream stream(4);
+  ASSERT_EQ(stream.try_push(add_event(coin_offer("A", "B", "ch", 1))),
+            SubmitResult::kAdmitted);
+  stream.close();
+  stream.close();  // idempotent
+  EXPECT_EQ(stream.try_push(add_event(coin_offer("A", "B", "ch", 2))),
+            SubmitResult::kRejectedClosed);
+  EXPECT_EQ(stream.push_wait(add_event(coin_offer("A", "B", "ch", 3))),
+            SubmitResult::kRejectedClosed);
+
+  // The admitted event is still delivered; only then does the stream end.
+  std::vector<OfferEvent> drained;
+  EXPECT_TRUE(stream.wait_drain(&drained));
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].offer.asset.amount, 1u);
+  EXPECT_FALSE(stream.wait_drain(&drained));  // closed AND empty
+}
+
+TEST(OfferStream, PushWaitUnblocksWhenConsumerDrains) {
+  OfferStream stream(1);
+  ASSERT_EQ(stream.push_wait(add_event(coin_offer("A", "B", "ch", 1))),
+            SubmitResult::kAdmitted);
+
+  // Producer blocks on the full queue until the consumer drains.
+  std::thread producer([&] {
+    EXPECT_EQ(stream.push_wait(add_event(coin_offer("A", "B", "ch", 2))),
+              SubmitResult::kAdmitted);
+  });
+  std::vector<OfferEvent> drained;
+  std::size_t seen = 0;
+  while (seen < 2) {  // two waves: {1}, then {2} once the producer wakes
+    ASSERT_TRUE(stream.wait_drain(&drained));
+    seen = drained.size();
+  }
+  producer.join();
+  EXPECT_EQ(drained[0].offer.asset.amount, 1u);
+  EXPECT_EQ(drained[1].offer.asset.amount, 2u);
+}
+
+TEST(OfferStream, PushWaitUnblocksOnClose) {
+  OfferStream stream(1);
+  ASSERT_EQ(stream.try_push(add_event(coin_offer("A", "B", "ch", 1))),
+            SubmitResult::kAdmitted);
+  std::thread producer([&] {
+    EXPECT_EQ(stream.push_wait(add_event(coin_offer("A", "B", "ch", 2))),
+              SubmitResult::kRejectedClosed);
+  });
+  stream.close();
+  producer.join();
+  EXPECT_EQ(stream.depth(), 1u);  // the parked event was NOT admitted
+}
+
+}  // namespace
+}  // namespace xswap::serve

@@ -354,6 +354,60 @@ TEST(ExecutorRegistry, SharedPoolCachedBySize) {
                std::invalid_argument);
 }
 
+// The elastic-resize tests use lane counts no other test touches (8+):
+// the registry is a process-wide singleton, so when the whole umbrella
+// binary runs in one process, smaller sizes may already be cached.
+
+TEST(ExecutorRegistry, SharedPoolAtLeastReturnsExistingBiggerPool) {
+  auto& registry = ExecutorRegistry::instance();
+  const auto big = registry.shared_pool_at_least(8);
+  ASSERT_GE(big->thread_count(), 8u);
+  const std::size_t cached = registry.pool_count();
+  // A smaller request is served by the cached bigger pool — no new pool,
+  // no new cache entry.
+  const auto fit = registry.shared_pool_at_least(big->thread_count() - 1);
+  EXPECT_EQ(fit.get(), big.get());
+  EXPECT_EQ(registry.pool_count(), cached);
+  EXPECT_THROW(registry.shared_pool_at_least(0), std::invalid_argument);
+}
+
+TEST(ExecutorRegistry, SharedPoolAtLeastGrowsWithoutLeaking) {
+  auto& registry = ExecutorRegistry::instance();
+  auto outgrown = registry.shared_pool_at_least(9);
+  const std::size_t outgrown_lanes = outgrown->thread_count();
+  const std::size_t before_growth = registry.pool_count();
+  outgrown.reset();  // the registry is now the sole owner
+  const auto grown = registry.shared_pool_at_least(outgrown_lanes + 1);
+  EXPECT_GE(grown->thread_count(), outgrown_lanes + 1);
+  // Growing retired the unreferenced outgrown size (its workers joined):
+  // the cache gained no entry net, so repeated --jobs bumps cannot
+  // accumulate one parked pool per size ever requested.
+  EXPECT_LE(registry.pool_count(), before_growth);
+}
+
+TEST(ExecutorRegistry, SharedPoolAtLeastKeepsReferencedPools) {
+  auto& registry = ExecutorRegistry::instance();
+  const auto held = registry.shared_pool_at_least(12);
+  const std::size_t held_lanes = held->thread_count();
+  const auto grown = registry.shared_pool_at_least(held_lanes + 1);
+  EXPECT_NE(held.get(), grown.get());
+  // `held` is still referenced outside the registry, so growth must NOT
+  // prune it: a request its size can serve finds it again (dropping the
+  // entry would orphan the pool, not kill it).
+  EXPECT_EQ(registry.shared_pool_at_least(held_lanes).get(), held.get());
+}
+
+TEST(ExecutorRegistry, SharedPoolAtLeastPoolRunsBatches) {
+  const auto pool = ExecutorRegistry::instance().shared_pool_at_least(8);
+  const std::size_t before = pool->batches_run();
+  std::atomic<std::size_t> sum{0};
+  pool->run(16, [&](std::size_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 16u * 17u / 2u);
+  EXPECT_EQ(pool->batches_run(), before + 1);
+}
+
 // -------------------------------------------------- striped chain locks
 
 TEST(ChainLocks, RegistryStripesAreStableAndBounded) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Deterministic event-stream generator for `xswap serve`.
+
+Emits a seeded sequence of serve wire-format lines (see
+src/serve/events.hpp: `[add|expire] FROM TO CHAIN ASSET`, plus bare
+`clear`) on stdout. Same seed, same stream — byte for byte — so CI's
+serve-smoke job replays an identical workload on every run.
+
+The shape mirrors tests/serve_incremental_test.cpp's GroupedBook: a
+party universe split into groups, offers mostly intra-group (components
+stay small, so the incremental path dominates), occasional forward-only
+cross-group offers (never cyclic: steady unmatched pressure), a trickle
+of expires, and periodic `clear` barriers.
+
+Usage:
+  tools/gen_stream.py [--events N] [--seed S] [--groups G] [--size K]
+                      [--clear-every C]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+
+def party(group: int, member: int) -> str:
+    return f"G{group}P{member}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=200,
+                        help="total events to emit (default 200)")
+    parser.add_argument("--seed", type=int, default=20180807,
+                        help="generator seed (default 20180807)")
+    parser.add_argument("--groups", type=int, default=8,
+                        help="party groups (default 8)")
+    parser.add_argument("--size", type=int, default=4,
+                        help="parties per group (default 4)")
+    parser.add_argument("--clear-every", type=int, default=50,
+                        help="emit a clear barrier every N events "
+                             "(0 = only the shutdown drain; default 50)")
+    args = parser.parse_args()
+    if args.events < 1 or args.groups < 1 or args.size < 2:
+        print("gen_stream: need events >= 1, groups >= 1, size >= 2",
+              file=sys.stderr)
+        return 2
+
+    rng = random.Random(args.seed)
+    live: list[tuple[str, str, str, str]] = []  # (from, to, chain, asset)
+
+    def draw_add() -> tuple[str, str, str, str] | None:
+        group = rng.randrange(args.groups)
+        if rng.random() < 0.85 or group + 1 == args.groups:
+            a, b = rng.sample(range(args.size), 2)
+            src, dst = party(group, a), party(group, b)
+        else:
+            # Forward-only bridge: a DAG between groups, never a cycle.
+            src = party(group, rng.randrange(args.size))
+            dst = party(group + 1, rng.randrange(args.size))
+        chain = rng.choice(["xchain", "ychain", "zchain"])
+        asset = f"coin:TOK:{1 + rng.randrange(4)}"
+        offer = (src, dst, chain, asset)
+        return None if offer in live else offer
+
+    emitted = 0
+    while emitted < args.events:
+        if (args.clear_every > 0 and emitted > 0
+                and emitted % args.clear_every == 0):
+            print("clear")
+            # A clear consumes every matched offer: approximate by
+            # keeping only offers whose reverse pairing is absent. The
+            # service tolerates a stale expire either way (counted as
+            # invalid, not fatal), so this mirror only needs to be
+            # close, not exact.
+            live = [o for o in live
+                    if not any(p[0] == o[1] and p[1] == o[0] for p in live)]
+            emitted += 1
+            continue
+        if live and rng.random() < 0.25:
+            victim = live.pop(rng.randrange(len(live)))
+            print("expire", *victim)
+        else:
+            offer = draw_add()
+            if offer is None:
+                continue  # collision — redraw, emitting nothing
+            live.append(offer)
+            print("add", *offer)
+        emitted += 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,6 +78,21 @@ class DeterminismRules(unittest.TestCase):
         self.assertEqual(
             rules_fired("tools/foo.cpp", "std::random_device rd;"), [])
 
+    def test_serve_is_trace_affecting(self):
+        # The streaming service feeds the same seeded engines, so the
+        # determinism bans extend to src/serve.
+        self.assertEqual(
+            rules_fired("src/serve/service.cpp", "int x = rand();"),
+            ["determinism"])
+        self.assertEqual(
+            rules_fired("src/serve/incremental.cpp",
+                        "auto t = std::chrono::system_clock::now();"),
+            ["determinism"])
+        self.assertEqual(
+            rules_fired("src/serve/service.cpp",
+                        "auto t0 = std::chrono::steady_clock::now();"),
+            [])
+
 
 class LockingRules(unittest.TestCase):
     def test_std_mutex_flagged_outside_wrapper(self):

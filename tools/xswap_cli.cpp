@@ -30,6 +30,25 @@
 //     --replay FILE      instead of sweeping, replay one JSON seed file
 //                        (schema-checked) and audit that single case
 //
+//   xswap serve [options]          streaming clearing daemon (serve/)
+//     --input FILE|-     newline-delimited event stream (default -:
+//                        stdin). Lines: `[add] FROM TO CHAIN ASSET`,
+//                        `expire FROM TO CHAIN ASSET`, `clear`; a plain
+//                        offers file streams as pure adds. End of input
+//                        triggers the graceful drain (one final clear)
+//     --jobs N           executor lanes for component dispatch
+//     --pool persistent|perrun   persistent (default) grows the
+//                        registry's elastic shared pool to N lanes;
+//                        perrun keeps a private pool for this serve run
+//     --queue-cap N      ingest queue bound — backpressure (default 1024)
+//     --max-dirty F      incremental-clearing fallback threshold in
+//                        [0,1] (default 0.5; 1 never recomputes fully)
+//     --mode/--delta/--seed as above, applied per cleared component
+//     Output is JSON lines on stdout: one `component` object per cleared
+//     swap (deterministic fields identical to `xswap batch` on the same
+//     book), one `unmatched` object per leftover offer, one final
+//     `stats` object. Exit 0 iff no invariant violation.
+//
 //   xswap batch <offers-file> [options]   clear and run a whole offer book
 //   xswap batch --fleet <dir> [options]   clear and run EVERY book in a dir
 //     --mode/--delta/--seed/--timeline/--forensics/--trace as above,
@@ -72,11 +91,15 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
+#include <utility>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "serve/service.hpp"
 #include "swap/forensics.hpp"
 #include "swap/fuzz.hpp"
 #include "swap/invariants.hpp"
@@ -100,6 +123,10 @@ namespace {
                "       xswap batch --fleet <dir> [--jobs N]\n"
                "             [--pool persistent|perrun] [--sched fifo|stealing]\n"
                "             [--mode MODE] [--delta N] [--seed N]\n"
+               "       xswap serve [--input FILE|-] [--jobs N]\n"
+               "             [--pool persistent|perrun] [--queue-cap N]\n"
+               "             [--max-dirty F] [--mode MODE] [--delta N]\n"
+               "             [--seed N]\n"
                "       xswap fuzz [--seed S] [--runs N] [--jobs J]\n"
                "             [--min-parties A] [--max-parties B] [--no-shrink]\n"
                "             [--out FILE] [--replay FILE]\n"
@@ -515,6 +542,159 @@ int run_fleet_dir(const std::string& dir, CommonFlags flags) {
   return all_safe ? 0 : 1;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// party/chain names are caller-chosen, so the stream output must not
+/// trust them.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int run_serve(int argc, char** argv, int i) {
+  std::string input = "-";
+  std::string pool = "persistent";
+  CommonFlags flags;
+  serve::ServiceOptions options;
+
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--input") input = next();
+    else if (arg == "--jobs") {
+      options.jobs = std::strtoul(next().c_str(), nullptr, 10);
+      if (options.jobs == 0) usage("--jobs must be >= 1");
+    }
+    else if (arg == "--pool") {
+      pool = next();
+      if (pool != "persistent" && pool != "perrun") {
+        usage("--pool must be persistent or perrun");
+      }
+    }
+    else if (arg == "--queue-cap") {
+      options.queue_cap = std::strtoul(next().c_str(), nullptr, 10);
+      if (options.queue_cap == 0) usage("--queue-cap must be >= 1");
+    }
+    else if (arg == "--max-dirty") {
+      options.max_dirty = std::strtod(next().c_str(), nullptr);
+      if (options.max_dirty < 0.0 || options.max_dirty > 1.0) {
+        usage("--max-dirty must be in [0, 1]");
+      }
+    }
+    else if (arg == "--mode") flags.mode = next();
+    else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
+    else if (arg == "--seed") flags.options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--help") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+  apply_mode(&flags);
+  options.engine = flags.options;
+  if (pool == "perrun" && options.jobs > 1) {
+    // A private pool for this serve run only; persistent (the default)
+    // leaves options.pool empty so the service grows the registry's
+    // elastic shared pool instead.
+    options.pool = std::make_shared<swap::WorkStealingPool>(options.jobs);
+  }
+
+  bool violations = false;
+  options.on_report = [&](const serve::ComponentReport& c) {
+    if (!c.audit_ok || !c.report.no_conforming_underwater) violations = true;
+    std::printf(
+        "{\"type\":\"component\",\"clear\":%zu,\"index\":%zu,"
+        "\"seed\":%llu,\"parties\":%zu,\"transfers\":%zu,\"leaders\":%zu,"
+        "\"all_triggered\":%s,\"no_conforming_underwater\":%s,"
+        "\"audit_ok\":%s,\"last_trigger_time\":%llu,\"finished_at\":%llu,"
+        "\"total_transactions\":%zu,\"failed_transactions\":%zu,"
+        "\"total_storage_bytes\":%zu,\"latency_ms\":%.3f}\n",
+        c.clear_batch, c.index, static_cast<unsigned long long>(c.seed),
+        c.cleared.party_names.size(), c.cleared.arcs.size(),
+        c.cleared.leaders.size(), c.report.all_triggered ? "true" : "false",
+        c.report.no_conforming_underwater ? "true" : "false",
+        c.audit_ok ? "true" : "false",
+        static_cast<unsigned long long>(c.report.last_trigger_time),
+        static_cast<unsigned long long>(c.report.finished_at),
+        c.report.total_transactions, c.report.failed_transactions,
+        c.report.total_storage_bytes, c.latency_ms);
+    std::fflush(stdout);
+  };
+
+  serve::ClearingService service(std::move(options));
+  service.start();
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (input != "-") {
+    file.open(input);
+    if (!file) usage(("cannot open event stream " + input).c_str());
+    in = &file;
+  }
+
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t parse_errors = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    try {
+      auto event = serve::parse_event_line(line);
+      if (!event) continue;
+      // Blocking submit: a fast feed throttles to clearing speed
+      // instead of shedding (the bounded queue still caps memory).
+      service.submit_wait(std::move(*event));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "serve: line %zu: %s\n", lineno, e.what());
+      ++parse_errors;
+    }
+  }
+
+  const serve::ServiceStats stats = service.wait();
+  for (const swap::Offer& offer : service.final_unmatched()) {
+    std::printf("{\"type\":\"unmatched\",\"from\":\"%s\",\"to\":\"%s\","
+                "\"chain\":\"%s\",\"asset\":\"%s\"}\n",
+                json_escape(offer.from).c_str(), json_escape(offer.to).c_str(),
+                json_escape(offer.chain).c_str(),
+                json_escape(serve::asset_spec(offer.asset)).c_str());
+  }
+  std::printf(
+      "{\"type\":\"stats\",\"events_admitted\":%zu,"
+      "\"events_rejected_full\":%zu,\"events_rejected_invalid\":%zu,"
+      "\"parse_errors\":%zu,\"adds_applied\":%zu,\"expires_applied\":%zu,"
+      "\"clears\":%zu,\"queue_high_water\":%zu,\"components_cleared\":%zu,"
+      "\"swaps_fully_triggered\":%zu,\"violations\":%zu,"
+      "\"offers_unmatched\":%zu,\"incremental_updates\":%zu,"
+      "\"full_recomputes\":%zu,\"components_reused\":%zu,"
+      "\"components_recleared\":%zu,\"latency_p50_ms\":%.3f,"
+      "\"latency_p99_ms\":%.3f}\n",
+      stats.events_admitted, stats.events_rejected_full,
+      stats.events_rejected_invalid, parse_errors, stats.adds_applied,
+      stats.expires_applied, stats.clears, stats.queue_high_water,
+      stats.components_cleared, stats.swaps_fully_triggered, stats.violations,
+      service.final_unmatched().size(), stats.incremental.incremental_updates,
+      stats.incremental.full_recomputes, stats.incremental.components_reused,
+      stats.incremental.components_recleared, stats.latency_percentile(50.0),
+      stats.latency_percentile(99.0));
+  return violations || stats.violations > 0 ? 1 : 0;
+}
+
 /// Print one case's violation list (indented).
 void print_violations(const std::vector<std::string>& violations) {
   for (const std::string& v : violations) std::printf("    %s\n", v.c_str());
@@ -653,6 +833,8 @@ int main(int argc, char** argv) {
       if (i < argc && argv[i][0] != '-') offers_path = argv[i++];
     } else if (subcommand == "fuzz") {
       return run_fuzz(argc, argv, i);
+    } else if (subcommand == "serve") {
+      return run_serve(argc, argv, i);
     } else if (subcommand != "run") {
       usage(("unknown subcommand " + subcommand).c_str());
     }

@@ -3,9 +3,11 @@
 
 Three rule families, all protecting repo-level invariants:
 
-determinism  Trace-affecting code (src/chain, src/sim, src/swap) must be
-             bit-for-bit reproducible from (seed, event order): the
-             golden-trace gate and the pinned fuzz corpus depend on it.
+determinism  Trace-affecting code (src/chain, src/sim, src/swap, and
+             the streaming service src/serve) must be bit-for-bit
+             reproducible from (seed, event order): the golden-trace
+             gate, the pinned fuzz corpus, and the streaming-equals-
+             batch serve gate depend on it.
              Banned there: rand()/srand(), std::random_device,
              std::chrono::system_clock (wall-clock timing of *reports*
              uses steady_clock, which is allowed), and pointer-keyed
@@ -46,8 +48,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 CXX_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
 
-# Directories whose code affects simulation traces.
-TRACE_DIRS = ("src/chain", "src/sim", "src/swap")
+# Directories whose code affects simulation traces. src/serve feeds
+# offers into the same engines (seed contract: base + dispatched + i),
+# so any nondeterminism there breaks the streaming-equals-batch gate.
+TRACE_DIRS = ("src/chain", "src/sim", "src/swap", "src/serve")
 # Directory tree where the locking discipline applies.
 LOCK_DIRS = ("src",)
 # The one place allowed to wrap std::mutex.
