@@ -1,83 +1,808 @@
 #include "graph/fvs.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
 #include <stdexcept>
-
-#include "graph/paths.hpp"
+#include <utility>
 
 namespace xswap::graph {
 
 bool is_feedback_vertex_set(const Digraph& d,
                             const std::vector<VertexId>& candidates) {
-  return is_acyclic(d.without_vertices(candidates));
+  const std::size_t n = d.vertex_count();
+  std::vector<char> removed(n, 0);
+  for (const VertexId v : candidates) {
+    if (v < n) removed[v] = 1;
+  }
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (const Arc& a : d.arcs()) {
+    if (!removed[a.head] && !removed[a.tail]) ++indeg[a.tail];
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::size_t live = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (removed[v]) continue;
+    ++live;
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  for (std::size_t qi = 0; qi < order.size(); ++qi) {
+    const VertexId v = order[qi];
+    for (const ArcId a : d.out_arcs(v)) {
+      const VertexId w = d.arc(a).tail;
+      if (!removed[w] && --indeg[w] == 0) order.push_back(w);
+    }
+  }
+  return order.size() == live;
 }
 
 namespace {
 
-// Enumerate k-subsets of 0..n-1 in lexicographic order, testing each.
-bool try_subsets(const Digraph& d, std::size_t n, std::size_t k,
-                 std::vector<VertexId>& out) {
-  std::vector<VertexId> subset(k);
-  for (std::size_t i = 0; i < k; ++i) subset[i] = static_cast<VertexId>(i);
-  while (true) {
-    if (is_feedback_vertex_set(d, subset)) {
-      out = subset;
-      return true;
-    }
-    // Next k-combination.
-    std::size_t i = k;
-    while (i > 0) {
-      --i;
-      if (subset[i] != static_cast<VertexId>(n - k + i)) {
-        ++subset[i];
-        for (std::size_t j = i + 1; j < k; ++j) {
-          subset[j] = subset[j - 1] + 1;
+using Vert = std::int32_t;
+
+bool erase_sorted(std::vector<Vert>& v, Vert x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+bool insert_sorted(std::vector<Vert>& v, Vert x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+// The engine's mutable working graph: a *simple* digraph (parallel arcs
+// are irrelevant to FVS and deduplicated at build) with exact sorted
+// adjacency, supporting in-place deletion and degree-1 chain contraction.
+// Self-loops — which only arise from contraction, Digraph rejects them —
+// live in a side flag, never in the adjacency lists.
+struct Kernel {
+  std::vector<std::vector<Vert>> out, in;
+  std::vector<char> alive;
+  std::vector<char> looped;
+  std::size_t live = 0;
+
+  explicit Kernel(std::size_t n)
+      : out(n), in(n), alive(n, 1), looped(n, 0), live(n) {}
+
+  Kernel(const Digraph& d, const std::vector<char>* removed)
+      : Kernel(d.vertex_count()) {
+    const std::size_t n = d.vertex_count();
+    if (removed != nullptr) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if ((*removed)[v]) {
+          alive[v] = 0;
+          --live;
         }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      auto& o = out[v];
+      o.reserve(d.out_degree(static_cast<VertexId>(v)));
+      for (const ArcId a : d.out_arcs(static_cast<VertexId>(v))) {
+        const VertexId w = d.arc(a).tail;
+        if (alive[w]) o.push_back(static_cast<Vert>(w));
+      }
+      std::sort(o.begin(), o.end());
+      o.erase(std::unique(o.begin(), o.end()), o.end());
+      auto& i = in[v];
+      i.reserve(d.in_degree(static_cast<VertexId>(v)));
+      for (const ArcId a : d.in_arcs(static_cast<VertexId>(v))) {
+        const VertexId w = d.arc(a).head;
+        if (alive[w]) i.push_back(static_cast<Vert>(w));
+      }
+      std::sort(i.begin(), i.end());
+      i.erase(std::unique(i.begin(), i.end()), i.end());
+    }
+  }
+
+  std::size_t size() const { return alive.size(); }
+
+  template <typename Touch>
+  void erase(Vert v, Touch touch) {
+    for (const Vert u : out[v]) {
+      erase_sorted(in[u], v);
+      touch(u);
+    }
+    for (const Vert u : in[v]) {
+      erase_sorted(out[u], v);
+      touch(u);
+    }
+    out[v].clear();
+    in[v].clear();
+    alive[v] = 0;
+    looped[v] = 0;
+    --live;
+  }
+
+  // v has a unique in-neighbor u: every cycle through v passes through u,
+  // so bypass v (arcs u → w for each out-neighbor w) and delete it. FVS
+  // solutions of the contracted graph are exactly the solutions of the
+  // original that avoid v — same size, and at least one minimum avoids v.
+  template <typename Touch>
+  void contract_in(Vert v, Touch touch, std::vector<std::uint32_t>* weight) {
+    const Vert u = in[v][0];
+    erase_sorted(out[u], v);
+    for (const Vert w : out[v]) {
+      if (w == u) {
+        looped[u] = 1;
+        continue;
+      }
+      erase_sorted(in[w], v);
+      if (insert_sorted(out[u], w)) insert_sorted(in[w], u);
+      touch(w);
+    }
+    if (weight != nullptr) {
+      (*weight)[static_cast<std::size_t>(u)] =
+          std::min((*weight)[static_cast<std::size_t>(u)],
+                   (*weight)[static_cast<std::size_t>(v)]);
+    }
+    out[v].clear();
+    in[v].clear();
+    alive[v] = 0;
+    --live;
+    touch(u);
+  }
+
+  template <typename Touch>
+  void contract_out(Vert v, Touch touch, std::vector<std::uint32_t>* weight) {
+    const Vert u = out[v][0];
+    erase_sorted(in[u], v);
+    for (const Vert w : in[v]) {
+      if (w == u) {
+        looped[u] = 1;
+        continue;
+      }
+      erase_sorted(out[w], v);
+      if (insert_sorted(in[u], w)) insert_sorted(out[w], u);
+      touch(w);
+    }
+    if (weight != nullptr) {
+      (*weight)[static_cast<std::size_t>(u)] =
+          std::min((*weight)[static_cast<std::size_t>(u)],
+                   (*weight)[static_cast<std::size_t>(v)]);
+    }
+    out[v].clear();
+    in[v].clear();
+    alive[v] = 0;
+    --live;
+    touch(u);
+  }
+};
+
+// Worklist reductions to fixpoint, in descending vertex order: LOOP
+// (self-loop forces v into every FVS), IN0/OUT0 (v on no cycle), IN1/OUT1
+// (chain contraction). Forced vertices are appended to `forced`. With
+// `weight` set, contraction min-merges weights (local-ratio bookkeeping).
+void reduce(Kernel& k, std::vector<Vert>& forced,
+            std::vector<std::uint32_t>* weight) {
+  std::priority_queue<Vert> pq;
+  for (std::size_t v = 0; v < k.size(); ++v) {
+    if (k.alive[v]) pq.push(static_cast<Vert>(v));
+  }
+  const auto touch = [&pq](Vert v) { pq.push(v); };
+  while (!pq.empty()) {
+    const Vert v = pq.top();
+    pq.pop();
+    if (!k.alive[v]) continue;
+    if (k.looped[v]) {
+      forced.push_back(v);
+      k.erase(v, touch);
+    } else if (k.out[v].empty() || k.in[v].empty()) {
+      k.erase(v, touch);
+    } else if (k.in[v].size() == 1) {
+      k.contract_in(v, touch, weight);
+    } else if (k.out[v].size() == 1) {
+      k.contract_out(v, touch, weight);
+    }
+  }
+}
+
+// Iterative Tarjan over the live kernel. comp[v] = -1 for dead vertices;
+// components are numbered in reverse topological order.
+std::size_t kernel_sccs(const Kernel& k, std::vector<Vert>& comp) {
+  const std::size_t n = k.size();
+  comp.assign(n, -1);
+  std::vector<Vert> index(n, -1), low(n, 0), stack;
+  std::vector<char> on_stack(n, 0);
+  Vert next_index = 0;
+  Vert comp_count = 0;
+  struct Frame {
+    Vert v;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!k.alive[r] || index[r] != -1) continue;
+    frames.push_back(Frame{static_cast<Vert>(r), 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const Vert v = f.v;
+      if (f.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.edge < k.out[v].size()) {
+        const Vert w = k.out[v][f.edge++];
+        if (index[w] == -1) {
+          frames.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const Vert w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = comp_count;
+          if (w == v) break;
+        }
+        ++comp_count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+  return static_cast<std::size_t>(comp_count);
+}
+
+// Remove arcs crossing SCC boundaries (they lie on no cycle). Returns
+// whether anything was removed — if so, degrees changed and reductions
+// may fire again.
+bool drop_cross_arcs(Kernel& k, const std::vector<Vert>& comp) {
+  bool removed = false;
+  for (std::size_t v = 0; v < k.size(); ++v) {
+    if (!k.alive[v]) continue;
+    auto& o = k.out[v];
+    std::size_t keep = 0;
+    for (const Vert w : o) {
+      if (comp[w] == comp[v]) {
+        o[keep++] = w;
+      } else {
+        erase_sorted(k.in[w], static_cast<Vert>(v));
+        removed = true;
+      }
+    }
+    o.resize(keep);
+  }
+  return removed;
+}
+
+// Full kernelization: reductions and SCC-local decomposition to mutual
+// fixpoint. Afterwards every live vertex sits in a nontrivial SCC with
+// in/out degree >= 2 — an irreducible kernel.
+void kernelize(Kernel& k, std::vector<Vert>& forced,
+               std::vector<std::uint32_t>* weight = nullptr) {
+  reduce(k, forced, weight);
+  while (k.live > 0) {
+    std::vector<Vert> comp;
+    kernel_sccs(k, comp);
+    if (!drop_cross_arcs(k, comp)) break;
+    reduce(k, forced, weight);
+  }
+}
+
+// Shortest cycle found by BFS from up to `max_sources` live vertices (in
+// ascending order). On a fully kernelized graph every vertex lies on a
+// cycle, so any source yields one; scanning more sources only shortens
+// the result. Returns the cycle's vertices (empty iff none found).
+std::vector<Vert> shortest_cycle(const Kernel& k, std::size_t max_sources) {
+  const std::size_t n = k.size();
+  std::vector<Vert> best;
+  std::vector<Vert> dist(n, -1), parent(n, -1), touched, queue;
+  std::size_t sources = 0;
+  for (std::size_t s = 0; s < n && sources < max_sources; ++s) {
+    if (!k.alive[s]) continue;
+    ++sources;
+    if (k.looped[s]) return {static_cast<Vert>(s)};
+    for (const Vert t : touched) dist[t] = parent[t] = -1;
+    touched.clear();
+    queue.clear();
+    const Vert sv = static_cast<Vert>(s);
+    dist[sv] = 0;
+    touched.push_back(sv);
+    queue.push_back(sv);
+    Vert hit = -1;
+    for (std::size_t qi = 0; qi < queue.size() && hit == -1; ++qi) {
+      const Vert v = queue[qi];
+      // A cycle through v is at least dist[v]+1 long — prune at best.
+      if (!best.empty() &&
+          static_cast<std::size_t>(dist[v]) + 1 >= best.size()) {
         break;
       }
-      if (i == 0) return false;
+      for (const Vert w : k.out[v]) {
+        if (w == sv) {
+          hit = v;  // first hit is at minimal BFS depth
+          break;
+        }
+        if (dist[w] == -1) {
+          dist[w] = dist[v] + 1;
+          parent[w] = v;
+          touched.push_back(w);
+          queue.push_back(w);
+        }
+      }
     }
-    if (k == 0) return false;
+    if (hit == -1) continue;
+    std::vector<Vert> cyc;
+    for (Vert v = hit; v != -1; v = parent[v]) cyc.push_back(v);
+    if (best.empty() || cyc.size() < best.size()) best = std::move(cyc);
+    if (best.size() <= 2) break;  // can't beat a 2-cycle (loops force)
   }
+  return best;
+}
+
+// Vertex-disjoint cycle packing: every packed cycle needs its own FVS
+// vertex, so the count lower-bounds the minimum. Kernelization inside the
+// loop is sound for packing too — a vertex forced by a contraction
+// self-loop owns a cycle through vertices absorbed into it alone, and
+// contraction partitions the absorbed vertices among survivors, so all
+// counted cycles are disjoint in the original graph. Stopping early (the
+// `max_rounds` cap, or bounded cycle search) just weakens the bound.
+std::size_t packing_lower_bound(Kernel k, std::size_t max_rounds,
+                                std::size_t max_sources) {
+  std::size_t lb = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::vector<Vert> forced;
+    kernelize(k, forced);
+    lb += forced.size();
+    if (k.live == 0) break;
+    const std::vector<Vert> cyc = shortest_cycle(k, max_sources);
+    if (cyc.empty()) break;
+    ++lb;
+    for (const Vert v : cyc) k.erase(v, [](Vert) {});
+  }
+  return lb;
+}
+
+// Kahn's algorithm on the kernel minus `mask`: is `mask` an FVS of k?
+bool kernel_is_fvs(const Kernel& k, const std::vector<char>& mask) {
+  const std::size_t n = k.size();
+  std::vector<std::uint32_t> indeg(n, 0);
+  std::vector<Vert> order;
+  std::size_t unmasked = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!k.alive[v] || mask[v]) continue;
+    if (k.looped[v]) return false;
+    ++unmasked;
+    std::uint32_t deg = 0;
+    for (const Vert u : k.in[v]) {
+      if (!mask[u]) ++deg;
+    }
+    indeg[v] = deg;
+    if (deg == 0) order.push_back(static_cast<Vert>(v));
+  }
+  for (std::size_t qi = 0; qi < order.size(); ++qi) {
+    const Vert v = order[qi];
+    for (const Vert w : k.out[v]) {
+      if (!mask[w] && --indeg[w] == 0) order.push_back(w);
+    }
+  }
+  return order.size() == unmasked;
+}
+
+// Becker–Geiger-style local-ratio rounds on an (already kernelized,
+// strongly connected) kernel: find a short cycle, subtract its minimum
+// weight from every vertex on it, move zeroed vertices into the
+// solution, re-kernelize, repeat. A reverse-delete pass then drops
+// redundant picks. Returns the solution (local ids, unsorted) and a
+// cycle-packing lower bound measured on the pristine kernel.
+struct ApproxOutcome {
+  std::vector<Vert> solution;
+  std::size_t lower_bound = 0;
+};
+
+ApproxOutcome approx_kernel(const Kernel& pristine) {
+  const bool big = pristine.live > 512;
+  const std::size_t max_sources = big ? 16 : pristine.live;
+  ApproxOutcome out;
+  out.lower_bound =
+      packing_lower_bound(pristine, big ? 128 : pristine.live, max_sources);
+
+  Kernel k = pristine;
+  std::vector<std::uint32_t> weight(k.size(), 1);
+  std::vector<Vert> sol;
+  while (k.live > 0) {
+    std::vector<Vert> forced;
+    kernelize(k, forced, &weight);
+    sol.insert(sol.end(), forced.begin(), forced.end());
+    if (k.live == 0) break;
+    std::vector<Vert> cyc = shortest_cycle(k, max_sources);
+    std::sort(cyc.begin(), cyc.end());
+    std::uint32_t m = std::numeric_limits<std::uint32_t>::max();
+    for (const Vert v : cyc) {
+      m = std::min(m, weight[static_cast<std::size_t>(v)]);
+    }
+    for (const Vert v : cyc) {
+      auto& wv = weight[static_cast<std::size_t>(v)];
+      wv -= m;
+      if (wv == 0) {
+        sol.push_back(v);
+        k.erase(v, [](Vert) {});
+      }
+    }
+  }
+
+  // Reverse-delete minimality filter (newest picks first). Skipped on
+  // very large kernels where the O(|sol| * arcs) recheck would dominate;
+  // the unfiltered set is still a valid FVS.
+  if (pristine.live <= 4096) {
+    std::vector<char> mask(pristine.size(), 0);
+    for (const Vert v : sol) mask[static_cast<std::size_t>(v)] = 1;
+    for (std::size_t i = sol.size(); i-- > 0;) {
+      const std::size_t v = static_cast<std::size_t>(sol[i]);
+      mask[v] = 0;
+      if (!kernel_is_fvs(pristine, mask)) mask[v] = 1;
+    }
+    sol.clear();
+    for (std::size_t v = 0; v < pristine.size(); ++v) {
+      if (mask[v]) sol.push_back(static_cast<Vert>(v));
+    }
+  }
+  out.solution = std::move(sol);
+  return out;
+}
+
+// Branch-and-bound for the minimum FVS of a small kernel: kernelize,
+// prune against the incumbent with a cycle-packing lower bound, branch on
+// every vertex of a shortest cycle (each FVS must hit it).
+struct Bnb {
+  std::size_t node_budget = std::numeric_limits<std::size_t>::max();
+  std::size_t nodes = 0;
+  bool aborted = false;
+  std::size_t best_size = 0;
+  std::vector<Vert> best;
+  bool found = false;
+};
+
+void bnb_recurse(Kernel k, std::vector<Vert> chosen, Bnb& ctx) {
+  if (ctx.aborted) return;
+  if (++ctx.nodes > ctx.node_budget) {
+    ctx.aborted = true;
+    return;
+  }
+  std::vector<Vert> forced;
+  kernelize(k, forced);
+  chosen.insert(chosen.end(), forced.begin(), forced.end());
+  if (chosen.size() >= ctx.best_size) return;
+  if (k.live == 0) {
+    ctx.best_size = chosen.size();
+    ctx.best = std::move(chosen);
+    ctx.found = true;
+    return;
+  }
+  if (chosen.size() + packing_lower_bound(k, k.live, k.live) >=
+      ctx.best_size) {
+    return;
+  }
+  std::vector<Vert> cyc = shortest_cycle(k, k.live);
+  std::sort(cyc.begin(), cyc.end());
+  for (const Vert v : cyc) {
+    Kernel next = k;
+    next.erase(v, [](Vert) {});
+    std::vector<Vert> next_chosen = chosen;
+    next_chosen.push_back(v);
+    bnb_recurse(std::move(next), std::move(next_chosen), ctx);
+    if (ctx.aborted) return;
+  }
+}
+
+// Extract the sub-kernel induced by `verts` (sorted ascending), relabeled
+// to 0..m-1. After kernelization fixpoint all arcs stay inside one SCC,
+// so adjacency maps over directly.
+Kernel extract(const Kernel& k, const std::vector<Vert>& verts) {
+  Kernel sub(verts.size());
+  const auto local = [&verts](Vert v) {
+    return static_cast<Vert>(
+        std::lower_bound(verts.begin(), verts.end(), v) - verts.begin());
+  };
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const Vert v = verts[i];
+    sub.out[i].reserve(k.out[v].size());
+    for (const Vert w : k.out[v]) sub.out[i].push_back(local(w));
+    sub.in[i].reserve(k.in[v].size());
+    for (const Vert w : k.in[v]) sub.in[i].push_back(local(w));
+  }
+  return sub;
+}
+
+// Group the live kernel vertices by SCC; each group sorted ascending,
+// groups ordered by their smallest vertex.
+std::vector<std::vector<Vert>> live_components(const Kernel& k) {
+  std::vector<Vert> comp;
+  const std::size_t count = kernel_sccs(k, comp);
+  std::vector<std::vector<Vert>> groups(count);
+  for (std::size_t v = 0; v < k.size(); ++v) {
+    if (k.alive[v]) groups[static_cast<std::size_t>(comp[v])].push_back(
+        static_cast<Vert>(v));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<Vert>& a, const std::vector<Vert>& b) {
+              return a.front() < b.front();
+            });
+  return groups;
+}
+
+struct ComponentOutcome {
+  std::vector<Vert> vertices;  // kernel-global ids
+  std::size_t lower_bound = 0;
+  bool exact = false;
+};
+
+ComponentOutcome solve_component(const Kernel& k, const std::vector<Vert>& verts,
+                                 const FvsOptions& options) {
+  const Kernel sub = extract(k, verts);
+  const ApproxOutcome approx = approx_kernel(sub);
+  ComponentOutcome out;
+  if (verts.size() <= options.max_exact_vertices) {
+    Bnb ctx;
+    ctx.node_budget = options.max_bnb_nodes;
+    ctx.best = approx.solution;
+    ctx.best_size = approx.solution.size();
+    ctx.found = true;
+    bnb_recurse(sub, {}, ctx);
+    if (!ctx.aborted) {
+      out.exact = true;
+      out.lower_bound = ctx.best_size;
+      out.vertices.reserve(ctx.best.size());
+      for (const Vert v : ctx.best) {
+        out.vertices.push_back(verts[static_cast<std::size_t>(v)]);
+      }
+      return out;
+    }
+  }
+  out.exact = false;
+  out.lower_bound = std::max<std::size_t>(approx.lower_bound, 1);
+  out.vertices.reserve(approx.solution.size());
+  for (const Vert v : approx.solution) {
+    out.vertices.push_back(verts[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+// Budgeted feasibility oracle: does d minus `removed` admit an FVS of
+// size <= budget? Exact — kernelize, then branch-and-bound each
+// component against the remaining budget.
+bool fvs_within_budget(const Digraph& d, const std::vector<char>& removed,
+                       std::size_t budget) {
+  Kernel k(d, &removed);
+  std::vector<Vert> forced;
+  kernelize(k, forced);
+  if (forced.size() > budget) return false;
+  std::size_t used = forced.size();
+  if (k.live == 0) return true;
+  for (const std::vector<Vert>& verts : live_components(k)) {
+    const std::size_t remaining = budget - used;
+    // Capped branch-and-bound: only solutions strictly better than the
+    // cap survive pruning, so `found` means this component's minimum fits
+    // in the remaining budget (and best_size is that minimum).
+    Bnb ctx;
+    ctx.best_size = remaining + 1;
+    bnb_recurse(extract(k, verts), {}, ctx);
+    if (!ctx.found) return false;
+    used += ctx.best_size;
+  }
+  return used <= budget;
+}
+
+// The lexicographically smallest FVS of size `kstar` (the minimum), as
+// classic increasing-size subset enumeration in lexicographic order
+// returns it. Single ascending scan: accept v iff some minimum FVS
+// extends the accepted prefix plus v. A rejected vertex stays rejected —
+// "no k-FVS contains S ∪ {v}" is monotone as S grows — and no accepted
+// witness can use a previously rejected vertex (that would contradict its
+// rejection), so the unconstrained budget oracle suffices and the scan
+// makes at most one oracle call per vertex.
+std::vector<VertexId> lex_reconstruct(const Digraph& d, std::size_t kstar) {
+  const std::size_t n = d.vertex_count();
+  std::vector<char> removed(n, 0);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n && out.size() < kstar; ++v) {
+    removed[v] = 1;
+    if (fvs_within_budget(d, removed, kstar - out.size() - 1)) {
+      out.push_back(v);
+    } else {
+      removed[v] = 0;
+    }
+  }
+  return out;
 }
 
 }  // namespace
 
+FvsResult find_feedback_vertex_set(const Digraph& d,
+                                   const FvsOptions& options) {
+  FvsResult result;
+  Kernel k(d, nullptr);
+  std::vector<Vert> forced;
+  kernelize(k, forced);
+  result.forced_vertices = forced.size();
+  result.kernel_vertices = k.live;
+
+  std::vector<VertexId> solution;
+  solution.reserve(forced.size());
+  for (const Vert v : forced) solution.push_back(static_cast<VertexId>(v));
+  std::size_t lower_bound = forced.size();
+  bool exact = true;
+
+  if (k.live > 0) {
+    for (const std::vector<Vert>& verts : live_components(k)) {
+      const ComponentOutcome outcome = solve_component(k, verts, options);
+      for (const Vert v : outcome.vertices) {
+        solution.push_back(static_cast<VertexId>(v));
+      }
+      lower_bound += outcome.lower_bound;
+      exact = exact && outcome.exact;
+    }
+  }
+
+  result.exact = exact;
+  if (exact && d.vertex_count() <= options.max_exact_vertices) {
+    // Small enough for the bit-for-bit guarantee: return the
+    // lexicographically smallest minimum, like subset enumeration did.
+    solution = lex_reconstruct(d, solution.size());
+  }
+  std::sort(solution.begin(), solution.end());
+  result.vertices = std::move(solution);
+  result.lower_bound = lower_bound;
+  return result;
+}
+
 std::vector<VertexId> minimum_feedback_vertex_set(
     const Digraph& d, std::size_t max_exact_vertices) {
-  const std::size_t n = d.vertex_count();
-  if (n > max_exact_vertices) {
-    throw std::invalid_argument(
-        "minimum_feedback_vertex_set: digraph too large for exact search "
-        "(use greedy_feedback_vertex_set)");
+  Kernel k(d, nullptr);
+  std::vector<Vert> forced;
+  kernelize(k, forced);
+  std::size_t kstar = forced.size();
+  if (k.live > 0) {
+    for (const std::vector<Vert>& verts : live_components(k)) {
+      if (verts.size() > max_exact_vertices) {
+        throw std::invalid_argument(
+            "minimum_feedback_vertex_set: irreducible kernel too large for "
+            "exact search (use find_feedback_vertex_set or "
+            "greedy_feedback_vertex_set)");
+      }
+      Bnb ctx;
+      const Kernel sub = extract(k, verts);
+      const ApproxOutcome approx = approx_kernel(sub);
+      ctx.best = approx.solution;
+      ctx.best_size = approx.solution.size();
+      ctx.found = true;
+      bnb_recurse(sub, {}, ctx);
+      kstar += ctx.best_size;
+    }
   }
-  if (is_acyclic(d)) return {};
-  for (std::size_t k = 1; k <= n; ++k) {
-    std::vector<VertexId> out;
-    if (try_subsets(d, n, k, out)) return out;
-  }
-  // Unreachable: the full vertex set is always an FVS.
-  throw std::logic_error("minimum_feedback_vertex_set: no FVS found");
+  if (kstar == 0) return {};
+  return lex_reconstruct(d, kstar);
 }
 
 std::vector<VertexId> greedy_feedback_vertex_set(const Digraph& d) {
-  std::vector<VertexId> chosen;
-  Digraph work = d;
-  while (!is_acyclic(work)) {
-    // Pick the not-yet-removed vertex with the largest in*out degree
-    // product — a cheap proxy for "on many cycles".
-    VertexId best = 0;
-    std::size_t best_score = 0;
-    for (VertexId v = 0; v < work.vertex_count(); ++v) {
-      const std::size_t score = (work.in_degree(v) + 1) * (work.out_degree(v) + 1);
-      if (work.in_degree(v) > 0 && work.out_degree(v) > 0 && score > best_score) {
-        best = v;
-        best_score = score;
+  const std::size_t n = d.vertex_count();
+  // Multigraph degrees on d minus the chosen set (parallel arcs count,
+  // exactly as the historical copy-per-removal implementation scored).
+  std::vector<std::size_t> in_deg(n, 0), out_deg(n, 0);
+  for (const Arc& a : d.arcs()) {
+    ++out_deg[a.head];
+    ++in_deg[a.tail];
+  }
+
+  // Incremental acyclicity: iteratively trim vertices with zero
+  // in/out-degree among the un-chosen, un-trimmed rest. The graph minus
+  // the chosen set is acyclic iff everything trims away.
+  std::vector<std::size_t> trim_in = in_deg, trim_out = out_deg;
+  std::vector<char> chosen(n, 0), trimmed(n, 0);
+  std::size_t live_cyclic = n;
+  std::vector<VertexId> trim_queue;
+  const auto try_trim = [&](VertexId v) {
+    if (!chosen[v] && !trimmed[v] && (trim_in[v] == 0 || trim_out[v] == 0)) {
+      trim_queue.push_back(v);
+    }
+  };
+  const auto drain_trims = [&]() {
+    while (!trim_queue.empty()) {
+      const VertexId v = trim_queue.back();
+      trim_queue.pop_back();
+      if (chosen[v] || trimmed[v] || (trim_in[v] > 0 && trim_out[v] > 0)) {
+        continue;
+      }
+      trimmed[v] = 1;
+      --live_cyclic;
+      for (const ArcId a : d.out_arcs(v)) {
+        const VertexId t = d.arc(a).tail;
+        if (!chosen[t] && !trimmed[t]) {
+          --trim_in[t];
+          try_trim(t);
+        }
+      }
+      for (const ArcId a : d.in_arcs(v)) {
+        const VertexId h = d.arc(a).head;
+        if (!chosen[h] && !trimmed[h]) {
+          --trim_out[h];
+          try_trim(h);
+        }
       }
     }
-    chosen.push_back(best);
-    work = work.without_vertices({best});
+  };
+  for (VertexId v = 0; v < n; ++v) try_trim(v);
+  drain_trims();
+
+  // Lazy max-heap keyed (score desc, id asc): pops the smallest id among
+  // the maximum (in+1)(out+1) scores — the same pick an ascending scan
+  // with a strictly-greater comparison makes. Entries go stale as degrees
+  // drop; a popped entry must match the current score to count.
+  using Entry = std::pair<std::size_t, VertexId>;  // (score, vertex)
+  const auto worse = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  const auto push_candidate = [&](VertexId v) {
+    if (!chosen[v] && in_deg[v] > 0 && out_deg[v] > 0) {
+      heap.push(Entry{(in_deg[v] + 1) * (out_deg[v] + 1), v});
+    }
+  };
+  for (VertexId v = 0; v < n; ++v) push_candidate(v);
+
+  std::vector<VertexId> result;
+  while (live_cyclic > 0) {
+    VertexId v = 0;
+    while (true) {
+      if (heap.empty()) return result;  // unreachable: cyclic => candidate
+      const Entry top = heap.top();
+      heap.pop();
+      v = top.second;
+      if (!chosen[v] && in_deg[v] > 0 && out_deg[v] > 0 &&
+          top.first == (in_deg[v] + 1) * (out_deg[v] + 1)) {
+        break;
+      }
+    }
+    chosen[v] = 1;
+    result.push_back(v);
+    // A pick can land in the already-trimmed (acyclic) part — the
+    // historical scan scored those too. Its arcs left the trim graph
+    // when it was trimmed, so only un-trimmed picks touch trim degrees.
+    const bool v_in_trim_graph = !trimmed[v];
+    for (const ArcId a : d.out_arcs(v)) {
+      const VertexId t = d.arc(a).tail;
+      if (!chosen[t]) {
+        --in_deg[t];
+        push_candidate(t);
+        if (v_in_trim_graph && !trimmed[t]) {
+          --trim_in[t];
+          try_trim(t);
+        }
+      }
+    }
+    for (const ArcId a : d.in_arcs(v)) {
+      const VertexId h = d.arc(a).head;
+      if (!chosen[h]) {
+        --out_deg[h];
+        push_candidate(h);
+        if (v_in_trim_graph && !trimmed[h]) {
+          --trim_out[h];
+          try_trim(h);
+        }
+      }
+    }
+    if (v_in_trim_graph) {
+      --live_cyclic;
+      drain_trims();
+    }
   }
-  return chosen;
+  return result;
 }
 
 }  // namespace xswap::graph

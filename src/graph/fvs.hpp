@@ -3,33 +3,115 @@
 // Theorem 4.12: in any uniform hashed-timelock swap protocol, the leader
 // set must be a feedback vertex set of D (deleting it leaves D acyclic).
 // §5 notes finding a *minimum* FVS is NP-complete [Karp 72] but efficient
-// approximations exist [Becker–Geiger 96]. We provide:
-//   * a verifier (is the given set an FVS?),
-//   * exact minimum search (increasing-size subset enumeration; fine for
-//     swap-sized digraphs),
-//   * a fast greedy heuristic for larger instances, always valid, not
-//     necessarily minimum.
+// approximations exist [Becker–Geiger 96]. Any FVS is a *valid* leader
+// set — minimality only affects how many leaders sign and the resulting
+// timelock depth, never safety — so the engine is free to approximate
+// once graphs outgrow exact search.
+//
+// The engine is layered:
+//   1. Kernelization — linear-time in-place reduction rules on a mutable
+//      adjacency structure (self-loop forcing, in/out-degree-0 pruning,
+//      in/out-degree-1 chain contraction, SCC-local decomposition). No
+//      `without_vertices` full-graph copies anywhere.
+//   2. Exact — branch-and-bound on each irreducible kernel component
+//      (branch on a shortest cycle, prune with a vertex-disjoint
+//      cycle-packing lower bound) when the kernel fits under
+//      FvsOptions::max_exact_vertices.
+//   3. Approximation — Becker–Geiger-style weighted local-ratio rounds on
+//      kernels too large for exact search, with a reverse-delete
+//      minimality filter and a reported optimality gap against the
+//      cycle-packing lower bound.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/digraph.hpp"
 
 namespace xswap::graph {
 
+/// Tuning knobs for the FVS engine — the single source of truth for the
+/// exact/approximate split (clearing, serve, and the CLI all take one of
+/// these instead of hardcoding thresholds).
+struct FvsOptions {
+  /// Default exact budget. Measured against the *kernel* per SCC, not the
+  /// raw vertex count: a 10^6-party cycle kernelizes to nothing and is
+  /// solved exactly, while complete(25) is irreducible and falls back to
+  /// the approximation.
+  static constexpr std::size_t kDefaultMaxExactVertices = 24;
+
+  /// Largest irreducible kernel component solved exactly by
+  /// branch-and-bound; larger kernels use the local-ratio approximation.
+  std::size_t max_exact_vertices = kDefaultMaxExactVertices;
+
+  /// Branch-and-bound node budget per kernel component. If exhausted the
+  /// engine falls back to the approximation for that component (and the
+  /// result is no longer flagged exact).
+  std::size_t max_bnb_nodes = 1u << 20;
+};
+
+/// Result of the layered engine: a valid FVS plus quality/accounting.
+struct FvsResult {
+  /// The feedback vertex set, sorted ascending. Always valid.
+  std::vector<VertexId> vertices;
+
+  /// Proven lower bound on the minimum FVS size (forced vertices plus,
+  /// per kernel component, the exact optimum or a vertex-disjoint
+  /// cycle-packing bound). `vertices.size() >= lower_bound` always.
+  std::size_t lower_bound = 0;
+
+  /// True iff every kernel component was solved exactly, so
+  /// `vertices.size()` is the true minimum.
+  bool exact = false;
+
+  /// Vertexes surviving kernelization (summed over all irreducible
+  /// components). 0 means the reductions solved the instance outright.
+  std::size_t kernel_vertices = 0;
+
+  /// Vertexes forced into the FVS by reduction rules (self-loops created
+  /// by chain contraction).
+  std::size_t forced_vertices = 0;
+
+  /// Achieved size over proven lower bound (1.0 when exact or empty).
+  double optimality_gap() const {
+    if (vertices.empty() || exact) return 1.0;
+    const std::size_t lb = lower_bound > 0 ? lower_bound : 1;
+    return static_cast<double>(vertices.size()) / static_cast<double>(lb);
+  }
+};
+
 /// True iff deleting `candidates` from `d` leaves an acyclic digraph.
+/// Copy-free: runs Kahn's algorithm directly on `d`, skipping candidates.
 bool is_feedback_vertex_set(const Digraph& d,
                             const std::vector<VertexId>& candidates);
 
-/// A minimum feedback vertex set, by exhaustive search over subsets in
-/// increasing size order. Exponential; throws std::invalid_argument when
-/// d.vertex_count() > max_exact_vertices.
+/// The layered engine entry point: kernelize, solve each irreducible
+/// component (exact branch-and-bound under `options.max_exact_vertices`,
+/// local-ratio approximation above it), and lift the solution back to
+/// `d`. When the whole digraph is small enough that the result is exact
+/// and `d.vertex_count() <= options.max_exact_vertices`, the returned set
+/// is additionally the lexicographically smallest minimum FVS — i.e.
+/// bit-for-bit what classic subset enumeration returns.
+FvsResult find_feedback_vertex_set(const Digraph& d,
+                                   const FvsOptions& options = {});
+
+/// A minimum feedback vertex set — the lexicographically smallest one, as
+/// classic increasing-size subset enumeration would return. Internally
+/// kernelize + branch-and-bound + lexicographic reconstruction, so
+/// "exact" stretches well past 20 raw vertexes: the guard throws
+/// std::invalid_argument only when some irreducible *kernel* component
+/// exceeds `max_exact_vertices` (a 25-cycle solves instantly; complete(25)
+/// throws).
 std::vector<VertexId> minimum_feedback_vertex_set(
-    const Digraph& d, std::size_t max_exact_vertices = 20);
+    const Digraph& d,
+    std::size_t max_exact_vertices = FvsOptions::kDefaultMaxExactVertices);
 
 /// Greedy feedback vertex set: repeatedly delete the vertex with the
 /// largest in·out degree product until acyclic. Always returns a valid
-/// FVS (possibly larger than minimum); runs in polynomial time.
+/// FVS (possibly larger than minimum); runs in near-linear time (in-place
+/// degree maintenance + a lazy max-heap — no per-removal graph copies).
+/// Output is pinned bit-for-bit to the historical copy-per-removal
+/// implementation.
 std::vector<VertexId> greedy_feedback_vertex_set(const Digraph& d);
 
 }  // namespace xswap::graph

@@ -91,6 +91,72 @@ Digraph random_strongly_connected(std::size_t n, std::size_t extra_arcs,
   return d;
 }
 
+Digraph grouped_book(std::size_t groups, std::size_t group_size,
+                     std::size_t extra_arcs_per_group, util::Rng& rng) {
+  if (groups < 1 || group_size < 2) {
+    throw std::invalid_argument(
+        "grouped_book: need groups >= 1 and group_size >= 2");
+  }
+  Digraph d(groups * group_size);
+  std::vector<VertexId> perm(group_size);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const VertexId base = static_cast<VertexId>(g * group_size);
+    std::iota(perm.begin(), perm.end(), base);
+    rng.shuffle(perm);
+    for (std::size_t i = 0; i < group_size; ++i) {
+      d.add_arc(perm[i], perm[(i + 1) % group_size]);
+    }
+    for (std::size_t e = 0; e < extra_arcs_per_group; ++e) {
+      const VertexId u = base + static_cast<VertexId>(rng.next_below(group_size));
+      const VertexId v = base + static_cast<VertexId>(rng.next_below(group_size));
+      if (u != v) d.add_arc(u, v);
+    }
+    if (g + 1 < groups) {
+      // Forward-only bridge: inter-group arcs form a DAG, so every SCC
+      // stays inside one group.
+      const VertexId u = base + static_cast<VertexId>(rng.next_below(group_size));
+      const VertexId v = base + static_cast<VertexId>(group_size +
+                                                      rng.next_below(group_size));
+      d.add_arc(u, v);
+    }
+  }
+  return d;
+}
+
+Digraph scale_free_book(std::size_t n, std::size_t arcs_per_vertex,
+                        util::Rng& rng) {
+  if (n < 2 || arcs_per_vertex < 1) {
+    throw std::invalid_argument(
+        "scale_free_book: need n >= 2 and arcs_per_vertex >= 1");
+  }
+  Digraph d(n);
+  // Every arc endpoint lands in this urn, so drawing uniformly from it is
+  // degree-proportional attachment.
+  std::vector<VertexId> urn;
+  urn.reserve(2 * n * arcs_per_vertex);
+  urn.push_back(0);
+  for (VertexId v = 1; v < n; ++v) {
+    for (std::size_t e = 0; e < arcs_per_vertex; ++e) {
+      const VertexId peer = urn[rng.next_below(urn.size())];
+      if (peer == v) continue;
+      if (rng.next_chance(1, 2)) {
+        d.add_arc(v, peer);
+      } else {
+        d.add_arc(peer, v);
+      }
+      urn.push_back(v);
+      urn.push_back(peer);
+    }
+    if (d.out_degree(v) == 0 && d.in_degree(v) == 0) {
+      // Keep every vertex attached (possible when all draws hit v).
+      d.add_arc(v, urn[0]);
+      urn.push_back(v);
+      urn.push_back(urn[0]);
+    }
+  }
+  return d;
+}
+
 Digraph multi_cycle(std::size_t n, std::size_t multiplicity) {
   if (n < 2) throw std::invalid_argument("multi_cycle: need at least 2 vertexes");
   if (multiplicity == 0) {

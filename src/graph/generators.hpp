@@ -39,4 +39,23 @@ Digraph random_strongly_connected(std::size_t n, std::size_t extra_arcs,
 /// arcs in place of each single arc (§5: several blockchains per pair).
 Digraph multi_cycle(std::size_t n, std::size_t multiplicity);
 
+/// Grouped order book at production scale: `groups` disjoint clusters of
+/// `group_size` parties, each cluster a random Hamiltonian cycle plus
+/// `extra_arcs_per_group` random intra-group arcs, with a forward-only
+/// bridge arc to the next group (a DAG between groups — never a cycle,
+/// mirroring tools/gen_stream.py's cross-group pressure). Every SCC is
+/// one group, so the FVS kernel is SCC-local by construction. Scales to
+/// 10^6 parties. Requires groups >= 1 and group_size >= 2.
+Digraph grouped_book(std::size_t groups, std::size_t group_size,
+                     std::size_t extra_arcs_per_group, util::Rng& rng);
+
+/// Scale-free order book (preferential attachment): vertexes arrive one
+/// at a time, each adding `arcs_per_vertex` arcs whose other endpoint is
+/// drawn proportionally to current degree, with random orientation — the
+/// hub-heavy shape of real books where market makers touch most flow.
+/// Not necessarily strongly connected; feed it through decompose-style
+/// SCC splitting. Requires n >= 2 and arcs_per_vertex >= 1.
+Digraph scale_free_book(std::size_t n, std::size_t arcs_per_vertex,
+                        util::Rng& rng);
+
 }  // namespace xswap::graph

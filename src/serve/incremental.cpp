@@ -216,7 +216,7 @@ void IncrementalClearing::refresh(bool use_cache) {
     subset.reserve(live_indices.size());
     for (const std::size_t i : live_indices) subset.push_back(live_[i].offer);
     ++stats_.components_recleared;
-    auto cleared = swap::clear_offers(subset);
+    auto cleared = swap::clear_offers(subset, options_.fvs);
     if (cleared.has_value()) {
       next.swaps.push_back(*cleared);
       next_swap_ids.push_back(subset_ids);

@@ -51,6 +51,12 @@ struct IncrementalOptions {
   /// holds more than this fraction of the live parties. 0 means always
   /// full; 1 means never (every refresh goes through the reuse cache).
   double max_dirty = 0.5;
+
+  /// Leader-election tuning passed to every per-component clear_offers
+  /// call (the `--fvs-exact-max` serve flag lands here). Changing it
+  /// only affects freshly cleared components; cached entries were built
+  /// under the same options because the options are fixed per instance.
+  graph::FvsOptions fvs;
 };
 
 /// Counters for the incremental-vs-full economics (surfaced by the

@@ -14,7 +14,7 @@ namespace xswap::serve {
 ClearingService::ClearingService(ServiceOptions options)
     : options_(std::move(options)),
       stream_(options_.queue_cap),  // throws on queue_cap == 0
-      incremental_(IncrementalOptions{options_.max_dirty}) {
+      incremental_(IncrementalOptions{options_.max_dirty, options_.fvs}) {
   if (options_.jobs == 0) {
     throw std::invalid_argument("ClearingService: jobs must be >= 1");
   }

@@ -75,6 +75,10 @@ struct ServiceOptions {
   /// Incremental-clearing fallback threshold (IncrementalOptions).
   double max_dirty = 0.5;
 
+  /// Leader-election tuning for every cleared component
+  /// (IncrementalOptions::fvs; the `--fvs-exact-max` serve flag).
+  graph::FvsOptions fvs;
+
   /// Executor lanes for component dispatch. 1 (default) runs components
   /// serially on the service thread; n > 1 acquires the registry's
   /// elastic shared pool (shared_pool_at_least) unless `pool` is set.

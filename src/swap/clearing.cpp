@@ -49,6 +49,11 @@ void check_no_duplicates(const std::vector<Offer>& offers, const char* fn) {
 }  // namespace
 
 std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers) {
+  return clear_offers(offers, graph::FvsOptions{});
+}
+
+std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers,
+                                        const graph::FvsOptions& fvs) {
   check_no_duplicates(offers, "clear_offers");
   if (offers.empty()) return std::nullopt;
 
@@ -79,13 +84,19 @@ std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers) {
 
   if (!graph::is_strongly_connected(out.digraph)) return std::nullopt;
 
-  out.leaders = out.digraph.vertex_count() <= 16
-                    ? graph::minimum_feedback_vertex_set(out.digraph)
-                    : graph::greedy_feedback_vertex_set(out.digraph);
+  // Theorem 4.12: any FVS is a valid leader set. The layered engine is
+  // exact (and lexicographically minimal, matching the historical subset
+  // enumeration) whenever the kernel fits under fvs.max_exact_vertices.
+  out.leaders = graph::find_feedback_vertex_set(out.digraph, fvs).vertices;
   return out;
 }
 
 Decomposition decompose_offers(const std::vector<Offer>& offers) {
+  return decompose_offers(offers, graph::FvsOptions{});
+}
+
+Decomposition decompose_offers(const std::vector<Offer>& offers,
+                               const graph::FvsOptions& fvs) {
   check_no_duplicates(offers, "decompose_offers");
   Decomposition result;
   if (offers.empty()) return result;
@@ -141,7 +152,7 @@ Decomposition decompose_offers(const std::vector<Offer>& offers) {
     // fall apart (the component's connectivity could rely on arcs we set
     // aside — impossible here, since SCC membership is computed on the
     // full offer digraph and cross-component arcs never join an SCC).
-    auto cleared = clear_offers(subset);
+    auto cleared = clear_offers(subset, fvs);
     if (cleared.has_value()) {
       result.swaps.push_back(std::move(*cleared));
     } else {

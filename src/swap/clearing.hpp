@@ -4,9 +4,12 @@
 // asset on this chain to that party". The service combines offers into a
 // swap digraph, checks it admits an atomic protocol (strongly connected,
 // Theorem 3.5), and picks a leader set (a feedback vertex set, Theorem
-// 4.12 — minimum when the digraph is small, greedy otherwise). The
-// service is not trusted: the SwapEngine re-validates everything it
-// produces with validate_spec() before any asset moves.
+// 4.12) via the layered graph::find_feedback_vertex_set engine — exact
+// while the kernel fits under graph::FvsOptions::max_exact_vertices,
+// approximate above it (any FVS is a valid leader set; minimality only
+// affects leader count and timelock depth, never safety). The service is
+// not trusted: the SwapEngine re-validates everything it produces with
+// validate_spec() before any asset moves.
 #pragma once
 
 #include <optional>
@@ -15,6 +18,7 @@
 
 #include "chain/asset.hpp"
 #include "graph/digraph.hpp"
+#include "graph/fvs.hpp"
 #include "swap/spec.hpp"
 
 namespace xswap::swap {
@@ -58,6 +62,12 @@ struct ClearedSwap {
 /// on a different chain or with a different asset (§5 multigraphs).
 std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers);
 
+/// As above with explicit leader-election tuning (the `--fvs-exact-max`
+/// CLI knob lands here). The default overload uses a default-constructed
+/// graph::FvsOptions.
+std::optional<ClearedSwap> clear_offers(const std::vector<Offer>& offers,
+                                        const graph::FvsOptions& fvs);
+
 /// A batch of offers split into independently runnable swaps.
 struct Decomposition {
   std::vector<ClearedSwap> swaps;  // one per non-trivial SCC
@@ -73,6 +83,10 @@ struct Decomposition {
 /// own ClearedSwap, and offers crossing components are returned as
 /// unmatched (executing them could only create free-riders, Lemma 3.4).
 Decomposition decompose_offers(const std::vector<Offer>& offers);
+
+/// As above with explicit leader-election tuning for every component.
+Decomposition decompose_offers(const std::vector<Offer>& offers,
+                               const graph::FvsOptions& fvs);
 
 /// Synthetic offers for a bare digraph: parties "P0"…, one chain
 /// ("chain-<a>") and one 100-token asset ("TOK<a>") per arc — the same

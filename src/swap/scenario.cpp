@@ -295,6 +295,11 @@ ScenarioBuilder& ScenarioBuilder::strategy(std::string party, Strategy s) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::fvs(const graph::FvsOptions& options) {
+  fvs_ = options;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::jobs(std::size_t n) {
   jobs_ = n;
   return *this;
@@ -331,7 +336,7 @@ Scenario ScenarioBuilder::build() const {
     }
   }
 
-  Decomposition decomposition = decompose_offers(offers_);
+  Decomposition decomposition = decompose_offers(offers_, fvs_);
 
   Scenario scenario;
   scenario.default_jobs_ = jobs_;

@@ -263,6 +263,12 @@ class ScenarioBuilder {
   /// Off by default — the sealing hot path then formats nothing.
   ScenarioBuilder& trace(bool on = true);
 
+  /// Leader-election tuning for clearing (graph::FvsOptions — the
+  /// exact/approximate kernel threshold and branch-and-bound budget).
+  /// The default options keep books with small kernels bit-for-bit on
+  /// the historical exact leader sets.
+  ScenarioBuilder& fvs(const graph::FvsOptions& options);
+
   /// Default execution policy for Scenario::run(): n > 1 runs component
   /// swaps on a ThreadPoolExecutor(n), n == 1 (the default) keeps the
   /// serial loop. The report is identical either way modulo wall-clock
@@ -294,6 +300,7 @@ class ScenarioBuilder {
  private:
   std::vector<Offer> offers_;
   EngineOptions options_;
+  graph::FvsOptions fvs_;
   std::vector<std::pair<std::string, Strategy>> strategies_;
   std::size_t jobs_ = 1;
   std::shared_ptr<Executor> pool_;

@@ -1,0 +1,241 @@
+// Property suite for the layered FVS engine (kernelization +
+// branch-and-bound + local-ratio approximation):
+//   * every solver output is a valid FVS on 500 seeded random digraphs,
+//   * exact results match the historical subset enumeration bit-for-bit,
+//   * greedy matches the historical copy-per-removal implementation
+//     bit-for-bit (pinned regression reference),
+//   * the approximation stays within 2x of exact on all n <= 14 instances,
+//   * reduction rules preserve FVS-solution equivalence (the kernel
+//     solution lifts to a valid, same-size full-graph FVS).
+#include "graph/fvs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "util/rng.hpp"
+
+namespace xswap::graph {
+namespace {
+
+// ---- Historical reference implementations (pre-engine semantics) ----
+
+// Enumerate k-subsets of 0..n-1 in lexicographic order, testing each —
+// verbatim the old exact solver.
+bool ref_try_subsets(const Digraph& d, std::size_t n, std::size_t k,
+                     std::vector<VertexId>& out) {
+  std::vector<VertexId> subset(k);
+  for (std::size_t i = 0; i < k; ++i) subset[i] = static_cast<VertexId>(i);
+  while (true) {
+    if (is_feedback_vertex_set(d, subset)) {
+      out = subset;
+      return true;
+    }
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] != static_cast<VertexId>(n - k + i)) {
+        ++subset[i];
+        for (std::size_t j = i + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+std::vector<VertexId> ref_minimum(const Digraph& d) {
+  const std::size_t n = d.vertex_count();
+  if (is_acyclic(d)) return {};
+  for (std::size_t k = 1; k <= n; ++k) {
+    std::vector<VertexId> out;
+    if (ref_try_subsets(d, n, k, out)) return out;
+  }
+  return {};  // unreachable: the full vertex set is an FVS
+}
+
+// Verbatim the old greedy: one full Digraph copy per removal.
+std::vector<VertexId> ref_greedy(const Digraph& d) {
+  std::vector<VertexId> chosen;
+  Digraph work = d;
+  while (!is_acyclic(work)) {
+    VertexId best = 0;
+    std::size_t best_score = 0;
+    for (VertexId v = 0; v < work.vertex_count(); ++v) {
+      const std::size_t score =
+          (work.in_degree(v) + 1) * (work.out_degree(v) + 1);
+      if (work.in_degree(v) > 0 && work.out_degree(v) > 0 &&
+          score > best_score) {
+        best = v;
+        best_score = score;
+      }
+    }
+    chosen.push_back(best);
+    work = work.without_vertices({best});
+  }
+  return chosen;
+}
+
+// ---- Seeded instance soup: strongly connected, multi-SCC, DAG parts,
+// parallel arcs — everything the clearing paths can feed the engine. ----
+
+Digraph random_digraph(util::Rng& rng, std::size_t max_n) {
+  const std::size_t kind = rng.next_below(4);
+  if (kind == 0) {
+    const std::size_t n = 2 + rng.next_below(max_n - 1);
+    return random_strongly_connected(n, rng.next_below(2 * n), rng);
+  }
+  // Arbitrary digraph: random arcs over n vertexes, occasionally with
+  // parallel arcs, DAG regions, and several SCCs.
+  const std::size_t n = 2 + rng.next_below(max_n - 1);
+  const std::size_t arcs = rng.next_below(3 * n + 1);
+  Digraph d(n);
+  for (std::size_t a = 0; a < arcs; ++a) {
+    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u != v) d.add_arc(u, v);
+  }
+  return d;
+}
+
+TEST(FvsProperty, EverySolverValidOn500RandomDigraphs) {
+  util::Rng rng(20180807);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Digraph d = random_digraph(rng, 24);
+    const FvsResult engine = find_feedback_vertex_set(d);
+    EXPECT_TRUE(is_feedback_vertex_set(d, engine.vertices)) << trial;
+    EXPECT_GE(engine.vertices.size(), engine.lower_bound) << trial;
+    EXPECT_GE(engine.optimality_gap(), 1.0) << trial;
+    EXPECT_TRUE(std::is_sorted(engine.vertices.begin(), engine.vertices.end()))
+        << trial;
+    EXPECT_TRUE(is_feedback_vertex_set(d, greedy_feedback_vertex_set(d)))
+        << trial;
+  }
+}
+
+TEST(FvsProperty, ExactMatchesSubsetEnumerationBitForBit) {
+  // Families the old solver was tested on, plus seeded random instances.
+  std::vector<Digraph> instances;
+  for (std::size_t n = 2; n <= 10; ++n) instances.push_back(cycle(n));
+  for (std::size_t n = 2; n <= 7; ++n) instances.push_back(complete(n));
+  instances.push_back(two_cycles_sharing_vertex(3, 4));
+  instances.push_back(two_cycles_sharing_vertex(4, 5));
+  instances.push_back(hub_and_spokes(6));
+  instances.push_back(multi_cycle(3, 2));
+  instances.push_back(multi_cycle(5, 3));
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 120; ++trial) {
+    instances.push_back(random_digraph(rng, 12));
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Digraph& d = instances[i];
+    const std::vector<VertexId> reference = ref_minimum(d);
+    // The public exact API is pinned to the reference output exactly.
+    EXPECT_EQ(minimum_feedback_vertex_set(d), reference) << i;
+    // So is the engine while the instance fits its exact budget.
+    const FvsResult engine = find_feedback_vertex_set(d);
+    ASSERT_TRUE(engine.exact) << i;
+    EXPECT_EQ(engine.vertices, reference) << i;
+    EXPECT_EQ(engine.lower_bound, reference.size()) << i;
+    EXPECT_DOUBLE_EQ(engine.optimality_gap(), 1.0) << i;
+  }
+}
+
+TEST(FvsProperty, GreedyPinnedToReferenceBitForBit) {
+  std::vector<Digraph> instances;
+  for (std::size_t n = 2; n <= 12; ++n) instances.push_back(cycle(n));
+  for (std::size_t n = 2; n <= 8; ++n) instances.push_back(complete(n));
+  instances.push_back(hub_and_spokes(9));
+  instances.push_back(multi_cycle(4, 3));
+  instances.push_back(two_cycles_sharing_vertex(5, 7));
+  util::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    instances.push_back(random_digraph(rng, 40));
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(greedy_feedback_vertex_set(instances[i]),
+              ref_greedy(instances[i]))
+        << i;
+  }
+}
+
+TEST(FvsProperty, ApproxWithinTwiceExactOnSmallInstances) {
+  // Force the approximation everywhere (exact budget 0) and compare
+  // against the true minimum on every n <= 14 instance.
+  FvsOptions approx_only;
+  approx_only.max_exact_vertices = 0;
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 250; ++trial) {
+    const Digraph d = random_digraph(rng, 14);
+    const FvsResult approx = find_feedback_vertex_set(d, approx_only);
+    EXPECT_TRUE(is_feedback_vertex_set(d, approx.vertices)) << trial;
+    const std::size_t exact_size = ref_minimum(d).size();
+    EXPECT_LE(approx.vertices.size(), 2 * exact_size) << trial;
+    EXPECT_LE(approx.lower_bound, exact_size) << trial;
+  }
+}
+
+TEST(FvsProperty, KernelSolutionLiftsToFullGraph) {
+  // Instances past the old 20-vertex exact cap: the engine must still be
+  // exact whenever every irreducible kernel fits the budget, and its
+  // lifted solution must be a valid FVS of the *original* digraph with
+  // the same size as the kernel-level optimum (reduction-equivalence).
+  util::Rng rng(5150);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Digraph d = random_digraph(rng, 60);
+    const FvsResult engine = find_feedback_vertex_set(d);
+    EXPECT_TRUE(is_feedback_vertex_set(d, engine.vertices)) << trial;
+    if (engine.exact) {
+      EXPECT_EQ(engine.vertices.size(), engine.lower_bound) << trial;
+    }
+  }
+  // Structured sanity: a 10^3-party cycle kernelizes away entirely.
+  const FvsResult ring = find_feedback_vertex_set(cycle(1000));
+  EXPECT_TRUE(ring.exact);
+  EXPECT_EQ(ring.kernel_vertices, 0u);
+  EXPECT_EQ(ring.vertices, std::vector<VertexId>{0});
+  // Grouped books keep every SCC inside one group: small kernels, exact
+  // answers, gap 1.0 — the shape the serve path feeds the engine.
+  util::Rng book_rng(99);
+  const Digraph book = grouped_book(50, 6, 4, book_rng);
+  const FvsResult cleared = find_feedback_vertex_set(book);
+  EXPECT_TRUE(cleared.exact);
+  EXPECT_TRUE(is_feedback_vertex_set(book, cleared.vertices));
+  EXPECT_DOUBLE_EQ(cleared.optimality_gap(), 1.0);
+  // Scale-free books are hub-heavy and not strongly connected; the
+  // engine must still produce a valid FVS.
+  util::Rng sf_rng(7);
+  const Digraph sf = scale_free_book(300, 2, sf_rng);
+  const FvsResult sf_result = find_feedback_vertex_set(sf);
+  EXPECT_TRUE(is_feedback_vertex_set(sf, sf_result.vertices));
+}
+
+TEST(FvsProperty, NodeBudgetExhaustionFallsBackToApprox) {
+  // complete(18) is irreducible; a 10-node branch-and-bound budget can't
+  // finish, so the engine must fall back to the (still valid)
+  // approximation and drop the exact flag.
+  FvsOptions tiny;
+  tiny.max_bnb_nodes = 10;
+  const Digraph d = complete(18);
+  const FvsResult result = find_feedback_vertex_set(d, tiny);
+  EXPECT_FALSE(result.exact);
+  EXPECT_TRUE(is_feedback_vertex_set(d, result.vertices));
+  EXPECT_GE(result.vertices.size(), result.lower_bound);
+}
+
+TEST(FvsProperty, OptionsKnobWidensExactRange) {
+  // complete(18) exceeded the old 16-vertex clearing threshold; under the
+  // unified FvsOptions default (24) it is solved exactly, and the result
+  // is the lexicographically smallest minimum: drop all but the last.
+  const Digraph d = complete(18);
+  const FvsResult result = find_feedback_vertex_set(d);
+  ASSERT_TRUE(result.exact);
+  ASSERT_EQ(result.vertices.size(), 17u);
+  for (VertexId v = 0; v < 17; ++v) EXPECT_EQ(result.vertices[v], v);
+}
+
+}  // namespace
+}  // namespace xswap::graph

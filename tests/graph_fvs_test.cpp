@@ -57,7 +57,15 @@ TEST(Fvs, MinimumOnHubIsHub) {
 }
 
 TEST(Fvs, ExactSearchSizeGuard) {
-  EXPECT_THROW(minimum_feedback_vertex_set(cycle(25), 20), std::invalid_argument);
+  // The guard is kernel-based: complete(25) is irreducible, so its kernel
+  // (25 vertexes) exceeds the budget and exact search refuses ...
+  EXPECT_THROW(minimum_feedback_vertex_set(complete(25), 20),
+               std::invalid_argument);
+  // ... while cycle(25) kernelizes to nothing and solves instantly even
+  // though its raw vertex count is just as far over the budget.
+  const auto fvs = minimum_feedback_vertex_set(cycle(25), 20);
+  ASSERT_EQ(fvs.size(), 1u);
+  EXPECT_EQ(fvs[0], 0u);
 }
 
 TEST(Fvs, GreedyAlwaysValid) {

@@ -44,7 +44,7 @@ void expire_checked(IncrementalClearing& inc,
 }
 
 TEST(IncrementalClearing, RejectsMalformedOffersAndBadOptions) {
-  EXPECT_THROW(IncrementalClearing(IncrementalOptions{-0.1}),
+  EXPECT_THROW(IncrementalClearing(IncrementalOptions{-0.1, {}}),
                std::invalid_argument);
   IncrementalClearing inc;
   EXPECT_THROW(inc.add(offer("A", "A", "ch")), std::invalid_argument);
@@ -197,7 +197,7 @@ TEST(IncrementalClearing, RandomizedStepsMatchBatchDecomposition) {
 }
 
 TEST(IncrementalClearing, MaxDirtyOneNeverRecomputesFully) {
-  IncrementalClearing inc(IncrementalOptions{1.0});
+  IncrementalClearing inc(IncrementalOptions{1.0, {}});
   GroupedBook book(424242);
   std::size_t mutations = 0;
   while (mutations < 120) {

@@ -5,13 +5,22 @@ Each input is a JSON-lines file as produced by the bench harnesses
 (bench/bench_util.hpp JsonlFile): one self-contained JSON object per
 line, keyed by "bench" and "metric" plus row-identifying fields.
 
-The CI gate: the serial 32-ring row of bench_sim_throughput (metric
-"jobs_sweep", jobs == 1 — the single-thread hot-path anchor every PR
-since the calendar-queue refactor has tracked) must not regress by more
-than --threshold (default 20%) in wall_ms. Every other row shared by
-both files is diffed and printed for the log, but only the anchor row
-fails the build: the fleet/jobs rows measure scheduling on whatever
-core count the runner has and are too noisy to gate on.
+The CI gate: every known anchor row present in the fresh file must not
+regress by more than --threshold (default 20%) in wall_ms. Anchors:
+
+  * bench_sim_throughput / jobs_sweep / jobs == 1 — the serial 32-ring
+    single-thread hot-path row every PR since the calendar-queue
+    refactor has tracked;
+  * bench_fvs / scaling / family == grouped, parties == 10000 — the
+    10^4-party grouped-book kernelize+solve row (the FVS-engine
+    scaling-curve anchor).
+
+Every other row shared by both files is diffed and printed for the log,
+but only anchor rows fail the build: the fleet/jobs rows measure
+scheduling on whatever core count the runner has and are too noisy to
+gate on. A fresh file matching NO anchor spec is an error (the bench
+stopped emitting its anchor); an anchor missing only from the baseline
+is skipped (first run after a new anchor lands).
 
 Exit codes: 0 ok (or no baseline to compare), 1 anchor regression,
 2 usage/parse error.
@@ -54,11 +63,21 @@ def row_key(row):
                         if k not in measurements))
 
 
-def find_anchor(rows):
+# The gated rows: (label, field-match dict). A file is gated on every
+# anchor whose match dict it contains; each BENCH_*.json carries at most
+# one (bench_diff runs once per bench file in CI).
+ANCHORS = [
+    ("serial 32-ring",
+     {"bench": "bench_sim_throughput", "metric": "jobs_sweep", "jobs": 1}),
+    ("grouped 10^4-party FVS",
+     {"bench": "bench_fvs", "metric": "scaling",
+      "family": "grouped", "parties": 10000}),
+]
+
+
+def find_anchor(rows, spec):
     for row in rows:
-        if (row.get("bench") == "bench_sim_throughput"
-                and row.get("metric") == "jobs_sweep"
-                and row.get("jobs") == 1):
+        if all(row.get(k) == v for k, v in spec.items()):
             return row
     return None
 
@@ -98,26 +117,38 @@ def main():
                   f"{field}: {old_v:.2f} -> {new_v:.2f} ({delta:+.1%}){tag}")
     print(f"compared {shared} shared measurement(s)")
 
-    old_anchor = find_anchor(old_rows)
-    new_anchor = find_anchor(new_rows)
-    if new_anchor is None or not isinstance(new_anchor.get("wall_ms"), (int, float)):
-        print("FAIL: the fresh file has no serial 32-ring anchor row "
-              "(metric=jobs_sweep, jobs=1)", file=sys.stderr)
+    gated = 0
+    failed = False
+    for label, spec in ANCHORS:
+        new_anchor = find_anchor(new_rows, spec)
+        if new_anchor is None:
+            continue  # this file is not that bench
+        gated += 1
+        if not isinstance(new_anchor.get("wall_ms"), (int, float)):
+            print(f"FAIL: anchor row '{label}' has no numeric wall_ms",
+                  file=sys.stderr)
+            sys.exit(2)
+        old_anchor = find_anchor(old_rows, spec)
+        if (old_anchor is None
+                or not isinstance(old_anchor.get("wall_ms"), (int, float))):
+            print(f"anchor '{label}': no baseline row; nothing to gate "
+                  "against (first run?) — passing")
+            continue
+        old_ms, new_ms = old_anchor["wall_ms"], new_anchor["wall_ms"]
+        if old_ms <= 0:
+            print(f"anchor '{label}': baseline wall_ms is non-positive; "
+                  "skipping the gate")
+            continue
+        delta = (new_ms - old_ms) / old_ms
+        verdict = "OK" if delta <= args.threshold else "REGRESSION"
+        print(f"anchor {label} wall_ms: {old_ms:.2f} -> {new_ms:.2f} "
+              f"({delta:+.1%}, threshold +{args.threshold:.0%}) {verdict}")
+        failed = failed or delta > args.threshold
+    if gated == 0:
+        print("FAIL: the fresh file matches no known anchor spec "
+              "(see ANCHORS in tools/bench_diff.py)", file=sys.stderr)
         sys.exit(2)
-    if old_anchor is None or not isinstance(old_anchor.get("wall_ms"), (int, float)):
-        print("no anchor row in the baseline; nothing to gate against "
-              "(first run?) — passing")
-        sys.exit(0)
-
-    old_ms, new_ms = old_anchor["wall_ms"], new_anchor["wall_ms"]
-    if old_ms <= 0:
-        print("baseline anchor wall_ms is non-positive; skipping the gate")
-        sys.exit(0)
-    delta = (new_ms - old_ms) / old_ms
-    verdict = "OK" if delta <= args.threshold else "REGRESSION"
-    print(f"anchor serial 32-ring wall_ms: {old_ms:.2f} -> {new_ms:.2f} "
-          f"({delta:+.1%}, threshold +{args.threshold:.0%}) {verdict}")
-    sys.exit(0 if delta <= args.threshold else 1)
+    sys.exit(1 if failed else 0)
 
 
 if __name__ == "__main__":

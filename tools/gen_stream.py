@@ -14,7 +14,12 @@ of expires, and periodic `clear` barriers.
 
 Usage:
   tools/gen_stream.py [--events N] [--seed S] [--groups G] [--size K]
-                      [--clear-every C]
+                      [--clear-every C] [--parties N]
+
+`--parties N` is the grouped-book shorthand for large universes: it
+keeps --size and derives the group count as N // size (so
+`--parties 10000` with the default size 4 replays a 10^4-party book —
+the FVS-engine scaling scenario — without hand-computing --groups).
 """
 
 from __future__ import annotations
@@ -41,7 +46,16 @@ def main() -> int:
     parser.add_argument("--clear-every", type=int, default=50,
                         help="emit a clear barrier every N events "
                              "(0 = only the shutdown drain; default 50)")
+    parser.add_argument("--parties", type=int, default=0,
+                        help="party-universe size: overrides --groups "
+                             "with parties // size (0 = use --groups)")
     args = parser.parse_args()
+    if args.parties:
+        if args.parties < 2 * args.size:
+            print("gen_stream: --parties must cover at least two groups",
+                  file=sys.stderr)
+            return 2
+        args.groups = args.parties // args.size
     if args.events < 1 or args.groups < 1 or args.size < 2:
         print("gen_stream: need events >= 1, groups >= 1, size >= 2",
               file=sys.stderr)

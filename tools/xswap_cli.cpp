@@ -43,6 +43,12 @@
 //     --queue-cap N      ingest queue bound — backpressure (default 1024)
 //     --max-dirty F      incremental-clearing fallback threshold in
 //                        [0,1] (default 0.5; 1 never recomputes fully)
+//     --fvs-exact-max K  leader election stays exact while a component's
+//                        irreducible FVS kernel has at most K vertexes
+//                        (default 24); larger kernels take the
+//                        local-ratio approximation — any FVS is a valid
+//                        leader set (Theorem 4.12), minimality only
+//                        trades leader count for timelock depth
 //     --mode/--delta/--seed as above, applied per cleared component
 //     Output is JSON lines on stdout: one `component` object per cleared
 //     swap (deterministic fields identical to `xswap batch` on the same
@@ -66,6 +72,8 @@
 //                        stealing flattens every book's components into
 //                        one index space so idle lanes backfill a
 //                        straggler's tail; fifo runs books one by one
+//     --fvs-exact-max K  exact-leader kernel budget per component (see
+//                        serve; the same FvsOptions knob)
 //     --fleet DIR        multi-book mode: every regular file in DIR is an
 //                        offers file, run as one fleet through the
 //                        cross-batch scheduler (adversary flags and the
@@ -118,15 +126,17 @@ namespace {
                "             [--timeline] [--forensics] [--trace]\n"
                "       xswap batch <offers-file> [--mode MODE] [--delta N]\n"
                "             [--seed N] [--jobs N] [--pool persistent|perrun]\n"
+               "             [--fvs-exact-max K]\n"
                "             [--adversary NAME:KIND[:ARG]]...\n"
                "             [--timeline] [--forensics] [--trace]\n"
                "       xswap batch --fleet <dir> [--jobs N]\n"
                "             [--pool persistent|perrun] [--sched fifo|stealing]\n"
                "             [--mode MODE] [--delta N] [--seed N]\n"
+               "             [--fvs-exact-max K]\n"
                "       xswap serve [--input FILE|-] [--jobs N]\n"
                "             [--pool persistent|perrun] [--queue-cap N]\n"
-               "             [--max-dirty F] [--mode MODE] [--delta N]\n"
-               "             [--seed N]\n"
+               "             [--max-dirty F] [--fvs-exact-max K]\n"
+               "             [--mode MODE] [--delta N] [--seed N]\n"
                "       xswap fuzz [--seed S] [--runs N] [--jobs J]\n"
                "             [--min-parties A] [--max-parties B] [--no-shrink]\n"
                "             [--out FILE] [--replay FILE]\n"
@@ -238,6 +248,7 @@ std::vector<swap::Offer> parse_offers_file(const std::string& path) {
 struct CommonFlags {
   std::string mode = "general";
   swap::EngineOptions options;
+  graph::FvsOptions fvs;
   std::vector<std::string> adversaries;
   std::size_t jobs = 1;
   std::string pool = "perrun";     // persistent | perrun
@@ -375,6 +386,7 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
       swap::ScenarioBuilder builder;
       builder.offers(offers)
           .options(flags.options)
+          .fvs(flags.fvs)
           .jobs(flags.jobs)
           .pool(pool)
           .trace(flags.show_trace);
@@ -497,6 +509,7 @@ int run_fleet_dir(const std::string& dir, CommonFlags flags) {
       fleet.push_back(swap::ScenarioBuilder()
                           .offers(parse_offers_file(path))
                           .options(flags.options)
+                          .fvs(flags.fvs)
                           .chain_locks(&chain::ChainLockRegistry::global())
                           .build());
     } catch (const std::invalid_argument& e) {
@@ -600,6 +613,10 @@ int run_serve(int argc, char** argv, int i) {
       if (options.max_dirty < 0.0 || options.max_dirty > 1.0) {
         usage("--max-dirty must be in [0, 1]");
       }
+    }
+    else if (arg == "--fvs-exact-max") {
+      options.fvs.max_exact_vertices =
+          std::strtoul(next().c_str(), nullptr, 10);
     }
     else if (arg == "--mode") flags.mode = next();
     else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
@@ -878,6 +895,10 @@ int main(int argc, char** argv) {
     else if (arg == "--fleet") {
       batch_only();
       fleet_dir = next();
+    }
+    else if (arg == "--fvs-exact-max") {
+      batch_only();
+      flags.fvs.max_exact_vertices = std::strtoul(next().c_str(), nullptr, 10);
     }
     else if (arg == "--mode") flags.mode = next();
     else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
