@@ -1,0 +1,41 @@
+// Durability hook for Ledger (implemented by persist/LedgerJournal).
+//
+// chain/ stays free of file I/O and of any dependency on the persist
+// layer: the ledger journals through this abstract interface exactly the
+// way it traces through TraceSink. A store receives genesis allocations
+// (append_mint) and completed block headers (append_block, called from
+// seal_batch once prev_hash/tx_root are filled), plus a commit() at each
+// group boundary. group_blocks() tells the ledger how many sealed blocks
+// may queue before it forces a header flush — the group-commit cadence.
+#pragma once
+
+#include <cstddef>
+
+#include "chain/asset.hpp"
+#include "chain/transaction.hpp"
+
+namespace xswap::chain {
+
+struct Block;
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  /// Journal a genesis allocation (mint happens outside any block).
+  virtual void append_mint(const Address& owner, const Asset& asset) = 0;
+
+  /// Journal a sealed block whose header (prev_hash, tx_root) is
+  /// complete. Called from seal_batch in height order.
+  virtual void append_block(const Block& block) = 0;
+
+  /// Group-commit boundary: everything appended so far must reach the
+  /// OS (and stable storage, per the store's fsync policy).
+  virtual void commit() = 0;
+
+  /// Sealed blocks that may queue unflushed before the ledger forces a
+  /// seal_batch (1 = flush-per-block, the `always` fsync policy).
+  virtual std::size_t group_blocks() const = 0;
+};
+
+}  // namespace xswap::chain

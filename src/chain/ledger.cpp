@@ -1,6 +1,8 @@
 #include "chain/ledger.hpp"
 
 #include <cassert>
+
+#include "chain/block_store.hpp"
 #include <functional>
 #include <stdexcept>
 
@@ -134,6 +136,7 @@ void Ledger::mint(const Address& owner, const Asset& asset) {
     }
     unique_owner_ids_.emplace(key, intern_account(owner));
   }
+  if (store_ != nullptr) store_->append_mint(owner, asset);
   if (trace_sink_) {
     record("[" + std::to_string(sim_.now()) + "] genesis: " + asset.to_string() +
            " -> " + owner);
@@ -325,6 +328,17 @@ void Ledger::seal_locked() {
     block.txs.push_back(std::move(tx));
   }
   blocks_.push_back(std::move(block));
+  if (store_ != nullptr) {
+    // Group commit rides the deferred-header batch: once group_blocks()
+    // sealed blocks queue unhashed, flush them (one Merkle pass, one
+    // journal append run, one commit) instead of paying per block.
+    std::size_t pending;
+    {
+      const util::MutexLock guard(flush_mutex_);
+      pending = blocks_.size() - hashed_blocks_;
+    }
+    if (pending >= store_->group_blocks()) seal_batch();
+  }
 }
 
 void Ledger::seal_batch() const {
@@ -338,22 +352,95 @@ void Ledger::seal_batch() const {
   // the stripe — only seal() itself, which callbacks cannot reach, ever
   // takes a stripe lock.
   const util::MutexLock guard(flush_mutex_);
+  const std::size_t first = hashed_blocks_;
   for (std::size_t i = hashed_blocks_; i < blocks_.size(); ++i) {
     Block& block = blocks_[i];
     block.prev_hash = blocks_[i - 1].hash();
     block.tx_root = block.compute_tx_root(leaf_scratch_);
+    if (store_ != nullptr) store_->append_block(block);
   }
   hashed_blocks_ = blocks_.size();
+  if (store_ != nullptr && hashed_blocks_ > first) store_->commit();
 }
 
-bool Ledger::verify_integrity() const {
+bool Ledger::verify_integrity() const { return verify_integrity(nullptr); }
+
+bool Ledger::verify_integrity(IntegrityFailure* failure) const {
   seal_batch();
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     const Block& b = blocks_[i];
-    if (b.compute_tx_root() != b.tx_root) return false;
-    if (i > 0 && b.prev_hash != blocks_[i - 1].hash()) return false;
+    if (b.compute_tx_root() != b.tx_root) {
+      if (failure != nullptr) {
+        failure->height = i;
+        failure->check = IntegrityFailure::Check::kTxRoot;
+      }
+      return false;
+    }
+    if (i > 0 && b.prev_hash != blocks_[i - 1].hash()) {
+      if (failure != nullptr) {
+        failure->height = i;
+        failure->check = IntegrityFailure::Check::kPrevHash;
+      }
+      return false;
+    }
   }
   return true;
+}
+
+const char* to_string(Ledger::IntegrityFailure::Check check) {
+  switch (check) {
+    case Ledger::IntegrityFailure::Check::kTxRoot: return "tx_root";
+    case Ledger::IntegrityFailure::Check::kPrevHash: break;
+  }
+  return "prev_hash";
+}
+
+void Ledger::attach_store(BlockStore* store) {
+  if (store == nullptr) {
+    store_ = nullptr;
+    return;
+  }
+  if (started_ || tx_count_ != 0 || !account_ids_.empty() ||
+      !unique_owner_ids_.empty() || blocks_.size() != 1 ||
+      !blocks_[0].txs.empty()) {
+    throw std::logic_error(
+        "Ledger::attach_store: ledger already has state; the journal "
+        "must cover the chain from genesis");
+  }
+  store_ = store;
+  store_->append_block(blocks_[0]);
+  store_->commit();
+}
+
+void Ledger::restore_sealed_block(Block block) {
+  if (started_) {
+    throw std::logic_error(
+        "Ledger::restore_sealed_block: ledger already started");
+  }
+  const util::MutexLock guard(flush_mutex_);
+  if (block.height == 0) {
+    if (blocks_.size() != 1 || !blocks_[0].txs.empty() || tx_count_ != 0) {
+      throw std::invalid_argument(
+          "Ledger::restore_sealed_block: duplicate genesis record");
+    }
+    blocks_[0] = std::move(block);
+    return;  // hashed_blocks_ stays 1: the restored header is complete
+  }
+  if (block.height != blocks_.size()) {
+    throw std::invalid_argument(
+        "Ledger::restore_sealed_block: height " + std::to_string(block.height) +
+        " does not chain after tip " + std::to_string(blocks_.size() - 1));
+  }
+  for (const Transaction& tx : block.txs) {
+    ++tx_count_;
+    if (!tx.succeeded) ++failed_tx_count_;
+    payload_storage_bytes_ += tx.payload_bytes;
+    if (tx.kind == TxKind::kContractCall) {
+      call_payload_bytes_ += tx.payload_bytes;
+    }
+  }
+  blocks_.push_back(std::move(block));
+  hashed_blocks_ = blocks_.size();
 }
 
 std::size_t Ledger::storage_bytes() const {

@@ -44,6 +44,8 @@
 
 namespace xswap::chain {
 
+class BlockStore;
+
 /// Striped per-chain-name locks for concurrent component execution.
 ///
 /// Component swaps are share-nothing (each SwapEngine builds its own
@@ -247,6 +249,40 @@ class Ledger {
   /// Verify hash-chain links and Merkle roots of every sealed block.
   bool verify_integrity() const;
 
+  /// First failing block of a diagnostic verify_integrity pass.
+  struct IntegrityFailure {
+    enum class Check : std::uint8_t {
+      kTxRoot,    // Merkle root does not match the block's transactions
+      kPrevHash,  // hash-chain link does not match the previous header
+    };
+    std::uint64_t height = 0;
+    Check check = Check::kTxRoot;
+  };
+
+  /// Diagnostic overload: like verify_integrity(), but on failure also
+  /// reports the first failing block and which check failed (`failure`
+  /// may be null). Recovery error messages are built from this.
+  bool verify_integrity(IntegrityFailure* failure) const;
+
+  // ---- Durability ----
+
+  /// Attach a durability store (non-owning; nullptr detaches). Must be
+  /// called on a fresh ledger — before start(), mint(), or any
+  /// submission — so the journal covers the chain from genesis; throws
+  /// std::logic_error otherwise. The genesis header is journaled (and
+  /// committed) immediately. The store must outlive the ledger or be
+  /// detached first.
+  void attach_store(BlockStore* store);
+
+  /// Recovery replay: re-install a block previously journaled by
+  /// seal_batch, header included, WITHOUT re-executing transactions
+  /// (contracts are native objects — see persist/durable_ledger.hpp for
+  /// the recovery semantics). Only callable before start(); height 0
+  /// replaces the constructed genesis, and every later height must
+  /// chain directly after the current tip (throws std::invalid_argument
+  /// otherwise — duplicated or reordered journal records surface here).
+  void restore_sealed_block(Block block);
+
   /// Total bytes stored on this chain: transaction payloads plus live
   /// contract state (Theorem 4.10's measure).
   std::size_t storage_bytes() const;
@@ -366,6 +402,14 @@ class Ledger {
 
   TraceSink* trace_sink_ = nullptr;
   std::unique_ptr<StringTraceSink> owned_trace_;
+
+  // Durability store (nullptr = in-memory only, the default). mint()
+  // and seal_batch() journal through it; seal_locked() forces a header
+  // flush whenever `group_blocks()` sealed blocks are queued, which is
+  // how group commit rides the existing deferred-hashing batch.
+  BlockStore* store_ = nullptr;
 };
+
+const char* to_string(Ledger::IntegrityFailure::Check check);
 
 }  // namespace xswap::chain

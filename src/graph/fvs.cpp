@@ -545,8 +545,33 @@ struct ComponentOutcome {
 ComponentOutcome solve_component(const Kernel& k, const std::vector<Vert>& verts,
                                  const FvsOptions& options) {
   const Kernel sub = extract(k, verts);
-  const ApproxOutcome approx = approx_kernel(sub);
   ComponentOutcome out;
+  if (verts.size() > options.max_exact_vertices &&
+      verts.size() > options.approx_greedy_above) {
+    // Huge irreducible kernel: the local-ratio rounds re-kernelize and
+    // re-search cycles per picked vertex, so route to the near-linear
+    // degree-product greedy instead. Contraction can leave parallel
+    // kernel arcs; collapse them so the greedy's degree scores count
+    // neighbors, not multiplicity.
+    Digraph sd(sub.size());
+    std::vector<Vert> outs;
+    for (std::size_t v = 0; v < sub.size(); ++v) {
+      outs.assign(sub.out[v].begin(), sub.out[v].end());
+      std::sort(outs.begin(), outs.end());
+      outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+      for (const Vert w : outs) {
+        sd.add_arc(static_cast<VertexId>(v), static_cast<VertexId>(w));
+      }
+    }
+    out.exact = false;
+    out.lower_bound =
+        std::max<std::size_t>(packing_lower_bound(sub, 128, 16), 1);
+    for (const VertexId v : greedy_feedback_vertex_set(sd)) {
+      out.vertices.push_back(verts[static_cast<std::size_t>(v)]);
+    }
+    return out;
+  }
+  const ApproxOutcome approx = approx_kernel(sub);
   if (verts.size() <= options.max_exact_vertices) {
     Bnb ctx;
     ctx.node_budget = options.max_bnb_nodes;

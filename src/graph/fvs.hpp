@@ -21,6 +21,11 @@
 //      kernels too large for exact search, with a reverse-delete
 //      minimality filter and a reported optimality gap against the
 //      cycle-packing lower bound.
+//   4. Greedy fallback — kernel components beyond
+//      FvsOptions::approx_greedy_above route to the near-linear
+//      degree-product greedy (still a valid FVS; Theorem 4.12 needs
+//      validity, not minimality), keeping huge instances out of the
+//      super-linear local-ratio loop.
 #pragma once
 
 #include <cstddef>
@@ -48,6 +53,16 @@ struct FvsOptions {
   /// engine falls back to the approximation for that component (and the
   /// result is no longer flagged exact).
   std::size_t max_bnb_nodes = 1u << 20;
+
+  /// Kernel components larger than this skip the local-ratio rounds and
+  /// take the near-linear degree-product greedy instead (the local-ratio
+  /// loop re-kernelizes and re-searches cycles per picked vertex, which
+  /// turns super-linear on huge irreducible kernels). The default sits
+  /// above every kernel the clearing paths produce in practice, so only
+  /// deliberately huge instances (bench_fvs scale sweeps) reroute; the
+  /// greedy result is still a valid FVS and still reports a cycle-packing
+  /// lower bound.
+  std::size_t approx_greedy_above = 50'000;
 };
 
 /// Result of the layered engine: a valid FVS plus quality/accounting.

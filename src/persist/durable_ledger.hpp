@@ -1,0 +1,103 @@
+// Ledger journaling + recovery replay over the segment store.
+//
+// LedgerJournal implements chain::BlockStore: attach one to a Ledger
+// (Ledger::attach_store) and every genesis mint plus every sealed block
+// header+transaction list is encoded into checksummed records, group-
+// committed at the seal_batch cadence. recover() replays a journal
+// directory back into an empty Ledger and re-verifies the whole hash
+// chain and every Merkle root via the diagnostic verify_integrity
+// overload, so a recovered ledger is exactly the sealed prefix the
+// journal attests — a torn tail (at most the final record) is discarded
+// deterministically, and any other damage is a named RecoveryError.
+//
+// Recovery semantics: the journal restores the authenticated block
+// history and the genesis asset allocation. Contract objects are native
+// C++ closures and are not re-instantiated from disk — a recovered
+// ledger answers blocks()/verify_integrity()/storage accounting and
+// balance-of-mint queries, which is what restart-time auditing needs.
+// Protocol-level crash recovery (swap::Strategy::recover_at) instead
+// re-derives a party's volatile state by scanning the live chains,
+// which stay intact across a party crash.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chain/block_store.hpp"
+#include "chain/ledger.hpp"
+#include "persist/segment_store.hpp"
+#include "sim/simulator.hpp"
+
+namespace xswap::persist {
+
+/// BlockStore that frames mints and sealed blocks into a SegmentStore.
+class LedgerJournal final : public chain::BlockStore {
+ public:
+  LedgerJournal(std::string dir, DurabilityOptions options = {});
+
+  void append_mint(const chain::Address& owner,
+                   const chain::Asset& asset) override;
+  void append_block(const chain::Block& block) override;
+  void commit() override;
+  std::size_t group_blocks() const override;
+
+  const SegmentStore& store() const { return store_; }
+
+ private:
+  DurabilityOptions options_;
+  SegmentStore store_;
+};
+
+/// What a replay recovered (diagnostics for stats and smoke checks).
+struct RecoveryReport {
+  std::size_t mints = 0;
+  std::size_t blocks = 0;  // including genesis
+  bool torn_tail = false;
+  std::string torn_reason;
+};
+
+/// Replay the journal at `dir` into `ledger` (which must be freshly
+/// constructed: never started, no mints, genesis only), then re-verify
+/// the full hash chain + Merkle roots. Throws RecoveryError — naming
+/// the record index or the first failing block and check — on anything
+/// that does not replay cleanly; a torn tail alone is tolerated and
+/// reported.
+RecoveryReport recover(const std::string& dir, chain::Ledger& ledger);
+
+/// recover() into a self-owned Simulator + Ledger pair (restart-time
+/// auditing of a finished run's journals).
+struct RecoveredLedger {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<chain::Ledger> ledger;
+  RecoveryReport report;
+};
+
+RecoveredLedger recover_ledger(const std::string& dir,
+                               const std::string& chain_name);
+
+// ---- Record codec (exposed for the torn-write corpus tests) ----
+
+util::Bytes encode_mint_record(const chain::Address& owner,
+                               const chain::Asset& asset);
+util::Bytes encode_block_record(const chain::Block& block);
+
+/// Decoded journal record: exactly one of the two shapes.
+struct JournalRecord {
+  enum class Kind : std::uint8_t { kMint = 1, kBlock = 2 };
+  Kind kind = Kind::kMint;
+  chain::Address owner;   // kMint
+  chain::Asset asset;     // kMint
+  chain::Block block;     // kBlock
+};
+
+/// Decode one record payload; throws RecoveryError on malformed bytes.
+JournalRecord decode_record(util::BytesView payload);
+
+/// Filesystem-safe directory component for a chain name (non
+/// [A-Za-z0-9._-] bytes become '_').
+std::string sanitize_chain_dir(const std::string& chain_name);
+
+}  // namespace xswap::persist

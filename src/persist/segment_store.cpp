@@ -1,0 +1,262 @@
+#include "persist/segment_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace xswap::persist {
+namespace {
+
+// A frame length past this is corruption, not data: one journal record
+// is one sealed block, and no simulated block approaches 256 MiB.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 28;
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+std::string segment_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%06zu.seg", index);
+  return buf;
+}
+
+void put_be32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_be32(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+util::Bytes read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("persist: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  util::Bytes out;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  std::size_t n;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+    out.insert(out.end(), chunk.data(), chunk.data() + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    throw std::runtime_error("persist: read of '" + path + "' failed");
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kNever: break;
+  }
+  return "never";
+}
+
+FsyncPolicy fsync_policy_from_name(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "never") return FsyncPolicy::kNever;
+  throw std::invalid_argument("persist: unknown fsync policy '" + name +
+                              "' (expected always|batch|never)");
+}
+
+std::uint32_t crc32(util::BytesView data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+SegmentStore::SegmentStore(std::string dir, DurabilityOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.segment_bytes == 0) {
+    throw std::invalid_argument("SegmentStore: segment_bytes must be positive");
+  }
+  std::filesystem::create_directories(dir_);
+  if (!segment_files(dir_).empty()) {
+    throw std::invalid_argument(
+        "SegmentStore: directory '" + dir_ +
+        "' already contains segments (recover it, then journal into a "
+        "fresh directory)");
+  }
+  open_next_segment();
+}
+
+SegmentStore::~SegmentStore() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void SegmentStore::open_next_segment() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string path =
+      dir_ + "/" + segment_name(segment_index_);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("SegmentStore: cannot create '" + path +
+                             "': " + std::strerror(errno));
+  }
+  ++segment_index_;
+  current_segment_bytes_ = 0;
+}
+
+void SegmentStore::append(util::BytesView payload) {
+  if (payload.empty()) {
+    throw std::invalid_argument("SegmentStore::append: empty payload");
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    throw std::invalid_argument("SegmentStore::append: record too large");
+  }
+  const std::size_t frame = kFrameHeaderBytes + payload.size();
+  // Rotate rather than split: a record that does not fit the remainder
+  // of the current segment starts the next one (and an oversized record
+  // simply has a segment to itself).
+  if (current_segment_bytes_ > 0 &&
+      current_segment_bytes_ + frame > options_.segment_bytes) {
+    open_next_segment();
+  }
+  std::uint8_t header[kFrameHeaderBytes];
+  put_be32(header, static_cast<std::uint32_t>(payload.size()));
+  put_be32(header + 4, crc32(payload));
+  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    throw std::runtime_error("SegmentStore: write to '" + dir_ + "' failed");
+  }
+  current_segment_bytes_ += frame;
+  bytes_written_ += frame;
+  ++records_appended_;
+}
+
+void SegmentStore::flush(bool fsync) {
+  if (std::fflush(file_) != 0) {
+    throw std::runtime_error("SegmentStore: flush of '" + dir_ + "' failed");
+  }
+  if (fsync) {
+    if (::fsync(fileno(file_)) != 0) {
+      throw std::runtime_error("SegmentStore: fsync of '" + dir_ +
+                               "' failed: " + std::strerror(errno));
+    }
+    ++fsync_count_;
+  }
+}
+
+std::vector<std::string> segment_files(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    throw std::invalid_argument("persist: '" + dir + "' is not a directory");
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".seg") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+RecordScan read_records(const std::string& dir) {
+  const std::vector<std::string> files = segment_files(dir);
+  RecordScan scan;
+  for (std::size_t s = 0; s < files.size(); ++s) {
+    const bool last_segment = s + 1 == files.size();
+    const util::Bytes buf = read_file(files[s]);
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const auto tear = [&](const std::string& why) {
+        scan.torn_tail = true;
+        scan.torn_reason = files[s] + ": " + why;
+      };
+      if (buf.size() - off < kFrameHeaderBytes) {
+        if (last_segment) {
+          tear("truncated frame header at offset " + std::to_string(off));
+          return scan;
+        }
+        throw RecoveryError("persist: " + files[s] +
+                            ": truncated frame header mid-log at offset " +
+                            std::to_string(off));
+      }
+      const std::uint32_t length = get_be32(buf.data() + off);
+      const std::uint32_t expect_crc = get_be32(buf.data() + off + 4);
+      if (length == 0) {
+        throw RecoveryError("persist: " + files[s] +
+                            ": zero-length record at offset " +
+                            std::to_string(off));
+      }
+      if (length > kMaxRecordBytes) {
+        throw RecoveryError("persist: " + files[s] +
+                            ": implausible record length " +
+                            std::to_string(length) + " at offset " +
+                            std::to_string(off));
+      }
+      if (buf.size() - off - kFrameHeaderBytes < length) {
+        if (last_segment) {
+          tear("truncated record payload at offset " + std::to_string(off));
+          return scan;
+        }
+        throw RecoveryError("persist: " + files[s] +
+                            ": truncated record payload mid-log at offset " +
+                            std::to_string(off));
+      }
+      const util::BytesView payload(buf.data() + off + kFrameHeaderBytes,
+                                    length);
+      if (crc32(payload) != expect_crc) {
+        // Checksum damage is a torn write only when this record is the
+        // very last one on disk; anywhere earlier it is corruption.
+        if (last_segment && off + kFrameHeaderBytes + length == buf.size()) {
+          tear("checksum mismatch on final record at offset " +
+               std::to_string(off));
+          return scan;
+        }
+        throw RecoveryError("persist: " + files[s] +
+                            ": checksum mismatch mid-log at offset " +
+                            std::to_string(off));
+      }
+      scan.records.emplace_back(payload.begin(), payload.end());
+      off += kFrameHeaderBytes + length;
+    }
+  }
+  return scan;
+}
+
+}  // namespace xswap::persist

@@ -1,0 +1,130 @@
+// Append-only segment store: the byte layer under durable ledgers.
+//
+// Records are opaque payloads framed as
+//
+//   [u32 BE payload length][u32 BE CRC-32 of payload][payload bytes]
+//
+// and appended to rotating segment files (`000000.seg`, `000001.seg`,
+// ...) inside one directory. A record is never split across segments:
+// when the current segment would overflow `segment_bytes` the store
+// rotates first (an oversized record gets a fresh segment to itself, so
+// segments may exceed the nominal size by design).
+//
+// Writes are buffered (stdio) and made durable by flush(): every
+// group-commit boundary costs one fflush and — policy permitting — one
+// fsync, never one per record. That is the amortization bench_durability
+// measures.
+//
+// Reading back (read_records) is strict everywhere except the tail: a
+// final record of the FINAL segment that is truncated or fails its
+// checksum is a torn write — discarded deterministically and reported in
+// RecordScan. The same damage anywhere else is corruption and throws
+// RecoveryError; recovery never silently skips a record mid-log.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace xswap::persist {
+
+/// When appended records must reach stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kAlways,  // fsync at every commit, one block per commit
+  kBatch,   // fsync at every group commit (DurabilityOptions::group_blocks)
+  kNever,   // fflush only; durability is best-effort (tests, benches)
+};
+
+const char* to_string(FsyncPolicy policy);
+
+/// Parse "always"/"batch"/"never" (CLI flag values); throws
+/// std::invalid_argument on anything else.
+FsyncPolicy fsync_policy_from_name(const std::string& name);
+
+struct DurabilityOptions {
+  FsyncPolicy policy = FsyncPolicy::kBatch;
+  /// Nominal segment rotation threshold (a lone oversized record may
+  /// exceed it — records are never split).
+  std::size_t segment_bytes = 4u * 1024 * 1024;
+  /// Sealed blocks per group commit under kBatch/kNever (kAlways pins
+  /// the cadence to 1 regardless).
+  std::size_t group_blocks = 64;
+};
+
+/// Named, deterministic recovery failure: corruption that is not a torn
+/// tail (mid-log damage, implausible frames, records that do not replay).
+class RecoveryError : public std::runtime_error {
+ public:
+  explicit RecoveryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data`. Exposed so the
+/// torn-write corpus tests can forge and break checksums byte-exactly.
+std::uint32_t crc32(util::BytesView data);
+
+/// Append side of the store. One writer per directory; the directory is
+/// created on demand and must not already contain segment files (recover
+/// from an old directory first, then journal into a fresh one).
+class SegmentStore {
+ public:
+  SegmentStore(std::string dir, DurabilityOptions options);
+  /// Flushes buffered bytes to the OS (no fsync — a crash between the
+  /// last commit and destruction may tear the tail, which recovery
+  /// tolerates by design).
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Frame `payload` and buffer it into the current segment, rotating
+  /// first if the frame would overflow the nominal segment size.
+  void append(util::BytesView payload);
+
+  /// Push buffered bytes to the OS; when `fsync` also force them to
+  /// stable storage. Throws std::runtime_error on I/O failure.
+  void flush(bool fsync);
+
+  const std::string& directory() const { return dir_; }
+  std::size_t records_appended() const { return records_appended_; }
+  /// Framed bytes handed to the OS-level buffer so far.
+  std::size_t bytes_written() const { return bytes_written_; }
+  std::size_t fsync_count() const { return fsync_count_; }
+  std::size_t segment_count() const { return segment_index_; }
+
+ private:
+  void open_next_segment();
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::FILE* file_ = nullptr;
+  std::size_t current_segment_bytes_ = 0;
+  std::size_t segment_index_ = 0;  // segments opened so far
+  std::size_t records_appended_ = 0;
+  std::size_t bytes_written_ = 0;
+  std::size_t fsync_count_ = 0;
+};
+
+/// Result of scanning a store directory back into records.
+struct RecordScan {
+  std::vector<util::Bytes> records;
+  /// True when the final record of the final segment was truncated or
+  /// checksum-damaged and therefore discarded.
+  bool torn_tail = false;
+  /// Human-readable reason for the discarded tail (empty otherwise).
+  std::string torn_reason;
+};
+
+/// Segment files under `dir`, in append (name) order. Throws
+/// std::invalid_argument when the directory does not exist.
+std::vector<std::string> segment_files(const std::string& dir);
+
+/// Read every record under `dir` in append order. Tolerates exactly one
+/// torn tail (see file comment); throws RecoveryError on zero-length
+/// records, implausible lengths, or damage anywhere before the tail.
+RecordScan read_records(const std::string& dir);
+
+}  // namespace xswap::persist

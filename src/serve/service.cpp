@@ -2,14 +2,53 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "chain/ledger.hpp"
+#include "persist/durable_ledger.hpp"
 #include "swap/invariants.hpp"
 
 namespace xswap::serve {
+
+namespace {
+
+// Parse "run-NNN" → NNN; nullopt for anything that is not a run epoch.
+std::optional<std::size_t> run_number(const std::string& name) {
+  constexpr const char kPrefix[] = "run-";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.size() <= kPrefixLen || name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return std::nullopt;
+  }
+  std::size_t value = 0;
+  for (std::size_t i = kPrefixLen; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+// Sorted subdirectories of `dir` (empty when `dir` does not exist).
+// Sorting keeps the recovery replay order deterministic across
+// filesystems, whose directory iteration order is unspecified.
+std::vector<std::filesystem::path> sorted_subdirs(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_directory()) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
 
 ClearingService::ClearingService(ServiceOptions options)
     : options_(std::move(options)),
@@ -26,6 +65,46 @@ ClearingService::ClearingService(ServiceOptions options)
         swap::ExecutorRegistry::instance().shared_pool_at_least(options_.jobs);
     concurrent_ = true;
   }
+  if (!options_.durable_dir.empty()) recover_existing_runs();
+}
+
+void ClearingService::recover_existing_runs() {
+  namespace fs = std::filesystem;
+  fs::create_directories(options_.durable_dir);
+
+  // Claim the next epoch number before replaying: prior runs are
+  // read-only from here on, and this run's journals land under a fresh
+  // run-NNN so a later recovery never mixes epochs.
+  std::size_t next = 0;
+  for (const fs::path& run : sorted_subdirs(options_.durable_dir)) {
+    const std::optional<std::size_t> n = run_number(run.filename().string());
+    if (n.has_value()) next = std::max(next, *n + 1);
+  }
+
+  // Replay every journal of every prior epoch: run-NNN/<component>/<chain>.
+  // RecoveryError (corrupt frame, failed replay, integrity mismatch)
+  // propagates out of the constructor; a torn tail — the expected shape
+  // after a mid-write kill — is tolerated by the segment reader and only
+  // counted here.
+  const util::MutexLock lock(stats_mutex_);
+  for (const fs::path& run : sorted_subdirs(options_.durable_dir)) {
+    if (!run_number(run.filename().string()).has_value()) continue;
+    for (const fs::path& component : sorted_subdirs(run)) {
+      for (const fs::path& chain_dir : sorted_subdirs(component)) {
+        if (persist::segment_files(chain_dir.string()).empty()) continue;
+        const persist::RecoveredLedger recovered = persist::recover_ledger(
+            chain_dir.string(), chain_dir.filename().string());
+        ++stats_.recovered_ledgers;
+        stats_.recovered_blocks += recovered.report.blocks;
+        if (recovered.report.torn_tail) ++stats_.recovery_torn_tails;
+      }
+    }
+  }
+
+  char epoch[32];
+  std::snprintf(epoch, sizeof(epoch), "run-%03zu", next);
+  run_dir_ = options_.durable_dir + "/" + epoch;
+  fs::create_directories(run_dir_);
 }
 
 ClearingService::~ClearingService() {
@@ -126,6 +205,12 @@ void ClearingService::clear_components() {
   swap::Decomposition decomp = incremental_.consume();
   const std::size_t count = decomp.swaps.size();
 
+  std::size_t point = 0;
+  {
+    const util::MutexLock lock(stats_mutex_);
+    point = stats_.clears;
+  }
+
   if (count > 0) {
     // Engines carry decomposition-order seeds (see the determinism
     // contract in the header): the schedule below may permute lanes,
@@ -135,6 +220,14 @@ void ClearingService::clear_components() {
     for (std::size_t i = 0; i < count; ++i) {
       swap::EngineOptions per_swap = options_.engine;
       per_swap.seed = options_.engine.seed + dispatched_ + i;
+      if (!run_dir_.empty()) {
+        // One journal tree per component, keyed by clearing point and
+        // decomposition index — both deterministic, so a recovery sweep
+        // can line replayed chains up against the original reports.
+        per_swap.durable_dir = run_dir_ + "/clear" + std::to_string(point) +
+                               "-c" + std::to_string(i);
+        per_swap.durability = options_.durability;
+      }
       if (concurrent_) {
         // Components of one clearing point may model the same chain
         // name; once they can overlap, same-name seals must serialize
@@ -177,11 +270,6 @@ void ClearingService::clear_components() {
                          .count();
     });
 
-    std::size_t point = 0;
-    {
-      const util::MutexLock lock(stats_mutex_);
-      point = stats_.clears;
-    }
     // Emit in decomposition order, serialized on the service thread, so
     // downstream consumers (the CLI's JSON lines, tests) see a
     // deterministic sequence regardless of the lane schedule.

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "persist/segment_store.hpp"
 #include "serve/incremental.hpp"
 #include "serve/offer_stream.hpp"
 #include "serve/stats.hpp"
@@ -92,6 +93,20 @@ struct ServiceOptions {
   /// decomposition order within each clearing point. Never concurrent
   /// with itself.
   std::function<void(const ComponentReport&)> on_report;
+
+  /// When non-empty, every cleared component journals its chains under
+  /// `<durable_dir>/run-NNN/clear<point>-c<i>/<chain>/`, and the
+  /// constructor replays + integrity-verifies every journal left by
+  /// prior runs in the same directory (crash recovery; counted in
+  /// ServiceStats::recovered_*). A corrupt journal throws
+  /// persist::RecoveryError from the constructor; a torn tail — the
+  /// expected shape after SIGKILL mid-write — is tolerated and counted.
+  /// Journaling is observational: reports, traces, and seeds are
+  /// bit-identical with durability on or off.
+  std::string durable_dir;
+
+  /// Fsync policy and group-commit sizing for the journals.
+  persist::DurabilityOptions durability;
 };
 
 class ClearingService {
@@ -141,6 +156,10 @@ class ClearingService {
   /// components largest-first on the executor, emit ComponentReports in
   /// decomposition order.
   void clear_components();
+  /// Replay every journal under prior `run-NNN` epochs of durable_dir
+  /// (filling the recovered_* stats), then claim `run-<max+1>` as this
+  /// process's epoch directory (run_dir_). Constructor-only.
+  void recover_existing_runs() XSWAP_EXCLUDES(stats_mutex_);
 
   ServiceOptions options_;
   OfferStream stream_;
@@ -152,6 +171,7 @@ class ClearingService {
   bool started_ = false;
   std::exception_ptr error_;               // set by the service thread
   std::size_t dispatched_ = 0;             // components before this point
+  std::string run_dir_;                    // this run's durable epoch dir
   std::vector<swap::Offer> final_unmatched_;
 
   mutable util::Mutex stats_mutex_;

@@ -37,6 +37,13 @@ struct ServiceStats {
   std::size_t swaps_fully_triggered = 0;
   std::size_t violations = 0;  // components whose invariant audit failed
 
+  // Crash recovery (`serve --durable`): journals left by prior runs,
+  // replayed and integrity-verified at startup before this run's epoch
+  // directory is chosen.
+  std::size_t recovered_ledgers = 0;     // journals replayed + verified
+  std::size_t recovered_blocks = 0;      // sealed blocks restored in them
+  std::size_t recovery_torn_tails = 0;   // journals with a torn tail record
+
   // Incremental-vs-full recompute economics (see serve/incremental.hpp).
   IncrementalStats incremental;
 

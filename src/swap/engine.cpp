@@ -109,6 +109,7 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
       ledgers_[terms.chain]->set_submit_fault(
           options_.net.make_fault(terms.chain, options_.seed));
       if (options_.trace) ledgers_[terms.chain]->enable_trace();
+      attach_journal(*ledgers_[terms.chain]);
     }
     const PartyId head = spec_.digraph.arc(a).head;
     ledgers_[terms.chain]->mint(spec_.party_names.at(head), terms.asset);
@@ -121,7 +122,16 @@ void SwapEngine::build(std::vector<ArcTerms> arcs) {
     ledgers_[kBroadcastChain]->set_submit_fault(
         options_.net.make_fault(kBroadcastChain, options_.seed));
     if (options_.trace) ledgers_[kBroadcastChain]->enable_trace();
+    attach_journal(*ledgers_[kBroadcastChain]);
   }
+}
+
+void SwapEngine::attach_journal(chain::Ledger& ledger) {
+  if (options_.durable_dir.empty()) return;
+  journals_.push_back(std::make_unique<persist::LedgerJournal>(
+      options_.durable_dir + "/" + persist::sanitize_chain_dir(ledger.name()),
+      options_.durability));
+  ledger.attach_store(journals_.back().get());
 }
 
 void SwapEngine::set_strategy(PartyId v, Strategy strategy) {
@@ -300,6 +310,13 @@ SwapReport SwapEngine::harvest() {
   report.hashkey_bytes_submitted = counters_.hashkey_bytes_submitted;
   report.sign_operations = counters_.sign_operations;
   report.finished_at = sim_.now();
+  if (!journals_.empty()) {
+    // Final group commit: flush any blocks still queued behind the
+    // deferred-header batch, then push every journal to disk so the
+    // report is only returned once its run is durable.
+    for (const auto& [name, ledger] : ledgers_) ledger->seal_batch();
+    for (const auto& journal : journals_) journal->commit();
+  }
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chain/ledger.hpp"
+#include "persist/durable_ledger.hpp"
 #include "sim/simulator.hpp"
 #include "swap/clearing.hpp"
 #include "swap/netmodel.hpp"
@@ -66,6 +67,18 @@ struct EngineOptions {
   /// runs stay inside the paper's §2.2 timing assumption and Theorems
   /// 4.7/4.9 remain in force.
   NetworkModel net;
+
+  /// Journal every chain into `<durable_dir>/<chain>/` through the
+  /// persist layer (segment store + group commit riding seal_batch).
+  /// Empty — the default — keeps ledgers in-memory only. Journaling is
+  /// purely observational (headers + transactions already produced by
+  /// the run), so traces and reports are bit-identical with it on or
+  /// off; the golden determinism gate holds either way.
+  std::string durable_dir;
+
+  /// Fsync policy / segment size / group-commit cadence for
+  /// durable_dir (ignored when durable_dir is empty).
+  persist::DurabilityOptions durability;
 };
 
 /// Result of one protocol run.
@@ -175,12 +188,17 @@ class SwapEngine {
 
  private:
   void build(std::vector<ArcTerms> arcs);
+  void attach_journal(chain::Ledger& ledger);
   sim::Time end_time() const;
   SwapReport harvest();
 
   EngineOptions options_;
   SwapSpec spec_;
   sim::Simulator sim_;
+  // Journals are declared before the ledgers they back: members destroy
+  // in reverse order, so every ledger (holding a raw BlockStore
+  // pointer) goes away before its journal.
+  std::vector<std::unique_ptr<persist::LedgerJournal>> journals_;
   std::map<std::string, std::unique_ptr<chain::Ledger>> ledgers_;
   std::vector<Strategy> strategies_;
   std::vector<Secret> leader_secrets_;      // parallel to spec_.leaders

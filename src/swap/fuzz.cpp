@@ -554,6 +554,19 @@ FuzzCase case_from_seed(const FuzzOptions& options, std::uint64_t index) {
     p.until = p.from + duration;
     c.net.partitions.push_back(std::move(p));
   }
+
+  // Crash-recovery adversary. Drawn LAST, after every pre-existing
+  // field, so the draw streams above — and therefore every pinned
+  // corpus seed — replay bit-for-bit: 1 case in 5 adds a party that
+  // crashes at a seeded tick and comes back after a bounded outage with
+  // volatile memory wiped (Strategy::recover_at).
+  if (rng.next_below(5) == 0) {
+    const std::uint64_t who = rng.next_below(vertexes);
+    const std::uint64_t at = rng.next_below(6ull * vertexes + 1);
+    const std::uint64_t outage = rng.next_range(1, 2 * c.delta);
+    c.adversaries.push_back("P" + std::to_string(who) + ":crash_recover:" +
+                            std::to_string(at) + ":" + std::to_string(outage));
+  }
   return c;
 }
 
@@ -788,7 +801,9 @@ FuzzCase case_from_json(const std::string& json) {
 }
 
 void write_case_file(const FuzzCase& fuzz_case, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  // Reproducer files are debugging artifacts, not durable ledger state —
+  // no replay/crc guarantee needed, so plain streams are fine here.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);  // xswap-lint: allow(raw-io)
   if (!out) {
     throw std::runtime_error("fuzz: cannot open '" + path + "' for writing");
   }
@@ -799,7 +814,7 @@ void write_case_file(const FuzzCase& fuzz_case, const std::string& path) {
 }
 
 FuzzCase read_case_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary);  // xswap-lint: allow(raw-io)
   if (!in) {
     throw std::runtime_error("fuzz: cannot open '" + path + "' for reading");
   }

@@ -52,7 +52,43 @@ void Party::set_leader_secret(Secret secret) {
 }
 
 bool Party::crashed(sim::Time now) const {
-  return strategy_.crash_at.has_value() && now >= *strategy_.crash_at;
+  if (!strategy_.crash_at.has_value() || now < *strategy_.crash_at) {
+    return false;
+  }
+  // crash_recover: the outage ends once recover_at arrives.
+  return !(strategy_.recover_at.has_value() && now >= *strategy_.recover_at);
+}
+
+void Party::recover_from_chains(sim::Time now) {
+  recovered_ = true;
+  // The recoverable-protocol model: volatile memory is gone; only the
+  // durable identity — the signing keys and (for a leader) the secret —
+  // survives the outage. Everything else is re-derived from the chains,
+  // which kept sealing while this party was down. Every action taken on
+  // re-derived state is guarded by on-chain contract state (claims need
+  // Active + all unlocks, refunds need refundable(now), past-deadline
+  // unlocks are skipped), so at worst a resubmission fails as a
+  // recorded failed transaction — never a safety violation.
+  std::fill(arc_contract_.begin(), arc_contract_.end(), std::nullopt);
+  std::fill(published_.begin(), published_.end(), false);
+  std::fill(known_key_.begin(), known_key_.end(), std::nullopt);
+  for (auto& per_arc : unlock_submitted_) {
+    std::fill(per_arc.begin(), per_arc.end(), false);
+  }
+  std::fill(claim_submitted_.begin(), claim_submitted_.end(), false);
+  std::fill(refund_submitted_.begin(), refund_submitted_.end(), false);
+  leader_revealed_ = false;
+  board_posted_ = false;
+  coalition_pool_cursor_ = 0;
+
+  // Rescan before acting: observed contracts restore the Phase-One
+  // pebbles, and a leaving arc already carrying a matching contract was
+  // published by the pre-crash self — mark it so recovery does not
+  // double-publish against an already-spent escrow.
+  scan_for_contracts(now);
+  for (const graph::ArcId a : spec_.digraph.out_arcs(self_)) {
+    if (arc_contract_[a].has_value()) published_[a] = true;
+  }
 }
 
 chain::Ledger& Party::ledger_for_arc(graph::ArcId arc) const {
@@ -61,6 +97,10 @@ chain::Ledger& Party::ledger_for_arc(graph::ArcId arc) const {
 
 void Party::tick(sim::Time now) {
   if (crashed(now)) return;
+  if (!recovered_ && strategy_.crash_at.has_value() &&
+      strategy_.recover_at.has_value() && now >= *strategy_.recover_at) {
+    recover_from_chains(now);
+  }
 
   scan_for_contracts(now);
   phase_one_publish(now);

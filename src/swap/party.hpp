@@ -78,7 +78,15 @@ class Party {
 
   PartyId id() const { return self_; }
   const std::string& name() const { return spec_.party_names[self_]; }
+
+  /// In the crash outage at `now`? With Strategy::recover_at set the
+  /// outage is the window [crash_at, recover_at); without it the crash
+  /// is permanent.
   bool crashed(sim::Time now) const;
+
+  /// Did the crash-recovery path run (the volatile-state wipe + chain
+  /// rescan of Strategy::recover_at)?
+  bool recovered() const { return recovered_; }
 
   /// Verified contract id observed for `arc` (nullopt until seen).
   std::optional<chain::ContractId> contract_on(graph::ArcId arc) const {
@@ -90,6 +98,7 @@ class Party {
 
  private:
   chain::Ledger& ledger_for_arc(graph::ArcId arc) const;
+  void recover_from_chains(sim::Time now);
   void scan_for_contracts(sim::Time now);
   void phase_one_publish(sim::Time now);
   void publish_contract_on(graph::ArcId arc);
@@ -125,6 +134,7 @@ class Party {
   std::vector<bool> claim_submitted_;                // per arc
   std::vector<bool> refund_submitted_;               // per arc
   std::size_t coalition_pool_cursor_ = 0;
+  bool recovered_ = false;  // crash-recovery wipe already ran
 };
 
 }  // namespace xswap::swap

@@ -316,6 +316,11 @@ ScenarioBuilder& ScenarioBuilder::chain_locks(
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::durable(std::string dir) {
+  durable_ = std::move(dir);
+  return *this;
+}
+
 Scenario ScenarioBuilder::build() const {
   if (offers_.empty()) {
     throw std::invalid_argument("ScenarioBuilder: no offers in the book");
@@ -345,6 +350,9 @@ Scenario ScenarioBuilder::build() const {
   for (std::size_t i = 0; i < decomposition.swaps.size(); ++i) {
     EngineOptions per_swap = options_;
     per_swap.seed = options_.seed + i;  // distinct keys per component
+    if (!durable_.empty()) {
+      per_swap.durable_dir = durable_ + "/swap-" + std::to_string(i);
+    }
     scenario.engines_.push_back(
         std::make_unique<SwapEngine>(decomposition.swaps[i], per_swap));
     scenario.cleared_.push_back(std::move(decomposition.swaps[i]));

@@ -287,6 +287,12 @@ class ScenarioBuilder {
   /// component's chains lock-free and private.
   ScenarioBuilder& chain_locks(chain::ChainLockRegistry* registry);
 
+  /// Journal every component's chains under `<dir>/swap-<i>/<chain>/`
+  /// through the persist layer (EngineOptions::durable_dir per
+  /// component; empty — the default — keeps everything in-memory).
+  /// Durability knobs ride EngineOptions::durability via options().
+  ScenarioBuilder& durable(std::string dir);
+
   /// Override the named party's behaviour (default: honest). Applied to
   /// whichever component swap the party clears into; the latest
   /// override for a name wins. build() throws if the name appears in no
@@ -304,6 +310,7 @@ class ScenarioBuilder {
   std::vector<std::pair<std::string, Strategy>> strategies_;
   std::size_t jobs_ = 1;
   std::shared_ptr<Executor> pool_;
+  std::string durable_;
 };
 
 }  // namespace xswap::swap

@@ -107,6 +107,18 @@ Strategy strategy_from_spec(const std::string& spec, sim::Time start_time,
     s.publish_corrupt_contracts = r.next_chance(p, 100);
   } else if (kind == "crash") {
     s.crash_at = start_time + parse_ticks(kind, arg);
+  } else if (kind == "crash_recover") {
+    // T:R — crash at start + T, recover (memory wiped) at start + T + R.
+    const auto split = arg.find(':');
+    if (split == std::string::npos) {
+      throw std::invalid_argument(
+          "strategy_from_spec: 'crash_recover' needs T:R (crash tick and "
+          "outage length), got '" + arg + "'");
+    }
+    const sim::Time t = parse_ticks(kind, arg.substr(0, split));
+    const sim::Time outage = parse_ticks(kind, arg.substr(split + 1));
+    s.crash_at = start_time + t;
+    s.recover_at = start_time + t + outage;
   } else if (kind == "withhold") {
     reject_arg(kind, arg);
     s.withhold_unlocks = true;
@@ -145,7 +157,7 @@ const std::vector<std::string>& strategy_spec_kinds() {
   static const std::vector<std::string> kKinds = {
       "crash:T", "withhold",    "silent",      "corrupt",
       "late:T",  "reveal",      "flip:P",      "crashrand:T",
-      "equivocate:P"};
+      "equivocate:P", "crash_recover:T:R"};
   return kKinds;
 }
 

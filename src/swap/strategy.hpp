@@ -27,6 +27,13 @@ struct Strategy {
   /// this simulated time.
   std::optional<sim::Time> crash_at;
 
+  /// Come back from the crash_at outage at this simulated time with
+  /// volatile memory WIPED (the recoverable-protocol model): the party
+  /// keeps only its durable state — keys and leader secret — and
+  /// re-derives everything else by scanning the chains before acting
+  /// again. Requires crash_at; ignored without it.
+  std::optional<sim::Time> recover_at;
+
   /// Never publish contracts on leaving arcs (Phase One defection).
   bool withhold_contracts = false;
 
@@ -71,6 +78,10 @@ struct Strategy {
 /// fuzz sweep:
 ///
 ///   crash:T        halt at start_time + T
+///   crash_recover:T:R
+///                  crash at start_time + T, recover at start_time +
+///                  T + R with volatile memory wiped (re-derives state
+///                  from the chains — the crash-recovery adversary)
 ///   withhold       withhold unlocks and claims (Phase Two defection)
 ///   silent         withhold contracts (Phase One defection)
 ///   corrupt        publish corrupt contracts

@@ -341,5 +341,88 @@ TEST(Ledger, ChainLockRegistryTracksAttachedLedgers) {
   EXPECT_EQ(registry.attached_ledgers(), 0u);
 }
 
+// -------------------------------------- diagnostic integrity checking
+
+/// A height-1 block with one transaction, correctly rooted and chained
+/// onto `ledger`'s genesis — the valid baseline each corruption test
+/// then damages in exactly one way.
+Block chained_block(const Ledger& ledger) {
+  Block b;
+  b.height = 1;
+  b.sealed_at = 2;
+  Transaction tx;
+  tx.kind = TxKind::kTransfer;
+  tx.sender = "alice";
+  tx.summary = "transfer: 1 BTC -> bob";
+  tx.succeeded = true;
+  b.txs.push_back(tx);
+  b.tx_root = b.compute_tx_root();
+  b.prev_hash = ledger.blocks().front().hash();
+  return b;
+}
+
+TEST(LedgerIntegrity, DiagnosticOverloadNamesTxRootFailure) {
+  sim::Simulator sim;
+  Ledger ledger("diag", sim, 1);
+  Block bad = chained_block(ledger);
+  bad.tx_root[0] ^= 0x01;  // Merkle root no longer matches the txs
+  ledger.restore_sealed_block(std::move(bad));
+
+  Ledger::IntegrityFailure failure;
+  EXPECT_FALSE(ledger.verify_integrity(&failure));
+  EXPECT_EQ(failure.height, 1u);
+  EXPECT_EQ(failure.check, Ledger::IntegrityFailure::Check::kTxRoot);
+  EXPECT_STREQ(to_string(failure.check), "tx_root");
+  // The plain overload agrees, it just cannot say why.
+  EXPECT_FALSE(ledger.verify_integrity());
+}
+
+TEST(LedgerIntegrity, DiagnosticOverloadNamesPrevHashFailure) {
+  sim::Simulator sim;
+  Ledger ledger("diag", sim, 1);
+  Block bad = chained_block(ledger);
+  bad.prev_hash[0] ^= 0x01;  // root still valid, chain link broken
+  ledger.restore_sealed_block(std::move(bad));
+
+  Ledger::IntegrityFailure failure;
+  EXPECT_FALSE(ledger.verify_integrity(&failure));
+  EXPECT_EQ(failure.height, 1u);
+  EXPECT_EQ(failure.check, Ledger::IntegrityFailure::Check::kPrevHash);
+  EXPECT_STREQ(to_string(failure.check), "prev_hash");
+}
+
+TEST(LedgerIntegrity, DiagnosticOverloadAcceptsNullAndCleanChains) {
+  sim::Simulator sim;
+  Ledger ledger("diag", sim, 1);
+  ledger.restore_sealed_block(chained_block(ledger));
+  EXPECT_TRUE(ledger.verify_integrity(nullptr));
+  Ledger::IntegrityFailure untouched;
+  untouched.height = 77;
+  EXPECT_TRUE(ledger.verify_integrity(&untouched));
+  EXPECT_EQ(untouched.height, 77u);  // success leaves the out-param alone
+}
+
+TEST(LedgerIntegrity, RestoreRejectsGapsDuplicatesAndLiveLedgers) {
+  sim::Simulator sim;
+  Ledger ledger("diag", sim, 1);
+  Block skip = chained_block(ledger);
+  skip.height = 2;  // gap: tip is genesis
+  EXPECT_THROW(ledger.restore_sealed_block(std::move(skip)),
+               std::invalid_argument);
+
+  ledger.restore_sealed_block(chained_block(ledger));
+  Block dup = chained_block(ledger);  // height 1 again
+  EXPECT_THROW(ledger.restore_sealed_block(std::move(dup)),
+               std::invalid_argument);
+
+  // Restoring into a started ledger is a programming error: replay is
+  // a recovery-time operation, never concurrent with live sealing.
+  sim::Simulator live_sim;
+  Ledger live("live", live_sim, 1);
+  live.start();
+  EXPECT_THROW(live.restore_sealed_block(chained_block(ledger)),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace xswap::chain

@@ -1,0 +1,273 @@
+// Segment-store byte layer: framing round trips, rotation, and the
+// torn-write corpus. The torn-tail rule is THE recovery contract — a
+// damaged FINAL record is a crash artifact and is discarded
+// deterministically, while the same damage anywhere earlier is
+// corruption and throws a named RecoveryError — so every branch of
+// read_records gets a deliberate on-disk counterexample here.
+#include "persist/segment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace xswap::persist {
+namespace {
+
+util::Bytes bytes(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+std::string text(const util::Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Fresh per-test directory under the gtest temp root.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/xswap_segment_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+util::Bytes slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return util::Bytes(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const util::Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Write `records` through a SegmentStore and flush+close it.
+void write_store(const std::string& dir, const std::vector<std::string>& records,
+                 DurabilityOptions options = {}) {
+  SegmentStore store(dir, options);
+  for (const std::string& r : records) store.append(bytes(r));
+  store.flush(/*fsync=*/false);
+}
+
+TEST(SegmentStore, RoundTripsRecordsInOrder) {
+  const std::string dir = fresh_dir("roundtrip");
+  write_store(dir, {"alpha", "bravo", "charlie", std::string(1000, 'x')});
+
+  const RecordScan scan = read_records(dir);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(text(scan.records[0]), "alpha");
+  EXPECT_EQ(text(scan.records[1]), "bravo");
+  EXPECT_EQ(text(scan.records[2]), "charlie");
+  EXPECT_EQ(text(scan.records[3]), std::string(1000, 'x'));
+}
+
+TEST(SegmentStore, CountersTrackFramedBytes) {
+  const std::string dir = fresh_dir("counters");
+  SegmentStore store(dir, {});
+  store.append(bytes("12345"));
+  store.append(bytes("678"));
+  store.flush(/*fsync=*/false);
+  EXPECT_EQ(store.records_appended(), 2u);
+  EXPECT_EQ(store.bytes_written(), (8u + 5u) + (8u + 3u));
+  EXPECT_EQ(store.segment_count(), 1u);
+  EXPECT_EQ(store.fsync_count(), 0u);
+  store.flush(/*fsync=*/true);
+  EXPECT_EQ(store.fsync_count(), 1u);
+}
+
+TEST(SegmentStore, RotatesAtSegmentBoundaryWithoutSplitting) {
+  const std::string dir = fresh_dir("rotate");
+  DurabilityOptions options;
+  options.segment_bytes = 32;  // frame of a 10-byte record is 18 bytes
+  {
+    SegmentStore store(dir, options);
+    store.append(bytes("0123456789"));  // seg 0: 18 bytes
+    store.append(bytes("abcdefghij"));  // 18 more would pass 32 -> seg 1
+    store.append(bytes("KLMNOPQRST"));  // -> seg 2
+    store.flush(false);
+    EXPECT_EQ(store.segment_count(), 3u);
+  }
+  EXPECT_EQ(segment_files(dir).size(), 3u);
+  const RecordScan scan = read_records(dir);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(text(scan.records[0]), "0123456789");
+  EXPECT_EQ(text(scan.records[2]), "KLMNOPQRST");
+}
+
+TEST(SegmentStore, OversizedRecordGetsASegmentToItself) {
+  const std::string dir = fresh_dir("oversized");
+  DurabilityOptions options;
+  options.segment_bytes = 16;
+  {
+    SegmentStore store(dir, options);
+    store.append(bytes("tiny"));
+    store.append(bytes(std::string(100, 'B')));  // > segment_bytes alone
+    store.append(bytes("tail"));
+    store.flush(false);
+  }
+  ASSERT_EQ(segment_files(dir).size(), 3u);
+  const RecordScan scan = read_records(dir);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[1].size(), 100u);
+}
+
+TEST(SegmentStore, RejectsEmptyPayloadAndDirtyDirectory) {
+  const std::string dir = fresh_dir("guards");
+  {
+    SegmentStore store(dir, {});
+    EXPECT_THROW(store.append({}), std::invalid_argument);
+    store.append(bytes("x"));
+    store.flush(false);
+  }
+  // A directory that already holds segments must be recovered, never
+  // silently appended to by a second writer.
+  EXPECT_THROW(SegmentStore(dir, {}), std::invalid_argument);
+}
+
+TEST(SegmentStore, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32(bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(SegmentStore, SegmentFilesThrowsOnMissingDirectory) {
+  EXPECT_THROW(segment_files(fresh_dir("missing")), std::invalid_argument);
+}
+
+// ---- Torn-write corpus ------------------------------------------------
+// Each case forges byte-exact damage on disk and pins which side of the
+// torn-tail / RecoveryError line it lands on.
+
+TEST(TornWriteCorpus, TruncatedFinalPayloadIsATornTail) {
+  const std::string dir = fresh_dir("torn_payload");
+  write_store(dir, {"first", "second", "third"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  raw.resize(raw.size() - 3);  // cut into the last record's payload
+  dump(seg, raw);
+
+  const RecordScan scan = read_records(dir);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_NE(scan.torn_reason.find("truncated record payload"),
+            std::string::npos);
+  ASSERT_EQ(scan.records.size(), 2u);  // sealed prefix survives intact
+  EXPECT_EQ(text(scan.records[1]), "second");
+}
+
+TEST(TornWriteCorpus, TruncatedFinalHeaderIsATornTail) {
+  const std::string dir = fresh_dir("torn_header");
+  write_store(dir, {"first", "second"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  raw.resize(raw.size() - (8 + 6) + 5);  // leave 5 of the last 8-byte header
+  dump(seg, raw);
+
+  const RecordScan scan = read_records(dir);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_NE(scan.torn_reason.find("truncated frame header"),
+            std::string::npos);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(text(scan.records[0]), "first");
+}
+
+TEST(TornWriteCorpus, FlippedChecksumOnFinalRecordIsATornTail) {
+  const std::string dir = fresh_dir("torn_crc");
+  write_store(dir, {"first", "second"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  raw.back() ^= 0x01;  // last payload byte no longer matches its crc
+  dump(seg, raw);
+
+  const RecordScan scan = read_records(dir);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_NE(scan.torn_reason.find("checksum mismatch"), std::string::npos);
+  ASSERT_EQ(scan.records.size(), 1u);
+}
+
+TEST(TornWriteCorpus, FlippedChecksumMidLogIsCorruption) {
+  const std::string dir = fresh_dir("midlog_crc");
+  write_store(dir, {"first", "second"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  raw[8] ^= 0x01;  // first byte of record 0's payload
+  dump(seg, raw);
+  EXPECT_THROW(read_records(dir), RecoveryError);
+}
+
+TEST(TornWriteCorpus, DamageInNonFinalSegmentIsCorruption) {
+  const std::string dir = fresh_dir("earlier_segment");
+  DurabilityOptions options;
+  options.segment_bytes = 16;  // one record per segment
+  write_store(dir, {"0123456789", "abcdefghij"}, options);
+  const std::vector<std::string> files = segment_files(dir);
+  ASSERT_EQ(files.size(), 2u);
+  util::Bytes raw = slurp(files.front());
+  raw.resize(raw.size() - 2);  // truncate the FIRST segment's tail
+  dump(files.front(), raw);
+  // The same damage that would be a tolerated torn tail in the last
+  // segment is mid-log corruption here.
+  EXPECT_THROW(read_records(dir), RecoveryError);
+}
+
+TEST(TornWriteCorpus, ZeroLengthRecordIsCorruption) {
+  const std::string dir = fresh_dir("zero_len");
+  write_store(dir, {"first"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  // Append a syntactically complete frame claiming a 0-byte payload;
+  // the store can never write one, so the reader must refuse even at
+  // the tail.
+  const util::Bytes zero_frame = {0, 0, 0, 0, 0, 0, 0, 0};
+  raw.insert(raw.end(), zero_frame.begin(), zero_frame.end());
+  dump(seg, raw);
+  EXPECT_THROW(read_records(dir), RecoveryError);
+}
+
+TEST(TornWriteCorpus, ImplausibleLengthIsCorruption) {
+  const std::string dir = fresh_dir("huge_len");
+  write_store(dir, {"first"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  const util::Bytes huge = {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0};
+  raw.insert(raw.end(), huge.begin(), huge.end());
+  dump(seg, raw);
+  EXPECT_THROW(read_records(dir), RecoveryError);
+}
+
+TEST(TornWriteCorpus, TornScanIsDeterministic) {
+  // The same damaged directory scans to the same result every time —
+  // the crash-point sweep depends on replay being a pure function of
+  // the bytes on disk.
+  const std::string dir = fresh_dir("deterministic");
+  write_store(dir, {"first", "second", "third"});
+  const std::string seg = segment_files(dir).front();
+  util::Bytes raw = slurp(seg);
+  raw.resize(raw.size() - 1);
+  dump(seg, raw);
+  const RecordScan a = read_records(dir);
+  const RecordScan b = read_records(dir);
+  EXPECT_TRUE(a.torn_tail);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.torn_reason, b.torn_reason);
+}
+
+TEST(SegmentStore, FsyncPolicyNamesRoundTrip) {
+  EXPECT_EQ(fsync_policy_from_name("always"), FsyncPolicy::kAlways);
+  EXPECT_EQ(fsync_policy_from_name("batch"), FsyncPolicy::kBatch);
+  EXPECT_EQ(fsync_policy_from_name("never"), FsyncPolicy::kNever);
+  EXPECT_THROW(fsync_policy_from_name("sometimes"), std::invalid_argument);
+  EXPECT_STREQ(to_string(FsyncPolicy::kAlways), "always");
+  EXPECT_STREQ(to_string(FsyncPolicy::kBatch), "batch");
+  EXPECT_STREQ(to_string(FsyncPolicy::kNever), "never");
+}
+
+}  // namespace
+}  // namespace xswap::persist

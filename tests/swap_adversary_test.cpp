@@ -103,6 +103,50 @@ TEST(Adversary, CrashAfterPhaseOneOnlyHurtsCrasher) {
   EXPECT_EQ(report.outcomes[0], Outcome::kDeal);
 }
 
+TEST(Adversary, CrashRecoverPartyComesBackAndSettles) {
+  // The crash-recovery adversary: Carol halts mid-protocol and resumes
+  // with volatile memory wiped, re-deriving her state by scanning the
+  // chains. Unlike a permanent crash, NONE of her escrows may strand —
+  // after the outage she either finishes the swap or refunds.
+  const graph::Digraph d = graph::figure1_triangle();
+  const SwapSpec probe = SwapEngine(d, {0}).spec();
+  SwapEngine engine(d, {0});
+  engine.set_strategy(2, strategy_from_spec("crash_recover:2:4",
+                                            probe.start_time));
+  const SwapReport report = engine.run();
+  // No crashed mask: the recovered party settles its own arcs too.
+  expect_safe(report, engine.spec());
+  EXPECT_TRUE(report.no_conforming_underwater);
+  for (PartyId v = 0; v < 3; ++v) {
+    if (v != 2) {
+      EXPECT_TRUE(acceptable(report.outcomes[v])) << "party " << v;
+    }
+  }
+}
+
+TEST(Adversary, CrashRecoverSweepEveryPartyEveryTime) {
+  // Property sweep mirroring CrashSweepEveryPartyEveryTime, but with a
+  // Δ-long outage instead of a permanent halt: since the victim comes
+  // back (before the engine's settlement horizon), EVERY published
+  // escrow must settle — no crashed-party exemption.
+  const graph::Digraph d = graph::figure1_triangle();
+  const SwapSpec probe = SwapEngine(d, {0}).spec();
+  for (PartyId victim = 0; victim < 3; ++victim) {
+    for (sim::Time t = 0; t <= probe.final_deadline();
+         t += probe.delta / 2) {
+      SwapEngine engine(d, {0});
+      Strategy s;
+      s.crash_at = t;
+      s.recover_at = t + probe.delta;
+      engine.set_strategy(victim, s);
+      const SwapReport report = engine.run();
+      expect_safe(report, engine.spec());
+      EXPECT_TRUE(report.no_conforming_underwater)
+          << "victim " << victim << " crash at " << t;
+    }
+  }
+}
+
 TEST(Adversary, CorruptContractsAreIgnored) {
   // Bob publishes contracts whose hashlocks differ from the spec:
   // conforming parties treat the arc as contract-less and refund.

@@ -31,6 +31,24 @@ TEST(StrategyFromSpec, LateWithRelativeTime) {
   EXPECT_EQ(*s.delay_unlocks_until, 57u);
 }
 
+TEST(StrategyFromSpec, CrashRecoverSetsTheOutageWindow) {
+  const Strategy s = strategy_from_spec("crash_recover:10:4", 100);
+  ASSERT_TRUE(s.crash_at.has_value());
+  ASSERT_TRUE(s.recover_at.has_value());
+  EXPECT_EQ(*s.crash_at, 110u);
+  EXPECT_EQ(*s.recover_at, 114u);  // crash tick + outage length
+  EXPECT_FALSE(s.conforming());
+}
+
+TEST(StrategyFromSpec, CrashRecoverNeedsBothTicks) {
+  EXPECT_THROW(strategy_from_spec("crash_recover"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crash_recover:5"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crash_recover:5:"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crash_recover::3"), std::invalid_argument);
+  EXPECT_THROW(strategy_from_spec("crash_recover:a:b"),
+               std::invalid_argument);
+}
+
 TEST(StrategyFromSpec, UnknownKindRejected) {
   EXPECT_THROW(strategy_from_spec("ddos"), std::invalid_argument);
   EXPECT_THROW(strategy_from_spec(""), std::invalid_argument);
@@ -72,7 +90,7 @@ TEST(ParseAdversary, MissingWhoRejected) {
 
 TEST(StrategySpecKinds, ListsEveryKindOnce) {
   const auto& kinds = strategy_spec_kinds();
-  EXPECT_EQ(kinds.size(), 9u);
+  EXPECT_EQ(kinds.size(), 10u);
   // Each listed kind (sans the argument hint) parses; the stochastic
   // ones draw from a seeded rng and get full-probability arguments so
   // the parsed strategy always deviates.
@@ -81,7 +99,9 @@ TEST(StrategySpecKinds, ListsEveryKindOnce) {
     const auto colon = kind.find(':');
     const std::string bare = kind.substr(0, colon);
     std::string spec = bare;
-    if (colon != std::string::npos) {
+    if (bare == "crash_recover") {
+      spec += ":1:4";
+    } else if (colon != std::string::npos) {
       spec += (bare == "flip" || bare == "equivocate") ? ":100" : ":1";
     }
     EXPECT_FALSE(strategy_from_spec(spec, 0, &rng).conforming()) << kind;

@@ -135,6 +135,62 @@ class LockingRules(unittest.TestCase):
             [])
 
 
+class RawIoRules(unittest.TestCase):
+    def test_file_streams_flagged_in_trace_dirs(self):
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp",
+                        "std::ofstream out(path, std::ios::binary);"),
+            ["raw-io"])
+        self.assertEqual(
+            rules_fired("src/serve/foo.cpp", "std::ifstream in(path);"),
+            ["raw-io"])
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp", "std::fstream f(path);"),
+            ["raw-io"])
+
+    def test_fopen_and_posix_open_flagged(self):
+        self.assertEqual(
+            rules_fired("src/sim/foo.cpp",
+                        'FILE* f = fopen(path.c_str(), "wb");'),
+            ["raw-io"])
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp",
+                        "int fd = ::open(path, O_WRONLY);"),
+            ["raw-io"])
+        self.assertEqual(
+            rules_fired("src/chain/foo.cpp",
+                        "int fd = open(path, O_RDONLY);"),
+            ["raw-io"])
+
+    def test_persist_and_tools_exempt(self):
+        # src/persist IS the file layer; tools/ and tests aren't
+        # trace-affecting code.
+        self.assertEqual(
+            rules_fired("src/persist/segment_store.cpp",
+                        'std::FILE* f = std::fopen(p.c_str(), "ab");'),
+            [])
+        self.assertEqual(
+            rules_fired("tools/foo.cpp", "std::ofstream out(path);"), [])
+
+    def test_member_open_and_lookalikes_allowed(self):
+        # `.open(` is a member call on an already-flagged stream type;
+        # popen/reopen-style identifiers are not open(2).
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "file.open(input);"), [])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "auto p = popen(cmd, mode);"),
+            [])
+        self.assertEqual(
+            rules_fired("src/swap/foo.cpp", "bool was_reopen(int x);"), [])
+
+    def test_suppression_works_for_raw_io(self):
+        text = ("std::ofstream out(p);"
+                "  // xswap-lint: allow(raw-io)\n")
+        got, suppressed = xswap_lint.lint_text("src/swap/foo.cpp", text)
+        self.assertEqual(got, [])
+        self.assertEqual(suppressed, 1)
+
+
 class DeltaRule(unittest.TestCase):
     def test_rederivation_flagged(self):
         self.assertEqual(

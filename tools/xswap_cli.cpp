@@ -9,8 +9,9 @@
 //     --mode MODE        general | single | broadcast   (default general)
 //     --delta N          Δ in ticks (default 4)
 //     --seed N           RNG seed (default 20180101)
-//     --adversary SPEC   V:crash:T | V:withhold | V:silent | V:corrupt |
-//                        V:late:T | V:reveal   (repeatable; V = party id)
+//     --adversary SPEC   V:crash:T | V:crash_recover:T:R | V:withhold |
+//                        V:silent | V:corrupt | V:late:T | V:reveal
+//                        (repeatable; V = party id)
 //     --timeline         print the merged cross-chain event timeline
 //     --forensics        print the fault-attribution report
 //     --trace            collect and print each chain's ledger trace
@@ -49,6 +50,14 @@
 //                        local-ratio approximation — any FVS is a valid
 //                        leader set (Theorem 4.12), minimality only
 //                        trades leader count for timelock depth
+//     --durable DIR      journal every cleared component's chains under
+//                        DIR/run-NNN/..., and on startup replay +
+//                        integrity-verify journals left by prior runs
+//                        (crash recovery; counted in the stats object).
+//                        Journaling is observational: component JSON is
+//                        bit-identical with or without it
+//     --fsync POLICY     always | batch | never (default batch) — when
+//                        journal appends reach stable storage
 //     --mode/--delta/--seed as above, applied per cleared component
 //     Output is JSON lines on stdout: one `component` object per cleared
 //     swap (deterministic fields identical to `xswap batch` on the same
@@ -74,6 +83,9 @@
 //                        straggler's tail; fifo runs books one by one
 //     --fvs-exact-max K  exact-leader kernel budget per component (see
 //                        serve; the same FvsOptions knob)
+//     --durable DIR      journal every component's chains under
+//                        DIR/swap-<i>/<chain>/ (single-book mode only)
+//     --fsync POLICY     always | batch | never (default batch)
 //     --fleet DIR        multi-book mode: every regular file in DIR is an
 //                        offers file, run as one fleet through the
 //                        cross-batch scheduler (adversary flags and the
@@ -107,6 +119,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "persist/segment_store.hpp"
 #include "serve/service.hpp"
 #include "swap/forensics.hpp"
 #include "swap/fuzz.hpp"
@@ -127,6 +140,7 @@ namespace {
                "       xswap batch <offers-file> [--mode MODE] [--delta N]\n"
                "             [--seed N] [--jobs N] [--pool persistent|perrun]\n"
                "             [--fvs-exact-max K]\n"
+               "             [--durable DIR] [--fsync always|batch|never]\n"
                "             [--adversary NAME:KIND[:ARG]]...\n"
                "             [--timeline] [--forensics] [--trace]\n"
                "       xswap batch --fleet <dir> [--jobs N]\n"
@@ -136,14 +150,15 @@ namespace {
                "       xswap serve [--input FILE|-] [--jobs N]\n"
                "             [--pool persistent|perrun] [--queue-cap N]\n"
                "             [--max-dirty F] [--fvs-exact-max K]\n"
+               "             [--durable DIR] [--fsync always|batch|never]\n"
                "             [--mode MODE] [--delta N] [--seed N]\n"
                "       xswap fuzz [--seed S] [--runs N] [--jobs J]\n"
                "             [--min-parties A] [--max-parties B] [--no-shrink]\n"
                "             [--out FILE] [--replay FILE]\n"
                "KIND: cycle:N | complete:N | hub:N | twocycles:A,B | fig8\n"
                "MODE: general | single | broadcast\n"
-               "adversary KIND: crash:T | withhold | silent | corrupt | "
-               "late:T | reveal\n"
+               "adversary KIND: crash:T | crash_recover:T:R | withhold | "
+               "silent | corrupt | late:T | reveal\n"
                "offers file line: FROM TO CHAIN coin:SYM:AMOUNT|unique:SYM:ID\n");
   std::exit(2);
 }
@@ -247,6 +262,7 @@ std::vector<swap::Offer> parse_offers_file(const std::string& path) {
 
 struct CommonFlags {
   std::string mode = "general";
+  std::string durable;  // journal dir (empty: durability off)
   swap::EngineOptions options;
   graph::FvsOptions fvs;
   std::vector<std::string> adversaries;
@@ -390,6 +406,7 @@ int run_batch(const std::string& offers_path, CommonFlags flags) {
           .jobs(flags.jobs)
           .pool(pool)
           .trace(flags.show_trace);
+      if (!flags.durable.empty()) builder.durable(flags.durable);
       // A single book's components can model the same chain name too;
       // once they may run concurrently, same-name seals must serialize
       // through the stripes exactly as in fleet mode.
@@ -488,6 +505,10 @@ int run_fleet_dir(const std::string& dir, CommonFlags flags) {
   if (flags.show_trace || flags.show_timeline || flags.show_forensics) {
     usage("--trace/--timeline/--forensics are per-swap views; run the "
           "book alone with `xswap batch FILE` to inspect it");
+  }
+  if (!flags.durable.empty()) {
+    usage("--durable is single-book only; journal one book with "
+          "`xswap batch FILE --durable DIR`");
   }
 
   std::error_code ec;
@@ -618,6 +639,17 @@ int run_serve(int argc, char** argv, int i) {
       options.fvs.max_exact_vertices =
           std::strtoul(next().c_str(), nullptr, 10);
     }
+    else if (arg == "--durable") {
+      options.durable_dir = next();
+      if (options.durable_dir.empty()) usage("--durable needs a directory");
+    }
+    else if (arg == "--fsync") {
+      try {
+        options.durability.policy = persist::fsync_policy_from_name(next());
+      } catch (const std::invalid_argument& e) {
+        usage(e.what());
+      }
+    }
     else if (arg == "--mode") flags.mode = next();
     else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);
     else if (arg == "--seed") flags.options.seed = std::strtoull(next().c_str(), nullptr, 10);
@@ -655,8 +687,16 @@ int run_serve(int argc, char** argv, int i) {
     std::fflush(stdout);
   };
 
-  serve::ClearingService service(std::move(options));
-  service.start();
+  // Construction replays prior --durable runs; corrupt journals are a
+  // named, actionable failure, not a crash.
+  std::unique_ptr<serve::ClearingService> service;
+  try {
+    service = std::make_unique<serve::ClearingService>(std::move(options));
+  } catch (const persist::RecoveryError& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+  service->start();
 
   std::ifstream file;
   std::istream* in = &std::cin;
@@ -676,15 +716,15 @@ int run_serve(int argc, char** argv, int i) {
       if (!event) continue;
       // Blocking submit: a fast feed throttles to clearing speed
       // instead of shedding (the bounded queue still caps memory).
-      service.submit_wait(std::move(*event));
+      service->submit_wait(std::move(*event));
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "serve: line %zu: %s\n", lineno, e.what());
       ++parse_errors;
     }
   }
 
-  const serve::ServiceStats stats = service.wait();
-  for (const swap::Offer& offer : service.final_unmatched()) {
+  const serve::ServiceStats stats = service->wait();
+  for (const swap::Offer& offer : service->final_unmatched()) {
     std::printf("{\"type\":\"unmatched\",\"from\":\"%s\",\"to\":\"%s\","
                 "\"chain\":\"%s\",\"asset\":\"%s\"}\n",
                 json_escape(offer.from).c_str(), json_escape(offer.to).c_str(),
@@ -699,16 +739,18 @@ int run_serve(int argc, char** argv, int i) {
       "\"swaps_fully_triggered\":%zu,\"violations\":%zu,"
       "\"offers_unmatched\":%zu,\"incremental_updates\":%zu,"
       "\"full_recomputes\":%zu,\"components_reused\":%zu,"
-      "\"components_recleared\":%zu,\"latency_p50_ms\":%.3f,"
-      "\"latency_p99_ms\":%.3f}\n",
+      "\"components_recleared\":%zu,\"recovered_ledgers\":%zu,"
+      "\"recovered_blocks\":%zu,\"recovery_torn_tails\":%zu,"
+      "\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f}\n",
       stats.events_admitted, stats.events_rejected_full,
       stats.events_rejected_invalid, parse_errors, stats.adds_applied,
       stats.expires_applied, stats.clears, stats.queue_high_water,
       stats.components_cleared, stats.swaps_fully_triggered, stats.violations,
-      service.final_unmatched().size(), stats.incremental.incremental_updates,
+      service->final_unmatched().size(), stats.incremental.incremental_updates,
       stats.incremental.full_recomputes, stats.incremental.components_reused,
-      stats.incremental.components_recleared, stats.latency_percentile(50.0),
-      stats.latency_percentile(99.0));
+      stats.incremental.components_recleared, stats.recovered_ledgers,
+      stats.recovered_blocks, stats.recovery_torn_tails,
+      stats.latency_percentile(50.0), stats.latency_percentile(99.0));
   return violations || stats.violations > 0 ? 1 : 0;
 }
 
@@ -899,6 +941,19 @@ int main(int argc, char** argv) {
     else if (arg == "--fvs-exact-max") {
       batch_only();
       flags.fvs.max_exact_vertices = std::strtoul(next().c_str(), nullptr, 10);
+    }
+    else if (arg == "--durable") {
+      batch_only();
+      flags.durable = next();
+      if (flags.durable.empty()) usage("--durable needs a directory");
+    }
+    else if (arg == "--fsync") {
+      batch_only();
+      try {
+        flags.options.durability.policy = persist::fsync_policy_from_name(next());
+      } catch (const std::invalid_argument& e) {
+        usage(e.what());
+      }
     }
     else if (arg == "--mode") flags.mode = next();
     else if (arg == "--delta") flags.options.delta = std::strtoul(next().c_str(), nullptr, 10);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """xswap-specific lint rules that clang-tidy cannot express.
 
-Three rule families, all protecting repo-level invariants:
+Four rule families, all protecting repo-level invariants:
 
 determinism  Trace-affecting code (src/chain, src/sim, src/swap, and
              the streaming service src/serve) must be bit-for-bit
@@ -20,6 +20,15 @@ locking      All locking in src/ goes through util::Mutex/MutexLock so
              std::lock_guard/unique_lock/scoped_lock,
              std::condition_variable (use _any, which waits on the
              annotated Mutex directly), and raw .lock()/.unlock() calls.
+
+raw-io       Durable state written by trace-affecting code (src/chain,
+             src/sim, src/swap, src/serve) must go through the persist
+             layer (persist::SegmentStore — checksummed, torn-tail-
+             tolerant frames that recover() can replay). Ad-hoc file
+             writes bypass the crc/replay guarantees and silently break
+             crash recovery. Banned there: fopen/freopen,
+             std::ifstream/ofstream/fstream, and POSIX open(2).
+             src/persist is the one tree allowed to touch files.
 
 delta        Δ safety (Thm 4.7/4.9 under network faults) hangs on ONE
              bound: NetworkModel::min_safe_delta(). Re-deriving it from
@@ -137,6 +146,30 @@ RULES = [
         "raw .lock()/.unlock() call outside the util::Mutex wrapper; "
         "use the scoped util::MutexLock",
         lambda rel: _under(rel, LOCK_DIRS) and rel != LOCK_WRAPPER,
+    ),
+    # ---- raw-io ----
+    Rule(
+        "raw-io",
+        re.compile(r"\bstd::(?:basic_)?[io]?fstream\b"),
+        "raw file stream in trace-affecting code; durable writes go "
+        "through persist::SegmentStore (checksummed, replayable frames)",
+        lambda rel: _under(rel, TRACE_DIRS),
+    ),
+    Rule(
+        "raw-io",
+        re.compile(r"\bf(?:re)?open\s*\("),
+        "fopen/freopen in trace-affecting code; durable writes go "
+        "through persist::SegmentStore (checksummed, replayable frames)",
+        lambda rel: _under(rel, TRACE_DIRS),
+    ),
+    Rule(
+        "raw-io",
+        # POSIX open(2): bare or ::-qualified `open(`, but not member
+        # `.open(` calls or identifiers merely ending in "open".
+        re.compile(r"(?<![\w.])open\s*\("),
+        "open(2) in trace-affecting code; durable writes go through "
+        "persist::SegmentStore (checksummed, replayable frames)",
+        lambda rel: _under(rel, TRACE_DIRS),
     ),
     # ---- delta ----
     Rule(
